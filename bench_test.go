@@ -1,0 +1,73 @@
+// Benchmarks: one per paper table and figure. Each benchmark times the full
+// regeneration of the artifact by the experiment harness at a reduced scale
+// (the same code `cmd/repro` runs at scale 1.0). Absolute times are machine
+// specific; the claim is the relative shape (see EXPERIMENTS.md).
+package lesm_test
+
+import (
+	"testing"
+
+	"lesm/internal/experiments"
+)
+
+// benchScale keeps a full `go test -bench .` run tractable while exercising
+// every experiment end to end.
+const benchScale = 0.06
+
+func benchExperiment(b *testing.B, id string) {
+	e := experiments.Find(id)
+	if e == nil {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tab := e.Run(benchScale)
+		if len(tab.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+// --- Chapter 3: hierarchical topic and community discovery ---
+
+func BenchmarkTable3_2_HPMI_DBLP(b *testing.B)      { benchExperiment(b, "table3.2") }
+func BenchmarkTable3_3_HPMI_NEWS(b *testing.B)      { benchExperiment(b, "table3.3") }
+func BenchmarkTable3_4_NetworkStats(b *testing.B)   { benchExperiment(b, "table3.4") }
+func BenchmarkTable3_5_Intrusion(b *testing.B)      { benchExperiment(b, "table3.5") }
+func BenchmarkTable3_6_CaseStudyIR(b *testing.B)    { benchExperiment(b, "table3.6") }
+func BenchmarkTable3_7_CaseStudyEgypt(b *testing.B) { benchExperiment(b, "table3.7") }
+func BenchmarkFig3_4_SampleHierarchy(b *testing.B)  { benchExperiment(b, "fig3.4") }
+func BenchmarkFig3_8_LinkWeights(b *testing.B)      { benchExperiment(b, "fig3.8") }
+
+// --- Chapter 4: topical phrase mining ---
+
+func BenchmarkTable4_3_MLPhrases(b *testing.B)       { benchExperiment(b, "table4.3") }
+func BenchmarkTable4_4_NKQM(b *testing.B)            { benchExperiment(b, "table4.4") }
+func BenchmarkFig4_2_MutualInformation(b *testing.B) { benchExperiment(b, "fig4.2") }
+func BenchmarkFig4_3_PhraseIntrusion(b *testing.B)   { benchExperiment(b, "fig4.3") }
+func BenchmarkFig4_4_Coherence(b *testing.B)         { benchExperiment(b, "fig4.4") }
+func BenchmarkFig4_5_PhraseQuality(b *testing.B)     { benchExperiment(b, "fig4.5") }
+func BenchmarkFig4_6_RuntimeSplit(b *testing.B)      { benchExperiment(b, "fig4.6") }
+func BenchmarkTable4_5_MethodRuntimes(b *testing.B)  { benchExperiment(b, "table4.5") }
+func BenchmarkTable4_6_AbstractTopics(b *testing.B)  { benchExperiment(b, "table4.6") }
+func BenchmarkTable4_7_APNewsTopics(b *testing.B)    { benchExperiment(b, "table4.7") }
+func BenchmarkTable4_8_YelpTopics(b *testing.B)      { benchExperiment(b, "table4.8") }
+
+// --- Chapter 5: entity topical role analysis ---
+
+func BenchmarkTable5_1_EntityPhrases(b *testing.B) { benchExperiment(b, "table5.1") }
+func BenchmarkFig5_2_AuthorRoles(b *testing.B)     { benchExperiment(b, "fig5.2") }
+func BenchmarkTable5_2_VenueRoles(b *testing.B)    { benchExperiment(b, "table5.2") }
+func BenchmarkTable5_3_ERank(b *testing.B)         { benchExperiment(b, "table5.3") }
+
+// --- Chapter 6: mining hierarchical relations ---
+
+func BenchmarkTable6_1_TPFGAccuracy(b *testing.B)  { benchExperiment(b, "table6.1") }
+func BenchmarkFig6_4_RuleAblation(b *testing.B)    { benchExperiment(b, "fig6.4") }
+func BenchmarkTable6_2_SupervisedCRF(b *testing.B) { benchExperiment(b, "table6.2") }
+
+// --- Chapter 7: scalable and robust topic discovery ---
+
+func BenchmarkFig7_1_Scalability(b *testing.B)        { benchExperiment(b, "fig7.1") }
+func BenchmarkTable7_1_Robustness(b *testing.B)       { benchExperiment(b, "table7.1") }
+func BenchmarkTable7_2_Interpretability(b *testing.B) { benchExperiment(b, "table7.2") }

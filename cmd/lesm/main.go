@@ -1,0 +1,66 @@
+// Command lesm builds a phrase-represented topical hierarchy from a plain
+// text corpus (one document per line) and prints it.
+//
+// Usage:
+//
+//	lesm -k 4 -levels 2 -engine cathy corpus.txt
+//	cat corpus.txt | lesm -engine strod
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"lesm"
+)
+
+func main() {
+	k := flag.Int("k", 4, "children per topic (0 = BIC selection, cathy only)")
+	levels := flag.Int("levels", 2, "hierarchy depth below the root")
+	engine := flag.String("engine", "cathy", "hierarchy engine: cathy | strod")
+	seed := flag.Int64("seed", 1, "random seed")
+	stem := flag.Bool("stem", false, "apply Porter stemming")
+	top := flag.Int("top", 8, "phrases to print per topic")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	pipeline := lesm.DefaultPipeline
+	pipeline.Stem = *stem
+	corpus := lesm.NewCorpus()
+	scanner := bufio.NewScanner(in)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	for scanner.Scan() {
+		if line := scanner.Text(); len(line) > 0 {
+			corpus.AddText(line, pipeline)
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		log.Fatal(err)
+	}
+
+	opt := lesm.HierarchyOptions{K: *k, Levels: *levels, Seed: *seed}
+	if *engine == "strod" {
+		opt.Engine = lesm.EngineSTROD
+	}
+	h, err := lesm.BuildTextHierarchy(corpus, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := lesm.AttachPhrases(corpus, nil, h, lesm.PhraseOptions{TopN: *top}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(h.String())
+}

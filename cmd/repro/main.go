@@ -1,0 +1,55 @@
+// Command repro regenerates the paper's tables and figures on the synthetic
+// stand-in datasets.
+//
+// Usage:
+//
+//	repro -list                 # show available experiment ids
+//	repro table3.2 fig4.2       # run specific experiments
+//	repro -scale 0.25 all       # run everything at quarter scale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"lesm/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	scale := flag.Float64("scale", 1.0, "workload scale factor in (0,1]")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.Registry {
+			fmt.Printf("%-10s %s\n", e.ID, e.Short)
+		}
+		return
+	}
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: repro [-scale s] <experiment-id>... | all  (see repro -list)")
+		os.Exit(2)
+	}
+	var ids []string
+	if len(args) == 1 && args[0] == "all" {
+		for _, e := range experiments.Registry {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		ids = args
+	}
+	for _, id := range ids {
+		e := experiments.Find(id)
+		if e == nil {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", id)
+			os.Exit(2)
+		}
+		start := time.Now()
+		tab := e.Run(*scale)
+		fmt.Println(tab.String())
+		fmt.Printf("(%s regenerated in %v at scale %.2f)\n\n", id, time.Since(start).Round(time.Millisecond), *scale)
+	}
+}

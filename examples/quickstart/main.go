@@ -1,0 +1,48 @@
+// Quickstart: build a phrase-represented topical hierarchy from a small
+// synthetic computer-science title corpus and print it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lesm"
+	"lesm/internal/synth"
+)
+
+func main() {
+	// A corpus of ~2000 synthetic CS paper titles (stands in for DBLP).
+	ds := synth.DBLPTitles(synth.TextConfig{NumDocs: 2000, Seed: 42})
+	corpus := ds.Corpus
+
+	// Build a 2-level hierarchy with the CATHY engine, 3 children per node.
+	h, err := lesm.BuildTextHierarchy(corpus, lesm.HierarchyOptions{K: 3, Levels: 2, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Attach ranked topical phrases (ToPMine) to every topic.
+	if _, err := lesm.AttachPhrases(corpus, nil, h, lesm.PhraseOptions{TopN: 6}); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Topical hierarchy (top phrases per topic):")
+	fmt.Print(h.String())
+
+	// Flat topical phrases via the full ToPMine pipeline.
+	topics, err := lesm.TopicalPhrases(corpus, 4, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nFlat ToPMine topics:")
+	for t, ps := range topics {
+		fmt.Printf("topic %d:", t+1)
+		for i, p := range ps {
+			if i == 5 {
+				break
+			}
+			fmt.Printf(" [%s]", p.Display)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,362 @@
+package cathy
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"lesm/internal/core"
+	"lesm/internal/hin"
+)
+
+// emState holds the parameters of one clustering step: k subtopics plus the
+// background topic (index 0) over the typed network g.
+type emState struct {
+	g          *hin.Network
+	k          int
+	background bool
+	pairs      []hin.TypePair
+	// alpha is the link-type weight per pair (Section 3.2.2).
+	alpha map[hin.TypePair]float64
+	// rho[z] for z in 0..k; rho[0] is the background share (0 if disabled).
+	rho []float64
+	// phi[z][x][i]; phi[0] is the background distribution per type.
+	phi [][][]float64
+	// parentPhi[x][i] is phi^x_t of the topic being split (the second end of
+	// background links draws from it).
+	parentPhi [][]float64
+	// childW[pi][li][z-1] is the expected weight of link li of pair pi in
+	// subtopic z (both directions summed), filled by the final E pass.
+	childW [][][]float64
+	logL   float64
+}
+
+// runBest runs EM with opt.Restarts random initializations and returns the
+// best-likelihood state (the paper's standard multi-start strategy).
+func runBest(g *hin.Network, t *core.TopicNode, k int, opt Options, rng *rand.Rand) *emState {
+	var best *emState
+	for r := 0; r < opt.Restarts; r++ {
+		st := newEMState(g, t, k, opt, rng)
+		st.run(opt, rng)
+		if best == nil || st.logL > best.logL {
+			best = st
+		}
+	}
+	return best
+}
+
+func newEMState(g *hin.Network, t *core.TopicNode, k int, opt Options, rng *rand.Rand) *emState {
+	st := &emState{g: g, k: k, background: opt.Background}
+	for p := range g.Links {
+		st.pairs = append(st.pairs, p)
+	}
+	sort.Slice(st.pairs, func(a, b int) bool {
+		if st.pairs[a].X != st.pairs[b].X {
+			return st.pairs[a].X < st.pairs[b].X
+		}
+		return st.pairs[a].Y < st.pairs[b].Y
+	})
+	st.alpha = map[hin.TypePair]float64{}
+	switch opt.Weights {
+	case NormWeights:
+		for _, p := range st.pairs {
+			if w := g.PairWeight(p); w > 0 {
+				st.alpha[p] = 1 / w
+			} else {
+				st.alpha[p] = 1
+			}
+		}
+		st.normalizeAlpha()
+	default:
+		for _, p := range st.pairs {
+			st.alpha[p] = 1
+		}
+	}
+	// parentPhi: the current topic's ranking distribution per type; for the
+	// root this is the degree distribution (set by Build), and for non-root
+	// topics it is the phi estimated when the parent was split.
+	st.parentPhi = make([][]float64, g.NumTypes())
+	for x := 0; x < g.NumTypes(); x++ {
+		if p, ok := t.Phi[core.TypeID(x)]; ok && len(p) == g.NumNodes[x] {
+			st.parentPhi[x] = p
+		} else {
+			st.parentPhi[x] = degreeDistribution(g, core.TypeID(x))
+		}
+	}
+	// Random initialization of phi and rho.
+	st.phi = make([][][]float64, k+1)
+	for z := 0; z <= k; z++ {
+		st.phi[z] = make([][]float64, g.NumTypes())
+		for x := 0; x < g.NumTypes(); x++ {
+			d := make([]float64, g.NumNodes[x])
+			base := degreeDistribution(g, core.TypeID(x))
+			for i := range d {
+				d[i] = base[i] * (0.5 + rng.Float64())
+			}
+			normalize(d)
+			st.phi[z][x] = d
+		}
+	}
+	st.rho = make([]float64, k+1)
+	bg := 0.0
+	if st.background {
+		bg = 0.15 // initial background share
+	}
+	st.rho[0] = bg
+	for z := 1; z <= k; z++ {
+		st.rho[z] = (1 - bg) / float64(k)
+	}
+	return st
+}
+
+func normalize(d []float64) {
+	s := 0.0
+	for _, v := range d {
+		s += v
+	}
+	if s <= 0 {
+		for i := range d {
+			d[i] = 1 / float64(len(d))
+		}
+		return
+	}
+	for i := range d {
+		d[i] /= s
+	}
+}
+
+func (st *emState) normalizeAlpha() {
+	// Rescale alphas so the weighted geometric mean is 1 (Theorem 3.2's
+	// invariance constraint), keeping likelihoods comparable across modes.
+	logSum, n := 0.0, 0.0
+	for _, p := range st.pairs {
+		np := float64(len(st.g.Links[p]))
+		logSum += np * math.Log(st.alpha[p])
+		n += np
+	}
+	if n == 0 {
+		return
+	}
+	gmean := math.Exp(logSum / n)
+	for _, p := range st.pairs {
+		st.alpha[p] /= gmean
+	}
+}
+
+// run executes opt.EMIters E/M sweeps, optionally re-estimating the
+// link-type weights, then fills childW and the final log-likelihood.
+func (st *emState) run(opt Options, rng *rand.Rand) {
+	for it := 0; it < opt.EMIters; it++ {
+		st.sweep(false)
+		if opt.Weights == LearnWeights && it >= 2 && it%5 == 2 {
+			st.updateAlpha()
+		}
+	}
+	st.sweep(true)
+}
+
+// sweep performs one E+M step. When final is true it also records per-link
+// child weights and the log-likelihood under the pre-update parameters.
+func (st *emState) sweep(final bool) {
+	k := st.k
+	g := st.g
+	nz := k + 1
+	// Fresh accumulators.
+	rhoAcc := make([]float64, nz)
+	phiAcc := make([][][]float64, nz)
+	for z := 0; z < nz; z++ {
+		phiAcc[z] = make([][]float64, g.NumTypes())
+		for x := 0; x < g.NumTypes(); x++ {
+			phiAcc[z][x] = make([]float64, g.NumNodes[x])
+		}
+	}
+	if final {
+		st.childW = make([][][]float64, len(st.pairs))
+	}
+	logL := 0.0
+	s := make([]float64, nz)
+	totalW := 0.0
+	for pi, p := range st.pairs {
+		links := g.Links[p]
+		a := st.alpha[p]
+		x, y := int(p.X), int(p.Y)
+		var cw [][]float64
+		if final {
+			cw = make([][]float64, len(links))
+		}
+		pairW := 0.0
+		for _, l := range links {
+			pairW += a * l.W
+		}
+		totalW += 2 * pairW // both directions
+		// theta_{x,y} factor for the likelihood is constant given alpha;
+		// accumulate e*log(theta) once per pair below using pairW.
+		for li, l := range links {
+			w := a * l.W
+			var cwz []float64
+			if final {
+				cwz = make([]float64, k)
+				cw[li] = cwz
+			}
+			// Two directions: (I first, J second) and (J first, I second).
+			for dir := 0; dir < 2; dir++ {
+				var fx, fy int // first-end type, second-end type
+				var fi, fj int // first-end node, second-end node
+				if dir == 0 {
+					fx, fy, fi, fj = x, y, l.I, l.J
+				} else {
+					fx, fy, fi, fj = y, x, l.J, l.I
+				}
+				total := 0.0
+				for z := 1; z <= k; z++ {
+					v := st.rho[z] * st.phi[z][fx][fi] * st.phi[z][fy][fj]
+					s[z] = v
+					total += v
+				}
+				if st.background {
+					v := st.rho[0] * st.phi[0][fx][fi] * st.parentPhi[fy][fj]
+					s[0] = v
+					total += v
+				} else {
+					s[0] = 0
+				}
+				if total <= 0 {
+					// Degenerate link: spread uniformly over subtopics.
+					for z := 1; z <= k; z++ {
+						s[z] = 1
+					}
+					total = float64(k)
+				}
+				logL += w * math.Log(total)
+				for z := 1; z <= k; z++ {
+					e := w * s[z] / total
+					rhoAcc[z] += e
+					phiAcc[z][fx][fi] += e
+					phiAcc[z][fy][fj] += e
+					if final {
+						cwz[z-1] += e
+					}
+				}
+				if st.background {
+					e := w * s[0] / total
+					rhoAcc[0] += e
+					phiAcc[0][fx][fi] += e
+				}
+			}
+		}
+		if final {
+			st.childW[pi] = cw
+		}
+	}
+	// Add the theta term: sum over pairs of (directed weight)*log(theta_xy),
+	// theta_xy = directed pair weight / total directed weight; minus M.
+	for _, p := range st.pairs {
+		a := st.alpha[p]
+		pw := 2 * a * st.g.PairWeight(p)
+		if pw > 0 && totalW > 0 {
+			logL += pw * math.Log(pw/totalW)
+		}
+	}
+	logL -= totalW
+	st.logL = logL
+	// M-step.
+	for z := 0; z <= st.k; z++ {
+		if z == 0 && !st.background {
+			continue
+		}
+		for x := 0; x < g.NumTypes(); x++ {
+			normalize(phiAcc[z][x])
+			st.phi[z][x] = phiAcc[z][x]
+		}
+	}
+	normalize(rhoAcc)
+	if !st.background {
+		rhoAcc[0] = 0
+		normalize(rhoAcc)
+		rhoAcc[0] = 0
+	}
+	st.rho = rhoAcc
+}
+
+// updateAlpha re-estimates link-type weights by the closed form of Eq. 3.37:
+// alpha is inversely proportional to sigma_{x,y}, the average per-link KL
+// surprise of the observed weights under the current model, normalized to a
+// unit weighted geometric mean.
+func (st *emState) updateAlpha() {
+	k := st.k
+	sigma := map[hin.TypePair]float64{}
+	for _, p := range st.pairs {
+		links := st.g.Links[p]
+		if len(links) == 0 {
+			continue
+		}
+		x, y := int(p.X), int(p.Y)
+		mxy := 0.0
+		for _, l := range links {
+			mxy += l.W
+		}
+		acc := 0.0
+		for _, l := range links {
+			for dir := 0; dir < 2; dir++ {
+				var fx, fy, fi, fj int
+				if dir == 0 {
+					fx, fy, fi, fj = x, y, l.I, l.J
+				} else {
+					fx, fy, fi, fj = y, x, l.J, l.I
+				}
+				sij := 0.0
+				for z := 1; z <= k; z++ {
+					sij += st.rho[z] * st.phi[z][fx][fi] * st.phi[z][fy][fj]
+				}
+				if st.background {
+					sij += st.rho[0] * st.phi[0][fx][fi] * st.parentPhi[fy][fj]
+				}
+				if sij <= 1e-300 {
+					sij = 1e-300
+				}
+				acc += l.W * math.Log(l.W/(mxy*sij))
+			}
+		}
+		s := acc / float64(2*len(links))
+		if s < 1e-6 {
+			s = 1e-6
+		}
+		sigma[p] = s
+	}
+	for p, s := range sigma {
+		st.alpha[p] = 1 / s
+	}
+	st.normalizeAlpha()
+	// Clamp extreme weights for numerical safety.
+	for p, a := range st.alpha {
+		if a > 1e3 {
+			st.alpha[p] = 1e3
+		} else if a < 1e-3 {
+			st.alpha[p] = 1e-3
+		}
+	}
+}
+
+// childNetworks extracts the per-subtopic subnetworks: links whose expected
+// subtopic weight is at least minW survive with that weight (Section 3.1's
+// "expected number of links attributed to that topic, ignoring values less
+// than 1").
+func (st *emState) childNetworks(minW float64) []*hin.Network {
+	subs := make([]*hin.Network, st.k)
+	for z := range subs {
+		s := hin.NewNetwork(st.g.TypeNames, st.g.NumNodes)
+		s.Names = st.g.Names
+		subs[z] = s
+	}
+	for pi, p := range st.pairs {
+		links := st.g.Links[p]
+		for li, l := range links {
+			for z := 0; z < st.k; z++ {
+				if w := st.childW[pi][li][z]; w >= minW {
+					subs[z].Links[p] = append(subs[z].Links[p], hin.Link{I: l.I, J: l.J, W: w})
+				}
+			}
+		}
+	}
+	return subs
+}

@@ -1,0 +1,65 @@
+package core
+
+// SubtopicShares computes p(t/z | P, t) for every child z of t given a
+// phrase P (Eq. 4.3 / Eq. 4.8): the probability that an occurrence of P in
+// topic t belongs to subtopic z, assuming each word of the phrase is
+// generated independently from the subtopic's word distribution and the
+// subtopic priors are the rho values.
+//
+// The returned slice has one entry per child and sums to 1 (uniform if all
+// children assign zero probability).
+func (t *TopicNode) SubtopicShares(words []int) []float64 {
+	k := len(t.Children)
+	shares := make([]float64, k)
+	if k == 0 {
+		return shares
+	}
+	total := 0.0
+	for z, c := range t.Children {
+		phi := c.Phi[TermType]
+		p := c.Rho
+		for _, w := range words {
+			if w < len(phi) {
+				p *= phi[w]
+			} else {
+				p = 0
+			}
+		}
+		shares[z] = p
+		total += p
+	}
+	if total <= 0 {
+		for z := range shares {
+			shares[z] = 1 / float64(k)
+		}
+		return shares
+	}
+	for z := range shares {
+		shares[z] /= total
+	}
+	return shares
+}
+
+// AttributeFrequency distributes a phrase's frequency at topic t down the
+// hierarchy (Definition 3: topical frequency): it returns a map from topic
+// path to f_topic(P), where f at each node is the parent's frequency times
+// the node's share. The map includes t itself with the given frequency.
+func (t *TopicNode) AttributeFrequency(words []int, freq float64) map[string]float64 {
+	out := map[string]float64{}
+	var rec func(n *TopicNode, f float64)
+	rec = func(n *TopicNode, f float64) {
+		out[n.Path] = f
+		if len(n.Children) == 0 || f == 0 {
+			for _, c := range n.Children {
+				out[c.Path] = 0
+			}
+			return
+		}
+		shares := n.SubtopicShares(words)
+		for z, c := range n.Children {
+			rec(c, f*shares[z])
+		}
+	}
+	rec(t, freq)
+	return out
+}

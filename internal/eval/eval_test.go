@@ -1,0 +1,230 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"lesm/internal/core"
+	"lesm/internal/hin"
+	"lesm/internal/synth"
+)
+
+func TestHPMIPositiveForCoherentSets(t *testing.T) {
+	// Words 0,1,2 always co-occur; 3,4,5 always co-occur; the groups never
+	// mix, so within-group HPMI must exceed cross-group HPMI.
+	var docs []hin.DocRecord
+	for i := 0; i < 50; i++ {
+		docs = append(docs, hin.DocRecord{Tokens: []int{0, 1, 2}})
+		docs = append(docs, hin.DocRecord{Tokens: []int{3, 4, 5}})
+	}
+	e := NewHPMIEvaluator(docs)
+	within := e.PairHPMI(0, []int{0, 1, 2}, 0, []int{0, 1, 2})
+	mixed := e.PairHPMI(0, []int{0, 1, 4}, 0, []int{0, 1, 4})
+	if within <= mixed {
+		t.Fatalf("within=%v should exceed mixed=%v", within, mixed)
+	}
+	if within <= 0 {
+		t.Fatalf("coherent set HPMI = %v, want > 0", within)
+	}
+}
+
+func TestHPMICrossType(t *testing.T) {
+	var docs []hin.DocRecord
+	for i := 0; i < 40; i++ {
+		docs = append(docs, hin.DocRecord{
+			Tokens:   []int{0, 1},
+			Entities: map[core.TypeID][]int{1: {0}},
+		})
+		docs = append(docs, hin.DocRecord{
+			Tokens:   []int{2, 3},
+			Entities: map[core.TypeID][]int{1: {1}},
+		})
+	}
+	e := NewHPMIEvaluator(docs)
+	good := e.PairHPMI(0, []int{0, 1}, 1, []int{0})
+	bad := e.PairHPMI(0, []int{0, 1}, 1, []int{1})
+	if good <= bad {
+		t.Fatalf("aligned entity HPMI %v should exceed misaligned %v", good, bad)
+	}
+}
+
+func TestTopicTopNodes(t *testing.T) {
+	n := &core.TopicNode{Phi: map[core.TypeID][]float64{0: {0.1, 0.5, 0.4}}}
+	top := TopicTopNodes(n, 0, 2)
+	if top[0] != 1 || top[1] != 2 {
+		t.Fatalf("top = %v", top)
+	}
+}
+
+// truthHierarchy builds a hierarchy whose topics carry the ground-truth
+// phrases themselves: the best case any method could produce.
+func truthHierarchy(ds *synth.Dataset) *core.Hierarchy {
+	h := core.NewHierarchy()
+	for _, area := range ds.Truth.Root.Children {
+		an := h.Root.AddChild()
+		for _, p := range area.Phrases {
+			an.Phrases = append(an.Phrases, core.RankedPhrase{Display: p, Score: 1})
+		}
+		for _, sub := range area.Children {
+			sn := an.AddChild()
+			for _, p := range sub.Phrases {
+				sn.Phrases = append(sn.Phrases, core.RankedPhrase{Display: p, Score: 1})
+				an.Phrases = append(an.Phrases, core.RankedPhrase{Display: p, Score: 0.5})
+			}
+		}
+	}
+	return h
+}
+
+// garbageHierarchy assigns phrases to topics at random: the worst case.
+func garbageHierarchy(ds *synth.Dataset) *core.Hierarchy {
+	h := core.NewHierarchy()
+	var all []string
+	for _, n := range ds.Truth.Root.Flatten() {
+		all = append(all, n.Phrases...)
+	}
+	idx := 0
+	for i := 0; i < 4; i++ {
+		an := h.Root.AddChild()
+		for j := 0; j < 10; j++ {
+			an.Phrases = append(an.Phrases, core.RankedPhrase{Display: all[idx%len(all)], Score: 1})
+			idx += 7
+		}
+	}
+	return h
+}
+
+func TestPhraseIntrusionSeparatesGoodFromBad(t *testing.T) {
+	ds := synth.DBLP(synth.DBLPConfig{NumPapers: 200, NumAuthors: 50, Seed: 111})
+	cfg := IntrusionConfig{Questions: 120, Seed: 112}
+	good := PhraseIntrusion(truthHierarchy(ds).Root, ds.Truth, cfg)
+	bad := PhraseIntrusion(garbageHierarchy(ds).Root, ds.Truth, cfg)
+	if good < 0.6 {
+		t.Fatalf("truth hierarchy intrusion = %v, want >= 0.6", good)
+	}
+	if good <= bad+0.2 {
+		t.Fatalf("good (%v) should clearly beat bad (%v)", good, bad)
+	}
+}
+
+func TestTopicIntrusion(t *testing.T) {
+	ds := synth.DBLP(synth.DBLPConfig{NumPapers: 200, NumAuthors: 50, Seed: 113})
+	cfg := IntrusionConfig{Questions: 60, Seed: 114}
+	got := TopicIntrusion(truthHierarchy(ds).Root, ds.Truth, cfg)
+	if got < 0.5 {
+		t.Fatalf("topic intrusion on truth hierarchy = %v", got)
+	}
+}
+
+func TestEntityIntrusion(t *testing.T) {
+	ds := synth.DBLP(synth.DBLPConfig{NumPapers: 400, NumAuthors: 100, Seed: 115})
+	// Build a hierarchy with ground-truth-aligned entity lists.
+	h := core.NewHierarchy()
+	nl := ds.Truth.NumLeaves()
+	byLeaf := make([][]core.RankedEntity, nl)
+	for a := 0; a < ds.NumNodes[1]; a++ {
+		aff := ds.Truth.EntityAffinity(1, a)
+		for l, v := range aff {
+			if v > 0.9 {
+				byLeaf[l] = append(byLeaf[l], core.RankedEntity{ID: a, Score: 1})
+			}
+		}
+	}
+	for l := 0; l < nl; l++ {
+		c := h.Root.AddChild()
+		c.Entities[1] = byLeaf[l]
+	}
+	got := EntityIntrusion(h.Root, ds.Truth, 1, 10, IntrusionConfig{Questions: 80, Seed: 116})
+	if got < 0.6 {
+		t.Fatalf("entity intrusion on aligned lists = %v", got)
+	}
+}
+
+func TestNKQMOrdersMethods(t *testing.T) {
+	ds := synth.DBLP(synth.DBLPConfig{NumPapers: 200, NumAuthors: 50, Seed: 117})
+	good := [][]core.RankedPhrase{}
+	bad := [][]core.RankedPhrase{}
+	for _, area := range ds.Truth.Root.Children[:4] {
+		var g []core.RankedPhrase
+		for _, sub := range area.Children {
+			for _, p := range sub.Phrases {
+				g = append(g, core.RankedPhrase{Display: p})
+			}
+		}
+		good = append(good, g)
+		// Bad: unrelated phrases from another area mixed in at the top.
+		other := ds.Truth.Root.Children[(len(bad)+2)%6]
+		var b []core.RankedPhrase
+		for _, p := range other.Children[0].Phrases {
+			b = append(b, core.RankedPhrase{Display: p})
+		}
+		b = append(b, g...)
+		bad = append(bad, b)
+	}
+	gn := NKQM(good, ds.Truth, 10, 5, 0.05, 118)
+	bn := NKQM(bad, ds.Truth, 10, 5, 0.05, 118)
+	if gn <= bn {
+		t.Fatalf("nKQM: good %v should beat bad %v", gn, bn)
+	}
+	if gn <= 0 || gn > 1.0001 {
+		t.Fatalf("nKQM out of range: %v", gn)
+	}
+}
+
+func TestMIAtKPrefersAlignedPhrases(t *testing.T) {
+	ds := synth.Arxiv(synth.TextConfig{NumDocs: 800, Seed: 119})
+	// Aligned: each topic's phrases from its true subfield.
+	var aligned, shuffled [][]core.RankedPhrase
+	subs := ds.Truth.Root.Children
+	for i, sub := range subs {
+		var a, s []core.RankedPhrase
+		for _, p := range sub.Phrases {
+			a = append(a, core.RankedPhrase{Display: p})
+		}
+		for _, p := range subs[(i+1)%len(subs)].Phrases[:4] {
+			s = append(s, core.RankedPhrase{Display: p})
+		}
+		for _, p := range subs[(i+2)%len(subs)].Phrases[:4] {
+			s = append(s, core.RankedPhrase{Display: p})
+		}
+		aligned = append(aligned, a)
+		shuffled = append(shuffled, s)
+	}
+	ma := MIAtK(aligned, 10, ds.Corpus, ds.Truth.DocLabel, 5)
+	ms := MIAtK(shuffled, 10, ds.Corpus, ds.Truth.DocLabel, 5)
+	if ma <= ms {
+		t.Fatalf("MI@K aligned %v should beat shuffled %v", ma, ms)
+	}
+	if ma <= 0 {
+		t.Fatalf("aligned MI = %v", ma)
+	}
+}
+
+func TestWeightedKappaProperties(t *testing.T) {
+	// Perfect agreement -> kappa 1.
+	a := []int{1, 2, 3, 4, 5, 1, 2, 3}
+	if k := weightedKappa(a, a, 5); math.Abs(k-1) > 1e-12 {
+		t.Fatalf("self kappa = %v", k)
+	}
+	// Inverted scores -> low/negative kappa.
+	b := []int{5, 4, 3, 2, 1, 5, 4, 3}
+	if k := weightedKappa(a, b, 5); k > 0.2 {
+		t.Fatalf("inverted kappa = %v", k)
+	}
+}
+
+func TestPRF1(t *testing.T) {
+	pred := []int{1, -1, 2, 3}
+	truth := []int{1, 2, 2, 4}
+	p, r, f1 := PRF1(pred, truth, []int{0, 1, 2, 3})
+	// tp=2 (items 0,2), fp=1 (item 3), fn=2 (items 1,3).
+	if math.Abs(p-2.0/3) > 1e-12 {
+		t.Fatalf("precision = %v", p)
+	}
+	if math.Abs(r-0.5) > 1e-12 {
+		t.Fatalf("recall = %v", r)
+	}
+	if f1 <= 0 {
+		t.Fatalf("f1 = %v", f1)
+	}
+}

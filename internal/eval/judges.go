@@ -1,0 +1,147 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+
+	"lesm/internal/core"
+	"lesm/internal/synth"
+)
+
+// OracleJudge simulates a human annotator using the synthetic generator's
+// ground truth: it scores items by their topical affinity vectors and errs
+// at a configurable rate, standing in for the paper's three intrusion
+// annotators and ten phrase-quality raters.
+type OracleJudge struct {
+	Truth *synth.Truth
+	// Noise is the probability of a careless (uniform random) answer.
+	Noise float64
+	rng   *rand.Rand
+}
+
+// NewOracleJudge builds a judge with its own randomness.
+func NewOracleJudge(truth *synth.Truth, noise float64, seed int64) *OracleJudge {
+	return &OracleJudge{Truth: truth, Noise: noise, rng: rand.New(rand.NewSource(seed))}
+}
+
+func cosine(a, b []float64) float64 {
+	var ab, aa, bb float64
+	for i := range a {
+		ab += a[i] * b[i]
+		aa += a[i] * a[i]
+		bb += b[i] * b[i]
+	}
+	if aa == 0 || bb == 0 {
+		return 0
+	}
+	return ab / math.Sqrt(aa*bb)
+}
+
+// pickOutlier returns the index of the affinity vector least similar to the
+// rest (the judge's intruder guess).
+func (j *OracleJudge) pickOutlier(affs [][]float64) int {
+	if j.rng.Float64() < j.Noise {
+		return j.rng.Intn(len(affs))
+	}
+	worst, worstSim := 0, math.Inf(1)
+	for i := range affs {
+		s := 0.0
+		for k := range affs {
+			if k != i {
+				s += cosine(affs[i], affs[k])
+			}
+		}
+		if s < worstSim {
+			worst, worstSim = i, s
+		}
+	}
+	return worst
+}
+
+// PickPhraseIntruder answers a phrase-intrusion question.
+func (j *OracleJudge) PickPhraseIntruder(phrases []string) int {
+	affs := make([][]float64, len(phrases))
+	for i, p := range phrases {
+		affs[i] = j.Truth.PhraseAffinity(p)
+	}
+	return j.pickOutlier(affs)
+}
+
+// PickEntityIntruder answers an entity-intrusion question.
+func (j *OracleJudge) PickEntityIntruder(x core.TypeID, ids []int) int {
+	affs := make([][]float64, len(ids))
+	for i, id := range ids {
+		affs[i] = j.Truth.EntityAffinity(x, id)
+	}
+	return j.pickOutlier(affs)
+}
+
+// PickTopicIntruder answers a topic-intrusion question: options are
+// candidate child topics, each summarized by its top phrases; the judge
+// picks the one least related to the parent's phrases.
+func (j *OracleJudge) PickTopicIntruder(parentPhrases []string, options [][]string) int {
+	if j.rng.Float64() < j.Noise {
+		return j.rng.Intn(len(options))
+	}
+	centroid := j.phraseCentroid(parentPhrases)
+	worst, worstSim := 0, math.Inf(1)
+	for i, opt := range options {
+		s := cosine(centroid, j.phraseCentroid(opt))
+		if s < worstSim {
+			worst, worstSim = i, s
+		}
+	}
+	return worst
+}
+
+func (j *OracleJudge) phraseCentroid(phrases []string) []float64 {
+	out := make([]float64, j.Truth.NumLeaves())
+	for _, p := range phrases {
+		aff := j.Truth.PhraseAffinity(p)
+		for i := range out {
+			out[i] += aff[i]
+		}
+	}
+	return out
+}
+
+// ScorePhrase rates a topical phrase on the 5-point Likert scale of the
+// Section 4.4.1 user study: high when the phrase is topically concentrated,
+// consistent with the topic centroid, and (for multiword phrases) a true
+// collocation of the generator.
+func (j *OracleJudge) ScorePhrase(phrase string, topicCentroid []float64) int {
+	aff := j.Truth.PhraseAffinity(phrase)
+	consistency := cosine(aff, topicCentroid)
+	conc := 0.0
+	for _, v := range aff {
+		if v > conc {
+			conc = v
+		}
+	}
+	isTrue := 0.0
+	if isMultiword(phrase) {
+		if j.Truth.IsGeneratorPhrase(phrase) {
+			isTrue = 1
+		} else {
+			isTrue = -0.5 // malformed multiword expression
+		}
+	}
+	raw := 1 + 2.2*consistency + 1.1*conc + 0.7*isTrue + 0.35*j.rng.NormFloat64()
+	score := int(math.Round(raw))
+	if score < 1 {
+		score = 1
+	}
+	if score > 5 {
+		score = 5
+	}
+	return score
+}
+
+func isMultiword(p string) bool {
+	for i := 0; i < len(p); i++ {
+		if p[i] == ' ' {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,594 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+
+	"lesm/internal/core"
+	"lesm/internal/synth"
+	"lesm/internal/textkit"
+)
+
+// IntrusionConfig parameterizes question generation (Section 3.3.2: X = 5
+// options, 3 annotators, majority scoring with failures on disagreement).
+type IntrusionConfig struct {
+	Options   int
+	Questions int
+	Judges    int
+	Noise     float64
+	Seed      int64
+}
+
+func (c IntrusionConfig) withDefaults() IntrusionConfig {
+	if c.Options == 0 {
+		c.Options = 5
+	}
+	if c.Questions == 0 {
+		c.Questions = 100
+	}
+	if c.Judges == 0 {
+		c.Judges = 3
+	}
+	if c.Noise == 0 {
+		c.Noise = 0.12
+	}
+	return c
+}
+
+// topicsWithSiblings returns topics that have at least one sibling and at
+// least need items of the given extractor.
+func topicsWithSiblings(root *core.TopicNode, need int, items func(*core.TopicNode) int) []*core.TopicNode {
+	var out []*core.TopicNode
+	root.Walk(func(n *core.TopicNode) {
+		if n.Parent() == nil || len(n.Parent().Children) < 2 {
+			return
+		}
+		if items(n) >= need {
+			out = append(out, n)
+		}
+	})
+	return out
+}
+
+// PhraseIntrusion generates and scores phrase-intrusion questions against a
+// hierarchy whose topics carry ranked phrases. It returns the fraction of
+// questions whose intruder was identified by a strict majority of judges.
+func PhraseIntrusion(root *core.TopicNode, truth *synth.Truth, cfg IntrusionConfig) float64 {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	judges := makeJudges(truth, cfg)
+	pool := topicsWithSiblings(root, cfg.Options-1, func(n *core.TopicNode) int { return len(n.Phrases) })
+	if len(pool) == 0 {
+		return 0
+	}
+	correct, asked := 0, 0
+	for q := 0; q < cfg.Questions; q++ {
+		t := pool[rng.Intn(len(pool))]
+		sib := pickSibling(rng, t)
+		if sib == nil || len(sib.Phrases) == 0 {
+			continue
+		}
+		items, intruder := buildQuestion(rng, cfg.Options,
+			phraseStrings(t), phraseStrings(sib))
+		if items == nil {
+			continue
+		}
+		asked++
+		votes := 0
+		for _, j := range judges {
+			if j.PickPhraseIntruder(items) == intruder {
+				votes++
+			}
+		}
+		if votes*2 > len(judges) {
+			correct++
+		}
+	}
+	if asked == 0 {
+		return 0
+	}
+	return float64(correct) / float64(asked)
+}
+
+// EntityIntrusion scores entity-intrusion questions for node type x using
+// the topics' ranked entity lists.
+func EntityIntrusion(root *core.TopicNode, truth *synth.Truth, x core.TypeID, topK int, cfg IntrusionConfig) float64 {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(x)))
+	judges := makeJudges(truth, cfg)
+	items := func(n *core.TopicNode) int { return min(len(n.Entities[x]), topK) }
+	pool := topicsWithSiblings(root, cfg.Options-1, items)
+	if len(pool) == 0 {
+		return 0
+	}
+	correct, asked := 0, 0
+	for q := 0; q < cfg.Questions; q++ {
+		t := pool[rng.Intn(len(pool))]
+		sib := pickSibling(rng, t)
+		if sib == nil || len(sib.Entities[x]) == 0 {
+			continue
+		}
+		own := entityIDs(t, x, topK)
+		other := entityIDs(sib, x, topK)
+		ids, intruder := buildIntQuestion(rng, cfg.Options, own, other)
+		if ids == nil {
+			continue
+		}
+		asked++
+		votes := 0
+		for _, j := range judges {
+			if j.PickEntityIntruder(x, ids) == intruder {
+				votes++
+			}
+		}
+		if votes*2 > len(judges) {
+			correct++
+		}
+	}
+	if asked == 0 {
+		return 0
+	}
+	return float64(correct) / float64(asked)
+}
+
+// TopicIntrusion scores topic-intrusion questions: among X candidate child
+// topics of a parent, one is not actually a child.
+func TopicIntrusion(root *core.TopicNode, truth *synth.Truth, cfg IntrusionConfig) float64 {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed + 7))
+	judges := makeJudges(truth, cfg)
+	// Parents with at least two children (questions adapt to the smaller
+	// of cfg.Options-1 and the available child count, like the paper's
+	// X-option protocol with fewer candidates), plus at least one
+	// non-descendant topic to serve as intruder.
+	var parents []*core.TopicNode
+	root.Walk(func(n *core.TopicNode) {
+		if len(n.Children) >= 2 {
+			parents = append(parents, n)
+		}
+	})
+	if len(parents) == 0 {
+		return 0
+	}
+	var all []*core.TopicNode
+	root.Walk(func(n *core.TopicNode) {
+		if n.Parent() != nil && len(n.Phrases) > 0 {
+			all = append(all, n)
+		}
+	})
+	correct, asked := 0, 0
+	for q := 0; q < cfg.Questions; q++ {
+		p := parents[rng.Intn(len(parents))]
+		// Pick up to Options-1 real children with phrases.
+		var realKids []*core.TopicNode
+		for _, c := range p.Children {
+			if len(c.Phrases) > 0 {
+				realKids = append(realKids, c)
+			}
+		}
+		if len(realKids) < 2 {
+			continue
+		}
+		rng.Shuffle(len(realKids), func(a, b int) { realKids[a], realKids[b] = realKids[b], realKids[a] })
+		if len(realKids) > cfg.Options-1 {
+			realKids = realKids[:cfg.Options-1]
+		}
+		// Intruder: a topic that is not p or a descendant of p.
+		var intruderTopic *core.TopicNode
+		for tries := 0; tries < 20; tries++ {
+			cand := all[rng.Intn(len(all))]
+			if !isDescendantOf(cand, p) && cand != p {
+				intruderTopic = cand
+				break
+			}
+		}
+		if intruderTopic == nil {
+			continue
+		}
+		options := make([][]string, 0, cfg.Options)
+		for _, c := range realKids {
+			options = append(options, c.TopPhrases(5))
+		}
+		pos := rng.Intn(len(options) + 1)
+		options = append(options, nil)
+		copy(options[pos+1:], options[pos:])
+		options[pos] = intruderTopic.TopPhrases(5)
+		parentRepr := p.TopPhrases(5)
+		if len(parentRepr) == 0 {
+			// The root may have no phrases; represent it by its children.
+			for _, c := range realKids {
+				parentRepr = append(parentRepr, c.TopPhrases(2)...)
+			}
+		}
+		asked++
+		votes := 0
+		for _, j := range judges {
+			if j.PickTopicIntruder(parentRepr, options) == pos {
+				votes++
+			}
+		}
+		if votes*2 > len(judges) {
+			correct++
+		}
+	}
+	if asked == 0 {
+		return 0
+	}
+	return float64(correct) / float64(asked)
+}
+
+func makeJudges(truth *synth.Truth, cfg IntrusionConfig) []*OracleJudge {
+	out := make([]*OracleJudge, cfg.Judges)
+	for i := range out {
+		out[i] = NewOracleJudge(truth, cfg.Noise, cfg.Seed+int64(100+i))
+	}
+	return out
+}
+
+func pickSibling(rng *rand.Rand, t *core.TopicNode) *core.TopicNode {
+	sibs := make([]*core.TopicNode, 0, len(t.Parent().Children)-1)
+	for _, s := range t.Parent().Children {
+		if s != t {
+			sibs = append(sibs, s)
+		}
+	}
+	if len(sibs) == 0 {
+		return nil
+	}
+	return sibs[rng.Intn(len(sibs))]
+}
+
+func phraseStrings(t *core.TopicNode) []string {
+	out := make([]string, len(t.Phrases))
+	for i, p := range t.Phrases {
+		out[i] = p.Display
+	}
+	return out
+}
+
+func entityIDs(t *core.TopicNode, x core.TypeID, k int) []int {
+	es := t.Entities[x]
+	if k > len(es) {
+		k = len(es)
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = es[i].ID
+	}
+	return out
+}
+
+// buildQuestion draws options-1 distinct items from own and one from other.
+func buildQuestion(rng *rand.Rand, options int, own, other []string) ([]string, int) {
+	own = dedupStrings(own)
+	if len(own) < options-1 || len(other) == 0 {
+		return nil, 0
+	}
+	rng.Shuffle(len(own), func(a, b int) { own[a], own[b] = own[b], own[a] })
+	items := append([]string(nil), own[:options-1]...)
+	intruder := other[rng.Intn(len(other))]
+	pos := rng.Intn(options)
+	items = append(items, "")
+	copy(items[pos+1:], items[pos:])
+	items[pos] = intruder
+	return items, pos
+}
+
+func buildIntQuestion(rng *rand.Rand, options int, own, other []int) ([]int, int) {
+	if len(own) < options-1 || len(other) == 0 {
+		return nil, 0
+	}
+	own = append([]int(nil), own...)
+	rng.Shuffle(len(own), func(a, b int) { own[a], own[b] = own[b], own[a] })
+	items := own[:options-1]
+	intruder := other[rng.Intn(len(other))]
+	pos := rng.Intn(options)
+	items = append(items, 0)
+	copy(items[pos+1:], items[pos:])
+	items[pos] = intruder
+	return items, pos
+}
+
+func dedupStrings(in []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func isDescendantOf(n, p *core.TopicNode) bool {
+	for cur := n; cur != nil; cur = cur.Parent() {
+		if cur == p {
+			return true
+		}
+	}
+	return false
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// --- nKQM@K (Section 4.4.1) ---
+
+// NKQM computes the normalized phrase quality measure at K for one method's
+// per-topic rankings, using nJudges oracle raters: the agreement-weighted
+// mean judge score of the j-th phrase is discounted by log2(j+1), summed,
+// and normalized by the ideal ordering's score.
+func NKQM(topics [][]core.RankedPhrase, truth *synth.Truth, k, nJudges int, noise float64, seed int64) float64 {
+	judges := make([]*OracleJudge, nJudges)
+	for i := range judges {
+		judges[i] = NewOracleJudge(truth, noise, seed+int64(i))
+	}
+	total := 0.0
+	for _, ranked := range topics {
+		centroid := make([]float64, truth.NumLeaves())
+		for i, p := range ranked {
+			if i >= 20 {
+				break
+			}
+			aff := truth.PhraseAffinity(p.Display)
+			for l := range centroid {
+				centroid[l] += aff[l]
+			}
+		}
+		// Judge every phrase (for the ideal score we need all of them).
+		n := len(ranked)
+		if n == 0 {
+			continue
+		}
+		scores := make([][]int, n) // per phrase, per judge
+		aw := make([]float64, n)
+		for i, p := range ranked {
+			scores[i] = make([]int, nJudges)
+			for ji, j := range judges {
+				scores[i][ji] = j.ScorePhrase(p.Display, centroid)
+			}
+		}
+		kappa := meanPairwiseWeightedKappa(scores, 5)
+		for i := range scores {
+			mean := 0.0
+			for _, s := range scores[i] {
+				mean += float64(s)
+			}
+			mean /= float64(nJudges)
+			aw[i] = mean * kappa
+		}
+		got := 0.0
+		for j := 0; j < k && j < n; j++ {
+			got += aw[j] / math.Log2(float64(j)+2)
+		}
+		ideal := append([]float64(nil), aw...)
+		sortDesc(ideal)
+		idealScore := 0.0
+		for j := 0; j < k && j < len(ideal); j++ {
+			idealScore += ideal[j] / math.Log2(float64(j)+2)
+		}
+		if idealScore > 0 {
+			total += got / idealScore
+		}
+	}
+	return total / float64(len(topics))
+}
+
+func sortDesc(x []float64) {
+	for i := 1; i < len(x); i++ {
+		for j := i; j > 0 && x[j] > x[j-1]; j-- {
+			x[j], x[j-1] = x[j-1], x[j]
+		}
+	}
+}
+
+// meanPairwiseWeightedKappa computes the average quadratic-weighted Cohen's
+// kappa across judge pairs (the agreement weight of the nKQM score).
+func meanPairwiseWeightedKappa(scores [][]int, categories int) float64 {
+	if len(scores) == 0 {
+		return 0
+	}
+	nJudges := len(scores[0])
+	total, pairs := 0.0, 0
+	for a := 0; a < nJudges; a++ {
+		for b := a + 1; b < nJudges; b++ {
+			va := make([]int, len(scores))
+			vb := make([]int, len(scores))
+			for i := range scores {
+				va[i] = scores[i][a]
+				vb[i] = scores[i][b]
+			}
+			total += weightedKappa(va, vb, categories)
+			pairs++
+		}
+	}
+	if pairs == 0 {
+		return 1
+	}
+	k := total / float64(pairs)
+	if k < 0.05 {
+		k = 0.05 // floor: fully random judges still yield a usable weight
+	}
+	return k
+}
+
+func weightedKappa(a, b []int, categories int) float64 {
+	n := len(a)
+	if n == 0 {
+		return 0
+	}
+	obs := make([][]float64, categories)
+	for i := range obs {
+		obs[i] = make([]float64, categories)
+	}
+	ma := make([]float64, categories)
+	mb := make([]float64, categories)
+	for i := 0; i < n; i++ {
+		obs[a[i]-1][b[i]-1]++
+		ma[a[i]-1]++
+		mb[b[i]-1]++
+	}
+	w := func(i, j int) float64 {
+		d := float64(i - j)
+		return d * d / float64((categories-1)*(categories-1))
+	}
+	var num, den float64
+	for i := 0; i < categories; i++ {
+		for j := 0; j < categories; j++ {
+			num += w(i, j) * obs[i][j] / float64(n)
+			den += w(i, j) * ma[i] * mb[j] / float64(n*n)
+		}
+	}
+	if den == 0 {
+		return 1
+	}
+	return 1 - num/den
+}
+
+// --- Mutual information at K (Figure 4.2) ---
+
+// MIAtK implements the Section 4.4.1 procedure: label each of the top-K
+// phrases per topic with the topic where it ranks highest; for each labeled
+// document, accumulate (topic, class) co-occurrence from the phrases the
+// document contains (averaged), or uniformly over topics when no labeled
+// phrase matches; return the mutual information of the joint distribution.
+func MIAtK(topics [][]core.RankedPhrase, k int, corpus *textkit.Corpus, labels []int, numClasses int) float64 {
+	nT := len(topics)
+	// Phrase -> best topic by rank position (earlier rank wins).
+	bestTopic := map[string]int{}
+	bestRank := map[string]int{}
+	for t, ranked := range topics {
+		for r, p := range ranked {
+			if r >= k {
+				break
+			}
+			if old, ok := bestRank[p.Display]; !ok || r < old {
+				bestRank[p.Display] = r
+				bestTopic[p.Display] = t
+			}
+		}
+	}
+	// Phrase word-sets for containment tests.
+	type labeled struct {
+		words []int
+		topic int
+	}
+	var phrases []labeled
+	for disp, t := range bestTopic {
+		var words []int
+		ok := true
+		start := 0
+		for i := 0; i <= len(disp); i++ {
+			if i == len(disp) || disp[i] == ' ' {
+				if i > start {
+					id, found := corpus.Vocab.ID(disp[start:i])
+					if !found {
+						ok = false
+						break
+					}
+					words = append(words, id)
+				}
+				start = i + 1
+			}
+		}
+		if ok && len(words) > 0 {
+			phrases = append(phrases, labeled{words, t})
+		}
+	}
+	joint := make([][]float64, nT)
+	for t := range joint {
+		joint[t] = make([]float64, numClasses)
+	}
+	for di, doc := range corpus.Docs {
+		c := labels[di]
+		present := map[int]bool{}
+		for _, w := range doc.Tokens {
+			present[w] = true
+		}
+		var matched []int
+		for _, p := range phrases {
+			all := true
+			for _, w := range p.words {
+				if !present[w] {
+					all = false
+					break
+				}
+			}
+			if all {
+				matched = append(matched, p.topic)
+			}
+		}
+		if len(matched) > 0 {
+			w := 1 / float64(len(matched))
+			for _, t := range matched {
+				joint[t][c] += w
+			}
+		} else {
+			for t := 0; t < nT; t++ {
+				joint[t][c] += 1 / float64(nT)
+			}
+		}
+	}
+	// Mutual information.
+	total := 0.0
+	for t := range joint {
+		for c := range joint[t] {
+			total += joint[t][c]
+		}
+	}
+	pt := make([]float64, nT)
+	pc := make([]float64, numClasses)
+	for t := range joint {
+		for c := range joint[t] {
+			joint[t][c] /= total
+			pt[t] += joint[t][c]
+			pc[c] += joint[t][c]
+		}
+	}
+	mi := 0.0
+	for t := range joint {
+		for c := range joint[t] {
+			if joint[t][c] > 0 && pt[t] > 0 && pc[c] > 0 {
+				mi += joint[t][c] * math.Log2(joint[t][c]/(pt[t]*pc[c]))
+			}
+		}
+	}
+	return mi
+}
+
+// --- Relation metrics ---
+
+// PRF1 computes precision, recall and F1 for relation predictions: pred[i]
+// is the predicted parent (-1 = none), truth[i] the true parent, over the
+// eval set.
+func PRF1(pred, truth []int, eval []int) (p, r, f1 float64) {
+	var tp, fp, fn float64
+	for _, i := range eval {
+		switch {
+		case pred[i] >= 0 && pred[i] == truth[i]:
+			tp++
+		case pred[i] >= 0:
+			fp++
+			if truth[i] >= 0 {
+				fn++
+			}
+		case truth[i] >= 0:
+			fn++
+		}
+	}
+	if tp+fp > 0 {
+		p = tp / (tp + fp)
+	}
+	if tp+fn > 0 {
+		r = tp / (tp + fn)
+	}
+	if p+r > 0 {
+		f1 = 2 * p * r / (p + r)
+	}
+	return
+}

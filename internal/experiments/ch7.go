@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"lesm/internal/cathy"
+	"lesm/internal/hin"
+	"lesm/internal/lda"
+	"lesm/internal/strod"
+	"lesm/internal/synth"
+)
+
+// Fig71 reproduces the Section 7.4.1 scalability experiment: wall time of
+// STROD vs collapsed Gibbs LDA vs the CATHY EM step as the corpus grows.
+func Fig71(scale float64) *Table {
+	t := &Table{ID: "fig7.1", Title: "topic inference runtime vs corpus size (k=5)",
+		Header: []string{"#docs", "STROD", "Gibbs LDA", "CATHY EM"}}
+	for _, n := range []int{1000, 2000, 4000, 8000} {
+		nd := scaled(n, scale)
+		ds := synth.DBLPTitles(synth.TextConfig{NumDocs: nd, Seed: 701})
+		docs := tokensOf(ds)
+		v := ds.Corpus.Vocab.Size()
+
+		start := time.Now()
+		strod.Fit(strod.FromTokens(docs), v, strod.Config{K: 5, Seed: 702})
+		tS := time.Since(start)
+
+		start = time.Now()
+		lda.Run(docs, v, lda.Config{K: 5, Iters: 200, Seed: 703})
+		tG := time.Since(start)
+
+		start = time.Now()
+		net := hin.TermNetwork(v, docs, 0)
+		cathy.Build(net, cathy.Options{K: 5, Levels: 1, EMIters: 100, Restarts: 1, Seed: 704})
+		tC := time.Since(start)
+
+		t.Rows = append(t.Rows, []string{fmt.Sprintf("%d", nd), ms(tS), ms(tG), ms(tC)})
+	}
+	t.Notes = append(t.Notes, "expected shape: all linear-ish in corpus size; STROD fastest and the gap widens with size")
+	return t
+}
+
+// Table71 reproduces the Section 7.4.2 robustness experiment: run-to-run
+// variation of the recovered topic set over five random seeds.
+func Table71(scale float64) *Table {
+	t := &Table{ID: "table7.1", Title: "robustness: mean pairwise topic variation across 5 seeds (lower is better)",
+		Header: []string{"method", "variation (mean TV distance)"}}
+	ds := synth.Arxiv(synth.TextConfig{NumDocs: scaled(4000, scale), Seed: 705})
+	docs := tokensOf(ds)
+	v := ds.Corpus.Vocab.Size()
+	sd := strod.FromTokens(docs)
+
+	var strodRuns, gibbsRuns [][][]float64
+	for seed := int64(0); seed < 5; seed++ {
+		m := strod.Fit(sd, v, strod.Config{K: 5, Seed: 706 + seed})
+		strodRuns = append(strodRuns, m.Phi)
+		g := lda.Run(docs, v, lda.Config{K: 5, Iters: 150, Seed: 711 + seed})
+		gibbsRuns = append(gibbsRuns, g.Phi)
+	}
+	pairwise := func(runs [][][]float64) float64 {
+		s, c := 0.0, 0
+		for i := 0; i < len(runs); i++ {
+			for j := i + 1; j < len(runs); j++ {
+				s += strod.MatchError(runs[i], runs[j])
+				c++
+			}
+		}
+		return s / float64(c)
+	}
+	t.Rows = append(t.Rows, []string{"STROD", f3(pairwise(strodRuns))})
+	t.Rows = append(t.Rows, []string{"Gibbs LDA", f3(pairwise(gibbsRuns))})
+	t.Notes = append(t.Notes, "expected shape: STROD near zero (deterministic moments); Gibbs varies across seeds")
+	return t
+}
+
+// Table72 reproduces the Section 7.4.3 interpretability check: topic
+// recovery error against ground truth plus sample top words, and a sample
+// STROD topic tree.
+func Table72(scale float64) *Table {
+	t := &Table{ID: "table7.2", Title: "interpretability: recovery vs ground truth and sample topics",
+		Header: []string{"item", "value"}}
+	ds := synth.Arxiv(synth.TextConfig{NumDocs: scaled(4000, scale), Seed: 720})
+	docs := tokensOf(ds)
+	v := ds.Corpus.Vocab.Size()
+	// Ground-truth word distributions per subfield from the generator
+	// corpus itself (empirical, using true doc labels).
+	truePhi := make([][]float64, 5)
+	for i := range truePhi {
+		truePhi[i] = make([]float64, v)
+	}
+	for di, d := range docs {
+		l := ds.Truth.DocLabel[di]
+		for _, w := range d {
+			truePhi[l][w]++
+		}
+	}
+	for i := range truePhi {
+		s := 0.0
+		for _, x := range truePhi[i] {
+			s += x
+		}
+		for w := range truePhi[i] {
+			truePhi[i][w] /= s
+		}
+	}
+	sd := strod.FromTokens(docs)
+	m := strod.Fit(sd, v, strod.Config{K: 5, Seed: 721, LearnAlpha0: true})
+	g := lda.Run(docs, v, lda.Config{K: 5, Iters: 200, Seed: 722})
+	t.Rows = append(t.Rows, []string{"STROD recovery error", f3(strod.MatchError(m.Phi, truePhi))})
+	t.Rows = append(t.Rows, []string{"Gibbs recovery error", f3(strod.MatchError(g.Phi, truePhi))})
+	t.Rows = append(t.Rows, []string{"STROD learned alpha0", f2(m.Alpha0)})
+	for k := 0; k < 5; k++ {
+		var words []string
+		for _, w := range m.TopWords(k, 8) {
+			words = append(words, ds.Corpus.Vocab.Word(w))
+		}
+		t.Rows = append(t.Rows, []string{fmt.Sprintf("STROD topic %d", k+1), strings.Join(words, " ")})
+	}
+	// Sample recursive tree on the hierarchical CS corpus.
+	cs := synth.DBLPTitles(synth.TextConfig{NumDocs: scaled(4000, scale), Seed: 723})
+	h := strod.BuildTree(strod.FromTokens(tokensOf(cs)), cs.Corpus.Vocab.Size(),
+		strod.TreeConfig{K: 3, Levels: 2, Config: strod.Config{Seed: 724}})
+	t.Rows = append(t.Rows, []string{"STROD tree size (3x3, 2 levels)", fmt.Sprintf("%d topics", h.Root.Size()-1)})
+	return t
+}

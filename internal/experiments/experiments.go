@@ -1,0 +1,244 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation chapters on the synthetic stand-in datasets (DESIGN.md §3 maps
+// experiment ids to paper artifacts). Each experiment accepts a scale factor
+// in (0, 1] that shrinks workloads proportionally, so the same code drives
+// the full `cmd/repro` runs, the unit tests and the benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"lesm/internal/cathy"
+	"lesm/internal/core"
+	"lesm/internal/hin"
+	"lesm/internal/lda"
+	"lesm/internal/netclus"
+	"lesm/internal/roles"
+	"lesm/internal/synth"
+	"lesm/internal/topmine"
+)
+
+// Table is one regenerated artifact: an id like "table3.2" or "fig4.2",
+// headers, string rows and free-form notes (substitutions, scale).
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i < len(widths) {
+				fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Experiment is a registered artifact generator.
+type Experiment struct {
+	ID    string
+	Short string
+	Run   func(scale float64) *Table
+}
+
+// Registry lists every experiment in paper order.
+var Registry = []Experiment{
+	{"table3.2", "HPMI on DBLP (20 conferences and Database area)", Table32},
+	{"table3.3", "HPMI on NEWS (16 topics and 4-topic subset)", Table33},
+	{"table3.4", "dataset node and link statistics", Table34},
+	{"table3.5", "intrusion detection tasks (% correct)", Table35},
+	{"table3.6", "case study: the information-retrieval topic", Table36},
+	{"table3.7", "case study: the Egypt topic and weakest subtopic", Table37},
+	{"fig3.4", "sample CATHYHIN hierarchy", Fig34},
+	{"fig3.8", "learned link-type weights per level (DBLP)", Fig38},
+	{"table4.3", "top-10 machine learning phrases per ranking variant", Table43},
+	{"table4.4", "nKQM@K for the ranking variants", Table44},
+	{"fig4.2", "mutual information at K (labeled arXiv)", Fig42},
+	{"fig4.3", "phrase intrusion across phrase mining methods", Fig43},
+	{"fig4.4", "topical coherence z-scores", Fig44},
+	{"fig4.5", "phrase quality z-scores", Fig45},
+	{"fig4.6", "runtime split: phrase mining vs PhraseLDA", Fig46},
+	{"table4.5", "runtimes of the phrase mining methods", Table45},
+	{"table4.6", "ToPMine topics on CS abstracts", Table46},
+	{"table4.7", "ToPMine topics on AP-style news", Table47},
+	{"table4.8", "ToPMine topics on Yelp-style reviews", Table48},
+	{"table5.1", "entity-specific vs combined phrase ranking", Table51},
+	{"fig5.2", "author roles across subtopics", Fig52},
+	{"table5.2", "venue roles in the information-retrieval topic", Table52},
+	{"table5.3", "top authors per subtopic: popularity vs pop+purity", Table53},
+	{"table6.1", "advisor mining accuracy: TPFG vs baselines", Table61},
+	{"fig6.4", "TPFG preprocessing ablations", Fig64},
+	{"table6.2", "supervised CRF vs unsupervised TPFG (F1)", Table62},
+	{"fig7.1", "topic inference scalability: STROD vs Gibbs", Fig71},
+	{"table7.1", "robustness: run-to-run topic variation", Table71},
+	{"table7.2", "interpretability: topic recovery error and top words", Table72},
+}
+
+// Find returns the experiment with the given id, or nil.
+func Find(id string) *Experiment {
+	for i := range Registry {
+		if Registry[i].ID == id {
+			return &Registry[i]
+		}
+	}
+	return nil
+}
+
+func f3(v float64) string       { return fmt.Sprintf("%.3f", v) }
+func f2(v float64) string       { return fmt.Sprintf("%.2f", v) }
+func ms(d time.Duration) string { return fmt.Sprintf("%.0fms", float64(d.Microseconds())/1000) }
+
+func scaled(n int, scale float64) int {
+	v := int(float64(n) * scale)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// --- shared pipeline helpers ---
+
+// buildHIN constructs a CATHYHIN hierarchy over a dataset's collapsed
+// network.
+func buildHIN(ds *synth.Dataset, k, levels int, mode cathy.WeightMode, seed int64) *cathy.Result {
+	net := ds.CollapsedNetwork(0)
+	return cathy.Build(net, cathy.Options{
+		K: k, Levels: levels, EMIters: 60, Restarts: 3, Seed: seed,
+		Background: true, Weights: mode,
+	})
+}
+
+// buildTextHierarchy constructs a text-only CATHY hierarchy.
+func buildTextHierarchy(ds *synth.Dataset, k, levels int, seed int64) *cathy.Result {
+	net := hin.TermNetwork(ds.Corpus.Vocab.Size(), tokensOf(ds), 0)
+	net.Names[0] = ds.Corpus.Vocab.Words()
+	return cathy.Build(net, cathy.Options{
+		K: k, Levels: levels, EMIters: 40, Restarts: 2, Seed: seed,
+	})
+}
+
+func tokensOf(ds *synth.Dataset) [][]int {
+	out := make([][]int, len(ds.Corpus.Docs))
+	for i, d := range ds.Corpus.Docs {
+		out[i] = d.Tokens
+	}
+	return out
+}
+
+// attachPhrases mines frequent phrases (maxLen 1 restricts to unigrams,
+// reproducing the "pattern length restricted to 1" method variants) and
+// attaches ranked phrases to every topic.
+func attachPhrases(ds *synth.Dataset, root *core.TopicNode, maxLen int, topN int) *topmine.Miner {
+	miner := topmine.MineFrequentPhrases(ds.Corpus.Docs, topmine.Config{MinSupport: 5, MaxLen: maxLen, Alpha: 3})
+	topmine.VisualizeHierarchy(ds.Corpus, miner, root, topN)
+	return miner
+}
+
+// attachEntitiesFromPhi ranks each topic's entities by its own ranking
+// distribution phi (the CATHYHIN way).
+func attachEntitiesFromPhi(ds *synth.Dataset, root *core.TopicNode, topN int) {
+	root.Walk(func(n *core.TopicNode) {
+		if n.Parent() == nil {
+			return
+		}
+		for x := 1; x < len(ds.TypeNames); x++ {
+			phi := n.Phi[core.TypeID(x)]
+			if phi == nil {
+				continue
+			}
+			ids := make([]int, len(phi))
+			for i := range ids {
+				ids[i] = i
+			}
+			sort.SliceStable(ids, func(a, b int) bool {
+				if phi[ids[a]] != phi[ids[b]] {
+					return phi[ids[a]] > phi[ids[b]]
+				}
+				return ids[a] < ids[b]
+			})
+			k := topN
+			if k > len(ids) {
+				k = len(ids)
+			}
+			var es []core.RankedEntity
+			for _, id := range ids[:k] {
+				if phi[id] <= 0 {
+					break
+				}
+				es = append(es, core.RankedEntity{ID: id, Display: ds.Names[x][id], Score: phi[id]})
+			}
+			n.Entities[core.TypeID(x)] = es
+		}
+	})
+}
+
+// attachEntitiesHeuristic ranks entities by their document-attributed
+// topical frequency (the CATHY_heuristic-HIN variant: text-only topics,
+// entities ranked post hoc from the original links).
+func attachEntitiesHeuristic(ds *synth.Dataset, root *core.TopicNode, miner *topmine.Miner, topN int) *roles.Analyzer {
+	part := miner.SegmentCorpus(ds.Corpus.Docs)
+	an := roles.NewAnalyzer(ds.Corpus, ds.Docs, root, miner, part)
+	an.Names = ds.Names
+	root.Walk(func(n *core.TopicNode) {
+		if n.Parent() == nil {
+			return
+		}
+		for x := 1; x < len(ds.TypeNames); x++ {
+			es := an.RankEntities(core.TypeID(x), n.Path, roles.ERankPop, topN)
+			n.Entities[core.TypeID(x)] = es
+		}
+	})
+	return an
+}
+
+// netclusHierarchy builds the NetClus comparison hierarchy and fills phi so
+// HPMI and intrusion tasks can read rankings.
+func netclusHierarchy(ds *synth.Dataset, k, levels int, seed int64) *core.Hierarchy {
+	return netclus.BuildHierarchy(ds.Docs, ds.NumNodes, levels, netclus.Config{K: k, Iters: 25, Seed: seed})
+}
+
+// ldaTopicsOf converts a fitted LDA model into per-topic ranked unigram
+// "phrases" (for the unigram baselines).
+func ldaTopicsOf(ds *synth.Dataset, m *lda.Model, topN int) [][]core.RankedPhrase {
+	out := make([][]core.RankedPhrase, m.K)
+	for t := 0; t < m.K; t++ {
+		for _, w := range m.TopWords(t, topN) {
+			out[t] = append(out[t], core.RankedPhrase{
+				Words: []int{w}, Display: ds.Corpus.Vocab.Word(w), Score: m.Phi[t][w],
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,251 @@
+// Package hin implements the paper's data model (Definition 1): the
+// text-attached heterogeneous information network, and the collapsed
+// edge-weighted network derived from it (Example 3.1) that CATHYHIN analyzes.
+//
+// A network holds m node types; links are stored per unordered type pair
+// with float weights. Documents contribute term-term co-occurrence links;
+// entities attached to a document are linked to the document's words and to
+// each other.
+package hin
+
+import (
+	"fmt"
+	"sort"
+
+	"lesm/internal/core"
+)
+
+// Link is a weighted link between node I of the pair's first type and node J
+// of the pair's second type.
+type Link struct {
+	I, J int
+	W    float64
+}
+
+// TypePair identifies an unordered node-type pair (X <= Y).
+type TypePair struct {
+	X, Y core.TypeID
+}
+
+// Pair returns the canonical (ordered) TypePair for x, y.
+func Pair(x, y core.TypeID) TypePair {
+	if x > y {
+		x, y = y, x
+	}
+	return TypePair{x, y}
+}
+
+// Network is an edge-weighted network with typed nodes (G^t in Section 3.2).
+// Links of an unordered type pair are stored once; algorithms that need both
+// directions (the generative model duplicates undirected links) iterate each
+// stored link twice.
+type Network struct {
+	// TypeNames[x] names node type x; index 0 is "term" by convention.
+	TypeNames []string
+	// NumNodes[x] is the number of type-x nodes.
+	NumNodes []int
+	// Names[x][i] optionally holds the display name for node i of type x;
+	// Names[x] may be nil if the caller resolves names externally.
+	Names [][]string
+	// Links maps a canonical type pair to its weighted links. For same-type
+	// pairs (X == Y) each unordered node pair appears at most once with
+	// I <= J.
+	Links map[TypePair][]Link
+}
+
+// NewNetwork creates an empty network with the given type names and node
+// counts per type.
+func NewNetwork(typeNames []string, numNodes []int) *Network {
+	if len(typeNames) != len(numNodes) {
+		panic("hin: typeNames and numNodes length mismatch")
+	}
+	return &Network{
+		TypeNames: append([]string(nil), typeNames...),
+		NumNodes:  append([]int(nil), numNodes...),
+		Names:     make([][]string, len(typeNames)),
+		Links:     map[TypePair][]Link{},
+	}
+}
+
+// NumTypes returns the number of node types.
+func (n *Network) NumTypes() int { return len(n.TypeNames) }
+
+// TotalWeight returns M^t, the total link weight (each stored link counted
+// once).
+func (n *Network) TotalWeight() float64 {
+	s := 0.0
+	for _, ls := range n.Links {
+		for _, l := range ls {
+			s += l.W
+		}
+	}
+	return s
+}
+
+// TotalLinks returns the number of stored (non-zero) links.
+func (n *Network) TotalLinks() int {
+	c := 0
+	for _, ls := range n.Links {
+		c += len(ls)
+	}
+	return c
+}
+
+// PairWeight returns M^t_{x,y}, the total link weight of a type pair.
+func (n *Network) PairWeight(p TypePair) float64 {
+	s := 0.0
+	for _, l := range n.Links[p] {
+		s += l.W
+	}
+	return s
+}
+
+// SortLinks orders every link list deterministically (by I then J); builders
+// that accumulate via maps call this to make downstream iteration stable.
+func (n *Network) SortLinks() {
+	for p := range n.Links {
+		ls := n.Links[p]
+		sort.Slice(ls, func(a, b int) bool {
+			if ls[a].I != ls[b].I {
+				return ls[a].I < ls[b].I
+			}
+			return ls[a].J < ls[b].J
+		})
+	}
+}
+
+// Stats describes the network shape (Table 3.4): node counts per type and
+// link weights per type pair.
+type Stats struct {
+	Nodes map[string]int
+	Links map[string]float64
+}
+
+// Stats summarizes node counts and per-pair total link weights with readable
+// keys such as "term-author".
+func (n *Network) Stats() Stats {
+	st := Stats{Nodes: map[string]int{}, Links: map[string]float64{}}
+	for x, name := range n.TypeNames {
+		st.Nodes[name] = n.NumNodes[x]
+	}
+	for p := range n.Links {
+		key := fmt.Sprintf("%s-%s", n.TypeNames[p.X], n.TypeNames[p.Y])
+		st.Links[key] = n.PairWeight(p)
+	}
+	return st
+}
+
+// DocRecord is one document of a text-attached heterogeneous network: its
+// term ids plus the entity ids attached per non-term type.
+type DocRecord struct {
+	Tokens   []int
+	Entities map[core.TypeID][]int
+}
+
+// BuildOptions control collapsed-network construction.
+type BuildOptions struct {
+	// Window bounds term-term co-occurrence distance within a document;
+	// 0 means the whole document co-occurs (the paper's setting for titles).
+	Window int
+	// SkipPairs lists type pairs to omit (e.g. venue-venue in DBLP, where a
+	// paper has exactly one venue so no such link can form anyway).
+	SkipPairs []TypePair
+}
+
+// BuildCollapsed converts documents with attached entities into the collapsed
+// edge-weighted network of Example 3.1: term-term co-occurrence links plus
+// entity-term and entity-entity co-occurrence links, with link weight equal
+// to the number of co-occurrences.
+func BuildCollapsed(typeNames []string, numNodes []int, docs []DocRecord, opts BuildOptions) *Network {
+	n := NewNetwork(typeNames, numNodes)
+	skip := map[TypePair]bool{}
+	for _, p := range opts.SkipPairs {
+		skip[Pair(p.X, p.Y)] = true
+	}
+	acc := map[TypePair]map[[2]int]float64{}
+	add := func(x core.TypeID, i int, y core.TypeID, j int, w float64) {
+		p := Pair(x, y)
+		if skip[p] {
+			return
+		}
+		// Canonicalize node order to match the pair orientation.
+		if x > y || (x == y && i > j) {
+			i, j = j, i
+		}
+		m := acc[p]
+		if m == nil {
+			m = map[[2]int]float64{}
+			acc[p] = m
+		}
+		m[[2]int{i, j}] += w
+	}
+	for _, d := range docs {
+		// Term-term co-occurrences.
+		for a := 0; a < len(d.Tokens); a++ {
+			hi := len(d.Tokens)
+			if opts.Window > 0 && a+opts.Window+1 < hi {
+				hi = a + opts.Window + 1
+			}
+			for b := a + 1; b < hi; b++ {
+				if d.Tokens[a] == d.Tokens[b] {
+					continue
+				}
+				add(core.TermType, d.Tokens[a], core.TermType, d.Tokens[b], 1)
+			}
+		}
+		// Entity-term links: an attached entity links to every token.
+		for x, ents := range d.Entities {
+			for _, e := range ents {
+				for _, tok := range d.Tokens {
+					add(x, e, core.TermType, tok, 1)
+				}
+			}
+		}
+		// Entity-entity links within and across entity types.
+		types := make([]core.TypeID, 0, len(d.Entities))
+		for x := range d.Entities {
+			types = append(types, x)
+		}
+		sort.Slice(types, func(a, b int) bool { return types[a] < types[b] })
+		for ai, x := range types {
+			for _, y := range types[ai:] {
+				ex, ey := d.Entities[x], d.Entities[y]
+				if x == y {
+					for u := 0; u < len(ex); u++ {
+						for v := u + 1; v < len(ex); v++ {
+							if ex[u] == ex[v] {
+								continue
+							}
+							add(x, ex[u], x, ex[v], 1)
+						}
+					}
+				} else {
+					for _, u := range ex {
+						for _, v := range ey {
+							add(x, u, y, v, 1)
+						}
+					}
+				}
+			}
+		}
+	}
+	for p, m := range acc {
+		ls := make([]Link, 0, len(m))
+		for key, w := range m {
+			ls = append(ls, Link{I: key[0], J: key[1], W: w})
+		}
+		n.Links[p] = ls
+	}
+	n.SortLinks()
+	return n
+}
+
+// TermNetwork builds the homogeneous term co-occurrence network of Section
+// 3.1 from a plain corpus of token-id documents.
+func TermNetwork(numTerms int, docs [][]int, window int) *Network {
+	recs := make([]DocRecord, len(docs))
+	for i, d := range docs {
+		recs[i] = DocRecord{Tokens: d}
+	}
+	return BuildCollapsed([]string{"term"}, []int{numTerms}, recs, BuildOptions{Window: window})
+}

@@ -1,0 +1,111 @@
+package hin
+
+import (
+	"testing"
+
+	"lesm/internal/core"
+)
+
+func TestPairCanonical(t *testing.T) {
+	if Pair(2, 1) != (TypePair{1, 2}) {
+		t.Fatalf("Pair(2,1) = %v", Pair(2, 1))
+	}
+	if Pair(0, 0) != (TypePair{0, 0}) {
+		t.Fatalf("Pair(0,0) = %v", Pair(0, 0))
+	}
+}
+
+func simpleDocs() []DocRecord {
+	// Two docs. Types: 0 term, 1 author, 2 venue.
+	return []DocRecord{
+		{Tokens: []int{0, 1}, Entities: map[core.TypeID][]int{1: {0, 1}, 2: {0}}},
+		{Tokens: []int{1, 2}, Entities: map[core.TypeID][]int{1: {1}, 2: {0}}},
+	}
+}
+
+func TestBuildCollapsedWeights(t *testing.T) {
+	n := BuildCollapsed([]string{"term", "author", "venue"}, []int{3, 2, 1}, simpleDocs(),
+		BuildOptions{SkipPairs: []TypePair{{2, 2}}})
+
+	tt := n.Links[Pair(0, 0)]
+	if len(tt) != 2 {
+		t.Fatalf("term-term links = %v", tt)
+	}
+	// author-term: author 1 appears in both docs -> links to tokens 0,1 and 1,2.
+	at := map[[2]int]float64{}
+	for _, l := range n.Links[Pair(0, 1)] {
+		at[[2]int{l.I, l.J}] = l.W
+	}
+	// Pair(0,1) = {term, author}: orientation X=0 so I is term, J is author.
+	if at[[2]int{1, 1}] != 2 {
+		t.Fatalf("author1-term1 weight = %v, want 2 (both docs)", at[[2]int{1, 1}])
+	}
+	// author-author co-occurrence only in doc 0.
+	aa := n.Links[Pair(1, 1)]
+	if len(aa) != 1 || aa[0].W != 1 || aa[0].I != 0 || aa[0].J != 1 {
+		t.Fatalf("author-author = %v", aa)
+	}
+	// author-venue: (a0,v0) once, (a1,v0) twice.
+	av := map[[2]int]float64{}
+	for _, l := range n.Links[Pair(1, 2)] {
+		av[[2]int{l.I, l.J}] = l.W
+	}
+	if av[[2]int{0, 0}] != 1 || av[[2]int{1, 0}] != 2 {
+		t.Fatalf("author-venue = %v", av)
+	}
+	// venue-venue skipped.
+	if len(n.Links[Pair(2, 2)]) != 0 {
+		t.Fatal("venue-venue should be skipped")
+	}
+}
+
+func TestBuildCollapsedNoDuplicateTermPairs(t *testing.T) {
+	// Repeated token must not create a self link.
+	docs := []DocRecord{{Tokens: []int{0, 0, 1}}}
+	n := BuildCollapsed([]string{"term"}, []int{2}, docs, BuildOptions{})
+	ls := n.Links[Pair(0, 0)]
+	if len(ls) != 1 || ls[0].I != 0 || ls[0].J != 1 || ls[0].W != 2 {
+		t.Fatalf("links = %v, want single (0,1) with weight 2", ls)
+	}
+}
+
+func TestWindowLimitsCooccurrence(t *testing.T) {
+	docs := []DocRecord{{Tokens: []int{0, 1, 2, 3}}}
+	n := BuildCollapsed([]string{"term"}, []int{4}, docs, BuildOptions{Window: 1})
+	ls := n.Links[Pair(0, 0)]
+	if len(ls) != 3 {
+		t.Fatalf("window=1 should give 3 adjacent links, got %v", ls)
+	}
+}
+
+func TestStatsAndTotals(t *testing.T) {
+	n := BuildCollapsed([]string{"term", "author", "venue"}, []int{3, 2, 1}, simpleDocs(), BuildOptions{})
+	st := n.Stats()
+	if st.Nodes["term"] != 3 || st.Nodes["author"] != 2 || st.Nodes["venue"] != 1 {
+		t.Fatalf("node stats = %v", st.Nodes)
+	}
+	if st.Links["term-term"] != 2 {
+		t.Fatalf("term-term weight = %v", st.Links["term-term"])
+	}
+	if n.TotalWeight() <= 0 || n.TotalLinks() <= 0 {
+		t.Fatal("totals should be positive")
+	}
+	if n.PairWeight(Pair(1, 2)) != 3 {
+		t.Fatalf("author-venue pair weight = %v", n.PairWeight(Pair(1, 2)))
+	}
+}
+
+func TestTermNetwork(t *testing.T) {
+	n := TermNetwork(3, [][]int{{0, 1, 2}, {0, 1}}, 0)
+	if n.NumTypes() != 1 {
+		t.Fatalf("types = %d", n.NumTypes())
+	}
+	ls := n.Links[Pair(0, 0)]
+	w := map[[2]int]float64{}
+	for _, l := range ls {
+		w[[2]int{l.I, l.J}] = l.W
+	}
+	if w[[2]int{0, 1}] != 2 || w[[2]int{0, 2}] != 1 || w[[2]int{1, 2}] != 1 {
+		t.Fatalf("weights = %v", w)
+	}
+}

@@ -1,0 +1,347 @@
+// Package kert implements KERT (Section 4.2): topical phrase mining for
+// short, content-representative text. Frequent word-set patterns are mined
+// from the documents, their frequency is distributed over topics with the
+// topic model (Eq. 4.3), and phrases are ranked by combining the four
+// criteria of Section 4.1 — popularity, purity, concordance and completeness
+// (Eq. 4.1-4.6).
+//
+// The package also provides the kpRel and kpRelInt* ranking baselines of
+// Zhao et al. used in the paper's comparison (Section 4.4.1).
+package kert
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"lesm/internal/lda"
+)
+
+// Topic is one topic's parameters from the upstream topic model: a word
+// distribution and a corpus share (Section 4.2.2's phi and rho).
+type Topic struct {
+	Phi []float64
+	Rho float64
+}
+
+// TopicsFromLDA converts a fitted LDA model into KERT topic parameters; the
+// background topic, when present, comes last (mark it with
+// Config.Background so that it joins attribution but not ranking).
+func TopicsFromLDA(m *lda.Model) []Topic {
+	out := make([]Topic, len(m.Phi))
+	for k := range m.Phi {
+		out[k] = Topic{Phi: m.Phi[k], Rho: m.Rho[k]}
+	}
+	return out
+}
+
+// Config parameterizes mining and ranking.
+type Config struct {
+	// MinSupport is both the pattern frequency threshold and the topical
+	// frequency threshold mu (default 5).
+	MinSupport int
+	// MaxLen caps pattern size (default 4).
+	MaxLen int
+	// Gamma is the completeness filter threshold (default 0.5); 0 keeps all
+	// closed patterns (the KERT-com ablation).
+	Gamma float64
+	// Omega mixes purity (1-omega) and concordance (omega) inside the
+	// quality function (default 0.5).
+	Omega float64
+	// Background marks the last entry of the topic slice as a background
+	// topic: it takes part in frequency attribution and purity contrast but
+	// is not ranked.
+	Background bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.MinSupport == 0 {
+		c.MinSupport = 5
+	}
+	if c.MaxLen == 0 {
+		c.MaxLen = 4
+	}
+	if c.Gamma == 0 {
+		c.Gamma = 0.5
+	}
+	if c.Omega == 0 {
+		c.Omega = 0.5
+	}
+	return c
+}
+
+// Pattern is a mined frequent word-set with its topical attribution.
+type Pattern struct {
+	// Words in canonical (sorted-id) order; Display gives the natural
+	// surface order (mean in-document position).
+	Words   []int
+	Display []int
+	// Count is the number of supporting documents, f(P).
+	Count int
+	// Topical[t] is the estimated topical frequency f_t(P) (Eq. 4.3).
+	Topical []float64
+}
+
+// Result holds mined patterns plus the corpus statistics the ranking
+// criteria need.
+type Result struct {
+	cfg      Config
+	topics   []Topic
+	Patterns []Pattern
+	index    map[string]int // canonical key -> index in Patterns
+	NumDocs  int
+	// Nt[t] is the number of documents containing at least one frequent
+	// topic-t phrase (the popularity denominator, Eq. 4.4).
+	Nt []float64
+	// Njoint[t][u] = |docs with a frequent topic-t phrase OR topic-u phrase|
+	// (the purity denominator N_{t,t'}, Eq. 4.5).
+	Njoint [][]float64
+	// wordCount[v] is the document frequency of word v.
+	wordCount map[int]int
+	// com[pi] is the precomputed completeness score of pattern pi (Eq. 4.2).
+	com []float64
+}
+
+func setKey(words []int) string {
+	b := make([]byte, 4*len(words))
+	for i, w := range words {
+		binary.LittleEndian.PutUint32(b[4*i:], uint32(w))
+	}
+	return string(b)
+}
+
+// Mine extracts frequent word-set patterns from short documents and
+// attributes their frequency to the given topics.
+func Mine(docs [][]int, topics []Topic, cfg Config) *Result {
+	cfg = cfg.withDefaults()
+	res := &Result{cfg: cfg, topics: topics, NumDocs: len(docs), index: map[string]int{}, wordCount: map[int]int{}}
+
+	// Distinct sorted word sets per document.
+	bags := make([][]int, len(docs))
+	for d, doc := range docs {
+		seen := map[int]bool{}
+		var bag []int
+		for _, w := range doc {
+			if !seen[w] {
+				seen[w] = true
+				bag = append(bag, w)
+			}
+		}
+		sort.Ints(bag)
+		bags[d] = bag
+		for _, w := range bag {
+			res.wordCount[w]++
+		}
+	}
+
+	// Level-wise Apriori with prefix pruning over sorted bags.
+	frequent := map[string]int{} // all frequent patterns, any level
+	prevLevel := map[string]bool{}
+	for w, c := range res.wordCount {
+		if c >= cfg.MinSupport {
+			prevLevel[setKey([]int{w})] = true
+			frequent[setKey([]int{w})] = c
+		}
+	}
+	cur := make([]int, 0, cfg.MaxLen)
+	for n := 2; n <= cfg.MaxLen && len(prevLevel) > 0; n++ {
+		level := map[string]int{}
+		for _, bag := range bags {
+			// Filter the bag to frequent unigrams to shrink enumeration.
+			var items []int
+			for _, w := range bag {
+				if res.wordCount[w] >= cfg.MinSupport {
+					items = append(items, w)
+				}
+			}
+			if len(items) < n {
+				continue
+			}
+			var rec func(start int)
+			rec = func(start int) {
+				if len(cur) == n {
+					level[setKey(cur)]++
+					return
+				}
+				for i := start; i < len(items); i++ {
+					cur = append(cur, items[i])
+					// Prefix pruning: the current (partial) set must be a
+					// frequent pattern of its size before extension.
+					if len(cur) < n {
+						if len(cur) == 1 || prevOK(frequent, cur, cfg.MinSupport) {
+							rec(i + 1)
+						}
+					} else if prevOK(frequent, cur[:len(cur)-1], cfg.MinSupport) {
+						level[setKey(cur)]++
+					}
+					cur = cur[:len(cur)-1]
+				}
+			}
+			rec(0)
+		}
+		next := map[string]bool{}
+		for k, c := range level {
+			if c >= cfg.MinSupport {
+				frequent[k] = c
+				next[k] = true
+			}
+		}
+		prevLevel = next
+	}
+
+	// Materialize patterns with topical attribution (Eq. 4.3).
+	keys := make([]string, 0, len(frequent))
+	for k := range frequent {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		words := decodeSet(k)
+		p := Pattern{Words: words, Count: frequent[k]}
+		p.Topical = attribute(float64(p.Count), words, topics)
+		res.index[k] = len(res.Patterns)
+		res.Patterns = append(res.Patterns, p)
+	}
+
+	// Second pass: display order and the Nt / Njoint statistics.
+	res.computeDocStats(bags, docs)
+	res.computeCompleteness()
+	return res
+}
+
+func prevOK(frequent map[string]int, cur []int, mu int) bool {
+	c, ok := frequent[setKey(cur)]
+	return ok && c >= mu
+}
+
+func decodeSet(k string) []int {
+	out := make([]int, len(k)/4)
+	for i := range out {
+		out[i] = int(binary.LittleEndian.Uint32([]byte(k[4*i : 4*i+4])))
+	}
+	return out
+}
+
+// attribute implements Eq. 4.3: f_t(P) = f(P) * rho_t prod phi_t(v) /
+// sum_c rho_c prod phi_c(v).
+func attribute(f float64, words []int, topics []Topic) []float64 {
+	shares := make([]float64, len(topics))
+	total := 0.0
+	for t, tp := range topics {
+		p := tp.Rho
+		for _, w := range words {
+			if w < len(tp.Phi) {
+				p *= tp.Phi[w]
+			} else {
+				p = 0
+			}
+		}
+		shares[t] = p
+		total += p
+	}
+	out := make([]float64, len(topics))
+	if total <= 0 {
+		return out
+	}
+	for t := range out {
+		out[t] = f * shares[t] / total
+	}
+	return out
+}
+
+// computeDocStats fills display orders, Nt and Njoint.
+func (r *Result) computeDocStats(bags [][]int, docs [][]int) {
+	k := len(r.topics)
+	posSum := make([][]float64, len(r.Patterns))
+	posCnt := make([]float64, len(r.Patterns))
+	for i := range posSum {
+		posSum[i] = make([]float64, len(r.Patterns[i].Words))
+	}
+	r.Nt = make([]float64, k)
+	r.Njoint = make([][]float64, k)
+	for t := range r.Njoint {
+		r.Njoint[t] = make([]float64, k)
+	}
+	mu := float64(r.cfg.MinSupport)
+	for d, bag := range bags {
+		// First word positions in the original document.
+		firstPos := map[int]int{}
+		for i, w := range docs[d] {
+			if _, ok := firstPos[w]; !ok {
+				firstPos[w] = i
+			}
+		}
+		mask := make([]bool, k)
+		// Enumerate the doc's frequent patterns by subset recursion bounded
+		// by the pattern index.
+		var cur []int
+		var rec func(start int)
+		rec = func(start int) {
+			if len(cur) > 0 {
+				pi, ok := r.index[setKey(cur)]
+				if !ok {
+					return // not frequent: no superset is frequent either
+				}
+				for wi, w := range cur {
+					posSum[pi][wi] += float64(firstPos[w])
+				}
+				posCnt[pi]++
+				for t := 0; t < k; t++ {
+					if r.Patterns[pi].Topical[t] >= mu {
+						mask[t] = true
+					}
+				}
+			}
+			if len(cur) == r.cfg.MaxLen {
+				return
+			}
+			for i := start; i < len(bag); i++ {
+				cur = append(cur, bag[i])
+				rec(i + 1)
+				cur = cur[:len(cur)-1]
+			}
+		}
+		rec(0)
+		for t := 0; t < k; t++ {
+			if mask[t] {
+				r.Nt[t]++
+			}
+			for u := 0; u < k; u++ {
+				if mask[t] || mask[u] {
+					r.Njoint[t][u]++
+				}
+			}
+		}
+	}
+	// Display order: sort words by mean first position.
+	for pi := range r.Patterns {
+		p := &r.Patterns[pi]
+		type wp struct {
+			w   int
+			pos float64
+		}
+		ws := make([]wp, len(p.Words))
+		for i, w := range p.Words {
+			pos := 0.0
+			if posCnt[pi] > 0 {
+				pos = posSum[pi][i] / posCnt[pi]
+			}
+			ws[i] = wp{w, pos}
+		}
+		sort.SliceStable(ws, func(a, b int) bool { return ws[a].pos < ws[b].pos })
+		p.Display = make([]int, len(ws))
+		for i, w := range ws {
+			p.Display[i] = w.w
+		}
+	}
+	// Guard against zero denominators.
+	for t := 0; t < k; t++ {
+		if r.Nt[t] == 0 {
+			r.Nt[t] = 1
+		}
+		for u := 0; u < k; u++ {
+			if r.Njoint[t][u] == 0 {
+				r.Njoint[t][u] = 1
+			}
+		}
+	}
+}

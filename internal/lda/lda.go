@@ -1,0 +1,214 @@
+// Package lda implements latent Dirichlet allocation with collapsed Gibbs
+// sampling, the workhorse baseline of the paper's evaluations (Sections
+// 4.4.2-4.4.3, Chapter 7) and the topic-inference substrate of KERT.
+//
+// Two variants extend the plain sampler:
+//
+//   - a background topic (topic index K) with an inflated document prior,
+//     which absorbs corpus-wide common words — the "background LDA" used by
+//     KERT (Section 4.4.3);
+//   - PhraseLDA, the phrase-constrained sampler of ToPMine, where all words
+//     of a mined phrase share one topic assignment.
+package lda
+
+import "math/rand"
+
+// Config parameterizes a Gibbs run.
+type Config struct {
+	// K is the number of content topics.
+	K int
+	// Alpha and Beta are the Dirichlet hyperparameters (defaults 50/K and
+	// 0.01, the conventional settings).
+	Alpha, Beta float64
+	// Iters is the number of Gibbs sweeps (default 200).
+	Iters int
+	// Seed drives the sampler's randomness.
+	Seed int64
+	// Background adds one extra shared topic with prior Alpha*BGWeight that
+	// soaks up topic-independent words.
+	Background bool
+	// BGWeight inflates the background topic's document prior (default 3).
+	BGWeight float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Alpha == 0 {
+		c.Alpha = 50 / float64(c.K)
+	}
+	if c.Beta == 0 {
+		c.Beta = 0.01
+	}
+	if c.Iters == 0 {
+		c.Iters = 200
+	}
+	if c.BGWeight == 0 {
+		c.BGWeight = 3
+	}
+	return c
+}
+
+// Model is the posterior summary of a Gibbs run. If the run used a
+// background topic it is the last row of Phi (index K).
+type Model struct {
+	K, V int
+	// Phi[k][v] is the topic-word distribution (including the background
+	// topic as row K when present).
+	Phi [][]float64
+	// Theta[d][k] is the document-topic distribution.
+	Theta [][]float64
+	// Rho[k] is the corpus-wide fraction of tokens assigned to topic k.
+	Rho []float64
+	// Z[d][i] is the final topic assignment of token i in document d.
+	Z [][]int
+	// PhraseZ[d][p] is the per-phrase topic assignment when the model was
+	// fit with RunPhrases; nil otherwise.
+	PhraseZ [][]int
+	// Background reports whether row K of Phi is a background topic.
+	Background bool
+}
+
+// Run fits LDA to id-encoded documents over a vocabulary of size V.
+func Run(docs [][]int, v int, cfg Config) *Model {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	kTotal := cfg.K
+	if cfg.Background {
+		kTotal++
+	}
+	d := len(docs)
+	nDK := make([][]int, d)
+	nKV := make([][]int, kTotal)
+	nK := make([]int, kTotal)
+	for k := range nKV {
+		nKV[k] = make([]int, v)
+	}
+	z := make([][]int, d)
+	alpha := make([]float64, kTotal)
+	for k := 0; k < cfg.K; k++ {
+		alpha[k] = cfg.Alpha
+	}
+	if cfg.Background {
+		alpha[cfg.K] = cfg.Alpha * cfg.BGWeight
+	}
+
+	for di, doc := range docs {
+		nDK[di] = make([]int, kTotal)
+		z[di] = make([]int, len(doc))
+		for i, w := range doc {
+			k := rng.Intn(kTotal)
+			z[di][i] = k
+			nDK[di][k]++
+			nKV[k][w]++
+			nK[k]++
+		}
+	}
+
+	probs := make([]float64, kTotal)
+	vb := float64(v) * cfg.Beta
+	for it := 0; it < cfg.Iters; it++ {
+		for di, doc := range docs {
+			for i, w := range doc {
+				k := z[di][i]
+				nDK[di][k]--
+				nKV[k][w]--
+				nK[k]--
+				total := 0.0
+				for kk := 0; kk < kTotal; kk++ {
+					p := (float64(nDK[di][kk]) + alpha[kk]) *
+						(float64(nKV[kk][w]) + cfg.Beta) / (float64(nK[kk]) + vb)
+					probs[kk] = p
+					total += p
+				}
+				r := rng.Float64() * total
+				k = kTotal - 1
+				for kk := 0; kk < kTotal; kk++ {
+					r -= probs[kk]
+					if r <= 0 {
+						k = kk
+						break
+					}
+				}
+				z[di][i] = k
+				nDK[di][k]++
+				nKV[k][w]++
+				nK[k]++
+			}
+		}
+	}
+	return summarize(docs, v, kTotal, cfg, nDK, nKV, nK, z)
+}
+
+func summarize(docs [][]int, v, kTotal int, cfg Config, nDK [][]int, nKV [][]int, nK []int, z [][]int) *Model {
+	m := &Model{K: cfg.K, V: v, Background: cfg.Background, Z: z}
+	vb := float64(v) * cfg.Beta
+	m.Phi = make([][]float64, kTotal)
+	for k := 0; k < kTotal; k++ {
+		m.Phi[k] = make([]float64, v)
+		for w := 0; w < v; w++ {
+			m.Phi[k][w] = (float64(nKV[k][w]) + cfg.Beta) / (float64(nK[k]) + vb)
+		}
+	}
+	m.Theta = make([][]float64, len(docs))
+	for di, doc := range docs {
+		m.Theta[di] = make([]float64, kTotal)
+		denom := float64(len(doc))
+		var asum float64
+		for k := 0; k < kTotal; k++ {
+			if cfg.Background && k == cfg.K {
+				asum += cfg.Alpha * cfg.BGWeight
+			} else {
+				asum += cfg.Alpha
+			}
+		}
+		for k := 0; k < kTotal; k++ {
+			a := cfg.Alpha
+			if cfg.Background && k == cfg.K {
+				a = cfg.Alpha * cfg.BGWeight
+			}
+			m.Theta[di][k] = (float64(nDK[di][k]) + a) / (denom + asum)
+		}
+	}
+	m.Rho = make([]float64, kTotal)
+	total := 0
+	for _, n := range nK {
+		total += n
+	}
+	for k, n := range nK {
+		if total > 0 {
+			m.Rho[k] = float64(n) / float64(total)
+		} else {
+			m.Rho[k] = 1 / float64(kTotal)
+		}
+	}
+	return m
+}
+
+// TopWords returns the k highest-probability word ids of topic t.
+func (m *Model) TopWords(t, k int) []int {
+	type wp struct {
+		w int
+		p float64
+	}
+	ws := make([]wp, m.V)
+	for w := 0; w < m.V; w++ {
+		ws[w] = wp{w, m.Phi[t][w]}
+	}
+	// partial selection sort: k is small
+	if k > m.V {
+		k = m.V
+	}
+	for i := 0; i < k; i++ {
+		best := i
+		for j := i + 1; j < m.V; j++ {
+			if ws[j].p > ws[best].p {
+				best = j
+			}
+		}
+		ws[i], ws[best] = ws[best], ws[i]
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = ws[i].w
+	}
+	return out
+}

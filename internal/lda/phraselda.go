@@ -1,0 +1,116 @@
+package lda
+
+import "math/rand"
+
+// PhraseDoc is a document partitioned into a bag of phrases (each phrase a
+// word-id sequence), the output form of ToPMine's segmentation step.
+type PhraseDoc [][]int
+
+// RunPhrases fits the phrase-constrained LDA of Section 4.4.3: each phrase
+// instance receives a single topic shared by all of its words, sampled from
+//
+//	p(z=k) ∝ (n_dk + α) · Π_i (n_k,w_i + β + c_i) / (n_k + Vβ + i)
+//
+// where c_i counts earlier occurrences of word w_i inside the same phrase.
+// Sampling one topic per multi-word phrase is also why PhraseLDA often runs
+// faster than token-level LDA (Table 4.5).
+func RunPhrases(docs []PhraseDoc, v int, cfg Config) *Model {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	kTotal := cfg.K
+	if cfg.Background {
+		kTotal++
+	}
+	d := len(docs)
+	nDK := make([][]int, d)
+	nKV := make([][]int, kTotal)
+	nK := make([]int, kTotal)
+	for k := range nKV {
+		nKV[k] = make([]int, v)
+	}
+	// zP[d][p] is the topic of phrase p in doc d.
+	zP := make([][]int, d)
+	alpha := make([]float64, kTotal)
+	for k := 0; k < cfg.K; k++ {
+		alpha[k] = cfg.Alpha
+	}
+	if cfg.Background {
+		alpha[cfg.K] = cfg.Alpha * cfg.BGWeight
+	}
+
+	for di, doc := range docs {
+		nDK[di] = make([]int, kTotal)
+		zP[di] = make([]int, len(doc))
+		for pi, phrase := range doc {
+			k := rng.Intn(kTotal)
+			zP[di][pi] = k
+			nDK[di][k] += len(phrase)
+			for _, w := range phrase {
+				nKV[k][w]++
+				nK[k]++
+			}
+		}
+	}
+
+	probs := make([]float64, kTotal)
+	vb := float64(v) * cfg.Beta
+	for it := 0; it < cfg.Iters; it++ {
+		for di, doc := range docs {
+			for pi, phrase := range doc {
+				k := zP[di][pi]
+				nDK[di][k] -= len(phrase)
+				for _, w := range phrase {
+					nKV[k][w]--
+					nK[k]--
+				}
+				total := 0.0
+				for kk := 0; kk < kTotal; kk++ {
+					p := float64(nDK[di][kk]) + alpha[kk]
+					for i, w := range phrase {
+						// c counts earlier in-phrase occurrences of w.
+						c := 0
+						for j := 0; j < i; j++ {
+							if phrase[j] == w {
+								c++
+							}
+						}
+						p *= (float64(nKV[kk][w]) + cfg.Beta + float64(c)) /
+							(float64(nK[kk]) + vb + float64(i))
+					}
+					probs[kk] = p
+					total += p
+				}
+				r := rng.Float64() * total
+				k = kTotal - 1
+				for kk := 0; kk < kTotal; kk++ {
+					r -= probs[kk]
+					if r <= 0 {
+						k = kk
+						break
+					}
+				}
+				zP[di][pi] = k
+				nDK[di][k] += len(phrase)
+				for _, w := range phrase {
+					nKV[k][w]++
+					nK[k]++
+				}
+			}
+		}
+	}
+
+	// Expand phrase assignments to token assignments for the summary.
+	flat := make([][]int, d)
+	zTok := make([][]int, d)
+	for di, doc := range docs {
+		for pi, phrase := range doc {
+			for _, w := range phrase {
+				flat[di] = append(flat[di], w)
+				zTok[di] = append(zTok[di], zP[di][pi])
+			}
+		}
+	}
+	m := summarize(flat, v, kTotal, cfg, nDK, nKV, nK, zTok)
+	m.PhraseZ = zP
+	return m
+}

@@ -1,0 +1,157 @@
+// Package linalg is a small dense linear-algebra substrate built on the
+// standard library only. It provides exactly what the moment-based topic
+// inference (Chapter 7, STROD) and the relational CRF need: dense
+// matrix/vector arithmetic, a cyclic-Jacobi symmetric eigensolver, orthogonal
+// iteration for the top-k eigenpairs of implicitly defined symmetric
+// operators, and 3-mode tensor utilities.
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dense is a row-major dense matrix.
+type Dense struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewDense allocates a zeroed Rows x Cols matrix.
+func NewDense(rows, cols int) *Dense {
+	return &Dense{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m *Dense) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Dense) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Add increments element (i, j) by v.
+func (m *Dense) Add(i, j int, v float64) { m.Data[i*m.Cols+j] += v }
+
+// Row returns a view of row i (shared storage).
+func (m *Dense) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy of m.
+func (m *Dense) Clone() *Dense {
+	c := NewDense(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// T returns the transpose of m as a new matrix.
+func (m *Dense) T() *Dense {
+	t := NewDense(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Set(j, i, m.At(i, j))
+		}
+	}
+	return t
+}
+
+// Mul returns a*b; it panics on dimension mismatch since that is a
+// programming error, not a data error.
+func Mul(a, b *Dense) *Dense {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("linalg: Mul dimension mismatch %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	c := NewDense(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		crow := c.Row(i)
+		for k := 0; k < a.Cols; k++ {
+			av := arow[k]
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j := range brow {
+				crow[j] += av * brow[j]
+			}
+		}
+	}
+	return c
+}
+
+// MulVec returns a * x as a new vector.
+func (m *Dense) MulVec(x []float64) []float64 {
+	if m.Cols != len(x) {
+		panic(fmt.Sprintf("linalg: MulVec dimension mismatch %dx%d * %d", m.Rows, m.Cols, len(x)))
+	}
+	y := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		s := 0.0
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// Dot returns the inner product of a and b.
+func Dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 { return math.Sqrt(Dot(x, x)) }
+
+// Scale multiplies every element of x by s in place.
+func Scale(x []float64, s float64) {
+	for i := range x {
+		x[i] *= s
+	}
+}
+
+// Axpy computes y += a*x in place.
+func Axpy(a float64, x, y []float64) {
+	for i := range x {
+		y[i] += a * x[i]
+	}
+}
+
+// Normalize scales x to unit Euclidean norm in place and returns the
+// original norm; a zero vector is left unchanged.
+func Normalize(x []float64) float64 {
+	n := Norm2(x)
+	if n > 0 {
+		Scale(x, 1/n)
+	}
+	return n
+}
+
+// SumTo1 scales a nonnegative vector to sum to one in place. A zero vector
+// becomes uniform.
+func SumTo1(x []float64) {
+	s := 0.0
+	for _, v := range x {
+		s += v
+	}
+	if s <= 0 {
+		for i := range x {
+			x[i] = 1 / float64(len(x))
+		}
+		return
+	}
+	Scale(x, 1/s)
+}
+
+// ClipToSimplex zeroes negative entries and renormalizes to the probability
+// simplex, the standard post-processing after moment-based topic recovery.
+func ClipToSimplex(x []float64) {
+	for i, v := range x {
+		if v < 0 {
+			x[i] = 0
+		}
+	}
+	SumTo1(x)
+}

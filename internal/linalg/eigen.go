@@ -1,0 +1,181 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// SymEig computes the full eigendecomposition of the symmetric matrix a
+// using the cyclic Jacobi method. It returns eigenvalues in descending order
+// and the corresponding eigenvectors as the columns of the returned matrix.
+// a is not modified.
+func SymEig(a *Dense) (vals []float64, vecs *Dense) {
+	n := a.Rows
+	m := a.Clone()
+	v := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		v.Set(i, i, 1)
+	}
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += m.At(i, j) * m.At(i, j)
+			}
+		}
+		if off < 1e-24 {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := m.At(p, q)
+				if math.Abs(apq) < 1e-18 {
+					continue
+				}
+				app, aqq := m.At(p, p), m.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				// Rotate rows/cols p and q of m.
+				for k := 0; k < n; k++ {
+					akp, akq := m.At(k, p), m.At(k, q)
+					m.Set(k, p, c*akp-s*akq)
+					m.Set(k, q, s*akp+c*akq)
+				}
+				for k := 0; k < n; k++ {
+					apk, aqk := m.At(p, k), m.At(q, k)
+					m.Set(p, k, c*apk-s*aqk)
+					m.Set(q, k, s*apk+c*aqk)
+				}
+				for k := 0; k < n; k++ {
+					vkp, vkq := v.At(k, p), v.At(k, q)
+					v.Set(k, p, c*vkp-s*vkq)
+					v.Set(k, q, s*vkp+c*vkq)
+				}
+			}
+		}
+	}
+	vals = make([]float64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = m.At(i, i)
+	}
+	// Sort by descending eigenvalue, permuting eigenvector columns.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return vals[idx[a]] > vals[idx[b]] })
+	sortedVals := make([]float64, n)
+	sortedVecs := NewDense(n, n)
+	for newCol, oldCol := range idx {
+		sortedVals[newCol] = vals[oldCol]
+		for r := 0; r < n; r++ {
+			sortedVecs.Set(r, newCol, v.At(r, oldCol))
+		}
+	}
+	return sortedVals, sortedVecs
+}
+
+// GramSchmidt orthonormalizes the columns of q in place using the modified
+// Gram-Schmidt process. Columns that become numerically zero are replaced by
+// deterministic pseudo-random unit vectors re-orthogonalized against the
+// previous columns.
+func GramSchmidt(q *Dense, rng *rand.Rand) {
+	n, k := q.Rows, q.Cols
+	col := make([]float64, n)
+	getCol := func(j int) {
+		for i := 0; i < n; i++ {
+			col[i] = q.At(i, j)
+		}
+	}
+	setCol := func(j int) {
+		for i := 0; i < n; i++ {
+			q.Set(i, j, col[i])
+		}
+	}
+	for j := 0; j < k; j++ {
+		getCol(j)
+		for attempt := 0; ; attempt++ {
+			for p := 0; p < j; p++ {
+				dot := 0.0
+				for i := 0; i < n; i++ {
+					dot += col[i] * q.At(i, p)
+				}
+				for i := 0; i < n; i++ {
+					col[i] -= dot * q.At(i, p)
+				}
+			}
+			if Normalize(col) > 1e-12 || attempt > 3 {
+				break
+			}
+			for i := range col {
+				col[i] = rng.NormFloat64()
+			}
+		}
+		setCol(j)
+	}
+}
+
+// TopKEigSym computes the k algebraically largest eigenpairs of an n x n
+// symmetric positive semi-definite operator given only as a matrix-vector
+// product apply(dst, src) (dst = A*src). It uses orthogonal (subspace)
+// iteration with a Rayleigh-Ritz projection, which converges geometrically
+// for PSD operators and never materializes A — the scalability device of
+// Section 7.3.2.
+//
+// It returns eigenvalues in descending order and eigenvectors as columns.
+func TopKEigSym(n, k int, apply func(dst, src []float64), iters int, rng *rand.Rand) ([]float64, *Dense) {
+	if k > n {
+		k = n
+	}
+	q := NewDense(n, k)
+	for i := range q.Data {
+		q.Data[i] = rng.NormFloat64()
+	}
+	GramSchmidt(q, rng)
+	src := make([]float64, n)
+	dst := make([]float64, n)
+	aq := NewDense(n, k)
+	for it := 0; it < iters; it++ {
+		for j := 0; j < k; j++ {
+			for i := 0; i < n; i++ {
+				src[i] = q.At(i, j)
+			}
+			apply(dst, src)
+			for i := 0; i < n; i++ {
+				aq.Set(i, j, dst[i])
+			}
+		}
+		copy(q.Data, aq.Data)
+		GramSchmidt(q, rng)
+	}
+	// Rayleigh-Ritz: B = Q^T A Q (k x k), eigendecompose, rotate Q.
+	b := NewDense(k, k)
+	for j := 0; j < k; j++ {
+		for i := 0; i < n; i++ {
+			src[i] = q.At(i, j)
+		}
+		apply(dst, src)
+		for l := 0; l < k; l++ {
+			s := 0.0
+			for i := 0; i < n; i++ {
+				s += q.At(i, l) * dst[i]
+			}
+			b.Set(l, j, s)
+		}
+	}
+	// Symmetrize to wash out numerical asymmetry.
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			m := (b.At(i, j) + b.At(j, i)) / 2
+			b.Set(i, j, m)
+			b.Set(j, i, m)
+		}
+	}
+	vals, rot := SymEig(b)
+	vecs := Mul(q, rot)
+	return vals, vecs
+}

@@ -1,0 +1,246 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMulAndTranspose(t *testing.T) {
+	a := &Dense{Rows: 2, Cols: 3, Data: []float64{1, 2, 3, 4, 5, 6}}
+	b := &Dense{Rows: 3, Cols: 2, Data: []float64{7, 8, 9, 10, 11, 12}}
+	c := Mul(a, b)
+	want := []float64{58, 64, 139, 154}
+	for i, v := range want {
+		if !almostEqual(c.Data[i], v, 1e-12) {
+			t.Fatalf("Mul = %v, want %v", c.Data, want)
+		}
+	}
+	at := a.T()
+	if at.Rows != 3 || at.Cols != 2 || at.At(2, 1) != 6 {
+		t.Fatalf("transpose wrong: %+v", at)
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a := &Dense{Rows: 2, Cols: 2, Data: []float64{1, 2, 3, 4}}
+	y := a.MulVec([]float64{1, 1})
+	if y[0] != 3 || y[1] != 7 {
+		t.Fatalf("MulVec = %v", y)
+	}
+}
+
+func randomSymmetric(n int, rng *rand.Rand) *Dense {
+	a := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := rng.NormFloat64()
+			a.Set(i, j, v)
+			a.Set(j, i, v)
+		}
+	}
+	return a
+}
+
+func TestSymEigReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 5; trial++ {
+		n := 3 + trial
+		a := randomSymmetric(n, rng)
+		vals, vecs := SymEig(a)
+		// Check A v_i = lambda_i v_i for each column.
+		for c := 0; c < n; c++ {
+			v := make([]float64, n)
+			for r := 0; r < n; r++ {
+				v[r] = vecs.At(r, c)
+			}
+			av := a.MulVec(v)
+			for r := 0; r < n; r++ {
+				if !almostEqual(av[r], vals[c]*v[r], 1e-8) {
+					t.Fatalf("trial %d: eigenpair %d violated: %v vs %v", trial, c, av[r], vals[c]*v[r])
+				}
+			}
+		}
+		// Descending order.
+		for c := 1; c < n; c++ {
+			if vals[c] > vals[c-1]+1e-12 {
+				t.Fatalf("eigenvalues not sorted: %v", vals)
+			}
+		}
+	}
+}
+
+func TestSymEigOrthonormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randomSymmetric(6, rng)
+	_, vecs := SymEig(a)
+	vtv := Mul(vecs.T(), vecs)
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if !almostEqual(vtv.At(i, j), want, 1e-9) {
+				t.Fatalf("V^T V not identity at (%d,%d): %v", i, j, vtv.At(i, j))
+			}
+		}
+	}
+}
+
+func TestTopKEigSymMatchesFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n, k := 12, 3
+	// PSD matrix: B B^T.
+	b := NewDense(n, n)
+	for i := range b.Data {
+		b.Data[i] = rng.NormFloat64()
+	}
+	a := Mul(b, b.T())
+	fullVals, _ := SymEig(a)
+	apply := func(dst, src []float64) { copy(dst, a.MulVec(src)) }
+	vals, vecs := TopKEigSym(n, k, apply, 100, rng)
+	for i := 0; i < k; i++ {
+		if !almostEqual(vals[i], fullVals[i], 1e-6*math.Max(1, fullVals[0])) {
+			t.Fatalf("top-%d eigenvalue %v != %v", i, vals[i], fullVals[i])
+		}
+	}
+	// Residual check.
+	for c := 0; c < k; c++ {
+		v := make([]float64, n)
+		for r := 0; r < n; r++ {
+			v[r] = vecs.At(r, c)
+		}
+		av := a.MulVec(v)
+		for r := 0; r < n; r++ {
+			if !almostEqual(av[r], vals[c]*v[r], 1e-5*math.Max(1, fullVals[0])) {
+				t.Fatalf("top-k eigenpair %d residual too large", c)
+			}
+		}
+	}
+}
+
+func TestGramSchmidtProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, k := 8, 4
+		q := NewDense(n, k)
+		for i := range q.Data {
+			q.Data[i] = rng.NormFloat64()
+		}
+		GramSchmidt(q, rng)
+		qtq := Mul(q.T(), q)
+		for i := 0; i < k; i++ {
+			for j := 0; j < k; j++ {
+				want := 0.0
+				if i == j {
+					want = 1
+				}
+				if !almostEqual(qtq.At(i, j), want, 1e-9) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVectorHelpers(t *testing.T) {
+	x := []float64{3, 4}
+	if Norm2(x) != 5 {
+		t.Fatalf("Norm2 = %v", Norm2(x))
+	}
+	Normalize(x)
+	if !almostEqual(Norm2(x), 1, 1e-12) {
+		t.Fatalf("normalized norm = %v", Norm2(x))
+	}
+	y := []float64{1, 1}
+	Axpy(2, x, y)
+	if !almostEqual(y[0], 1+2*0.6, 1e-12) {
+		t.Fatalf("Axpy = %v", y)
+	}
+	z := []float64{-1, 2, 3}
+	ClipToSimplex(z)
+	if z[0] != 0 || !almostEqual(z[1]+z[2], 1, 1e-12) {
+		t.Fatalf("ClipToSimplex = %v", z)
+	}
+	u := []float64{0, 0}
+	SumTo1(u)
+	if u[0] != 0.5 || u[1] != 0.5 {
+		t.Fatalf("SumTo1 zero vector = %v", u)
+	}
+}
+
+func TestTensorOuterAndApply(t *testing.T) {
+	k := 3
+	tt := NewTensor3(k)
+	x := []float64{1, 2, 0}
+	tt.AddOuter3(2, x, x, x)
+	if tt.At(1, 1, 1) != 16 {
+		t.Fatalf("At(1,1,1) = %v, want 16", tt.At(1, 1, 1))
+	}
+	if tt.At(0, 1, 1) != 8 {
+		t.Fatalf("At(0,1,1) = %v, want 8", tt.At(0, 1, 1))
+	}
+	v := []float64{1, 1, 1}
+	dst := make([]float64, k)
+	tt.Apply2(dst, v)
+	// T(I,v,v)_i = 2 * x_i * (x.v)^2 = 2*x_i*9
+	if dst[0] != 18 || dst[1] != 36 || dst[2] != 0 {
+		t.Fatalf("Apply2 = %v", dst)
+	}
+	if got := tt.Apply3(v, v, v); got != 54 {
+		t.Fatalf("Apply3 = %v", got)
+	}
+}
+
+func TestTensorPowerRecoversOrthogonalDecomposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	k := 4
+	// Build T = sum_i lambda_i e_i^{⊗3} in a random orthonormal basis.
+	q := NewDense(k, k)
+	for i := range q.Data {
+		q.Data[i] = rng.NormFloat64()
+	}
+	GramSchmidt(q, rng)
+	lambdas := []float64{5, 3, 2, 1}
+	tt := NewTensor3(k)
+	cols := make([][]float64, k)
+	for c := 0; c < k; c++ {
+		v := make([]float64, k)
+		for r := 0; r < k; r++ {
+			v[r] = q.At(r, c)
+		}
+		cols[c] = v
+		tt.AddOuter3(lambdas[c], v, v, v)
+	}
+	recovered := map[int]bool{}
+	for iter := 0; iter < k; iter++ {
+		v, lambda := tt.PowerIteration(10, 60, rng)
+		// Find which ground-truth component this matches.
+		found := -1
+		for c := 0; c < k; c++ {
+			d := math.Abs(Dot(v, cols[c]))
+			if d > 0.99 {
+				found = c
+			}
+		}
+		if found < 0 {
+			t.Fatalf("iteration %d recovered no ground-truth direction (lambda=%v)", iter, lambda)
+		}
+		if recovered[found] {
+			t.Fatalf("component %d recovered twice", found)
+		}
+		recovered[found] = true
+		if !almostEqual(lambda, lambdas[found], 0.05) {
+			t.Fatalf("lambda %v, want %v", lambda, lambdas[found])
+		}
+		tt.Deflate(lambda, v)
+	}
+}

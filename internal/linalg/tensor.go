@@ -1,0 +1,150 @@
+package linalg
+
+import "math/rand"
+
+// Tensor3 is a dense symmetric-use 3-mode tensor of dimension K x K x K,
+// stored flat. STROD's whitened third moment lives here (K = number of
+// topics, small).
+type Tensor3 struct {
+	K    int
+	Data []float64
+}
+
+// NewTensor3 allocates a zeroed K x K x K tensor.
+func NewTensor3(k int) *Tensor3 {
+	return &Tensor3{K: k, Data: make([]float64, k*k*k)}
+}
+
+// At returns element (i, j, l).
+func (t *Tensor3) At(i, j, l int) float64 { return t.Data[(i*t.K+j)*t.K+l] }
+
+// Add increments element (i, j, l) by v.
+func (t *Tensor3) Add(i, j, l int, v float64) { t.Data[(i*t.K+j)*t.K+l] += v }
+
+// AddOuter3 adds w * x ⊗ y ⊗ z to the tensor.
+func (t *Tensor3) AddOuter3(w float64, x, y, z []float64) {
+	k := t.K
+	for i := 0; i < k; i++ {
+		wi := w * x[i]
+		if wi == 0 {
+			continue
+		}
+		base := i * k * k
+		for j := 0; j < k; j++ {
+			wij := wi * y[j]
+			if wij == 0 {
+				continue
+			}
+			row := t.Data[base+j*k : base+(j+1)*k]
+			for l := 0; l < k; l++ {
+				row[l] += wij * z[l]
+			}
+		}
+	}
+}
+
+// AddSym3 adds w times the symmetrization of x ⊗ x ⊗ y over the three mode
+// placements of y: x⊗x⊗y + x⊗y⊗x + y⊗x⊗x.
+func (t *Tensor3) AddSym3(w float64, x, y []float64) {
+	t.AddOuter3(w, x, x, y)
+	t.AddOuter3(w, x, y, x)
+	t.AddOuter3(w, y, x, x)
+}
+
+// Apply2 computes dst = T(I, v, v): dst_i = sum_{j,l} T[i,j,l] v_j v_l.
+func (t *Tensor3) Apply2(dst, v []float64) {
+	k := t.K
+	for i := 0; i < k; i++ {
+		s := 0.0
+		base := i * k * k
+		for j := 0; j < k; j++ {
+			vj := v[j]
+			if vj == 0 {
+				continue
+			}
+			row := t.Data[base+j*k : base+(j+1)*k]
+			inner := 0.0
+			for l := 0; l < k; l++ {
+				inner += row[l] * v[l]
+			}
+			s += vj * inner
+		}
+		dst[i] = s
+	}
+}
+
+// Apply3 computes T(u, v, w) = sum_{i,j,l} T[i,j,l] u_i v_j w_l.
+func (t *Tensor3) Apply3(u, v, w []float64) float64 {
+	k := t.K
+	s := 0.0
+	for i := 0; i < k; i++ {
+		ui := u[i]
+		if ui == 0 {
+			continue
+		}
+		base := i * k * k
+		for j := 0; j < k; j++ {
+			vj := v[j]
+			if vj == 0 {
+				continue
+			}
+			row := t.Data[base+j*k : base+(j+1)*k]
+			inner := 0.0
+			for l := 0; l < k; l++ {
+				inner += row[l] * w[l]
+			}
+			s += ui * vj * inner
+		}
+	}
+	return s
+}
+
+// Deflate subtracts lambda * v ⊗ v ⊗ v in place.
+func (t *Tensor3) Deflate(lambda float64, v []float64) {
+	t.AddOuter3(-lambda, v, v, v)
+}
+
+// PowerIteration runs the robust tensor power method (Anandkumar et al.;
+// Section 7.3.1) on t: nTrials random restarts of nIters power updates,
+// keeping the candidate with the largest eigenvalue, then polishing it with
+// nIters further updates. It returns the eigenvector and eigenvalue.
+func (t *Tensor3) PowerIteration(nTrials, nIters int, rng *rand.Rand) ([]float64, float64) {
+	k := t.K
+	best := make([]float64, k)
+	bestLambda := 0.0
+	cur := make([]float64, k)
+	next := make([]float64, k)
+	for trial := 0; trial < nTrials; trial++ {
+		for i := range cur {
+			cur[i] = rng.NormFloat64()
+		}
+		Normalize(cur)
+		for it := 0; it < nIters; it++ {
+			t.Apply2(next, cur)
+			if Normalize(next) == 0 {
+				break
+			}
+			copy(cur, next)
+		}
+		lambda := t.Apply3(cur, cur, cur)
+		if lambda > bestLambda {
+			bestLambda = lambda
+			copy(best, cur)
+		}
+	}
+	// Polish the winning candidate.
+	copy(cur, best)
+	for it := 0; it < nIters; it++ {
+		t.Apply2(next, cur)
+		if Normalize(next) == 0 {
+			break
+		}
+		copy(cur, next)
+	}
+	lambda := t.Apply3(cur, cur, cur)
+	if lambda > bestLambda {
+		bestLambda = lambda
+		copy(best, cur)
+	}
+	return best, bestLambda
+}

@@ -1,0 +1,264 @@
+// Package netclus implements the NetClus baseline (Sun et al. 2009) used in
+// the paper's Chapter 3 comparisons: ranking-based clustering of a
+// star-schema information network. Documents are the center objects; terms
+// and entities are attribute objects. Each cluster maintains smoothed
+// ranking distributions per attribute type, and documents get posterior
+// cluster memberships from the product of their attributes' conditional
+// ranks.
+//
+// For the Topic Intrusion comparison the paper applies NetClus level by
+// level; BuildHierarchy reproduces that by hard-partitioning documents at
+// each node and re-clustering each part ("hard partitioning of papers",
+// Section 3.3.3).
+package netclus
+
+import (
+	"math"
+	"math/rand"
+
+	"lesm/internal/core"
+	"lesm/internal/hin"
+)
+
+// Config parameterizes one NetClus clustering.
+type Config struct {
+	K int
+	// LambdaS is the smoothing parameter toward the global background
+	// distribution (the paper tunes it per dataset; default 0.3).
+	LambdaS float64
+	Iters   int
+	Seed    int64
+	// Restarts selects the best of several random initializations by data
+	// log-likelihood (default 3); EM-style clustering of this kind is prone
+	// to local optima.
+	Restarts int
+}
+
+func (c Config) withDefaults() Config {
+	if c.LambdaS == 0 {
+		c.LambdaS = 0.3
+	}
+	if c.Iters == 0 {
+		c.Iters = 40
+	}
+	if c.Restarts == 0 {
+		c.Restarts = 3
+	}
+	return c
+}
+
+// Model is a fitted NetClus clustering.
+type Model struct {
+	K int
+	// Posterior[d][k] is p(k | doc d).
+	Posterior [][]float64
+	// Rank[x][k][i] is p(node i | cluster k) for node type x (smoothed).
+	Rank [][][]float64
+	// Prior[k] is p(k).
+	Prior []float64
+	// LogL is the final data log-likelihood (used to pick among restarts).
+	LogL float64
+}
+
+// docNodes lists every (type, node) incidence of a document, with terms as
+// type 0.
+func docNodes(d hin.DocRecord, numTypes int) [][2]int {
+	var out [][2]int
+	for _, w := range d.Tokens {
+		out = append(out, [2]int{0, w})
+	}
+	for x := 1; x < numTypes; x++ {
+		for _, e := range d.Entities[core.TypeID(x)] {
+			out = append(out, [2]int{x, e})
+		}
+	}
+	return out
+}
+
+// Run fits NetClus to the documents of a text-attached network, keeping the
+// best of Config.Restarts random initializations.
+func Run(docs []hin.DocRecord, numNodes []int, cfg Config) *Model {
+	cfg = cfg.withDefaults()
+	var best *Model
+	for r := 0; r < cfg.Restarts; r++ {
+		m := runOnce(docs, numNodes, cfg, cfg.Seed+int64(r)*7919)
+		if best == nil || m.LogL > best.LogL {
+			best = m
+		}
+	}
+	return best
+}
+
+func runOnce(docs []hin.DocRecord, numNodes []int, cfg Config, seed int64) *Model {
+	rng := rand.New(rand.NewSource(seed))
+	nTypes := len(numNodes)
+	d := len(docs)
+	k := cfg.K
+
+	post := make([][]float64, d)
+	for i := range post {
+		post[i] = make([]float64, k)
+		for j := range post[i] {
+			post[i][j] = rng.Float64() + 0.1
+		}
+		normalize(post[i])
+	}
+
+	// Global (background) distributions per type.
+	global := make([][]float64, nTypes)
+	for x := range global {
+		global[x] = make([]float64, numNodes[x])
+	}
+	incidence := make([][][2]int, d)
+	for di, doc := range docs {
+		incidence[di] = docNodes(doc, nTypes)
+		for _, tn := range incidence[di] {
+			global[tn[0]][tn[1]]++
+		}
+	}
+	for x := range global {
+		normalize(global[x])
+	}
+
+	model := &Model{K: k, Posterior: post}
+	for it := 0; it < cfg.Iters; it++ {
+		// Ranking step: p(i|k) per type from soft memberships.
+		rank := make([][][]float64, nTypes)
+		for x := 0; x < nTypes; x++ {
+			rank[x] = make([][]float64, k)
+			for c := 0; c < k; c++ {
+				rank[x][c] = make([]float64, numNodes[x])
+			}
+		}
+		prior := make([]float64, k)
+		for di := range docs {
+			for c := 0; c < k; c++ {
+				w := post[di][c]
+				prior[c] += w
+				if w == 0 {
+					continue
+				}
+				for _, tn := range incidence[di] {
+					rank[tn[0]][c][tn[1]] += w
+				}
+			}
+		}
+		normalize(prior)
+		for x := 0; x < nTypes; x++ {
+			for c := 0; c < k; c++ {
+				normalize(rank[x][c])
+				for i := range rank[x][c] {
+					rank[x][c][i] = (1-cfg.LambdaS)*rank[x][c][i] + cfg.LambdaS*global[x][i]
+				}
+			}
+		}
+		// Posterior step: p(k|doc) from the attribute likelihood.
+		logL := 0.0
+		for di := range docs {
+			logp := make([]float64, k)
+			for c := 0; c < k; c++ {
+				lp := math.Log(math.Max(prior[c], 1e-300))
+				for _, tn := range incidence[di] {
+					lp += math.Log(math.Max(rank[tn[0]][c][tn[1]], 1e-300))
+				}
+				logp[c] = lp
+			}
+			logL += logSumExp(logp)
+			softmax(logp, post[di])
+		}
+		model.Rank = rank
+		model.Prior = prior
+		model.LogL = logL
+	}
+	return model
+}
+
+func logSumExp(logp []float64) float64 {
+	max := math.Inf(-1)
+	for _, v := range logp {
+		if v > max {
+			max = v
+		}
+	}
+	s := 0.0
+	for _, v := range logp {
+		s += math.Exp(v - max)
+	}
+	return max + math.Log(s)
+}
+
+func normalize(x []float64) {
+	s := 0.0
+	for _, v := range x {
+		s += v
+	}
+	if s <= 0 {
+		for i := range x {
+			x[i] = 1 / float64(len(x))
+		}
+		return
+	}
+	for i := range x {
+		x[i] /= s
+	}
+}
+
+func softmax(logp, out []float64) {
+	max := math.Inf(-1)
+	for _, v := range logp {
+		if v > max {
+			max = v
+		}
+	}
+	s := 0.0
+	for i, v := range logp {
+		out[i] = math.Exp(v - max)
+		s += out[i]
+	}
+	for i := range out {
+		out[i] /= s
+	}
+}
+
+// BuildHierarchy applies NetClus recursively with hard document partitions,
+// producing a topical hierarchy comparable to CATHYHIN's output.
+func BuildHierarchy(docs []hin.DocRecord, numNodes []int, levels int, cfg Config) *core.Hierarchy {
+	h := core.NewHierarchy()
+	var rec func(node *core.TopicNode, idx []int, level int, seed int64)
+	rec = func(node *core.TopicNode, idx []int, level int, seed int64) {
+		if level >= levels || len(idx) < cfg.K*5 {
+			return
+		}
+		sub := make([]hin.DocRecord, len(idx))
+		for i, di := range idx {
+			sub[i] = docs[di]
+		}
+		c := cfg
+		c.Seed = seed
+		m := Run(sub, numNodes, c)
+		parts := make([][]int, cfg.K)
+		for i, di := range idx {
+			best := 0
+			for k := range m.Posterior[i] {
+				if m.Posterior[i][k] > m.Posterior[i][best] {
+					best = k
+				}
+			}
+			parts[best] = append(parts[best], di)
+		}
+		for k := 0; k < cfg.K; k++ {
+			child := node.AddChild()
+			child.Rho = m.Prior[k]
+			for x := 0; x < len(numNodes); x++ {
+				child.Phi[core.TypeID(x)] = m.Rank[x][k]
+			}
+			rec(child, parts[k], level+1, seed*31+int64(k)+1)
+		}
+	}
+	all := make([]int, len(docs))
+	for i := range all {
+		all[i] = i
+	}
+	rec(h.Root, all, 0, cfg.Seed+1)
+	return h
+}

@@ -1,0 +1,83 @@
+package netclus
+
+import (
+	"math"
+	"testing"
+
+	"lesm/internal/synth"
+)
+
+func TestRunClustersDBLP(t *testing.T) {
+	ds := synth.DBLP(synth.DBLPConfig{NumPapers: 600, NumAuthors: 150, Seed: 31})
+	m := Run(ds.Docs, ds.NumNodes, Config{K: 6, Iters: 25, Seed: 32})
+	// Posteriors normalized.
+	for d, p := range m.Posterior {
+		s := 0.0
+		for _, v := range p {
+			s += v
+		}
+		if math.Abs(s-1) > 1e-6 {
+			t.Fatalf("doc %d posterior sums to %v", d, s)
+		}
+	}
+	// Clustering should beat chance against ground-truth areas: measure
+	// cluster purity.
+	argmax := func(x []float64) int {
+		b := 0
+		for i := range x {
+			if x[i] > x[b] {
+				b = i
+			}
+		}
+		return b
+	}
+	// majority label per cluster
+	counts := make([]map[int]int, 6)
+	for i := range counts {
+		counts[i] = map[int]int{}
+	}
+	for d := range ds.Docs {
+		counts[argmax(m.Posterior[d])][ds.Truth.DocLabel[d]]++
+	}
+	correct, total := 0, 0
+	for _, c := range counts {
+		best := 0
+		for _, v := range c {
+			if v > best {
+				best = v
+			}
+			total += v
+		}
+		correct += best
+	}
+	if purity := float64(correct) / float64(total); purity < 0.5 {
+		t.Fatalf("cluster purity = %v, want >= 0.5", purity)
+	}
+}
+
+func TestRankDistributionsNormalized(t *testing.T) {
+	ds := synth.DBLP(synth.DBLPConfig{NumPapers: 300, NumAuthors: 80, Seed: 33})
+	m := Run(ds.Docs, ds.NumNodes, Config{K: 3, Iters: 15, Seed: 34})
+	for x := range m.Rank {
+		for k := range m.Rank[x] {
+			s := 0.0
+			for _, v := range m.Rank[x][k] {
+				s += v
+			}
+			if math.Abs(s-1) > 1e-6 {
+				t.Fatalf("rank[%d][%d] sums to %v", x, k, s)
+			}
+		}
+	}
+}
+
+func TestBuildHierarchyShape(t *testing.T) {
+	ds := synth.DBLP(synth.DBLPConfig{NumPapers: 600, NumAuthors: 150, Seed: 35})
+	h := BuildHierarchy(ds.Docs, ds.NumNodes, 2, Config{K: 3, Iters: 10, Seed: 36})
+	if len(h.Root.Children) != 3 {
+		t.Fatalf("children = %d", len(h.Root.Children))
+	}
+	if h.Root.Height() != 2 {
+		t.Fatalf("height = %d", h.Root.Height())
+	}
+}

@@ -1,0 +1,251 @@
+// Package relcrf implements the supervised hierarchical-relation model of
+// Section 6.2: a conditional random field over each object's choice of
+// parent, with potential functions over heterogeneous attributes and links
+// (collaboration statistics plus venue overlap) and the same temporal
+// consistency constraints as TPFG.
+//
+// Learning maximizes the pseudo-likelihood of labeled parent assignments
+// with the neighbors clamped to their labels (Section 6.2.3); prediction
+// plugs the learned potentials into TPFG's max-product message passing, so
+// the supervised and unsupervised models share one inference engine.
+package relcrf
+
+import (
+	"math"
+	"math/rand"
+
+	"lesm/internal/tpfg"
+)
+
+// Paper is a publication record with a venue attribute (the heterogeneous
+// signal the CRF exploits beyond TPFG).
+type Paper struct {
+	Year    int
+	Authors []int
+	Venue   int
+}
+
+// Model holds the learned potential weights: W over pair features and Bias
+// for the virtual no-parent option.
+type Model struct {
+	W    []float64
+	Bias float64
+}
+
+// Features extends tpfg.PairFeatures with a venue-overlap feature: the
+// cosine similarity between the advisee's and the candidate's venue
+// histograms (advisors and their students publish in the same venues).
+func Features(papers []Paper, numAuthors, numVenues int, net *tpfg.Network) map[[2]int][]float64 {
+	plain := make([]tpfg.Paper, len(papers))
+	for i, p := range papers {
+		plain[i] = tpfg.Paper{Year: p.Year, Authors: p.Authors}
+	}
+	base := tpfg.PairFeatures(plain, numAuthors, net)
+	hist := make([][]float64, numAuthors)
+	for a := range hist {
+		hist[a] = make([]float64, numVenues)
+	}
+	for _, p := range papers {
+		for _, a := range p.Authors {
+			if p.Venue >= 0 && p.Venue < numVenues {
+				hist[a][p.Venue]++
+			}
+		}
+	}
+	cos := func(a, b []float64) float64 {
+		var ab, aa, bb float64
+		for i := range a {
+			ab += a[i] * b[i]
+			aa += a[i] * a[i]
+			bb += b[i] * b[i]
+		}
+		if aa == 0 || bb == 0 {
+			return 0
+		}
+		return ab / math.Sqrt(aa*bb)
+	}
+	out := map[[2]int][]float64{}
+	for key, f := range base {
+		ext := make([]float64, len(f)+1)
+		copy(ext, f)
+		ext[len(f)] = cos(hist[key[0]], hist[key[1]])
+		out[key] = ext
+	}
+	return out
+}
+
+// TrainOptions configure pseudo-likelihood SGD.
+type TrainOptions struct {
+	Epochs int
+	LR     float64
+	L2     float64
+	Seed   int64
+}
+
+func (o TrainOptions) withDefaults() TrainOptions {
+	if o.Epochs == 0 {
+		o.Epochs = 60
+	}
+	if o.LR == 0 {
+		o.LR = 0.05
+	}
+	if o.L2 == 0 {
+		o.L2 = 1e-4
+	}
+	return o
+}
+
+// Train fits the CRF by maximizing the pseudo-likelihood of the labeled
+// parent assignments: for each labeled author i, the conditional
+// distribution over i's candidates given all other labels, including the
+// temporal constraint factors evaluated at the neighbors' labels.
+func Train(net *tpfg.Network, feats map[[2]int][]float64, advisorOf []int, trainIdx []int, opt TrainOptions) *Model {
+	opt = opt.withDefaults()
+	rng := rand.New(rand.NewSource(opt.Seed))
+	var dim int
+	for _, f := range feats {
+		dim = len(f)
+		break
+	}
+	m := &Model{W: make([]float64, dim)}
+
+	// Advisee index: for constraint evaluation we need, per author i, the
+	// labeled advisees x (advisorOf[x] == i) and the start year st_{x,i}.
+	type advisee struct{ start int }
+	advisees := make([][]advisee, net.NumAuthors)
+	inTrain := make([]bool, net.NumAuthors)
+	for _, i := range trainIdx {
+		inTrain[i] = true
+	}
+	for x := 0; x < net.NumAuthors; x++ {
+		if !inTrain[x] || advisorOf[x] < 0 {
+			continue
+		}
+		for _, c := range net.Cands[x] {
+			if c.Advisor == advisorOf[x] {
+				advisees[c.Advisor] = append(advisees[c.Advisor], advisee{start: c.Start})
+			}
+		}
+	}
+
+	// allowed reports whether i choosing candidate c is compatible with i's
+	// labeled advisees: i must stop being advised before advising starts.
+	allowed := func(i int, c tpfg.Candidate) bool {
+		for _, a := range advisees[i] {
+			if c.End >= a.start {
+				return false
+			}
+		}
+		return true
+	}
+
+	idx := append([]int(nil), trainIdx...)
+	lr := opt.LR
+	for epoch := 0; epoch < opt.Epochs; epoch++ {
+		rng.Shuffle(len(idx), func(a, b int) { idx[a], idx[b] = idx[b], idx[a] })
+		for _, i := range idx {
+			cands := net.Cands[i]
+			// Scores: virtual no-parent option first.
+			scores := make([]float64, len(cands)+1)
+			ok := make([]bool, len(cands)+1)
+			scores[0] = m.Bias
+			ok[0] = true
+			for v, c := range cands {
+				f := feats[[2]int{i, c.Advisor}]
+				s := 0.0
+				for d := range m.W {
+					s += m.W[d] * f[d]
+				}
+				scores[v+1] = s
+				ok[v+1] = allowed(i, c)
+			}
+			// Softmax over allowed options.
+			max := math.Inf(-1)
+			for v := range scores {
+				if ok[v] && scores[v] > max {
+					max = scores[v]
+				}
+			}
+			z := 0.0
+			probs := make([]float64, len(scores))
+			for v := range scores {
+				if ok[v] {
+					probs[v] = math.Exp(scores[v] - max)
+					z += probs[v]
+				}
+			}
+			for v := range probs {
+				probs[v] /= z
+			}
+			// Target index.
+			target := 0
+			if advisorOf[i] >= 0 {
+				for v, c := range cands {
+					if c.Advisor == advisorOf[i] {
+						target = v + 1
+						break
+					}
+				}
+				if target == 0 {
+					continue // true advisor filtered from candidates
+				}
+			}
+			// Gradient step: observed minus expected features.
+			gBias := -probs[0]
+			if target == 0 {
+				gBias += 1
+			}
+			m.Bias += lr * gBias
+			for v, c := range cands {
+				f := feats[[2]int{i, c.Advisor}]
+				coef := -probs[v+1]
+				if v+1 == target {
+					coef += 1
+				}
+				if coef == 0 {
+					continue
+				}
+				for d := range m.W {
+					m.W[d] += lr * (coef*f[d] - opt.L2*m.W[d])
+				}
+			}
+		}
+		lr *= 0.97
+	}
+	return m
+}
+
+// Infer runs TPFG's max-product message passing with the learned potentials:
+// candidate locals become exp(w·f) and the no-parent weight exp(bias), so
+// temporal constraints are enforced jointly at prediction time too.
+func (m *Model) Infer(net *tpfg.Network, feats map[[2]int][]float64) *tpfg.Result {
+	scaled := &tpfg.Network{
+		NumAuthors: net.NumAuthors,
+		Cands:      make([][]tpfg.Candidate, net.NumAuthors),
+		First:      net.First,
+	}
+	for i, cands := range net.Cands {
+		out := make([]tpfg.Candidate, len(cands))
+		for v, c := range cands {
+			f := feats[[2]int{i, c.Advisor}]
+			s := 0.0
+			for d := range m.W {
+				s += m.W[d] * f[d]
+			}
+			c.Local = math.Exp(clamp(s, -20, 20))
+			out[v] = c
+		}
+		scaled.Cands[i] = out
+	}
+	return tpfg.Infer(scaled, tpfg.Config{NoAdvisorWeight: math.Exp(clamp(m.Bias, -20, 20))})
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

@@ -1,0 +1,127 @@
+package relcrf
+
+import (
+	"math"
+	"testing"
+
+	"lesm/internal/synth"
+	"lesm/internal/tpfg"
+)
+
+func setup(seed int64) (*synth.Genealogy, []Paper, *tpfg.Network, map[[2]int][]float64) {
+	g := synth.NewGenealogy(synth.GenealogyConfig{Seed: seed})
+	papers := make([]Paper, len(g.Papers))
+	plain := make([]tpfg.Paper, len(g.Papers))
+	for i, p := range g.Papers {
+		papers[i] = Paper{Year: p.Year, Authors: p.Authors, Venue: p.Venue}
+		plain[i] = tpfg.Paper{Year: p.Year, Authors: p.Authors}
+	}
+	net := tpfg.Preprocess(plain, g.NumAuthors, tpfg.PreprocessOptions{Rules: tpfg.AllRules})
+	feats := Features(papers, g.NumAuthors, g.NumVenues, net)
+	return g, papers, net, feats
+}
+
+func split(g *synth.Genealogy, frac float64) (train, test []int) {
+	for a, adv := range g.AdvisorOf {
+		if adv < 0 {
+			continue
+		}
+		if float64(len(train)) < frac*float64(g.NumAdvised()) {
+			train = append(train, a)
+		} else {
+			test = append(test, a)
+		}
+	}
+	return
+}
+
+func TestFeaturesIncludeVenueOverlap(t *testing.T) {
+	g, _, _, feats := setup(81)
+	if len(feats) == 0 {
+		t.Fatal("no features")
+	}
+	var dim int
+	for _, f := range feats {
+		dim = len(f)
+		break
+	}
+	// tpfg.PairFeatures has 6 dims; venue overlap adds one.
+	if dim != 7 {
+		t.Fatalf("feature dim = %d, want 7", dim)
+	}
+	// Venue overlap between a student and the true advisor should usually
+	// be high (students adopt the advisor's venues).
+	high, n := 0, 0
+	for a, adv := range g.AdvisorOf {
+		if adv < 0 {
+			continue
+		}
+		if f, ok := feats[[2]int{a, adv}]; ok {
+			n++
+			if f[dim-1] > 0.5 {
+				high++
+			}
+		}
+	}
+	if n == 0 {
+		t.Fatal("no advisor pairs in candidate graph")
+	}
+	if frac := float64(high) / float64(n); frac < 0.7 {
+		t.Fatalf("venue overlap high for only %v of true pairs", frac)
+	}
+}
+
+func TestTrainImprovesOverUnsupervised(t *testing.T) {
+	g, _, net, feats := setup(82)
+	train, test := split(g, 0.5)
+	m := Train(net, feats, g.AdvisorOf, train, TrainOptions{Seed: 83})
+	crfPred := m.Infer(net, feats).Predict()
+	crfAcc := tpfg.Accuracy(crfPred, g.AdvisorOf, test)
+	unsup := tpfg.Infer(net, tpfg.Config{})
+	unsupAcc := tpfg.Accuracy(unsup.Predict(), g.AdvisorOf, test)
+	t.Logf("accuracy: CRF=%.3f TPFG=%.3f", crfAcc, unsupAcc)
+	if crfAcc < 0.6 {
+		t.Fatalf("CRF accuracy = %v", crfAcc)
+	}
+	if crfAcc+0.03 < unsupAcc {
+		t.Fatalf("supervised CRF (%v) clearly worse than unsupervised TPFG (%v)", crfAcc, unsupAcc)
+	}
+}
+
+func TestTrainedWeightsFinite(t *testing.T) {
+	g, _, net, feats := setup(84)
+	train, _ := split(g, 0.3)
+	m := Train(net, feats, g.AdvisorOf, train, TrainOptions{Seed: 85, Epochs: 20})
+	for d, w := range m.W {
+		if math.IsNaN(w) || math.IsInf(w, 0) {
+			t.Fatalf("weight %d = %v", d, w)
+		}
+	}
+	if math.IsNaN(m.Bias) {
+		t.Fatal("bias NaN")
+	}
+}
+
+func TestMoreTrainingDataHelps(t *testing.T) {
+	g, _, net, feats := setup(86)
+	// Fixed test set: last 30% of advised authors.
+	var advised []int
+	for a, adv := range g.AdvisorOf {
+		if adv >= 0 {
+			advised = append(advised, a)
+		}
+	}
+	cut := len(advised) * 7 / 10
+	test := advised[cut:]
+	accAt := func(frac float64) float64 {
+		n := int(frac * float64(cut))
+		m := Train(net, feats, g.AdvisorOf, advised[:n], TrainOptions{Seed: 87})
+		return tpfg.Accuracy(m.Infer(net, feats).Predict(), g.AdvisorOf, test)
+	}
+	small := accAt(0.1)
+	large := accAt(1.0)
+	t.Logf("accuracy: 10%%=%.3f 100%%=%.3f", small, large)
+	if large+0.05 < small {
+		t.Fatalf("more training data hurt badly: %v -> %v", small, large)
+	}
+}

@@ -1,0 +1,373 @@
+// Package roles implements entity topical role analysis (Chapter 5): given
+// a phrase-represented topical hierarchy over a text-attached heterogeneous
+// network, it answers the paper's two question types —
+//
+//   - Type A: what is a given entity's role in a topical community?
+//     (entity-specific phrase ranking, Eq. 5.1-5.2, and the entity's
+//     distribution over subtopics, Eq. 5.3-5.6)
+//   - Type B: which entities play the most important roles in a community?
+//     (ERank with popularity and purity, Section 5.2)
+package roles
+
+import (
+	"math"
+	"sort"
+
+	"lesm/internal/core"
+	"lesm/internal/hin"
+	"lesm/internal/lda"
+	"lesm/internal/textkit"
+	"lesm/internal/topmine"
+)
+
+// Analyzer precomputes phrase and document topical frequencies over a
+// hierarchy.
+type Analyzer struct {
+	Corpus    *textkit.Corpus
+	Docs      []hin.DocRecord
+	Root      *core.TopicNode
+	Miner     *topmine.Miner
+	Partition []lda.PhraseDoc
+	// Names optionally holds per-type entity display names (index 0 unused;
+	// terms resolve through Corpus.Vocab).
+	Names [][]string
+
+	// paths enumerates topic paths in pre-order.
+	paths []string
+	node  map[string]*core.TopicNode
+	// phraseFreq[path][phraseKey] = f_t(P); phraseTotal[path] = sum.
+	phraseFreq  map[string]map[string]float64
+	phraseTotal map[string]float64
+	// docFreq[path][d] = f_t(d) (Eq. 5.4-5.5).
+	docFreq map[string][]float64
+}
+
+// phraseKey renders word ids as the display string (stable and readable).
+func (a *Analyzer) phraseKey(words []int) string { return a.Corpus.Phrase(words) }
+
+// NewAnalyzer builds the role analyzer. The partition is the ToPMine
+// segmentation of the corpus (phrases of each document); the miner supplies
+// corpus phrase frequencies.
+func NewAnalyzer(corpus *textkit.Corpus, docs []hin.DocRecord, root *core.TopicNode,
+	miner *topmine.Miner, partition []lda.PhraseDoc) *Analyzer {
+
+	a := &Analyzer{Corpus: corpus, Docs: docs, Root: root, Miner: miner, Partition: partition}
+	a.node = map[string]*core.TopicNode{}
+	root.Walk(func(n *core.TopicNode) {
+		a.paths = append(a.paths, n.Path)
+		a.node[n.Path] = n
+	})
+	a.computePhraseFrequencies()
+	a.computeDocFrequencies()
+	return a
+}
+
+// computePhraseFrequencies attributes every frequent phrase's corpus count
+// down the hierarchy (Definition 3 via Eq. 4.3).
+func (a *Analyzer) computePhraseFrequencies() {
+	a.phraseFreq = map[string]map[string]float64{}
+	a.phraseTotal = map[string]float64{}
+	for _, p := range a.paths {
+		a.phraseFreq[p] = map[string]float64{}
+	}
+	for ky, c := range a.Miner.FrequentPhrases(1) {
+		words := topmine.DecodePhrase(ky)
+		freqs := a.Root.AttributeFrequency(words, float64(c))
+		k := a.phraseKey(words)
+		for path, f := range freqs {
+			if f > 0 {
+				a.phraseFreq[path][k] = f
+				a.phraseTotal[path] += f
+			}
+		}
+	}
+}
+
+// computeDocFrequencies pushes every document's unit frequency down the
+// hierarchy: a doc's share in subtopic t/z is the normalized sum over its
+// frequent phrases of their subtopic shares (Eq. 5.4-5.5). Documents with no
+// frequent phrase under a topic contribute nothing below it.
+func (a *Analyzer) computeDocFrequencies() {
+	d := len(a.Docs)
+	a.docFreq = map[string][]float64{}
+	rootF := make([]float64, d)
+	for i := range rootF {
+		rootF[i] = 1
+	}
+	a.docFreq[a.Root.Path] = rootF
+	var rec func(n *core.TopicNode)
+	rec = func(n *core.TopicNode) {
+		if len(n.Children) == 0 {
+			return
+		}
+		k := len(n.Children)
+		for _, c := range n.Children {
+			a.docFreq[c.Path] = make([]float64, d)
+		}
+		parentF := a.docFreq[n.Path]
+		tpf := make([]float64, k)
+		for di := 0; di < d; di++ {
+			if parentF[di] == 0 {
+				continue
+			}
+			for z := range tpf {
+				tpf[z] = 0
+			}
+			any := false
+			for _, phrase := range a.Partition[di] {
+				if a.Miner.Count(phrase) < 1 {
+					continue
+				}
+				// Only phrases that are frequent in this topic count.
+				if a.phraseFreq[n.Path][a.phraseKey(phrase)] < 1 {
+					continue
+				}
+				shares := n.SubtopicShares(phrase)
+				for z := range shares {
+					tpf[z] += shares[z]
+				}
+				any = true
+			}
+			if !any {
+				continue
+			}
+			total := 0.0
+			for _, v := range tpf {
+				total += v
+			}
+			if total <= 0 {
+				continue
+			}
+			for z, c := range n.Children {
+				a.docFreq[c.Path][di] = parentF[di] * tpf[z] / total
+			}
+		}
+		for _, c := range n.Children {
+			rec(c)
+		}
+	}
+	rec(a.Root)
+}
+
+// DocFrequency returns f_t(d) for every document at the given topic path.
+func (a *Analyzer) DocFrequency(path string) []float64 { return a.docFreq[path] }
+
+// EntityFrequency returns f_t(E) for every type-x entity at the topic path:
+// the sum of the entity's documents' topical frequencies (Eq. 5.6).
+func (a *Analyzer) EntityFrequency(x core.TypeID, path string) []float64 {
+	df := a.docFreq[path]
+	if df == nil {
+		return nil
+	}
+	var n int
+	for _, d := range a.Docs {
+		for _, e := range d.Entities[x] {
+			if e+1 > n {
+				n = e + 1
+			}
+		}
+	}
+	out := make([]float64, n)
+	for di, d := range a.Docs {
+		for _, e := range d.Entities[x] {
+			out[e] += df[di]
+		}
+	}
+	return out
+}
+
+// PhraseQuality returns r(P|t), the phrase's pointwise KL score against the
+// parent topic (the hierarchy ranking function of Eq. 4.9).
+func (a *Analyzer) PhraseQuality(path string, words []int) float64 {
+	n := a.node[path]
+	if n == nil || n.Parent() == nil {
+		return 0
+	}
+	k := a.phraseKey(words)
+	pt := a.phraseFreq[path][k] / math.Max(a.phraseTotal[path], 1)
+	pp := a.phraseFreq[n.Parent().Path][k] / math.Max(a.phraseTotal[n.Parent().Path], 1)
+	if pt <= 0 || pp <= 0 {
+		return 0
+	}
+	return pt * math.Log(pt/pp)
+}
+
+// EntityPhrases answers the Type-A question with the combined ranking of
+// Eq. 5.2: alpha * r(P|t,E) + (1-alpha) * r(P|t), where r(P|t,E) is the
+// entity-specific pointwise KL of Eq. 5.1.
+func (a *Analyzer) EntityPhrases(x core.TypeID, entity int, path string, alpha float64, topN int) []core.RankedPhrase {
+	if alpha == 0 {
+		alpha = 0.5
+	}
+	// f_t(P ∪ E): counts of the entity's docs containing P, attributed to t.
+	entFreq := map[string]float64{}
+	entTotal := 0.0
+	for di, d := range a.Docs {
+		linked := false
+		for _, e := range d.Entities[x] {
+			if e == entity {
+				linked = true
+				break
+			}
+		}
+		if !linked {
+			continue
+		}
+		for _, phrase := range a.Partition[di] {
+			if a.Miner.Count(phrase) < 1 {
+				continue
+			}
+			shares := a.Root.AttributeFrequency(phrase, 1)
+			if f := shares[path]; f > 0 {
+				entFreq[a.phraseKey(phrase)] += f
+				entTotal += f
+			}
+		}
+	}
+	var out []core.RankedPhrase
+	for k, ft := range a.phraseFreq[path] {
+		pt := ft / math.Max(a.phraseTotal[path], 1)
+		pte := entFreq[k] / math.Max(entTotal, 1)
+		var rE float64
+		if pt > 0 && pte > 0 {
+			rE = -pt * math.Log(pt/pte)
+		} else if pt > 0 {
+			rE = -pt * 20 // unseen with this entity: strongly downranked
+		}
+		words := wordsOf(a.Corpus, k)
+		score := alpha*rE + (1-alpha)*a.PhraseQuality(path, words)
+		out = append(out, core.RankedPhrase{Words: words, Display: k, Score: score})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Display < out[j].Display
+	})
+	if topN > 0 && len(out) > topN {
+		out = out[:topN]
+	}
+	return out
+}
+
+// wordsOf re-tokenizes a phrase display string into vocabulary ids.
+func wordsOf(c *textkit.Corpus, display string) []int {
+	var out []int
+	start := 0
+	for i := 0; i <= len(display); i++ {
+		if i == len(display) || display[i] == ' ' {
+			if i > start {
+				if id, ok := c.Vocab.ID(display[start:i]); ok {
+					out = append(out, id)
+				}
+			}
+			start = i + 1
+		}
+	}
+	return out
+}
+
+// ERankMode selects the Type-B entity ranking function.
+type ERankMode int
+
+const (
+	// ERankPop ranks by popularity p(e|t) alone.
+	ERankPop ERankMode = iota
+	// ERankPopPur combines popularity and purity against sibling topics
+	// (Section 5.2's ERank_{Pop+Pur}).
+	ERankPopPur
+)
+
+// RankEntities answers the Type-B question: the top type-x entities of the
+// topic at path under the chosen ranking mode.
+func (a *Analyzer) RankEntities(x core.TypeID, path string, mode ERankMode, topN int) []core.RankedEntity {
+	n := a.node[path]
+	if n == nil {
+		return nil
+	}
+	ft := a.EntityFrequency(x, path)
+	total := 0.0
+	for _, v := range ft {
+		total += v
+	}
+	// Sibling frequencies for the purity contrast.
+	var siblings [][]float64
+	var sibTotals []float64
+	if mode == ERankPopPur && n.Parent() != nil {
+		for _, s := range n.Parent().Children {
+			if s == n {
+				continue
+			}
+			sf := a.EntityFrequency(x, s.Path)
+			st := 0.0
+			for _, v := range sf {
+				st += v
+			}
+			siblings = append(siblings, sf)
+			sibTotals = append(sibTotals, st)
+		}
+	}
+	names := a.entityNames(x, len(ft))
+	var out []core.RankedEntity
+	for e, f := range ft {
+		if f <= 0 {
+			continue
+		}
+		pe := f / math.Max(total, 1e-12)
+		score := pe
+		if mode == ERankPopPur && len(siblings) > 0 {
+			worst := 0.0
+			for si, sf := range siblings {
+				var sfe float64
+				if e < len(sf) {
+					sfe = sf[e]
+				}
+				mix := (f + sfe) / math.Max(total+sibTotals[si], 1e-12)
+				if mix > worst {
+					worst = mix
+				}
+			}
+			if worst > 0 {
+				score = pe * math.Log(pe/worst)
+			}
+		}
+		out = append(out, core.RankedEntity{ID: e, Display: names[e], Score: score})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].ID < out[j].ID
+	})
+	if topN > 0 && len(out) > topN {
+		out = out[:topN]
+	}
+	return out
+}
+
+// entityNames resolves display names; falls back to synthetic labels when
+// Names was not provided.
+func (a *Analyzer) entityNames(x core.TypeID, n int) []string {
+	if a.Names != nil && int(x) < len(a.Names) && a.Names[x] != nil {
+		return a.Names[x]
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = "entity-" + itoa(i)
+	}
+	return out
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [12]byte
+	p := len(b)
+	for i > 0 {
+		p--
+		b[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[p:])
+}

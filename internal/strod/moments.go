@@ -1,0 +1,208 @@
+// Package strod implements the scalable and robust topic discovery method
+// of Chapter 7 (STROD): moment-based inference for latent Dirichlet
+// allocation with a topic tree. Instead of likelihood maximization, it
+// estimates the first three observable moments of the word co-occurrence
+// distribution, whitens the second moment, and recovers the topic-word
+// distributions by a robust orthogonal tensor decomposition of the whitened
+// third moment (Section 7.3.1). The moments are accumulated from sparse
+// document statistics without materializing any V x V matrix — the
+// scalability device of Section 7.3.2 — and the Dirichlet concentration
+// alpha0 can be selected by the data (Section 7.3.3).
+package strod
+
+import (
+	"math"
+	"math/rand"
+
+	"lesm/internal/linalg"
+)
+
+// SparseDoc is a document as a sparse (possibly fractional) word-count
+// vector. Fractional counts arise during recursive tree construction, where
+// a document's counts are split across subtopics.
+type SparseDoc struct {
+	IDs []int
+	Cnt []float64
+	Len float64
+}
+
+// FromTokens converts token-id documents to sparse count form.
+func FromTokens(docs [][]int) []SparseDoc {
+	out := make([]SparseDoc, 0, len(docs))
+	for _, d := range docs {
+		m := map[int]float64{}
+		for _, w := range d {
+			m[w]++
+		}
+		sd := SparseDoc{}
+		// Deterministic order: walk tokens, emit first occurrences.
+		seen := map[int]bool{}
+		for _, w := range d {
+			if !seen[w] {
+				seen[w] = true
+				sd.IDs = append(sd.IDs, w)
+				sd.Cnt = append(sd.Cnt, m[w])
+				sd.Len += m[w]
+			}
+		}
+		out = append(out, sd)
+	}
+	return out
+}
+
+// usable reports documents long enough for third-moment estimation.
+func usable(d SparseDoc) bool { return d.Len >= 3 }
+
+// m1 computes the first moment E[x] over usable documents.
+func m1(docs []SparseDoc, v int) []float64 {
+	out := make([]float64, v)
+	n := 0.0
+	for _, d := range docs {
+		if !usable(d) {
+			continue
+		}
+		for i, id := range d.IDs {
+			out[id] += d.Cnt[i] / d.Len
+		}
+		n++
+	}
+	if n > 0 {
+		linalg.Scale(out, 1/n)
+	}
+	return out
+}
+
+// applyM2 returns a matvec closure for the centered second moment
+//
+//	M2 = E[x1 ⊗ x2] - alpha0/(alpha0+1) * M1 ⊗ M1,
+//
+// where E[x1 ⊗ x2] is estimated per document as
+// (c c^T - diag(c)) / (l (l-1)). Only O(nnz) work per document per call.
+func applyM2(docs []SparseDoc, mu1 []float64, alpha0 float64) func(dst, src []float64) {
+	var used []SparseDoc
+	for _, d := range docs {
+		if usable(d) {
+			used = append(used, d)
+		}
+	}
+	n := float64(len(used))
+	c0 := alpha0 / (alpha0 + 1)
+	return func(dst, src []float64) {
+		for i := range dst {
+			dst[i] = 0
+		}
+		for _, d := range used {
+			dot := 0.0
+			for i, id := range d.IDs {
+				dot += d.Cnt[i] * src[id]
+			}
+			norm := 1 / (d.Len * (d.Len - 1) * n)
+			for i, id := range d.IDs {
+				dst[id] += (d.Cnt[i]*dot - d.Cnt[i]*src[id]) * norm
+			}
+		}
+		m1dot := linalg.Dot(mu1, src)
+		for i := range dst {
+			dst[i] -= c0 * m1dot * mu1[i]
+		}
+	}
+}
+
+// whiten computes W (V x K) with W^T M2 W = I and the unwhitening matrix
+// B = U diag(sqrt(lambda)) with B v recovering topic directions.
+func whiten(docs []SparseDoc, v, k int, mu1 []float64, alpha0 float64, iters int, rng *rand.Rand) (w, b *linalg.Dense) {
+	apply := applyM2(docs, mu1, alpha0)
+	vals, vecs := linalg.TopKEigSym(v, k, apply, iters, rng)
+	w = linalg.NewDense(v, k)
+	b = linalg.NewDense(v, k)
+	for c := 0; c < k; c++ {
+		lam := vals[c]
+		if lam < 1e-10 {
+			lam = 1e-10
+		}
+		inv := 1 / math.Sqrt(lam)
+		s := math.Sqrt(lam)
+		for r := 0; r < v; r++ {
+			w.Set(r, c, vecs.At(r, c)*inv)
+			b.Set(r, c, vecs.At(r, c)*s)
+		}
+	}
+	return w, b
+}
+
+// whitenedM3 accumulates T = M3(W, W, W), the whitened third moment, from
+// sparse documents in O(nnz * k^3) per document:
+//
+//	E3_d = [ y⊗y⊗y - Σ_v c_v sym(Wv⊗Wv⊗y) + 2 Σ_v c_v Wv⊗Wv⊗Wv ] / (l(l-1)(l-2))
+//	M3  = E3 - alpha0/(alpha0+2) * sym(E2w ⊗ m1w) + 2alpha0²/((alpha0+1)(alpha0+2)) m1w⊗m1w⊗m1w
+func whitenedM3(docs []SparseDoc, w *linalg.Dense, mu1 []float64, alpha0 float64) *linalg.Tensor3 {
+	k := w.Cols
+	t := linalg.NewTensor3(k)
+	e2w := linalg.NewDense(k, k)
+	var used []SparseDoc
+	for _, d := range docs {
+		if usable(d) {
+			used = append(used, d)
+		}
+	}
+	n := float64(len(used))
+	y := make([]float64, k)
+	for _, d := range used {
+		for i := range y {
+			y[i] = 0
+		}
+		for i, id := range d.IDs {
+			row := w.Row(id)
+			linalg.Axpy(d.Cnt[i], row, y)
+		}
+		norm3 := 1 / (d.Len * (d.Len - 1) * (d.Len - 2) * n)
+		norm2 := 1 / (d.Len * (d.Len - 1) * n)
+		t.AddOuter3(norm3, y, y, y)
+		for i, id := range d.IDs {
+			row := w.Row(id)
+			t.AddSym3(-d.Cnt[i]*norm3, row, y)
+			t.AddOuter3(2*d.Cnt[i]*norm3, row, row, row)
+		}
+		// Whitened pairs matrix for the M1-correction term.
+		for a := 0; a < k; a++ {
+			for bidx := 0; bidx < k; bidx++ {
+				e2w.Add(a, bidx, y[a]*y[bidx]*norm2)
+			}
+		}
+		for i, id := range d.IDs {
+			row := w.Row(id)
+			cv := d.Cnt[i] * norm2
+			for a := 0; a < k; a++ {
+				for bidx := 0; bidx < k; bidx++ {
+					e2w.Add(a, bidx, -cv*row[a]*row[bidx])
+				}
+			}
+		}
+	}
+	// m1 in whitened coordinates.
+	m1w := make([]float64, k)
+	for r := 0; r < w.Rows; r++ {
+		if mu1[r] == 0 {
+			continue
+		}
+		linalg.Axpy(mu1[r], w.Row(r), m1w)
+	}
+	// Subtract sym(E2w ⊗ m1w) * alpha0/(alpha0+2).
+	ca := alpha0 / (alpha0 + 2)
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			e := e2w.At(i, j)
+			if e == 0 {
+				continue
+			}
+			for l := 0; l < k; l++ {
+				t.Add(i, j, l, -ca*e*m1w[l])
+				t.Add(i, l, j, -ca*e*m1w[l])
+				t.Add(l, i, j, -ca*e*m1w[l])
+			}
+		}
+	}
+	cb := 2 * alpha0 * alpha0 / ((alpha0 + 1) * (alpha0 + 2))
+	t.AddOuter3(cb, m1w, m1w, m1w)
+	return t
+}

@@ -1,0 +1,324 @@
+package strod
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"lesm/internal/core"
+	"lesm/internal/linalg"
+)
+
+// Config parameterizes one STROD decomposition.
+type Config struct {
+	// K is the number of topics to recover at this node.
+	K int
+	// Alpha0 is the Dirichlet concentration sum (default 1). With
+	// LearnAlpha0 it is selected from a small grid by minimizing the
+	// negative mass the recovery has to clip (Section 7.3.3).
+	Alpha0      float64
+	LearnAlpha0 bool
+	// PowerTrials and PowerIters control the robust tensor power method
+	// (defaults 12 and 40; Section 7.3.1's L and T).
+	PowerTrials, PowerIters int
+	// WhitenIters controls the orthogonal iteration for the top-K
+	// eigenpairs of M2 (default 60).
+	WhitenIters int
+	Seed        int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Alpha0 == 0 {
+		c.Alpha0 = 1
+	}
+	if c.PowerTrials == 0 {
+		c.PowerTrials = 12
+	}
+	if c.PowerIters == 0 {
+		c.PowerIters = 40
+	}
+	if c.WhitenIters == 0 {
+		c.WhitenIters = 60
+	}
+	return c
+}
+
+// Model is a recovered flat topic model.
+type Model struct {
+	K int
+	// Phi[k] is the recovered topic-word distribution.
+	Phi [][]float64
+	// Weight[k] is the recovered topic proportion (alpha_k / alpha0).
+	Weight []float64
+	// Alpha0 is the concentration actually used.
+	Alpha0 float64
+	// ClippedMass is the average negative mass removed when projecting the
+	// recovered topics to the simplex — the recovery-quality diagnostic
+	// used for hyperparameter selection.
+	ClippedMass float64
+}
+
+// Fit recovers K topics from sparse documents over a vocabulary of size v
+// by moment decomposition. Unlike Gibbs sampling or variational inference,
+// the procedure is non-iterative over the corpus: two moment passes plus
+// small-k tensor work (the Chapter 7 desiderata: bounded computation,
+// robustness to restarts).
+func Fit(docs []SparseDoc, v int, cfg Config) *Model {
+	cfg = cfg.withDefaults()
+	if cfg.LearnAlpha0 {
+		grid := []float64{0.5, 1, 2, 5}
+		var best *Model
+		for gi, a0 := range grid {
+			c := cfg
+			c.LearnAlpha0 = false
+			c.Alpha0 = a0
+			c.Seed = cfg.Seed + int64(gi) // independent restarts per grid point
+			m := Fit(docs, v, c)
+			if best == nil || m.ClippedMass < best.ClippedMass {
+				best = m
+			}
+		}
+		return best
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	mu1 := m1(docs, v)
+	w, b := whiten(docs, v, cfg.K, mu1, cfg.Alpha0, cfg.WhitenIters, rng)
+	t := whitenedM3(docs, w, mu1, cfg.Alpha0)
+
+	model := &Model{K: cfg.K, Alpha0: cfg.Alpha0}
+	lambdas := make([]float64, 0, cfg.K)
+	clipped := 0.0
+	for k := 0; k < cfg.K; k++ {
+		vec, lambda := t.PowerIteration(cfg.PowerTrials, cfg.PowerIters, rng)
+		t.Deflate(lambda, vec)
+		mu := b.MulVec(vec)
+		// Fix sign so the distribution is mostly positive.
+		s := 0.0
+		for _, x := range mu {
+			s += x
+		}
+		if s < 0 {
+			linalg.Scale(mu, -1)
+		}
+		neg := 0.0
+		pos := 0.0
+		for _, x := range mu {
+			if x < 0 {
+				neg -= x
+			} else {
+				pos += x
+			}
+		}
+		if pos > 0 {
+			clipped += neg / (neg + pos)
+		}
+		linalg.ClipToSimplex(mu)
+		model.Phi = append(model.Phi, mu)
+		lambdas = append(lambdas, lambda)
+	}
+	model.ClippedMass = clipped / float64(cfg.K)
+	// Topic weights: alpha_i proportional to 1/lambda_i^2.
+	model.Weight = make([]float64, cfg.K)
+	for k, l := range lambdas {
+		if l <= 1e-12 {
+			l = 1e-12
+		}
+		model.Weight[k] = 1 / (l * l)
+	}
+	linalg.SumTo1(model.Weight)
+	// Order topics by weight for stable presentation.
+	idx := make([]int, cfg.K)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, bq int) bool { return model.Weight[idx[a]] > model.Weight[idx[bq]] })
+	phi := make([][]float64, cfg.K)
+	wgt := make([]float64, cfg.K)
+	for i, j := range idx {
+		phi[i] = model.Phi[j]
+		wgt[i] = model.Weight[j]
+	}
+	model.Phi, model.Weight = phi, wgt
+	return model
+}
+
+// DocTopics infers per-document topic mixtures by a few EM steps with the
+// recovered topics held fixed (the lightweight folding-in step used when
+// recursing).
+func (m *Model) DocTopics(docs []SparseDoc, iters int) [][]float64 {
+	if iters == 0 {
+		iters = 10
+	}
+	out := make([][]float64, len(docs))
+	for di, d := range docs {
+		theta := make([]float64, m.K)
+		copy(theta, m.Weight)
+		linalg.SumTo1(theta)
+		post := make([]float64, m.K)
+		for it := 0; it < iters; it++ {
+			next := make([]float64, m.K)
+			for i, id := range d.IDs {
+				total := 0.0
+				for k := 0; k < m.K; k++ {
+					post[k] = theta[k] * m.Phi[k][id]
+					total += post[k]
+				}
+				if total <= 0 {
+					continue
+				}
+				for k := 0; k < m.K; k++ {
+					next[k] += d.Cnt[i] * post[k] / total
+				}
+			}
+			linalg.SumTo1(next)
+			theta = next
+		}
+		out[di] = theta
+	}
+	return out
+}
+
+// TreeConfig parameterizes recursive topic-tree construction (LDA with a
+// topic tree, Section 7.2).
+type TreeConfig struct {
+	// K children per node (uniform across the tree, like the paper's
+	// experiments; set per-level variation via KPerLevel).
+	K int
+	// KPerLevel optionally overrides K at each level (level 0 = root split).
+	KPerLevel []int
+	// Levels below the root.
+	Levels int
+	Config Config
+	// MinDocs stops recursion when fewer effective documents remain
+	// (default 50).
+	MinDocs int
+}
+
+// BuildTree recursively applies STROD: recover topics at a node, split every
+// document's counts across the children by posterior attribution, recurse.
+func BuildTree(docs []SparseDoc, v int, cfg TreeConfig) *core.Hierarchy {
+	if cfg.MinDocs == 0 {
+		cfg.MinDocs = 50
+	}
+	h := core.NewHierarchy()
+	var rec func(node *core.TopicNode, sub []SparseDoc, level int, seed int64)
+	rec = func(node *core.TopicNode, sub []SparseDoc, level int, seed int64) {
+		if level >= cfg.Levels {
+			return
+		}
+		n := 0
+		for _, d := range sub {
+			if usable(d) {
+				n++
+			}
+		}
+		if n < cfg.MinDocs {
+			return
+		}
+		k := cfg.K
+		if level < len(cfg.KPerLevel) {
+			k = cfg.KPerLevel[level]
+		}
+		c := cfg.Config
+		c.K = k
+		c.Seed = seed
+		m := Fit(sub, v, c)
+		theta := m.DocTopics(sub, 10)
+		// Split counts: child z receives c_dv * p(z | v, d).
+		children := make([][]SparseDoc, k)
+		post := make([]float64, k)
+		for di, d := range sub {
+			split := make([]SparseDoc, k)
+			for i, id := range d.IDs {
+				total := 0.0
+				for z := 0; z < k; z++ {
+					post[z] = theta[di][z] * m.Phi[z][id]
+					total += post[z]
+				}
+				if total <= 0 {
+					continue
+				}
+				for z := 0; z < k; z++ {
+					cz := d.Cnt[i] * post[z] / total
+					if cz < 0.05 {
+						continue
+					}
+					split[z].IDs = append(split[z].IDs, id)
+					split[z].Cnt = append(split[z].Cnt, cz)
+					split[z].Len += cz
+				}
+			}
+			for z := 0; z < k; z++ {
+				if split[z].Len > 0 {
+					children[z] = append(children[z], split[z])
+				}
+			}
+		}
+		for z := 0; z < k; z++ {
+			child := node.AddChild()
+			child.Rho = m.Weight[z]
+			child.Phi[core.TermType] = m.Phi[z]
+			rec(child, children[z], level+1, seed*131+int64(z)+17)
+		}
+	}
+	rec(h.Root, docs, 0, cfg.Config.Seed+1)
+	return h
+}
+
+// TopWords lists topic k's top-n word ids.
+func (m *Model) TopWords(k, n int) []int {
+	type wp struct {
+		w int
+		p float64
+	}
+	ws := make([]wp, len(m.Phi[k]))
+	for w, p := range m.Phi[k] {
+		ws[w] = wp{w, p}
+	}
+	sort.SliceStable(ws, func(a, b int) bool {
+		if ws[a].p != ws[b].p {
+			return ws[a].p > ws[b].p
+		}
+		return ws[a].w < ws[b].w
+	})
+	if n > len(ws) {
+		n = len(ws)
+	}
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		out[i] = ws[i].w
+	}
+	return out
+}
+
+// MatchError greedily matches recovered topics to reference topics and
+// returns the mean total-variation distance — the recovery-error metric of
+// the robustness experiments (Section 7.4.2).
+func MatchError(recovered, reference [][]float64) float64 {
+	k := len(reference)
+	usedR := make([]bool, len(recovered))
+	total := 0.0
+	for i := 0; i < k; i++ {
+		best, bestD := -1, math.Inf(1)
+		for j := range recovered {
+			if usedR[j] {
+				continue
+			}
+			d := 0.0
+			for w := range reference[i] {
+				d += math.Abs(reference[i][w] - recovered[j][w])
+			}
+			d /= 2
+			if d < bestD {
+				best, bestD = j, d
+			}
+		}
+		if best >= 0 {
+			usedR[best] = true
+			total += bestD
+		} else {
+			total += 1
+		}
+	}
+	return total / float64(k)
+}

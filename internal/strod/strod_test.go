@@ -1,0 +1,200 @@
+package strod
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"lesm/internal/synth"
+)
+
+// ldaCorpus draws documents from a true LDA model with k well-separated
+// topics over v words and returns the true topic-word distributions.
+func ldaCorpus(nDocs, docLen, k, v int, alpha float64, seed int64) ([][]int, [][]float64) {
+	rng := rand.New(rand.NewSource(seed))
+	phi := make([][]float64, k)
+	block := v / k
+	for t := 0; t < k; t++ {
+		phi[t] = make([]float64, v)
+		for w := 0; w < v; w++ {
+			if w/block == t {
+				phi[t][w] = 0.9/float64(block) + 0.02*rng.Float64()
+			} else {
+				phi[t][w] = 0.1 / float64(v-block)
+			}
+		}
+		s := 0.0
+		for _, p := range phi[t] {
+			s += p
+		}
+		for w := range phi[t] {
+			phi[t][w] /= s
+		}
+	}
+	sampleDirichlet := func() []float64 {
+		th := make([]float64, k)
+		s := 0.0
+		for t := 0; t < k; t++ {
+			// Gamma(alpha) via Marsaglia-Tsang for alpha<1 boosted form.
+			th[t] = gammaSample(rng, alpha)
+			s += th[t]
+		}
+		for t := range th {
+			th[t] /= s
+		}
+		return th
+	}
+	docs := make([][]int, nDocs)
+	for d := range docs {
+		theta := sampleDirichlet()
+		doc := make([]int, docLen)
+		for i := range doc {
+			t := sampleCat(rng, theta)
+			doc[i] = sampleCat(rng, phi[t])
+		}
+		docs[d] = doc
+	}
+	return docs, phi
+}
+
+func gammaSample(rng *rand.Rand, a float64) float64 {
+	if a < 1 {
+		return gammaSample(rng, a+1) * math.Pow(rng.Float64(), 1/a)
+	}
+	d := a - 1.0/3
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		val := 1 + c*x
+		if val <= 0 {
+			continue
+		}
+		val = val * val * val
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x || math.Log(u) < 0.5*x*x+d*(1-val+math.Log(val)) {
+			return d * val
+		}
+	}
+}
+
+func sampleCat(rng *rand.Rand, p []float64) int {
+	r := rng.Float64()
+	for i, v := range p {
+		r -= v
+		if r <= 0 {
+			return i
+		}
+	}
+	return len(p) - 1
+}
+
+func TestFitRecoversTopics(t *testing.T) {
+	k, v := 4, 80
+	docs, truePhi := ldaCorpus(3000, 40, k, v, 0.25, 91)
+	m := Fit(FromTokens(docs), v, Config{K: k, Alpha0: 1, Seed: 92})
+	err := MatchError(m.Phi, truePhi)
+	if err > 0.25 {
+		t.Fatalf("recovery error = %v, want <= 0.25", err)
+	}
+	for _, phi := range m.Phi {
+		s := 0.0
+		for _, p := range phi {
+			if p < 0 {
+				t.Fatal("negative probability after clipping")
+			}
+			s += p
+		}
+		if math.Abs(s-1) > 1e-9 {
+			t.Fatalf("phi sums to %v", s)
+		}
+	}
+}
+
+func TestFitDeterministicAcrossSeeds(t *testing.T) {
+	// Robustness (Section 7.4.2): the moment method lands on the same
+	// topics from different random seeds, unlike Gibbs sampling.
+	k, v := 4, 60
+	docs, _ := ldaCorpus(2500, 40, k, v, 0.2, 93)
+	sd := FromTokens(docs)
+	a := Fit(sd, v, Config{K: k, Seed: 1})
+	b := Fit(sd, v, Config{K: k, Seed: 999})
+	if err := MatchError(a.Phi, b.Phi); err > 0.05 {
+		t.Fatalf("run-to-run variation = %v, want <= 0.05", err)
+	}
+}
+
+func TestWeightsNormalized(t *testing.T) {
+	docs, _ := ldaCorpus(1500, 30, 3, 45, 0.3, 94)
+	m := Fit(FromTokens(docs), 45, Config{K: 3, Seed: 95})
+	s := 0.0
+	for _, w := range m.Weight {
+		if w < 0 {
+			t.Fatalf("negative weight %v", w)
+		}
+		s += w
+	}
+	if math.Abs(s-1) > 1e-9 {
+		t.Fatalf("weights sum to %v", s)
+	}
+	// Ordered by weight.
+	for i := 1; i < len(m.Weight); i++ {
+		if m.Weight[i] > m.Weight[i-1]+1e-12 {
+			t.Fatal("weights not sorted")
+		}
+	}
+}
+
+func TestLearnAlpha0PicksFiniteModel(t *testing.T) {
+	docs, truePhi := ldaCorpus(2000, 40, 4, 60, 0.25, 96)
+	m := Fit(FromTokens(docs), 60, Config{K: 4, LearnAlpha0: true, Seed: 97})
+	if m.Alpha0 <= 0 {
+		t.Fatalf("alpha0 = %v", m.Alpha0)
+	}
+	if err := MatchError(m.Phi, truePhi); err > 0.3 {
+		t.Fatalf("learned-alpha recovery error = %v", err)
+	}
+}
+
+func TestDocTopicsInference(t *testing.T) {
+	k, v := 3, 45
+	docs, _ := ldaCorpus(1200, 40, k, v, 0.15, 98)
+	sd := FromTokens(docs)
+	m := Fit(sd, v, Config{K: k, Seed: 99})
+	theta := m.DocTopics(sd, 10)
+	for d, th := range theta {
+		s := 0.0
+		for _, p := range th {
+			s += p
+		}
+		if math.Abs(s-1) > 1e-6 {
+			t.Fatalf("doc %d theta sums to %v", d, s)
+		}
+	}
+}
+
+func TestBuildTreeOnHierarchicalCorpus(t *testing.T) {
+	ds := synth.DBLPTitles(synth.TextConfig{NumDocs: 3000, Seed: 100})
+	docs := make([][]int, len(ds.Corpus.Docs))
+	for i, d := range ds.Corpus.Docs {
+		docs[i] = d.Tokens
+	}
+	h := BuildTree(FromTokens(docs), ds.Corpus.Vocab.Size(), TreeConfig{
+		K: 3, Levels: 2, Config: Config{Seed: 101},
+	})
+	if len(h.Root.Children) != 3 {
+		t.Fatalf("root children = %d", len(h.Root.Children))
+	}
+	if h.Root.Height() != 2 {
+		t.Fatalf("height = %d", h.Root.Height())
+	}
+	// Each child must carry a normalized phi.
+	for _, c := range h.Root.Children {
+		s := 0.0
+		for _, p := range c.Phi[0] {
+			s += p
+		}
+		if math.Abs(s-1) > 1e-6 {
+			t.Fatalf("child phi sums to %v", s)
+		}
+	}
+}

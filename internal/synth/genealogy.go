@@ -1,0 +1,267 @@
+package synth
+
+import "math/rand"
+
+// GenealogyPaper is one publication record of the temporal collaboration
+// network: the publication year, the author ids, and a venue id (used by the
+// supervised relation model's heterogeneous features).
+type GenealogyPaper struct {
+	Year    int
+	Authors []int
+	Venue   int
+}
+
+// Genealogy is a simulated academic-genealogy dataset: a publication network
+// plus the ground-truth advisor forest, standing in for the paper's manually
+// labeled DBLP advisor-advisee data (Section 6.1.6).
+type Genealogy struct {
+	Papers      []GenealogyPaper
+	AuthorNames []string
+	NumAuthors  int
+	NumVenues   int
+	// AdvisorOf[a] is a's ground-truth advisor id, or -1 when a entered the
+	// field independently (a root of the advising forest).
+	AdvisorOf []int
+	// AdviseStart and AdviseEnd give the true advising interval for advised
+	// authors; zero for roots.
+	AdviseStart, AdviseEnd []int
+}
+
+// GenealogyConfig parameterizes the simulation.
+type GenealogyConfig struct {
+	Seed        int64
+	SeedFaculty int
+	StartYear   int
+	Years       int
+	// TakeProb is the per-year probability a faculty member with capacity
+	// takes a new student.
+	TakeProb float64
+	// FacultyProb is the probability a graduate becomes faculty.
+	FacultyProb float64
+	// PeerProb is the per-year probability a faculty member co-authors with
+	// a random peer (confounder links not explained by advising).
+	PeerProb float64
+	// LabmateOnlyProb is the per-year probability a student publishes with a
+	// senior labmate and WITHOUT the advisor — the confounder that makes
+	// senior labmates look advisor-like to local heuristics, while TPFG's
+	// time constraints rule them out (a labmate still being advised cannot
+	// advise).
+	LabmateOnlyProb float64
+	// CrossGroupProb is the per-year probability a student co-authors with
+	// a faculty member other than the advisor (external collaborations).
+	CrossGroupProb float64
+	// MentorProb is the probability a new student enters with a pre-PhD
+	// mentor: two first-year papers with a different senior faculty member,
+	// published before the first advisor co-publication. Earliest-senior-
+	// collaborator rules misattribute these students.
+	MentorProb float64
+}
+
+func (c GenealogyConfig) withDefaults() GenealogyConfig {
+	if c.SeedFaculty == 0 {
+		c.SeedFaculty = 20
+	}
+	if c.StartYear == 0 {
+		c.StartYear = 1970
+	}
+	if c.Years == 0 {
+		c.Years = 42
+	}
+	if c.TakeProb == 0 {
+		c.TakeProb = 0.45
+	}
+	if c.FacultyProb == 0 {
+		c.FacultyProb = 0.35
+	}
+	if c.PeerProb == 0 {
+		c.PeerProb = 0.3
+	}
+	if c.LabmateOnlyProb == 0 {
+		c.LabmateOnlyProb = 0.8
+	}
+	if c.CrossGroupProb == 0 {
+		c.CrossGroupProb = 0.25
+	}
+	if c.MentorProb == 0 {
+		c.MentorProb = 0.35
+	}
+	return c
+}
+
+type person struct {
+	id          int
+	isFaculty   bool
+	activeFrom  int   // first publication year
+	students    []int // current student ids
+	venues      []int // preferred venues
+	gradYear    int   // for students: expected graduation year
+	advisor     int
+	adviseStart int
+	inIndustry  bool
+}
+
+// NewGenealogy simulates academic careers: faculty take students, co-publish
+// with them during the advising interval, students graduate and a fraction
+// become faculty themselves; faculty also co-author with peers, creating
+// collaboration links not explained by advising. All randomness is driven by
+// the seed.
+func NewGenealogy(cfg GenealogyConfig) *Genealogy {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	const numVenues = 15
+	var people []*person
+	newPerson := func(year int, advisor int) *person {
+		p := &person{id: len(people), activeFrom: year, advisor: advisor}
+		nv := 2 + rng.Intn(2)
+		for i := 0; i < nv; i++ {
+			p.venues = append(p.venues, rng.Intn(numVenues))
+		}
+		people = append(people, p)
+		return p
+	}
+	g := &Genealogy{NumVenues: numVenues}
+	addPaper := func(year int, authors []int, venue int) {
+		g.Papers = append(g.Papers, GenealogyPaper{Year: year, Authors: authors, Venue: venue})
+	}
+
+	// Seed faculty enter over the first decade.
+	for i := 0; i < cfg.SeedFaculty; i++ {
+		p := newPerson(cfg.StartYear+rng.Intn(10), -1)
+		p.isFaculty = true
+	}
+
+	endYear := cfg.StartYear + cfg.Years
+	for year := cfg.StartYear; year < endYear; year++ {
+		n := len(people) // snapshot: newcomers join next year
+		for idx := 0; idx < n; idx++ {
+			p := people[idx]
+			if p.activeFrom > year {
+				continue
+			}
+			if p.isFaculty {
+				// A faculty member always publishes in the first active
+				// year, so advisors are never "junior" to their students.
+				if year == p.activeFrom {
+					addPaper(year, []int{p.id}, p.venues[rng.Intn(len(p.venues))])
+				}
+				// Faculty publish with current students.
+				for _, sid := range p.students {
+					authors := []int{sid, p.id}
+					// Often a labmate joins.
+					if len(p.students) > 1 && rng.Float64() < 0.7 {
+						mate := p.students[rng.Intn(len(p.students))]
+						if mate != sid {
+							authors = append(authors, mate)
+						}
+					}
+					addPaper(year, authors, p.venues[rng.Intn(len(p.venues))])
+					// Confounder: a paper with a senior labmate, advisor
+					// absent. The senior labmate is the advisor-lookalike.
+					if rng.Float64() < cfg.LabmateOnlyProb {
+						var senior []int
+						for _, mate := range p.students {
+							if mate != sid && people[mate].activeFrom < people[sid].activeFrom {
+								senior = append(senior, mate)
+							}
+						}
+						if len(senior) > 0 {
+							mate := senior[rng.Intn(len(senior))]
+							addPaper(year, []int{sid, mate}, p.venues[rng.Intn(len(p.venues))])
+						}
+					}
+					// Confounder: cross-group collaboration with another
+					// faculty member, advisor absent.
+					if rng.Float64() < cfg.CrossGroupProb && n > 1 {
+						other := people[rng.Intn(n)]
+						if other.id != p.id && other.id != sid && other.isFaculty && other.activeFrom <= year {
+							addPaper(year, []int{sid, other.id}, other.venues[rng.Intn(len(other.venues))])
+						}
+					}
+				}
+				// Peer collaboration (confounders).
+				if rng.Float64() < cfg.PeerProb && n > 1 {
+					peer := people[rng.Intn(n)]
+					if peer.id != p.id && peer.isFaculty && peer.activeFrom <= year {
+						addPaper(year, []int{p.id, peer.id}, p.venues[rng.Intn(len(p.venues))])
+					}
+				}
+				// Solo faculty paper occasionally.
+				if rng.Float64() < 0.25 {
+					addPaper(year, []int{p.id}, p.venues[rng.Intn(len(p.venues))])
+				}
+				// Take a new student.
+				if len(p.students) < 4 && rng.Float64() < cfg.TakeProb && year < endYear-3 {
+					s := newPerson(year, p.id)
+					s.gradYear = year + 4 + rng.Intn(3)
+					if s.gradYear > endYear {
+						s.gradYear = endYear
+					}
+					s.adviseStart = year
+					// Students adopt mostly the advisor's venues.
+					s.venues = append([]int(nil), p.venues...)
+					p.students = append(p.students, s.id)
+					// Pre-PhD mentor confounder: two first-year papers with
+					// another senior faculty member, before any advisor
+					// co-publication.
+					if rng.Float64() < cfg.MentorProb {
+						m := people[rng.Intn(n)]
+						if m.isFaculty && m.id != p.id && m.activeFrom+2 <= year {
+							for q := 0; q < 2; q++ {
+								addPaper(year, []int{s.id, m.id}, m.venues[rng.Intn(len(m.venues))])
+							}
+						}
+					}
+				}
+				// Graduate students whose time is up.
+				var remaining []int
+				for _, sid := range p.students {
+					s := people[sid]
+					if year >= s.gradYear {
+						if rng.Float64() < cfg.FacultyProb {
+							s.isFaculty = true
+						} else {
+							s.inIndustry = true
+						}
+						continue
+					}
+					remaining = append(remaining, sid)
+				}
+				p.students = remaining
+			} else if p.inIndustry {
+				// Industry researchers publish occasionally with random
+				// co-authors, adding collaboration noise.
+				if rng.Float64() < 0.15 && n > 1 {
+					other := people[rng.Intn(n)]
+					if other.id != p.id && other.activeFrom <= year {
+						addPaper(year, []int{p.id, other.id}, p.venues[rng.Intn(len(p.venues))])
+					}
+				}
+			}
+		}
+	}
+
+	g.NumAuthors = len(people)
+	g.AuthorNames = makeNames(g.NumAuthors)
+	g.AdvisorOf = make([]int, g.NumAuthors)
+	g.AdviseStart = make([]int, g.NumAuthors)
+	g.AdviseEnd = make([]int, g.NumAuthors)
+	for _, p := range people {
+		g.AdvisorOf[p.id] = p.advisor
+		if p.advisor >= 0 {
+			g.AdviseStart[p.id] = p.adviseStart
+			g.AdviseEnd[p.id] = p.gradYear
+		}
+	}
+	return g
+}
+
+// NumAdvised returns how many authors have a ground-truth advisor.
+func (g *Genealogy) NumAdvised() int {
+	n := 0
+	for _, a := range g.AdvisorOf {
+		if a >= 0 {
+			n++
+		}
+	}
+	return n
+}

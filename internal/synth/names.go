@@ -1,0 +1,42 @@
+package synth
+
+import "fmt"
+
+var firstNames = []string{
+	"Wei", "Jing", "Ming", "Elena", "Rajesh", "Anika", "Carlos", "Sofia",
+	"Hiro", "Yuki", "Omar", "Fatima", "Ivan", "Olga", "Pierre", "Claire",
+	"Lars", "Ingrid", "Marco", "Giulia", "Sanjay", "Priya", "Ahmed", "Leila",
+	"Jan", "Eva", "Pedro", "Lucia", "Tomas", "Hana", "Kofi", "Ama",
+	"Dmitri", "Nadia", "Erik", "Freya", "Chen", "Mei", "Andre", "Camille",
+	"Stefan", "Petra", "Diego", "Valeria", "Kenji", "Aiko", "Tariq", "Yasmin",
+	"Viktor", "Irina", "Paulo", "Beatriz", "Anders", "Sigrid", "Raul", "Ines",
+	"Goran", "Mira", "Ewan", "Niamh",
+}
+
+var lastNames = []string{
+	"Zhang", "Kumar", "Garcia", "Tanaka", "Hassan", "Petrov", "Dubois",
+	"Larsson", "Rossi", "Sharma", "Ali", "Novak", "Silva", "Kowalski",
+	"Mensah", "Ivanov", "Nielsen", "Chen", "Moreau", "Weber", "Torres",
+	"Sato", "Rahman", "Popov", "Costa", "Berg", "Ramos", "Horvat",
+	"Murphy", "Walsh", "Okafor", "Nakamura", "Haddad", "Volkov", "Pereira",
+	"Lindqvist", "Ricci", "Gupta", "Farouk", "Svoboda", "Santos", "Nowak",
+	"Boateng", "Smirnov", "Jensen", "Wang", "Lefevre", "Fischer", "Vargas",
+	"Kimura", "Chowdhury", "Orlov", "Almeida", "Strand", "Delgado", "Kovac",
+	"Byrne", "Quinn", "Eze", "Takahashi",
+}
+
+// makeNames deterministically generates n distinct person names.
+func makeNames(n int) []string {
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		f := firstNames[i%len(firstNames)]
+		l := lastNames[(i/len(firstNames))%len(lastNames)]
+		gen := i / (len(firstNames) * len(lastNames))
+		if gen == 0 {
+			out[i] = fmt.Sprintf("%s %s", f, l)
+		} else {
+			out[i] = fmt.Sprintf("%s %s %d", f, l, gen+1)
+		}
+	}
+	return out
+}

@@ -1,0 +1,728 @@
+// Package synth generates the synthetic datasets that stand in for the
+// paper's corpora (DBLP, Google NEWS, arXiv, DBLP abstracts, AP news, Yelp,
+// and the DBLP temporal collaboration network). Every generator is
+// deterministic given a seed and exposes the full ground truth so that
+// oracle judges can replace the paper's human annotators (see DESIGN.md §2).
+package synth
+
+import "strings"
+
+// TopicSpec is a ground-truth topic: a name, the multiword phrases and
+// unigrams characteristic of it, and child subtopics. Documents are emitted
+// from leaf topics; phrases of ancestors leak in with lower probability,
+// giving the parent-subset structure the paper describes ("a child topic is
+// a subset of its parent topic").
+type TopicSpec struct {
+	Name     string
+	Phrases  []string
+	Unigrams []string
+	Children []*TopicSpec
+}
+
+// Flatten returns all nodes of the spec tree in pre-order.
+func (t *TopicSpec) Flatten() []*TopicSpec {
+	out := []*TopicSpec{t}
+	for _, c := range t.Children {
+		out = append(out, c.Flatten()...)
+	}
+	return out
+}
+
+// Leaves returns the leaf specs in pre-order.
+func (t *TopicSpec) Leaves() []*TopicSpec {
+	if len(t.Children) == 0 {
+		return []*TopicSpec{t}
+	}
+	var out []*TopicSpec
+	for _, c := range t.Children {
+		out = append(out, c.Leaves()...)
+	}
+	return out
+}
+
+// allWords returns the unigrams plus every word of every phrase of the node.
+func (t *TopicSpec) allWords() []string {
+	var out []string
+	out = append(out, t.Unigrams...)
+	for _, p := range t.Phrases {
+		out = append(out, strings.Fields(p)...)
+	}
+	return out
+}
+
+// backgroundUnigrams are generic research-paper words shared by every topic,
+// the "background topic" of Section 3.2.1.
+var backgroundUnigrams = []string{
+	"algorithm", "method", "model", "framework", "analysis", "system",
+	"problem", "efficient", "effective", "novel", "evaluation",
+	"performance", "technique", "application", "results", "scalable",
+	"adaptive", "robust", "general", "automatic", "improved", "fast",
+	"dynamic", "optimal", "practical",
+}
+
+// dblpSpec is the computer-science topic tree used by the DBLP-like
+// generator: the six areas of the paper's 20-conference dataset, each with
+// four subtopics, with phrase vocabulary lifted from the paper's own case
+// studies (Figures 3.3-3.4, Tables 3.6, 4.3, 5.1-5.4).
+func dblpSpec() *TopicSpec {
+	return &TopicSpec{
+		Name:    "computer science",
+		Phrases: []string{"experimental evaluation", "real world data"},
+		Unigrams: []string{
+			"data", "information", "knowledge", "computing", "software",
+		},
+		Children: []*TopicSpec{
+			{
+				Name: "databases",
+				Phrases: []string{
+					"database systems", "query processing", "data management",
+					"relational databases",
+				},
+				Unigrams: []string{"database", "query", "queries", "storage", "relational", "schema"},
+				Children: []*TopicSpec{
+					{
+						Name: "query processing and optimization",
+						Phrases: []string{
+							"query processing", "query optimization", "materialized views",
+							"deductive databases", "query evaluation", "query rewriting",
+							"efficient query processing", "selectivity estimation",
+						},
+						Unigrams: []string{"query", "optimization", "views", "joins", "plans", "cost"},
+					},
+					{
+						Name: "concurrency control and transactions",
+						Phrases: []string{
+							"concurrency control", "transaction management", "main memory",
+							"distributed database systems", "load balancing", "locking protocols",
+							"nested transactions", "recovery protocols",
+						},
+						Unigrams: []string{"transactions", "concurrency", "recovery", "locking", "distributed", "replication"},
+					},
+					{
+						Name: "data integration and warehousing",
+						Phrases: []string{
+							"data integration", "data warehousing", "schema matching",
+							"data cleaning", "entity resolution", "data exchange",
+							"record linkage", "view maintenance",
+						},
+						Unigrams: []string{"integration", "warehouse", "schema", "mappings", "sources", "cleaning"},
+					},
+					{
+						Name: "xml and semistructured data",
+						Phrases: []string{
+							"xml data", "xml query", "semistructured data", "xpath queries",
+							"tree pattern matching", "xml documents", "schema validation",
+							"twig queries",
+						},
+						Unigrams: []string{"xml", "xpath", "documents", "trees", "semistructured", "validation"},
+					},
+				},
+			},
+			{
+				Name: "data mining",
+				Phrases: []string{
+					"data mining", "knowledge discovery", "mining patterns",
+					"large datasets",
+				},
+				Unigrams: []string{"mining", "patterns", "discovery", "interesting", "large", "massive"},
+				Children: []*TopicSpec{
+					{
+						Name: "pattern and rule mining",
+						Phrases: []string{
+							"association rules", "frequent patterns", "mining association rules",
+							"frequent itemsets", "mining frequent patterns", "sequential patterns",
+							"candidate generation", "closed patterns",
+						},
+						Unigrams: []string{"frequent", "itemsets", "rules", "association", "support", "apriori"},
+					},
+					{
+						Name: "stream mining",
+						Phrases: []string{
+							"data streams", "mining data streams", "sensor networks",
+							"concept drift", "sliding window", "stream processing",
+							"continuous queries", "distributed streams",
+						},
+						Unigrams: []string{"streams", "stream", "online", "windows", "evolving", "sensors"},
+					},
+					{
+						Name: "time series and similarity search",
+						Phrases: []string{
+							"time series", "nearest neighbor", "similarity search",
+							"time series data", "moving objects", "dynamic time warping",
+							"nearest neighbor queries", "trajectory data",
+						},
+						Unigrams: []string{"series", "similarity", "temporal", "indexing", "distance", "trajectories"},
+					},
+					{
+						Name: "graph and network mining",
+						Phrases: []string{
+							"social networks", "large graphs", "graph mining",
+							"mining large graphs", "community detection", "link prediction",
+							"anomaly detection", "outlier detection",
+						},
+						Unigrams: []string{"graphs", "networks", "communities", "nodes", "edges", "outliers"},
+					},
+				},
+			},
+			{
+				Name: "information retrieval",
+				Phrases: []string{
+					"information retrieval", "web search", "retrieval",
+					"information retrieval system",
+				},
+				Unigrams: []string{"retrieval", "search", "documents", "ranking", "relevance", "web"},
+				Children: []*TopicSpec{
+					{
+						Name: "ad hoc retrieval",
+						Phrases: []string{
+							"document retrieval", "relevance feedback", "query expansion",
+							"language modeling", "vector space model", "retrieval models",
+							"pseudo relevance feedback", "term weighting",
+						},
+						Unigrams: []string{"relevance", "ranking", "terms", "feedback", "precision", "recall"},
+					},
+					{
+						Name: "web search",
+						Phrases: []string{
+							"web search", "search engine", "world wide web", "web pages",
+							"link analysis", "search results", "query logs", "click data",
+						},
+						Unigrams: []string{"web", "engine", "pages", "links", "users", "clicks"},
+					},
+					{
+						Name: "question answering and summarization",
+						Phrases: []string{
+							"question answering", "text summarization", "answer extraction",
+							"multi document summarization", "passage retrieval",
+							"factoid questions", "sentence extraction", "textual entailment",
+						},
+						Unigrams: []string{"questions", "answers", "summaries", "passages", "sentences", "entailment"},
+					},
+					{
+						Name: "recommendation and filtering",
+						Phrases: []string{
+							"collaborative filtering", "recommender systems", "text classification",
+							"text categorization", "spam filtering", "content based filtering",
+							"rating prediction", "user profiles",
+						},
+						Unigrams: []string{"recommendation", "filtering", "ratings", "preferences", "items", "profiles"},
+					},
+				},
+			},
+			{
+				Name: "machine learning",
+				Phrases: []string{
+					"machine learning", "learning algorithms", "supervised learning",
+					"statistical learning",
+				},
+				Unigrams: []string{"learning", "training", "classification", "prediction", "features", "labels"},
+				Children: []*TopicSpec{
+					{
+						Name: "kernel methods and classification",
+						Phrases: []string{
+							"support vector machines", "feature selection", "decision trees",
+							"kernel methods", "large margin", "active learning",
+							"ensemble methods", "naive bayes",
+						},
+						Unigrams: []string{"classifiers", "kernels", "margin", "boosting", "svm", "accuracy"},
+					},
+					{
+						Name: "probabilistic graphical models",
+						Phrases: []string{
+							"graphical models", "conditional random fields", "hidden markov models",
+							"bayesian networks", "belief propagation", "variational inference",
+							"markov random fields", "latent variable models",
+						},
+						Unigrams: []string{"probabilistic", "bayesian", "inference", "latent", "posterior", "likelihood"},
+					},
+					{
+						Name: "reinforcement learning",
+						Phrases: []string{
+							"reinforcement learning", "markov decision processes", "policy iteration",
+							"temporal difference learning", "function approximation",
+							"multi armed bandits", "reward shaping", "q learning",
+						},
+						Unigrams: []string{"reinforcement", "policy", "reward", "agent", "exploration", "control"},
+					},
+					{
+						Name: "dimensionality reduction and clustering",
+						Phrases: []string{
+							"dimensionality reduction", "matrix factorization", "spectral clustering",
+							"principal component analysis", "manifold learning",
+							"nonnegative matrix factorization", "subspace clustering", "feature extraction",
+						},
+						Unigrams: []string{"clustering", "dimensionality", "subspace", "embedding", "manifold", "factorization"},
+					},
+				},
+			},
+			{
+				Name: "natural language processing",
+				Phrases: []string{
+					"natural language", "language processing", "computational linguistics",
+					"natural language processing",
+				},
+				Unigrams: []string{"language", "text", "linguistic", "words", "corpus", "semantic"},
+				Children: []*TopicSpec{
+					{
+						Name: "machine translation",
+						Phrases: []string{
+							"machine translation", "statistical machine translation", "word alignment",
+							"translation models", "phrase based translation", "bilingual corpora",
+							"translation quality", "language pairs",
+						},
+						Unigrams: []string{"translation", "bilingual", "alignment", "source", "target", "fluency"},
+					},
+					{
+						Name: "parsing and tagging",
+						Phrases: []string{
+							"dependency parsing", "part of speech tagging", "syntactic parsing",
+							"treebank grammars", "constituency parsing", "morphological analysis",
+							"chunking", "grammar induction",
+						},
+						Unigrams: []string{"parsing", "syntax", "tagging", "grammar", "dependencies", "treebank"},
+					},
+					{
+						Name: "information extraction",
+						Phrases: []string{
+							"information extraction", "named entity recognition", "relation extraction",
+							"word sense disambiguation", "semantic role labeling",
+							"coreference resolution", "entity linking", "event extraction",
+						},
+						Unigrams: []string{"extraction", "entities", "relations", "mentions", "annotation", "disambiguation"},
+					},
+					{
+						Name: "speech and dialogue",
+						Phrases: []string{
+							"speech recognition", "spoken language", "dialogue systems",
+							"acoustic models", "speech synthesis", "language models",
+							"speaker identification", "prosody modeling",
+						},
+						Unigrams: []string{"speech", "acoustic", "spoken", "dialogue", "utterances", "phonetic"},
+					},
+				},
+			},
+			{
+				Name: "artificial intelligence",
+				Phrases: []string{
+					"artificial intelligence", "knowledge representation", "intelligent systems",
+					"knowledge base",
+				},
+				Unigrams: []string{"reasoning", "knowledge", "intelligent", "agents", "logic", "planning"},
+				Children: []*TopicSpec{
+					{
+						Name: "automated reasoning and logic",
+						Phrases: []string{
+							"description logic", "modal logic", "belief revision",
+							"automated reasoning", "theorem proving", "answer set programming",
+							"first order logic", "satisfiability testing",
+						},
+						Unigrams: []string{"logic", "reasoning", "satisfiability", "proofs", "axioms", "semantics"},
+					},
+					{
+						Name: "search and planning",
+						Phrases: []string{
+							"heuristic search", "constraint satisfaction", "automated planning",
+							"constraint satisfaction problems", "local search", "game playing",
+							"plan generation", "state space search",
+						},
+						Unigrams: []string{"search", "planning", "constraints", "heuristics", "games", "solvers"},
+					},
+					{
+						Name: "multi agent systems",
+						Phrases: []string{
+							"multi agent systems", "mechanism design", "game theory",
+							"auction mechanisms", "coalition formation", "agent negotiation",
+							"social choice", "distributed problem solving",
+						},
+						Unigrams: []string{"agents", "mechanisms", "auctions", "strategies", "equilibrium", "cooperation"},
+					},
+					{
+						Name: "knowledge bases and expert systems",
+						Phrases: []string{
+							"expert system", "knowledge base", "ontology engineering",
+							"knowledge acquisition", "semantic web", "rule based systems",
+							"case based reasoning", "knowledge sharing",
+						},
+						Unigrams: []string{"ontology", "rules", "expert", "facts", "taxonomy", "acquisition"},
+					},
+				},
+			},
+		},
+	}
+}
+
+// dblpVenues maps each top-level DBLP area index to its conference names,
+// mirroring the paper's 20-conference selection.
+var dblpVenues = [][]string{
+	{"SIGMOD", "VLDB", "ICDE", "PODS", "EDBT"},
+	{"KDD", "ICDM", "SDM"},
+	{"SIGIR", "ECIR", "WWW", "CIKM"},
+	{"ICML", "NIPS", "ECML"},
+	{"ACL", "EMNLP", "HLT-NAACL"},
+	{"AAAI", "IJCAI"},
+}
+
+// newsSpec builds the 16-story NEWS topic tree of Section 3.3 with person
+// and location entity pools per story. Subtopics of each story are formed by
+// partitioning its aspect phrases, giving real subtopic structure without
+// hand-curating 48 nodes.
+type newsStory struct {
+	Name     string
+	Phrases  []string
+	Unigrams []string
+	Persons  []string
+	Places   []string
+}
+
+var newsStories = []newsStory{
+	{
+		Name: "bill clinton",
+		Phrases: []string{
+			"bill clinton", "clinton foundation", "former president", "clinton speech",
+			"democratic convention", "clinton global initiative", "white house years", "book tour",
+		},
+		Unigrams: []string{"clinton", "president", "speech", "foundation", "campaign", "democratic"},
+		Persons:  []string{"Bill Clinton", "Hillary Clinton", "Chelsea Clinton", "Al Gore"},
+		Places:   []string{"Washington", "New York", "Arkansas", "Little Rock"},
+	},
+	{
+		Name: "boston marathon",
+		Phrases: []string{
+			"boston marathon", "marathon bombing", "finish line", "pressure cooker bomb",
+			"marathon runners", "bombing suspects", "manhunt lockdown", "memorial service",
+		},
+		Unigrams: []string{"marathon", "bombing", "boston", "runners", "explosions", "suspects"},
+		Persons:  []string{"Dzhokhar Tsarnaev", "Tamerlan Tsarnaev", "Deval Patrick", "Thomas Menino"},
+		Places:   []string{"Boston", "Watertown", "Massachusetts", "Cambridge"},
+	},
+	{
+		Name: "earthquake",
+		Phrases: []string{
+			"earthquake magnitude", "death toll", "rescue workers", "aftershocks hit",
+			"tsunami warning", "collapsed buildings", "relief efforts", "epicenter located",
+		},
+		Unigrams: []string{"earthquake", "quake", "magnitude", "rescue", "survivors", "damage"},
+		Persons:  []string{"Ban Ki-moon", "Red Cross Chief", "Rescue Coordinator", "Seismology Expert"},
+		Places:   []string{"Sichuan", "Japan", "Haiti", "Chile"},
+	},
+	{
+		Name: "egypt",
+		Phrases: []string{
+			"egypts president", "muslim brotherhood", "tahrir square protests", "egypt imf loan",
+			"military council", "morsi government", "egypts prosecutor general", "constitutional declaration",
+		},
+		Unigrams: []string{"egypt", "egyptian", "morsi", "protests", "brotherhood", "cairo"},
+		Persons:  []string{"Mohamed Morsi", "Hosni Mubarak", "Mohamed ElBaradei", "Ahmed Shafik"},
+		Places:   []string{"Egypt", "Cairo", "Tahrir Square", "Port Said"},
+	},
+	{
+		Name: "gaza",
+		Phrases: []string{
+			"gaza strip", "rocket attacks", "cease fire", "israeli airstrikes",
+			"hamas militants", "border crossing", "civilian casualties", "gaza conflict",
+		},
+		Unigrams: []string{"gaza", "hamas", "rockets", "airstrikes", "militants", "ceasefire"},
+		Persons:  []string{"Ismail Haniyeh", "Khaled Mashal", "Ehud Barak", "Mohammed Deif"},
+		Places:   []string{"Gaza", "Gaza City", "Rafah", "Khan Younis"},
+	},
+	{
+		Name: "iran",
+		Phrases: []string{
+			"nuclear program", "uranium enrichment", "economic sanctions", "nuclear talks",
+			"supreme leader", "revolutionary guard", "oil exports", "nuclear facilities",
+		},
+		Unigrams: []string{"iran", "iranian", "nuclear", "sanctions", "enrichment", "tehran"},
+		Persons:  []string{"Mahmoud Ahmadinejad", "Ali Khamenei", "Saeed Jalili", "Hassan Rouhani"},
+		Places:   []string{"Iran", "Tehran", "Natanz", "Qom"},
+	},
+	{
+		Name: "israel",
+		Phrases: []string{
+			"israeli government", "peace talks", "west bank settlements", "prime minister netanyahu",
+			"israeli elections", "security cabinet", "palestinian authority", "two state solution",
+		},
+		Unigrams: []string{"israel", "israeli", "netanyahu", "settlements", "palestinians", "jerusalem"},
+		Persons:  []string{"Benjamin Netanyahu", "Shimon Peres", "Ehud Olmert", "Tzipi Livni"},
+		Places:   []string{"Israel", "Jerusalem", "Tel Aviv", "West Bank"},
+	},
+	{
+		Name: "joe biden",
+		Phrases: []string{
+			"vice president biden", "biden remarks", "gun control task force", "debate performance",
+			"campaign trail", "senate career", "foreign policy experience", "biden gaffe",
+		},
+		Unigrams: []string{"biden", "vice", "president", "debate", "senate", "delaware"},
+		Persons:  []string{"Joe Biden", "Jill Biden", "Paul Ryan", "Barack Obama"},
+		Places:   []string{"Washington", "Delaware", "Wilmington", "Capitol Hill"},
+	},
+	{
+		Name: "microsoft",
+		Phrases: []string{
+			"windows 8", "surface tablet", "software giant", "windows phone",
+			"office suite", "xbox console", "search engine bing", "enterprise software",
+		},
+		Unigrams: []string{"microsoft", "windows", "software", "tablet", "ballmer", "devices"},
+		Persons:  []string{"Steve Ballmer", "Bill Gates", "Steven Sinofsky", "Satya Nadella"},
+		Places:   []string{"Redmond", "Seattle", "Silicon Valley", "New York"},
+	},
+	{
+		Name: "mitt romney",
+		Phrases: []string{
+			"mitt romney", "romney campaign", "republican nominee", "obama romney",
+			"presidential debate", "swing states", "tax returns", "romney rally",
+		},
+		Unigrams: []string{"romney", "republican", "campaign", "nominee", "election", "voters"},
+		Persons:  []string{"Mitt Romney", "Paul Ryan", "Ann Romney", "Barack Obama"},
+		Places:   []string{"Ohio", "Florida", "Massachusetts", "Virginia"},
+	},
+	{
+		Name: "nuclear power",
+		Phrases: []string{
+			"nuclear power plant", "nuclear reactors", "radiation leaks", "nuclear safety",
+			"spent fuel", "nuclear energy policy", "reactor shutdown", "nuclear waste storage",
+		},
+		Unigrams: []string{"nuclear", "reactor", "radiation", "plant", "fukushima", "energy"},
+		Persons:  []string{"Plant Operator", "Energy Secretary", "Safety Inspector", "Naoto Kan"},
+		Places:   []string{"Fukushima", "Japan", "Chernobyl", "Three Mile Island"},
+	},
+	{
+		Name: "steve jobs",
+		Phrases: []string{
+			"steve jobs", "apple founder", "jobs biography", "medical leave",
+			"product launches", "jobs resignation", "pancreatic cancer", "apple ceo",
+		},
+		Unigrams: []string{"jobs", "apple", "iphone", "ipad", "visionary", "cupertino"},
+		Persons:  []string{"Steve Jobs", "Tim Cook", "Steve Wozniak", "Walter Isaacson"},
+		Places:   []string{"Cupertino", "Silicon Valley", "San Francisco", "Palo Alto"},
+	},
+	{
+		Name: "sudan",
+		Phrases: []string{
+			"south sudan", "oil fields", "border clashes", "darfur conflict",
+			"peace agreement", "refugee camps", "independence referendum", "disputed region",
+		},
+		Unigrams: []string{"sudan", "sudanese", "darfur", "khartoum", "juba", "refugees"},
+		Persons:  []string{"Omar al-Bashir", "Salva Kiir", "Riek Machar", "UN Envoy"},
+		Places:   []string{"Sudan", "South Sudan", "Khartoum", "Darfur"},
+	},
+	{
+		Name: "syria",
+		Phrases: []string{
+			"syrian government", "assad regime", "civil war", "opposition forces",
+			"chemical weapons", "syrian rebels", "refugee crisis", "damascus suburbs",
+		},
+		Unigrams: []string{"syria", "syrian", "assad", "rebels", "damascus", "aleppo"},
+		Persons:  []string{"Bashar al-Assad", "Kofi Annan", "Lakhdar Brahimi", "Free Syrian Army Commander"},
+		Places:   []string{"Syria", "Damascus", "Aleppo", "Homs"},
+	},
+	{
+		Name: "unemployment",
+		Phrases: []string{
+			"unemployment rate", "jobs report", "labor market", "jobless claims",
+			"economic recovery", "payroll growth", "federal reserve stimulus", "hiring slowdown",
+		},
+		Unigrams: []string{"unemployment", "jobs", "economy", "hiring", "workers", "payrolls"},
+		Persons:  []string{"Ben Bernanke", "Labor Secretary", "Chief Economist", "Treasury Secretary"},
+		Places:   []string{"Washington", "Wall Street", "Detroit", "California"},
+	},
+	{
+		Name: "us crime",
+		Phrases: []string{
+			"shooting rampage", "gun control", "police investigation", "school shooting",
+			"murder trial", "death penalty", "crime scene", "assault weapons ban",
+		},
+		Unigrams: []string{"shooting", "police", "gunman", "victims", "trial", "crime"},
+		Persons:  []string{"Police Chief", "District Attorney", "Adam Lanza", "James Holmes"},
+		Places:   []string{"Newtown", "Aurora", "Connecticut", "Colorado"},
+	},
+}
+
+// newsSpec converts the story list into a topic tree: root -> 16 stories,
+// each story split into subtopics by partitioning its phrases.
+func newsSpec() *TopicSpec {
+	root := &TopicSpec{
+		Name:     "news",
+		Unigrams: []string{"officials", "reported", "statement", "country", "government", "people"},
+	}
+	for _, s := range newsStories {
+		story := &TopicSpec{Name: s.Name, Unigrams: s.Unigrams}
+		// Two subtopics per story: first and second half of the aspects.
+		half := len(s.Phrases) / 2
+		story.Children = []*TopicSpec{
+			{Name: s.Name + " aspect a", Phrases: s.Phrases[:half], Unigrams: s.Unigrams[:3]},
+			{Name: s.Name + " aspect b", Phrases: s.Phrases[half:], Unigrams: s.Unigrams[3:]},
+		}
+		root.Children = append(root.Children, story)
+	}
+	return root
+}
+
+// arxivSpec is the labeled 5-subfield physics corpus of Section 4.4.1.
+func arxivSpec() *TopicSpec {
+	return &TopicSpec{
+		Name:     "physics",
+		Unigrams: []string{"measurement", "theory", "experimental", "quantum", "energy"},
+		Children: []*TopicSpec{
+			{
+				Name: "optics",
+				Phrases: []string{
+					"optical fiber", "laser pulses", "photonic crystal", "nonlinear optics",
+					"optical tweezers", "beam propagation", "frequency comb", "second harmonic generation",
+				},
+				Unigrams: []string{"optical", "laser", "photon", "waveguide", "refractive", "lens", "beam"},
+			},
+			{
+				Name: "fluid dynamics",
+				Phrases: []string{
+					"turbulent flow", "reynolds number", "boundary layer", "vortex shedding",
+					"navier stokes equations", "shear flow", "rayleigh benard convection", "drag reduction",
+				},
+				Unigrams: []string{"flow", "turbulence", "vortex", "viscosity", "convection", "fluid", "instability"},
+			},
+			{
+				Name: "atomic physics",
+				Phrases: []string{
+					"bose einstein condensate", "ultracold atoms", "optical lattice", "atom interferometry",
+					"rydberg atoms", "magnetic trapping", "hyperfine structure", "laser cooling",
+				},
+				Unigrams: []string{"atoms", "atomic", "condensate", "trap", "cooling", "spin", "lattice"},
+			},
+			{
+				Name: "instrumentation and detectors",
+				Phrases: []string{
+					"silicon detectors", "data acquisition", "readout electronics", "calorimeter calibration",
+					"muon chambers", "trigger system", "photomultiplier tubes", "beam test",
+				},
+				Unigrams: []string{"detector", "calibration", "readout", "sensors", "resolution", "electronics", "trigger"},
+			},
+			{
+				Name: "plasma physics",
+				Phrases: []string{
+					"magnetic confinement", "tokamak plasmas", "plasma turbulence", "fusion reactor",
+					"magnetohydrodynamic instabilities", "electron temperature", "plasma waves", "laser plasma interaction",
+				},
+				Unigrams: []string{"plasma", "magnetic", "fusion", "tokamak", "discharge", "electron", "ion"},
+			},
+		},
+	}
+}
+
+// yelpSpec reproduces the review-domain topics visible in Table 4.8.
+func yelpSpec() *TopicSpec {
+	return &TopicSpec{
+		Name:     "yelp reviews",
+		Unigrams: []string{"good", "place", "time", "great", "love", "staff", "nice", "friendly"},
+		Children: []*TopicSpec{
+			{
+				Name: "breakfast and coffee",
+				Phrases: []string{
+					"ice cream", "iced tea", "french toast", "hash browns", "eggs benedict",
+					"peanut butter", "cup of coffee", "scrambled eggs", "frozen yogurt",
+				},
+				Unigrams: []string{"coffee", "breakfast", "eggs", "tea", "chocolate", "cream", "cake", "sweet"},
+			},
+			{
+				Name: "asian food",
+				Phrases: []string{
+					"spring rolls", "fried rice", "egg rolls", "chinese food", "pad thai",
+					"dim sum", "thai food", "lunch specials", "sushi rolls",
+				},
+				Unigrams: []string{"food", "chicken", "rice", "sushi", "roll", "noodles", "ordered", "dish"},
+			},
+			{
+				Name: "hotels",
+				Phrases: []string{
+					"parking lot", "front desk", "room was clean", "pool area", "staying at the hotel",
+					"free wifi", "spring training", "dog park", "staff is friendly",
+				},
+				Unigrams: []string{"room", "hotel", "parking", "stay", "pool", "clean", "area", "desk"},
+			},
+			{
+				Name: "grocery stores",
+				Phrases: []string{
+					"grocery store", "great selection", "farmers market", "great prices", "parking lot",
+					"shopping center", "prices are reasonable", "love this place", "wal mart",
+				},
+				Unigrams: []string{"store", "shop", "prices", "selection", "buy", "items", "market", "find"},
+			},
+			{
+				Name: "mexican food",
+				Phrases: []string{
+					"mexican food", "chips and salsa", "carne asada", "fish tacos", "sweet potato fries",
+					"rice and beans", "hot dog", "mac and cheese", "food was good",
+				},
+				Unigrams: []string{"tacos", "burger", "fries", "cheese", "salsa", "burrito", "beans", "ordered"},
+			},
+		},
+	}
+}
+
+// apNewsSpec reproduces the AP-news (1989) topics of Table 4.7.
+func apNewsSpec() *TopicSpec {
+	return &TopicSpec{
+		Name:     "ap news",
+		Unigrams: []string{"year", "state", "officials", "reported", "government", "national"},
+		Children: []*TopicSpec{
+			{
+				Name: "environment and energy",
+				Phrases: []string{
+					"energy department", "environmental protection agency", "nuclear weapons", "acid rain",
+					"nuclear power plant", "hazardous waste", "savannah river", "natural gas",
+				},
+				Unigrams: []string{"plant", "nuclear", "environmental", "energy", "waste", "chemical", "power"},
+			},
+			{
+				Name: "religion",
+				Phrases: []string{
+					"roman catholic", "pope john paul", "catholic church", "anti semitism",
+					"baptist church", "lutheran church", "church members", "episcopal church",
+				},
+				Unigrams: []string{"church", "catholic", "religious", "bishop", "pope", "jewish", "christian"},
+			},
+			{
+				Name: "middle east",
+				Phrases: []string{
+					"gaza strip", "west bank", "palestine liberation organization", "arab reports",
+					"prime minister", "israel radio", "occupied territories", "occupied west bank",
+				},
+				Unigrams: []string{"palestinian", "israeli", "israel", "arab", "plo", "army", "occupied"},
+			},
+			{
+				Name: "government and budget",
+				Phrases: []string{
+					"president bush", "white house", "bush administration", "house and senate",
+					"members of congress", "defense secretary", "capital gains tax", "pay raise",
+				},
+				Unigrams: []string{"bush", "house", "senate", "congress", "tax", "budget", "committee"},
+			},
+			{
+				Name: "health care",
+				Phrases: []string{
+					"health care", "medical center", "aids virus", "drug abuse",
+					"food and drug administration", "aids patients", "centers for disease control", "heart disease",
+				},
+				Unigrams: []string{"drug", "health", "aids", "hospital", "medical", "patients", "disease"},
+			},
+		},
+	}
+}
+
+// abstractsSpec reproduces the DBLP-abstracts topics of Table 4.6 by reusing
+// five areas of the CS tree with their subtopic vocabulary merged (abstracts
+// mix subtopic language freely).
+func abstractsSpec() *TopicSpec {
+	cs := dblpSpec()
+	root := &TopicSpec{Name: "cs abstracts", Unigrams: cs.Unigrams}
+	pick := []int{0, 1, 3, 4, 5} // databases, data mining, ML, NLP, AI
+	for _, i := range pick {
+		area := cs.Children[i]
+		merged := &TopicSpec{Name: area.Name, Phrases: append([]string(nil), area.Phrases...),
+			Unigrams: append([]string(nil), area.Unigrams...)}
+		for _, sub := range area.Children {
+			merged.Phrases = append(merged.Phrases, sub.Phrases...)
+			merged.Unigrams = append(merged.Unigrams, sub.Unigrams...)
+		}
+		root.Children = append(root.Children, merged)
+	}
+	return root
+}

@@ -1,0 +1,264 @@
+package synth
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"lesm/internal/core"
+)
+
+func TestSpecFlattenAndLeaves(t *testing.T) {
+	s := dblpSpec()
+	if len(s.Children) != 6 {
+		t.Fatalf("areas = %d, want 6", len(s.Children))
+	}
+	if got := len(s.Leaves()); got != 24 {
+		t.Fatalf("leaves = %d, want 24", got)
+	}
+	if got := len(s.Flatten()); got != 31 {
+		t.Fatalf("flatten = %d, want 31 (root+6+24)", got)
+	}
+}
+
+func TestNewsSpecShape(t *testing.T) {
+	s := newsSpec()
+	if len(s.Children) != 16 {
+		t.Fatalf("stories = %d", len(s.Children))
+	}
+	for _, st := range s.Children {
+		if len(st.Children) != 2 {
+			t.Fatalf("story %q has %d subtopics", st.Name, len(st.Children))
+		}
+	}
+}
+
+func TestDBLPDeterministic(t *testing.T) {
+	cfg := DBLPConfig{NumPapers: 200, NumAuthors: 60, Seed: 42}
+	a := DBLP(cfg)
+	b := DBLP(cfg)
+	if len(a.Docs) != 200 || len(b.Docs) != 200 {
+		t.Fatalf("doc counts %d,%d", len(a.Docs), len(b.Docs))
+	}
+	if !reflect.DeepEqual(a.Truth.DocLeaf, b.Truth.DocLeaf) {
+		t.Fatal("DocLeaf differs between runs with same seed")
+	}
+	if !reflect.DeepEqual(a.Corpus.Docs[17].Tokens, b.Corpus.Docs[17].Tokens) {
+		t.Fatal("tokens differ between runs with same seed")
+	}
+}
+
+func TestDBLPStructure(t *testing.T) {
+	ds := DBLP(DBLPConfig{NumPapers: 500, NumAuthors: 120, Seed: 7})
+	if ds.NumNodes[1] != 120 {
+		t.Fatalf("authors = %d", ds.NumNodes[1])
+	}
+	if ds.NumNodes[2] != 20 {
+		t.Fatalf("venues = %d, want 20 conferences", ds.NumNodes[2])
+	}
+	for d, rec := range ds.Docs {
+		if len(rec.Tokens) < 6 {
+			t.Fatalf("doc %d too short: %d", d, len(rec.Tokens))
+		}
+		if len(rec.Entities[1]) == 0 {
+			t.Fatalf("doc %d has no authors", d)
+		}
+		if len(rec.Entities[2]) != 1 {
+			t.Fatalf("doc %d venue count = %d", d, len(rec.Entities[2]))
+		}
+	}
+	// Most papers should be in their venue's area (noise is 5%).
+	agree := 0
+	for d := range ds.Docs {
+		vi := ds.Docs[d].Entities[2][0]
+		vaff := ds.Truth.EntityAffinity(2, vi)
+		leaf := ds.Truth.DocLeaf[d]
+		if vaff[leaf] > 0 {
+			agree++
+		}
+	}
+	if frac := float64(agree) / float64(len(ds.Docs)); frac < 0.9 {
+		t.Fatalf("venue-area agreement = %v, want >= 0.9", frac)
+	}
+}
+
+func TestDBLPAreaOnly(t *testing.T) {
+	ds := DBLP(DBLPConfig{NumPapers: 100, NumAuthors: 40, Seed: 1, AreaOnly: 1})
+	if ds.Truth.NumLeaves() != 4 {
+		t.Fatalf("DB-area leaves = %d, want 4", ds.Truth.NumLeaves())
+	}
+	if ds.NumNodes[2] != 5 {
+		t.Fatalf("DB-area venues = %d, want 5", ds.NumNodes[2])
+	}
+}
+
+func TestAffinitiesSumToOne(t *testing.T) {
+	ds := DBLP(DBLPConfig{NumPapers: 100, NumAuthors: 40, Seed: 3})
+	tr := ds.Truth
+	sum := func(x []float64) float64 {
+		s := 0.0
+		for _, v := range x {
+			s += v
+		}
+		return s
+	}
+	for _, w := range []string{"query", "learning", "nonexistentword"} {
+		if s := sum(tr.WordAffinity(w)); math.Abs(s-1) > 1e-9 {
+			t.Fatalf("WordAffinity(%q) sums to %v", w, s)
+		}
+	}
+	if s := sum(tr.PhraseAffinity("support vector machines")); math.Abs(s-1) > 1e-9 {
+		t.Fatalf("phrase affinity sums to %v", s)
+	}
+	// A leaf phrase should be concentrated on one leaf.
+	aff := tr.PhraseAffinity("query optimization")
+	max := 0.0
+	for _, v := range aff {
+		if v > max {
+			max = v
+		}
+	}
+	if max < 0.99 {
+		t.Fatalf("leaf phrase affinity max = %v, want concentrated", max)
+	}
+	// An area phrase should be spread over the area's 4 leaves.
+	aff = tr.PhraseAffinity("database systems")
+	nz := 0
+	for _, v := range aff {
+		if v > 0 {
+			nz++
+		}
+	}
+	if nz != 4 {
+		t.Fatalf("area phrase spread over %d leaves, want 4", nz)
+	}
+}
+
+func TestNewsDataset(t *testing.T) {
+	ds := News(NewsConfig{NumArticles: 300, Seed: 5, Stories: 4})
+	if ds.Truth.NumLeaves() != 8 {
+		t.Fatalf("4 stories should give 8 leaves, got %d", ds.Truth.NumLeaves())
+	}
+	if len(ds.Docs) != 300 {
+		t.Fatalf("articles = %d", len(ds.Docs))
+	}
+	for d, rec := range ds.Docs {
+		if len(rec.Entities[1]) == 0 || len(rec.Entities[2]) == 0 {
+			t.Fatalf("doc %d missing entities", d)
+		}
+	}
+	n := ds.CollapsedNetwork(0)
+	if n.NumTypes() != 3 {
+		t.Fatalf("types = %d", n.NumTypes())
+	}
+	// All six pair types should have links.
+	if n.TotalLinks() == 0 {
+		t.Fatal("no links")
+	}
+}
+
+func TestCollapsedNetworkSkipsVenueVenue(t *testing.T) {
+	ds := DBLP(DBLPConfig{NumPapers: 150, NumAuthors: 50, Seed: 2})
+	n := ds.CollapsedNetwork(0)
+	if got := len(n.Links[core22()]); got != 0 {
+		t.Fatalf("venue-venue links = %d, want 0", got)
+	}
+	if n.Names[2][0] == "" {
+		t.Fatal("venue names missing")
+	}
+}
+
+func core22() (p struct{ X, Y core.TypeID }) { p.X, p.Y = 2, 2; return }
+
+func TestArxivLabels(t *testing.T) {
+	ds := Arxiv(TextConfig{NumDocs: 250, Seed: 9})
+	if ds.Truth.NumLeaves() != 5 {
+		t.Fatalf("leaves = %d", ds.Truth.NumLeaves())
+	}
+	counts := make([]int, 5)
+	for _, l := range ds.Truth.DocLabel {
+		counts[l]++
+	}
+	for i, c := range counts {
+		if c == 0 {
+			t.Fatalf("subfield %d has no docs", i)
+		}
+	}
+}
+
+func TestLongTextDomains(t *testing.T) {
+	for _, dom := range []LongTextDomain{DomainAbstracts, DomainAPNews, DomainYelp} {
+		ds := LongText(dom, TextConfig{NumDocs: 50, Seed: 11})
+		if len(ds.Docs) != 50 {
+			t.Fatalf("domain %d: docs = %d", dom, len(ds.Docs))
+		}
+		if len(ds.Corpus.Docs[0].Tokens) < 20 {
+			t.Fatalf("domain %d: long-text docs too short (%d)", dom, len(ds.Corpus.Docs[0].Tokens))
+		}
+	}
+}
+
+func TestGenealogySimulation(t *testing.T) {
+	g := NewGenealogy(GenealogyConfig{Seed: 13})
+	if g.NumAuthors < 50 {
+		t.Fatalf("authors = %d, too few", g.NumAuthors)
+	}
+	if len(g.Papers) < 500 {
+		t.Fatalf("papers = %d, too few", len(g.Papers))
+	}
+	advised := g.NumAdvised()
+	if advised < g.NumAuthors/2 {
+		t.Fatalf("advised = %d of %d, too few", advised, g.NumAuthors)
+	}
+	// Advisor must always predate the student and intervals must be sane.
+	firstYear := make([]int, g.NumAuthors)
+	for i := range firstYear {
+		firstYear[i] = 1 << 30
+	}
+	for _, p := range g.Papers {
+		for _, a := range p.Authors {
+			if p.Year < firstYear[a] {
+				firstYear[a] = p.Year
+			}
+		}
+	}
+	for a, adv := range g.AdvisorOf {
+		if adv < 0 {
+			continue
+		}
+		if g.AdviseStart[a] > g.AdviseEnd[a] {
+			t.Fatalf("author %d: interval [%d,%d]", a, g.AdviseStart[a], g.AdviseEnd[a])
+		}
+		if firstYear[adv] < 1<<30 && firstYear[a] < 1<<30 && firstYear[adv] > firstYear[a] {
+			t.Fatalf("author %d starts before advisor %d", a, adv)
+		}
+	}
+	// No advising cycles: follow advisor chain, must terminate.
+	for a := range g.AdvisorOf {
+		seen := map[int]bool{}
+		cur := a
+		for g.AdvisorOf[cur] >= 0 {
+			if seen[cur] {
+				t.Fatalf("cycle at author %d", a)
+			}
+			seen[cur] = true
+			cur = g.AdvisorOf[cur]
+		}
+	}
+	// Determinism.
+	g2 := NewGenealogy(GenealogyConfig{Seed: 13})
+	if !reflect.DeepEqual(g.AdvisorOf, g2.AdvisorOf) || len(g.Papers) != len(g2.Papers) {
+		t.Fatal("genealogy not deterministic")
+	}
+}
+
+func TestMakeNamesUnique(t *testing.T) {
+	names := makeNames(500)
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Fatalf("duplicate name %q", n)
+		}
+		seen[n] = true
+	}
+}

@@ -1,0 +1,101 @@
+package textkit
+
+// Document is a sequence of vocabulary token ids, optionally broken into
+// phrase-invariant segments (Section 4.3.1). Tokens is the concatenation of
+// all segments.
+type Document struct {
+	Tokens   []int
+	Segments [][]int
+}
+
+// Corpus holds an id-encoded document collection together with its
+// vocabulary. This is the standard input to the topic and phrase mining
+// algorithms.
+type Corpus struct {
+	Vocab *Vocabulary
+	Docs  []Document
+}
+
+// NewCorpus returns an empty corpus with a fresh vocabulary.
+func NewCorpus() *Corpus {
+	return &Corpus{Vocab: NewVocabulary()}
+}
+
+// AddText processes raw text through the pipeline and appends the resulting
+// document, returning its index.
+func (c *Corpus) AddText(text string, p Pipeline) int {
+	segs := p.ProcessSegments(text)
+	var d Document
+	for _, seg := range segs {
+		ids := make([]int, len(seg))
+		for i, w := range seg {
+			ids[i] = c.Vocab.Add(w)
+		}
+		d.Segments = append(d.Segments, ids)
+		d.Tokens = append(d.Tokens, ids...)
+	}
+	c.Docs = append(c.Docs, d)
+	return len(c.Docs) - 1
+}
+
+// AddTokens appends a document from already-processed token strings as a
+// single segment, returning its index.
+func (c *Corpus) AddTokens(tokens []string) int {
+	ids := make([]int, len(tokens))
+	for i, w := range tokens {
+		ids[i] = c.Vocab.Add(w)
+	}
+	c.Docs = append(c.Docs, Document{Tokens: ids, Segments: [][]int{ids}})
+	return len(c.Docs) - 1
+}
+
+// TotalTokens returns the corpus length L = sum of document lengths.
+func (c *Corpus) TotalTokens() int {
+	n := 0
+	for _, d := range c.Docs {
+		n += len(d.Tokens)
+	}
+	return n
+}
+
+// WordCounts returns the corpus-wide frequency f(v) of every word id.
+func (c *Corpus) WordCounts() []int {
+	counts := make([]int, c.Vocab.Size())
+	for _, d := range c.Docs {
+		for _, t := range d.Tokens {
+			counts[t]++
+		}
+	}
+	return counts
+}
+
+// DocFrequency returns, for every word id, the number of documents
+// containing it at least once.
+func (c *Corpus) DocFrequency() []int {
+	df := make([]int, c.Vocab.Size())
+	seen := make([]int, c.Vocab.Size())
+	for i := range seen {
+		seen[i] = -1
+	}
+	for di, d := range c.Docs {
+		for _, t := range d.Tokens {
+			if seen[t] != di {
+				seen[t] = di
+				df[t]++
+			}
+		}
+	}
+	return df
+}
+
+// Phrase renders a sequence of word ids as a space-joined string.
+func (c *Corpus) Phrase(ids []int) string {
+	s := ""
+	for i, id := range ids {
+		if i > 0 {
+			s += " "
+		}
+		s += c.Vocab.Word(id)
+	}
+	return s
+}

@@ -1,0 +1,236 @@
+package textkit
+
+// PorterStem implements the classic Porter stemming algorithm (Porter 1980),
+// used by the paper's long-text experiments (Section 4.4.2) to collapse
+// inflectional variants ("cooking", "cooked" -> "cook").
+//
+// The implementation follows the original five-step description. It operates
+// on lowercase ASCII words; words shorter than three characters are returned
+// unchanged, as in the reference implementation.
+func PorterStem(word string) string {
+	if len(word) <= 2 {
+		return word
+	}
+	b := []byte(word)
+	for _, c := range b {
+		if c < 'a' || c > 'z' {
+			return word // non-ASCII-lowercase input: leave untouched
+		}
+	}
+	b = step1a(b)
+	b = step1b(b)
+	b = step1c(b)
+	b = step2(b)
+	b = step3(b)
+	b = step4(b)
+	b = step5a(b)
+	b = step5b(b)
+	return string(b)
+}
+
+// isConsonant reports whether b[i] is a consonant per Porter's definition:
+// 'y' is a consonant when at position 0 or preceded by a vowel position.
+func isConsonant(b []byte, i int) bool {
+	switch b[i] {
+	case 'a', 'e', 'i', 'o', 'u':
+		return false
+	case 'y':
+		if i == 0 {
+			return true
+		}
+		return !isConsonant(b, i-1)
+	}
+	return true
+}
+
+// measure computes m, the number of VC sequences in b[:len(b)].
+func measure(b []byte) int {
+	n, i := 0, 0
+	// skip initial consonants
+	for i < len(b) && isConsonant(b, i) {
+		i++
+	}
+	for i < len(b) {
+		// in vowel run
+		for i < len(b) && !isConsonant(b, i) {
+			i++
+		}
+		if i >= len(b) {
+			break
+		}
+		n++
+		for i < len(b) && isConsonant(b, i) {
+			i++
+		}
+	}
+	return n
+}
+
+func hasVowel(b []byte) bool {
+	for i := range b {
+		if !isConsonant(b, i) {
+			return true
+		}
+	}
+	return false
+}
+
+// endsDoubleConsonant reports whether b ends with a double consonant.
+func endsDoubleConsonant(b []byte) bool {
+	n := len(b)
+	return n >= 2 && b[n-1] == b[n-2] && isConsonant(b, n-1)
+}
+
+// endsCVC reports whether b ends consonant-vowel-consonant where the final
+// consonant is not w, x or y.
+func endsCVC(b []byte) bool {
+	n := len(b)
+	if n < 3 {
+		return false
+	}
+	if !isConsonant(b, n-3) || isConsonant(b, n-2) || !isConsonant(b, n-1) {
+		return false
+	}
+	switch b[n-1] {
+	case 'w', 'x', 'y':
+		return false
+	}
+	return true
+}
+
+func hasSuffix(b []byte, s string) bool {
+	if len(b) < len(s) {
+		return false
+	}
+	return string(b[len(b)-len(s):]) == s
+}
+
+// replaceSuffix replaces suffix old (assumed present) with new.
+func replaceSuffix(b []byte, old, new string) []byte {
+	return append(b[:len(b)-len(old)], new...)
+}
+
+func step1a(b []byte) []byte {
+	switch {
+	case hasSuffix(b, "sses"):
+		return replaceSuffix(b, "sses", "ss")
+	case hasSuffix(b, "ies"):
+		return replaceSuffix(b, "ies", "i")
+	case hasSuffix(b, "ss"):
+		return b
+	case hasSuffix(b, "s"):
+		return b[:len(b)-1]
+	}
+	return b
+}
+
+func step1b(b []byte) []byte {
+	if hasSuffix(b, "eed") {
+		if measure(b[:len(b)-3]) > 0 {
+			return b[:len(b)-1]
+		}
+		return b
+	}
+	fix := false
+	if hasSuffix(b, "ed") && hasVowel(b[:len(b)-2]) {
+		b = b[:len(b)-2]
+		fix = true
+	} else if hasSuffix(b, "ing") && hasVowel(b[:len(b)-3]) {
+		b = b[:len(b)-3]
+		fix = true
+	}
+	if fix {
+		switch {
+		case hasSuffix(b, "at"), hasSuffix(b, "bl"), hasSuffix(b, "iz"):
+			b = append(b, 'e')
+		case endsDoubleConsonant(b) && !hasSuffix(b, "l") && !hasSuffix(b, "s") && !hasSuffix(b, "z"):
+			b = b[:len(b)-1]
+		case measure(b) == 1 && endsCVC(b):
+			b = append(b, 'e')
+		}
+	}
+	return b
+}
+
+func step1c(b []byte) []byte {
+	if hasSuffix(b, "y") && hasVowel(b[:len(b)-1]) {
+		b[len(b)-1] = 'i'
+	}
+	return b
+}
+
+var step2Rules = []struct{ old, new string }{
+	{"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"}, {"anci", "ance"},
+	{"izer", "ize"}, {"abli", "able"}, {"alli", "al"}, {"entli", "ent"},
+	{"eli", "e"}, {"ousli", "ous"}, {"ization", "ize"}, {"ation", "ate"},
+	{"ator", "ate"}, {"alism", "al"}, {"iveness", "ive"}, {"fulness", "ful"},
+	{"ousness", "ous"}, {"aliti", "al"}, {"iviti", "ive"}, {"biliti", "ble"},
+}
+
+func step2(b []byte) []byte {
+	for _, r := range step2Rules {
+		if hasSuffix(b, r.old) {
+			if measure(b[:len(b)-len(r.old)]) > 0 {
+				return replaceSuffix(b, r.old, r.new)
+			}
+			return b
+		}
+	}
+	return b
+}
+
+var step3Rules = []struct{ old, new string }{
+	{"icate", "ic"}, {"ative", ""}, {"alize", "al"}, {"iciti", "ic"},
+	{"ical", "ic"}, {"ful", ""}, {"ness", ""},
+}
+
+func step3(b []byte) []byte {
+	for _, r := range step3Rules {
+		if hasSuffix(b, r.old) {
+			if measure(b[:len(b)-len(r.old)]) > 0 {
+				return replaceSuffix(b, r.old, r.new)
+			}
+			return b
+		}
+	}
+	return b
+}
+
+var step4Suffixes = []string{
+	"al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+	"ment", "ent", "ion", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+}
+
+func step4(b []byte) []byte {
+	for _, s := range step4Suffixes {
+		if hasSuffix(b, s) {
+			stem := b[:len(b)-len(s)]
+			if measure(stem) > 1 {
+				if s == "ion" && len(stem) > 0 && stem[len(stem)-1] != 's' && stem[len(stem)-1] != 't' {
+					return b
+				}
+				return stem
+			}
+			return b
+		}
+	}
+	return b
+}
+
+func step5a(b []byte) []byte {
+	if hasSuffix(b, "e") {
+		stem := b[:len(b)-1]
+		m := measure(stem)
+		if m > 1 || (m == 1 && !endsCVC(stem)) {
+			return stem
+		}
+	}
+	return b
+}
+
+func step5b(b []byte) []byte {
+	if measure(b) > 1 && endsDoubleConsonant(b) && hasSuffix(b, "l") {
+		return b[:len(b)-1]
+	}
+	return b
+}

@@ -1,0 +1,41 @@
+package textkit
+
+// stopwords is a standard English stopword list (the SMART-style subset
+// commonly used for topic modeling preprocessing).
+var stopwords = map[string]struct{}{}
+
+func init() {
+	for _, w := range stopwordList {
+		stopwords[w] = struct{}{}
+	}
+}
+
+// IsStopword reports whether the lowercase token w is an English stopword.
+func IsStopword(w string) bool {
+	_, ok := stopwords[w]
+	return ok
+}
+
+var stopwordList = []string{
+	"a", "about", "above", "after", "again", "against", "all", "also", "am",
+	"an", "and", "any", "are", "aren", "as", "at", "be", "because", "been",
+	"before", "being", "below", "between", "both", "but", "by", "can",
+	"cannot", "could", "couldn", "did", "didn", "do", "does", "doesn",
+	"doing", "don", "down", "during", "each", "few", "for", "from",
+	"further", "had", "hadn", "has", "hasn", "have", "haven", "having",
+	"he", "her", "here", "hers", "herself", "him", "himself", "his", "how",
+	"i", "if", "in", "into", "is", "isn", "it", "its", "itself", "just",
+	"let", "me", "more", "most", "mustn", "my", "myself", "no", "nor",
+	"not", "now", "of", "off", "on", "once", "only", "or", "other", "ought",
+	"our", "ours", "ourselves", "out", "over", "own", "s", "same", "shan",
+	"she", "should", "shouldn", "so", "some", "such", "t", "than", "that",
+	"the", "their", "theirs", "them", "themselves", "then", "there",
+	"these", "they", "this", "those", "through", "to", "too", "under",
+	"until", "up", "upon", "us", "very", "was", "wasn", "we", "were",
+	"weren", "what", "when", "where", "which", "while", "who", "whom",
+	"why", "will", "with", "won", "would", "wouldn", "you", "your",
+	"yours", "yourself", "yourselves",
+	// High-frequency verbs/adverbs that carry no topical content in titles.
+	"using", "based", "via", "towards", "toward", "among", "within",
+	"without", "new", "approach", "study", "case",
+}

@@ -1,0 +1,111 @@
+package textkit
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tokenize lowercases s and splits it into maximal runs of letters and
+// digits. Punctuation separates tokens; purely numeric tokens are kept (they
+// matter for e.g. "20 conferences" style text but are typically removed by
+// stopword filtering in callers that do not want them).
+func Tokenize(s string) []string {
+	var tokens []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() > 0 {
+			tokens = append(tokens, b.String())
+			b.Reset()
+		}
+	}
+	for _, r := range s {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			b.WriteRune(unicode.ToLower(r))
+		default:
+			flush()
+		}
+	}
+	flush()
+	return tokens
+}
+
+// SplitSentences breaks s into phrase-invariant segments at punctuation that
+// cannot be crossed by a phrase (commas, periods, semicolons, colons,
+// question and exclamation marks, parentheses, brackets and slashes), per
+// Section 4.3.1. Each returned segment is raw text to be tokenized.
+func SplitSentences(s string) []string {
+	isBreak := func(r rune) bool {
+		switch r {
+		case ',', '.', ';', ':', '?', '!', '(', ')', '[', ']', '{', '}', '/', '|', '"':
+			return true
+		}
+		return false
+	}
+	var segs []string
+	var b strings.Builder
+	flush := func() {
+		t := strings.TrimSpace(b.String())
+		if t != "" {
+			segs = append(segs, t)
+		}
+		b.Reset()
+	}
+	for _, r := range s {
+		if isBreak(r) {
+			flush()
+			continue
+		}
+		b.WriteRune(r)
+	}
+	flush()
+	return segs
+}
+
+// Pipeline bundles the preprocessing choices applied to raw text before
+// topic or phrase mining.
+type Pipeline struct {
+	// RemoveStopwords drops tokens in the English stopword list.
+	RemoveStopwords bool
+	// Stem applies the Porter stemming algorithm to each kept token.
+	Stem bool
+	// MinLen drops tokens shorter than this many bytes (after stemming).
+	MinLen int
+}
+
+// DefaultPipeline mirrors the paper's preprocessing: stopwords removed, no
+// stemming (stemming is enabled for the long-text ToPMine experiments).
+var DefaultPipeline = Pipeline{RemoveStopwords: true, MinLen: 2}
+
+// Process tokenizes s and applies the pipeline, returning surviving tokens.
+func (p Pipeline) Process(s string) []string {
+	raw := Tokenize(s)
+	out := raw[:0]
+	for _, t := range raw {
+		if p.RemoveStopwords && IsStopword(t) {
+			continue
+		}
+		if p.Stem {
+			t = PorterStem(t)
+		}
+		if len(t) < p.MinLen {
+			continue
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// ProcessSegments splits s into phrase-invariant segments and applies the
+// pipeline to each, dropping empty segments. ToPMine consumes this form so
+// that candidate phrases never cross punctuation.
+func (p Pipeline) ProcessSegments(s string) [][]string {
+	var out [][]string
+	for _, seg := range SplitSentences(s) {
+		toks := p.Process(seg)
+		if len(toks) > 0 {
+			out = append(out, toks)
+		}
+	}
+	return out
+}

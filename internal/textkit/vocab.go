@@ -1,0 +1,75 @@
+// Package textkit provides the text-processing substrate used throughout the
+// module: tokenization, stopword removal, Porter stemming, vocabulary
+// management and corpus containers.
+//
+// The paper's pipelines (Section 4.4.2) minimally pre-process text by
+// lowercasing, removing stopwords and optionally stemming with the Porter
+// algorithm; this package reproduces that pipeline with the standard library
+// only.
+package textkit
+
+import "sort"
+
+// Vocabulary is a bidirectional mapping between word strings and dense
+// integer ids. The zero value is ready to use.
+type Vocabulary struct {
+	ids   map[string]int
+	words []string
+}
+
+// NewVocabulary returns an empty vocabulary.
+func NewVocabulary() *Vocabulary {
+	return &Vocabulary{ids: map[string]int{}}
+}
+
+// Add returns the id for w, assigning the next free id if w is new.
+func (v *Vocabulary) Add(w string) int {
+	if v.ids == nil {
+		v.ids = map[string]int{}
+	}
+	if id, ok := v.ids[w]; ok {
+		return id
+	}
+	id := len(v.words)
+	v.ids[w] = id
+	v.words = append(v.words, w)
+	return id
+}
+
+// ID returns the id for w and whether it is present.
+func (v *Vocabulary) ID(w string) (int, bool) {
+	id, ok := v.ids[w]
+	return id, ok
+}
+
+// Word returns the string for id; it panics if id is out of range.
+func (v *Vocabulary) Word(id int) string { return v.words[id] }
+
+// Size returns the number of distinct words.
+func (v *Vocabulary) Size() int { return len(v.words) }
+
+// Words returns a copy of all words ordered by id.
+func (v *Vocabulary) Words() []string {
+	out := make([]string, len(v.words))
+	copy(out, v.words)
+	return out
+}
+
+// TopByCount returns up to k word ids ordered by descending counts[id],
+// breaking ties by id. counts must have length >= Size.
+func (v *Vocabulary) TopByCount(counts []int, k int) []int {
+	ids := make([]int, len(v.words))
+	for i := range ids {
+		ids[i] = i
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		if counts[ids[a]] != counts[ids[b]] {
+			return counts[ids[a]] > counts[ids[b]]
+		}
+		return ids[a] < ids[b]
+	})
+	if k < len(ids) {
+		ids = ids[:k]
+	}
+	return ids
+}

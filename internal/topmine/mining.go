@@ -1,0 +1,181 @@
+// Package topmine implements ToPMine (Section 4.3): frequent contiguous
+// phrase mining with position-based Apriori pruning and data antimonotonicity
+// (Algorithm 1), bottom-up agglomerative document segmentation guided by a
+// collocation significance score (Algorithm 2), and topical phrase ranking
+// over the resulting bag-of-phrases (Section 4.3.3).
+package topmine
+
+import (
+	"encoding/binary"
+
+	"lesm/internal/textkit"
+)
+
+// Config parameterizes phrase mining and segmentation.
+type Config struct {
+	// MinSupport is the frequency threshold mu for a candidate phrase
+	// (default 5; "we can set a minimum support that grows linearly with
+	// corpus size" — callers scale it).
+	MinSupport int
+	// MaxLen caps mined phrase length (default 6).
+	MaxLen int
+	// Alpha is the significance threshold (in standard deviations) for
+	// merging two adjacent phrases during segmentation (default 4).
+	Alpha float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MinSupport == 0 {
+		c.MinSupport = 5
+	}
+	if c.MaxLen == 0 {
+		c.MaxLen = 6
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 4
+	}
+	return c
+}
+
+// Miner holds the aggregate counts produced by frequent phrase mining and
+// answers count queries during segmentation and ranking.
+type Miner struct {
+	cfg    Config
+	counts map[string]int
+	// L is the corpus token count (the null model's number of Bernoulli
+	// trials, Section 4.3.2).
+	L int
+}
+
+// key encodes a word-id sequence as a map key.
+func key(phrase []int) string {
+	b := make([]byte, 4*len(phrase))
+	for i, w := range phrase {
+		binary.LittleEndian.PutUint32(b[4*i:], uint32(w))
+	}
+	return string(b)
+}
+
+// decodeKey reverses key.
+func decodeKey(k string) []int {
+	out := make([]int, len(k)/4)
+	for i := range out {
+		out[i] = int(binary.LittleEndian.Uint32([]byte(k[4*i : 4*i+4])))
+	}
+	return out
+}
+
+// MineFrequentPhrases runs Algorithm 1 over the documents' segments:
+// contiguous candidate phrases are counted level-wise; a position stays
+// active only while the phrase starting there remains frequent (downward
+// closure), and a document leaves consideration once it has no active
+// positions (data antimonotonicity).
+func MineFrequentPhrases(docs []textkit.Document, cfg Config) *Miner {
+	cfg = cfg.withDefaults()
+	m := &Miner{cfg: cfg, counts: map[string]int{}}
+
+	// Work on segments: phrases never cross phrase-invariant punctuation.
+	type seg struct{ toks []int }
+	var segs []seg
+	for _, d := range docs {
+		m.L += len(d.Tokens)
+		for _, s := range d.Segments {
+			segs = append(segs, seg{s})
+		}
+	}
+
+	// Level 1: word counts.
+	for _, s := range segs {
+		for _, w := range s.toks {
+			m.counts[key([]int{w})]++
+		}
+	}
+
+	// active[si] holds the indices where a frequent (n-1)-phrase starts.
+	active := make([][]int, len(segs))
+	alive := make([]int, 0, len(segs))
+	for si, s := range segs {
+		idx := make([]int, len(s.toks))
+		for i := range idx {
+			idx[i] = i
+		}
+		active[si] = idx
+		alive = append(alive, si)
+	}
+
+	buf := make([]int, 0, cfg.MaxLen)
+	for n := 2; n <= cfg.MaxLen && len(alive) > 0; n++ {
+		level := map[string]int{}
+		var nextAlive []int
+		for _, si := range alive {
+			toks := segs[si].toks
+			// Keep positions whose (n-1)-phrase is frequent and that can
+			// still host an (n-1)-phrase (Algorithm 1, line 1.7; dropping
+			// the boundary position plays the role of line 1.8's
+			// max-index removal).
+			var nxt []int
+			for _, i := range active[si] {
+				if i+n-1 > len(toks) {
+					continue
+				}
+				buf = append(buf[:0], toks[i:i+n-1]...)
+				if m.counts[key(buf)] >= cfg.MinSupport {
+					nxt = append(nxt, i)
+				}
+			}
+			if len(nxt) == 0 {
+				active[si] = nil
+				continue
+			}
+			activeSet := make(map[int]bool, len(nxt))
+			for _, i := range nxt {
+				activeSet[i] = true
+			}
+			counted := false
+			for _, i := range nxt {
+				if activeSet[i+1] && i+n <= len(toks) {
+					level[key(toks[i:i+n])]++
+					counted = true
+				}
+			}
+			active[si] = nxt
+			if counted || len(nxt) > 0 {
+				nextAlive = append(nextAlive, si)
+			}
+		}
+		// Promote frequent n-phrases into the global counter.
+		promoted := false
+		for k, c := range level {
+			if c >= cfg.MinSupport {
+				m.counts[k] = c
+				promoted = true
+			}
+		}
+		if !promoted {
+			break
+		}
+		alive = nextAlive
+	}
+
+	// Drop infrequent unigrams from the counter? No: unigram counts are
+	// needed for the null model; keep all of them.
+	return m
+}
+
+// Count returns the mined frequency of a phrase (0 if it was pruned).
+func (m *Miner) Count(phrase []int) int { return m.counts[key(phrase)] }
+
+// FrequentPhrases returns every mined phrase of length >= minLen whose count
+// meets the miner's support threshold, with counts.
+func (m *Miner) FrequentPhrases(minLen int) map[string]int {
+	out := map[string]int{}
+	for k, c := range m.counts {
+		if len(k)/4 >= minLen && c >= m.cfg.MinSupport {
+			out[k] = c
+		}
+	}
+	return out
+}
+
+// DecodePhrase converts a FrequentPhrases key back to word ids.
+func DecodePhrase(k string) []int { return decodeKey(k) }

@@ -1,0 +1,210 @@
+package topmine
+
+import (
+	"math"
+	"sort"
+
+	"lesm/internal/core"
+	"lesm/internal/lda"
+	"lesm/internal/textkit"
+)
+
+// Result bundles the full ToPMine pipeline output: mined counts, the induced
+// bag-of-phrases partition, the phrase-constrained topic model, and the
+// ranked topical phrases per topic.
+type Result struct {
+	Miner     *Miner
+	Partition []lda.PhraseDoc
+	Model     *lda.Model
+	// Topics[t] is the ranked phrase list of topic t (background topic
+	// excluded when present).
+	Topics [][]core.RankedPhrase
+}
+
+// RankConfig controls topical phrase ranking (Section 4.3.3).
+type RankConfig struct {
+	// Omega mixes purity-driven pointwise KL with the significance prior
+	// (default 0.5): (1-ω)·r_t(P) + ω·p(P|t)·log sig(P).
+	Omega float64
+	// TopN truncates each topic's ranked list (default 30).
+	TopN int
+}
+
+func (c RankConfig) withDefaults() RankConfig {
+	if c.Omega == 0 {
+		c.Omega = 0.5
+	}
+	if c.TopN == 0 {
+		c.TopN = 30
+	}
+	return c
+}
+
+// Run executes mining, segmentation, PhraseLDA and ranking end to end.
+func Run(corpus *textkit.Corpus, cfg Config, ldaCfg lda.Config, rankCfg RankConfig) *Result {
+	miner := MineFrequentPhrases(corpus.Docs, cfg)
+	partition := miner.SegmentCorpus(corpus.Docs)
+	model := lda.RunPhrases(partition, corpus.Vocab.Size(), ldaCfg)
+	topics := RankPhrases(corpus, miner, partition, model, rankCfg)
+	return &Result{Miner: miner, Partition: partition, Model: model, Topics: topics}
+}
+
+// RankPhrases ranks every phrase within every topic by
+// (1-ω)·p(P|t)·log(p(P|t)/p(P)) + ω·p(P|t)·log sig(P), the Section 4.3.3
+// ranking function with the corpus as the parent topic.
+func RankPhrases(corpus *textkit.Corpus, miner *Miner, partition []lda.PhraseDoc, model *lda.Model, cfg RankConfig) [][]core.RankedPhrase {
+	cfg = cfg.withDefaults()
+	k := model.K
+	// Count phrase instances per topic from the sampled assignments.
+	cnt := make([]map[string]float64, k)
+	for t := range cnt {
+		cnt[t] = map[string]float64{}
+	}
+	totals := make([]float64, k)
+	globalCnt := map[string]float64{}
+	globalTotal := 0.0
+	for d, doc := range partition {
+		for p, phrase := range doc {
+			t := model.PhraseZ[d][p]
+			if t >= k { // background topic: not ranked
+				continue
+			}
+			ky := key(phrase)
+			cnt[t][ky]++
+			totals[t]++
+			globalCnt[ky]++
+			globalTotal++
+		}
+	}
+	out := make([][]core.RankedPhrase, k)
+	for t := 0; t < k; t++ {
+		var ranked []core.RankedPhrase
+		for ky, c := range cnt[t] {
+			words := decodeKey(ky)
+			// Multiword phrases must be mined-frequent; unigrams must meet
+			// support too.
+			if miner.Count(words) < miner.cfg.MinSupport {
+				continue
+			}
+			pt := c / math.Max(totals[t], 1)
+			pg := globalCnt[ky] / math.Max(globalTotal, 1)
+			rt := 0.0
+			if pt > 0 && pg > 0 {
+				rt = pt * math.Log(pt/pg)
+			}
+			s := miner.phraseSignificance(words)
+			if s < 1 {
+				s = 1
+			}
+			score := (1-cfg.Omega)*rt + cfg.Omega*pt*math.Log(s)
+			ranked = append(ranked, core.RankedPhrase{
+				Words:   words,
+				Display: corpus.Phrase(words),
+				Score:   score,
+			})
+		}
+		sort.SliceStable(ranked, func(a, b int) bool {
+			if ranked[a].Score != ranked[b].Score {
+				return ranked[a].Score > ranked[b].Score
+			}
+			return ranked[a].Display < ranked[b].Display
+		})
+		if len(ranked) > cfg.TopN {
+			ranked = ranked[:cfg.TopN]
+		}
+		out[t] = ranked
+	}
+	return out
+}
+
+// phraseSignificance generalizes Eq. 4.7 to a whole phrase against the
+// independence of all of its words; unigrams score 1 (no collocation
+// evidence either way).
+func (m *Miner) phraseSignificance(phrase []int) float64 {
+	if len(phrase) < 2 {
+		return 1
+	}
+	f := float64(m.Count(phrase))
+	if f <= 0 {
+		return 0
+	}
+	l := float64(m.L)
+	exp := l
+	for _, w := range phrase {
+		exp *= float64(m.Count([]int{w})) / l
+	}
+	return (f - exp) / math.Sqrt(f)
+}
+
+// VisualizeHierarchy attaches ranked phrases to every topic of a CATHY-built
+// hierarchy: each mined phrase's corpus frequency is attributed down the
+// tree with Eq. 4.3/4.8, and each topic ranks phrases by the pointwise
+// KL-divergence of its share against the parent's (Eq. 4.9).
+func VisualizeHierarchy(corpus *textkit.Corpus, miner *Miner, root *core.TopicNode, topN int) {
+	if topN == 0 {
+		topN = 30
+	}
+	type cand struct {
+		words []int
+		freq  float64
+	}
+	var cands []cand
+	for ky, c := range miner.FrequentPhrases(1) {
+		cands = append(cands, cand{decodeKey(ky), float64(c)})
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].freq != cands[b].freq {
+			return cands[a].freq > cands[b].freq
+		}
+		return key(cands[a].words) < key(cands[b].words)
+	})
+	// Attribute each phrase's frequency to every topic, then score.
+	freqAt := map[string]map[string]float64{} // phrase key -> topic path -> freq
+	for _, c := range cands {
+		freqAt[key(c.words)] = root.AttributeFrequency(c.words, c.freq)
+	}
+	totals := map[string]float64{}
+	for _, byTopic := range freqAt {
+		for path, f := range byTopic {
+			totals[path] += f
+		}
+	}
+	root.Walk(func(n *core.TopicNode) {
+		if n.Parent() == nil {
+			return
+		}
+		parent := n.Parent()
+		var ranked []core.RankedPhrase
+		for _, c := range cands {
+			ky := key(c.words)
+			ft := freqAt[ky][n.Path]
+			fp := freqAt[ky][parent.Path]
+			if ft < 1 {
+				continue
+			}
+			pt := ft / math.Max(totals[n.Path], 1)
+			pp := fp / math.Max(totals[parent.Path], 1)
+			if pp <= 0 {
+				pp = 1e-12
+			}
+			score := pt * math.Log(pt/pp)
+			// Mild significance prior keeps junk n-grams out.
+			if s := m2sig(miner, c.words); s > 1 {
+				score += 0.1 * pt * math.Log(s)
+			}
+			ranked = append(ranked, core.RankedPhrase{Words: c.words, Display: corpus.Phrase(c.words), Score: score})
+		}
+		sort.SliceStable(ranked, func(a, b int) bool {
+			if ranked[a].Score != ranked[b].Score {
+				return ranked[a].Score > ranked[b].Score
+			}
+			return ranked[a].Display < ranked[b].Display
+		})
+		if len(ranked) > topN {
+			ranked = ranked[:topN]
+		}
+		n.Phrases = ranked
+	})
+}
+
+func m2sig(m *Miner, words []int) float64 { return m.phraseSignificance(words) }

@@ -1,0 +1,75 @@
+package topmine
+
+import (
+	"math"
+
+	"lesm/internal/lda"
+	"lesm/internal/textkit"
+)
+
+// sig computes the collocation significance of merging adjacent phrases p1
+// and p2 (Eq. 4.7): the number of standard deviations by which the observed
+// count of the concatenation exceeds its expectation under the
+// independent-Bernoulli null model, with the sample count as the variance
+// estimate.
+func (m *Miner) sig(p1, p2 []int) float64 {
+	joint := make([]int, 0, len(p1)+len(p2))
+	joint = append(joint, p1...)
+	joint = append(joint, p2...)
+	fJoint := float64(m.Count(joint))
+	if fJoint < float64(m.cfg.MinSupport) {
+		return math.Inf(-1) // merged phrase not frequent: cannot merge
+	}
+	l := float64(m.L)
+	mu := l * (float64(m.Count(p1)) / l) * (float64(m.Count(p2)) / l)
+	return (fJoint - mu) / math.Sqrt(fJoint)
+}
+
+// Segment induces a partition of a document into a bag of phrases
+// (Algorithm 2): adjacent phrase instances are merged bottom-up, always
+// taking the currently most significant merge, until no candidate merge
+// reaches the significance threshold. Segments (phrase-invariant punctuation
+// boundaries) are partitioned independently.
+func (m *Miner) Segment(doc textkit.Document) [][]int {
+	var out [][]int
+	for _, seg := range doc.Segments {
+		out = append(out, m.segmentTokens(seg)...)
+	}
+	return out
+}
+
+func (m *Miner) segmentTokens(toks []int) [][]int {
+	// Start from unit phrases.
+	phrases := make([][]int, len(toks))
+	for i, w := range toks {
+		phrases[i] = []int{w}
+	}
+	// Repeatedly apply the best merge. Segments are short (punctuation
+	// bounded), so a scan per merge matches the heap-based Algorithm 2's
+	// result at equivalent asymptotic cost for our segment lengths.
+	for len(phrases) > 1 {
+		best, bestSig := -1, math.Inf(-1)
+		for i := 0; i+1 < len(phrases); i++ {
+			if s := m.sig(phrases[i], phrases[i+1]); s > bestSig {
+				best, bestSig = i, s
+			}
+		}
+		if best < 0 || bestSig < m.cfg.Alpha {
+			break
+		}
+		merged := append(append([]int{}, phrases[best]...), phrases[best+1]...)
+		phrases = append(phrases[:best+1], phrases[best+2:]...)
+		phrases[best] = merged
+	}
+	return phrases
+}
+
+// SegmentCorpus partitions every document, returning the bag-of-phrases form
+// consumed by PhraseLDA.
+func (m *Miner) SegmentCorpus(docs []textkit.Document) []lda.PhraseDoc {
+	out := make([]lda.PhraseDoc, len(docs))
+	for i, d := range docs {
+		out[i] = m.Segment(d)
+	}
+	return out
+}

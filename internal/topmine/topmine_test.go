@@ -1,0 +1,217 @@
+package topmine
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"lesm/internal/lda"
+	"lesm/internal/synth"
+	"lesm/internal/textkit"
+)
+
+func corpusFrom(lines []string) *textkit.Corpus {
+	c := textkit.NewCorpus()
+	for _, l := range lines {
+		c.AddText(l, textkit.Pipeline{MinLen: 1})
+	}
+	return c
+}
+
+func TestMineFrequentPhrasesBasic(t *testing.T) {
+	var lines []string
+	for i := 0; i < 6; i++ {
+		lines = append(lines, "mining frequent patterns quickly")
+	}
+	lines = append(lines, "other words entirely")
+	c := corpusFrom(lines)
+	m := MineFrequentPhrases(c.Docs, Config{MinSupport: 5, MaxLen: 4})
+	id := func(w string) int {
+		i, ok := c.Vocab.ID(w)
+		if !ok {
+			t.Fatalf("missing word %q", w)
+		}
+		return i
+	}
+	if got := m.Count([]int{id("mining"), id("frequent")}); got != 6 {
+		t.Fatalf("count(mining frequent) = %d", got)
+	}
+	if got := m.Count([]int{id("mining"), id("frequent"), id("patterns")}); got != 6 {
+		t.Fatalf("count(trigram) = %d", got)
+	}
+	if got := m.Count([]int{id("other"), id("words")}); got != 0 {
+		t.Fatalf("infrequent bigram counted: %d", got)
+	}
+}
+
+// bruteCounts counts all contiguous n-grams (n >= 2) with support >= mu the
+// naive way, mirroring what Algorithm 1 must produce.
+func bruteCounts(c *textkit.Corpus, mu, maxLen int) map[string]int {
+	raw := map[string]int{}
+	for _, d := range c.Docs {
+		for _, seg := range d.Segments {
+			for n := 2; n <= maxLen; n++ {
+				for i := 0; i+n <= len(seg); i++ {
+					raw[key(seg[i:i+n])]++
+				}
+			}
+		}
+	}
+	out := map[string]int{}
+	for k, v := range raw {
+		if v >= mu {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+func TestMiningMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := textkit.NewCorpus()
+		vocabulary := []string{"a", "b", "c", "d", "e"}
+		for d := 0; d < 30; d++ {
+			ln := 3 + rng.Intn(8)
+			toks := make([]string, ln)
+			for i := range toks {
+				toks[i] = vocabulary[rng.Intn(len(vocabulary))]
+			}
+			c.AddTokens(toks)
+		}
+		mu := 3
+		m := MineFrequentPhrases(c.Docs, Config{MinSupport: mu, MaxLen: 4})
+		want := bruteCounts(c, mu, 4)
+		got := m.FrequentPhrases(2)
+		return reflect.DeepEqual(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSegmentationPartitionProperty(t *testing.T) {
+	ds := synth.DBLPTitles(synth.TextConfig{NumDocs: 400, Seed: 3})
+	m := MineFrequentPhrases(ds.Corpus.Docs, Config{MinSupport: 5, MaxLen: 5})
+	for d, doc := range ds.Corpus.Docs {
+		parts := m.Segment(doc)
+		var rebuilt []int
+		for _, p := range parts {
+			rebuilt = append(rebuilt, p...)
+		}
+		if !reflect.DeepEqual(rebuilt, doc.Tokens) {
+			t.Fatalf("doc %d: partition does not reconstruct document", d)
+		}
+	}
+}
+
+func TestSegmentationFindsKnownPhrases(t *testing.T) {
+	ds := synth.DBLPTitles(synth.TextConfig{NumDocs: 1200, Seed: 4})
+	m := MineFrequentPhrases(ds.Corpus.Docs, Config{MinSupport: 5, MaxLen: 5, Alpha: 3})
+	found := 0
+	checked := 0
+	for _, doc := range ds.Corpus.Docs[:300] {
+		for _, p := range m.Segment(doc) {
+			if len(p) >= 2 {
+				phrase := ds.Corpus.Phrase(p)
+				checked++
+				// Count how many multi-word segments are true generator
+				// phrases (or contiguous parts of them).
+				aff := ds.Truth.PhraseAffinity(phrase)
+				max := 0.0
+				for _, v := range aff {
+					if v > max {
+						max = v
+					}
+				}
+				if max > 0.2 {
+					found++
+				}
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("segmentation produced no multiword phrases")
+	}
+	if frac := float64(found) / float64(checked); frac < 0.6 {
+		t.Fatalf("only %v of multiword segments look like true phrases", frac)
+	}
+}
+
+func TestRunPipelineRanksTopicalPhrases(t *testing.T) {
+	ds := synth.Arxiv(synth.TextConfig{NumDocs: 1500, Seed: 5})
+	res := Run(ds.Corpus, Config{MinSupport: 5, MaxLen: 5, Alpha: 3},
+		lda.Config{K: 5, Iters: 120, Seed: 6, Background: true}, RankConfig{TopN: 10})
+	if len(res.Topics) != 5 {
+		t.Fatalf("topics = %d", len(res.Topics))
+	}
+	// Each topic's top phrases should include at least one multiword phrase,
+	// and most top-5 phrases should be topically pure under ground truth.
+	multi := 0
+	pure := 0
+	total := 0
+	for _, topic := range res.Topics {
+		if len(topic) == 0 {
+			t.Fatal("empty topic ranking")
+		}
+		for i, p := range topic {
+			if i >= 5 {
+				break
+			}
+			total++
+			if strings.Contains(p.Display, " ") {
+				multi++
+			}
+			aff := ds.Truth.PhraseAffinity(p.Display)
+			max := 0.0
+			for _, v := range aff {
+				if v > max {
+					max = v
+				}
+			}
+			if max > 0.5 {
+				pure++
+			}
+		}
+	}
+	if multi == 0 {
+		t.Fatal("no multiword phrases in any top-5")
+	}
+	if frac := float64(pure) / float64(total); frac < 0.5 {
+		t.Fatalf("purity of top phrases = %v", frac)
+	}
+}
+
+func TestPhraseSignificanceOrdering(t *testing.T) {
+	// A true collocation should outscore a chance pairing of common words.
+	var lines []string
+	for i := 0; i < 40; i++ {
+		lines = append(lines, "support vector machines are great")
+	}
+	for i := 0; i < 40; i++ {
+		lines = append(lines, "great support indeed friend")
+		lines = append(lines, "vector fields friend great")
+	}
+	c := corpusFrom(lines)
+	m := MineFrequentPhrases(c.Docs, Config{MinSupport: 5, MaxLen: 3})
+	id := func(w string) int { i, _ := c.Vocab.ID(w); return i }
+	svSig := m.phraseSignificance([]int{id("support"), id("vector")})
+	if svSig <= 0 {
+		t.Fatalf("collocation significance = %v", svSig)
+	}
+	if uni := m.phraseSignificance([]int{id("support")}); uni != 1 {
+		t.Fatalf("unigram significance = %v, want 1", uni)
+	}
+}
+
+func TestDecodeKeyRoundTrip(t *testing.T) {
+	f := func(a, b, c uint16) bool {
+		p := []int{int(a), int(b), int(c)}
+		return reflect.DeepEqual(decodeKey(key(p)), p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,91 @@
+package tpfg
+
+import "testing"
+
+// TestPredictionsTemporallyConsistent checks the joint-inference property
+// that motivates TPFG (Assumption 6.1): along any predicted advising chain,
+// an author's own advising interval ends before they start advising their
+// predicted students. Independent per-pair prediction cannot guarantee
+// this; the factor graph should (violations may only arise from ties in the
+// max-product beliefs, so a small tolerance is allowed).
+func TestPredictionsTemporallyConsistent(t *testing.T) {
+	g, papers := genData(179)
+	net := Preprocess(papers, g.NumAuthors, PreprocessOptions{Rules: AllRules})
+	res := Infer(net, Config{})
+	pred := res.Predict()
+
+	// interval[i] = predicted advised interval of i (when advised).
+	type iv struct {
+		ok         bool
+		start, end int
+	}
+	intervals := make([]iv, g.NumAuthors)
+	for i, adv := range pred {
+		if adv < 0 {
+			continue
+		}
+		for _, c := range net.Cands[i] {
+			if c.Advisor == adv {
+				intervals[i] = iv{true, c.Start, c.End}
+			}
+		}
+	}
+	violations, pairs := 0, 0
+	for i, adv := range pred {
+		if adv < 0 || !intervals[adv].ok {
+			continue
+		}
+		pairs++
+		// adv is predicted to advise i starting intervals[i].start while
+		// being advised until intervals[adv].end.
+		if intervals[adv].end >= intervals[i].start {
+			violations++
+		}
+	}
+	if pairs == 0 {
+		t.Fatal("no chained predictions to check")
+	}
+	if frac := float64(violations) / float64(pairs); frac > 0.05 {
+		t.Fatalf("temporal consistency violated on %v of %d chained pairs", frac, pairs)
+	}
+}
+
+// TestIndependentPredictionViolatesConstraints documents the contrast: the
+// IndMAX baseline, which ignores the joint constraints, produces at least
+// as many violations as TPFG on the same network.
+func TestIndependentPredictionViolatesConstraints(t *testing.T) {
+	g, papers := genData(181)
+	net := Preprocess(papers, g.NumAuthors, PreprocessOptions{Rules: AllRules})
+
+	count := func(pred []int) (violations int) {
+		type iv struct {
+			ok         bool
+			start, end int
+		}
+		intervals := make([]iv, g.NumAuthors)
+		for i, adv := range pred {
+			if adv < 0 {
+				continue
+			}
+			for _, c := range net.Cands[i] {
+				if c.Advisor == adv {
+					intervals[i] = iv{true, c.Start, c.End}
+				}
+			}
+		}
+		for i, adv := range pred {
+			if adv < 0 || !intervals[adv].ok {
+				continue
+			}
+			if intervals[adv].end >= intervals[i].start {
+				violations++
+			}
+		}
+		return violations
+	}
+	tpfgV := count(Infer(net, Config{}).Predict())
+	indV := count(IndMaxBaseline(net, 0))
+	if tpfgV > indV {
+		t.Fatalf("TPFG violations (%d) exceed IndMAX (%d)", tpfgV, indV)
+	}
+}

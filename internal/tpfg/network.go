@@ -1,0 +1,312 @@
+// Package tpfg implements the unsupervised hierarchical-relation miner of
+// Section 6.1: Stage 1 preprocesses a temporal collaboration network into a
+// candidate DAG using the Kulczynski and imbalance-ratio sequences
+// (Eq. 6.1-6.2) and the filtering rules R1-R4; Stage 2 runs max-product
+// message passing on the Time-constrained Probabilistic Factor Graph
+// (Eq. 6.4-6.10) to jointly rank every author's candidate advisors.
+//
+// The RULE, IndMAX and logistic-regression baselines of the paper's
+// comparison live in baselines.go.
+package tpfg
+
+import (
+	"math"
+	"sort"
+)
+
+// Paper is one publication record: year plus author ids.
+type Paper struct {
+	Year    int
+	Authors []int
+}
+
+// pairStats tracks the co-publication history of an author pair.
+type pairStats struct {
+	years  []int // sorted distinct years with co-publications
+	counts []int // papers per year
+}
+
+func (p *pairStats) add(year int) {
+	i := sort.SearchInts(p.years, year)
+	if i < len(p.years) && p.years[i] == year {
+		p.counts[i]++
+		return
+	}
+	p.years = append(p.years, 0)
+	copy(p.years[i+1:], p.years[i:])
+	p.years[i] = year
+	p.counts = append(p.counts, 0)
+	copy(p.counts[i+1:], p.counts[i:])
+	p.counts[i] = 1
+}
+
+// authorStats tracks an author's own publication history.
+type authorStats struct {
+	years  []int
+	counts []int
+	first  int
+}
+
+// Candidate is one potential advisor of an author with the advising-time
+// estimate and local likelihood from Stage 1.
+type Candidate struct {
+	Advisor int
+	Start   int
+	End     int
+	Local   float64 // l_ij, Eq. 6.3
+}
+
+// Network is the preprocessed candidate DAG G' of Section 6.1.3.
+type Network struct {
+	NumAuthors int
+	// Cands[i] lists i's candidate advisors, sorted by id; empty means only
+	// the virtual no-advisor node remains.
+	Cands [][]Candidate
+	// First[i] is the author's first publication year.
+	First []int
+}
+
+// Rules toggles the Stage-1 filtering heuristics so their contribution can
+// be ablated (the paper tests each rule's effect).
+type Rules struct {
+	R1 bool // drop j if IR^t < 0 at some point of the collaboration
+	R2 bool // drop j if the kulc sequence never increases
+	R3 bool // drop j if the collaboration lasts a single year
+	R4 bool // drop j unless j started publishing >= 2 years before the first co-publication
+}
+
+// AllRules enables R1-R4.
+var AllRules = Rules{true, true, true, true}
+
+// PreprocessOptions configure Stage 1.
+type PreprocessOptions struct {
+	Rules Rules
+	// Likelihood selects the local likelihood estimate: "kulc", "ir" or
+	// "avg" (Eq. 6.3; default "avg").
+	Likelihood string
+	// EndEstimate selects the advising-end heuristic: "year1" (first kulc
+	// decrease), "year2" (largest before/after kulc difference) or "year"
+	// (the earlier of the two; default).
+	EndEstimate string
+}
+
+// cumulative publication count of author a up to year t (inclusive).
+func cumAt(years, counts []int, t int) float64 {
+	s := 0.0
+	for i, y := range years {
+		if y > t {
+			break
+		}
+		s += float64(counts[i])
+	}
+	return s
+}
+
+// Preprocess builds the candidate DAG from publication records (Stage 1).
+func Preprocess(papers []Paper, numAuthors int, opt PreprocessOptions) *Network {
+	if opt.Likelihood == "" {
+		opt.Likelihood = "avg"
+	}
+	if opt.EndEstimate == "" {
+		opt.EndEstimate = "year"
+	}
+	authors := make([]authorStats, numAuthors)
+	for a := range authors {
+		authors[a].first = math.MaxInt32
+	}
+	pairs := map[[2]int]*pairStats{}
+	for _, p := range papers {
+		for _, a := range p.Authors {
+			st := &authors[a]
+			i := sort.SearchInts(st.years, p.Year)
+			if i < len(st.years) && st.years[i] == p.Year {
+				st.counts[i]++
+			} else {
+				st.years = append(st.years, 0)
+				copy(st.years[i+1:], st.years[i:])
+				st.years[i] = p.Year
+				st.counts = append(st.counts, 0)
+				copy(st.counts[i+1:], st.counts[i:])
+				st.counts[i] = 1
+			}
+			if p.Year < st.first {
+				st.first = p.Year
+			}
+		}
+		for ai := 0; ai < len(p.Authors); ai++ {
+			for aj := ai + 1; aj < len(p.Authors); aj++ {
+				a, b := p.Authors[ai], p.Authors[aj]
+				if a == b {
+					continue
+				}
+				if a > b {
+					a, b = b, a
+				}
+				ps := pairs[[2]int{a, b}]
+				if ps == nil {
+					ps = &pairStats{}
+					pairs[[2]int{a, b}] = ps
+				}
+				ps.add(p.Year)
+			}
+		}
+	}
+
+	net := &Network{NumAuthors: numAuthors, Cands: make([][]Candidate, numAuthors), First: make([]int, numAuthors)}
+	for a := range authors {
+		net.First[a] = authors[a].first
+	}
+
+	// kulc and IR sequences over the collaboration years (Eq. 6.1-6.2).
+	kulcAt := func(i, j int, ps *pairStats, t int) float64 {
+		cij := cumAt(ps.years, ps.counts, t)
+		ci := cumAt(authors[i].years, authors[i].counts, t)
+		cj := cumAt(authors[j].years, authors[j].counts, t)
+		if ci == 0 || cj == 0 {
+			return 0
+		}
+		return cij / 2 * (1/ci + 1/cj)
+	}
+	irAt := func(i, j int, ps *pairStats, t int) float64 {
+		cij := cumAt(ps.years, ps.counts, t)
+		ci := cumAt(authors[i].years, authors[i].counts, t)
+		cj := cumAt(authors[j].years, authors[j].counts, t)
+		den := ci + cj - cij
+		if den == 0 {
+			return 0
+		}
+		return (cj - ci) / den
+	}
+
+	consider := func(i, j int, ps *pairStats) {
+		// Assumption 6.2: the advisor publishes strictly earlier.
+		if authors[j].first >= authors[i].first {
+			return
+		}
+		years := ps.years
+		if opt.Rules.R3 && len(years) < 2 {
+			return
+		}
+		if opt.Rules.R4 && authors[j].first+2 > years[0] {
+			return
+		}
+		kulcSeq := make([]float64, len(years))
+		irSeq := make([]float64, len(years))
+		for t, y := range years {
+			kulcSeq[t] = kulcAt(i, j, ps, y)
+			irSeq[t] = irAt(i, j, ps, y)
+		}
+		if opt.Rules.R1 {
+			for _, v := range irSeq {
+				if v < 0 {
+					return
+				}
+			}
+		}
+		if opt.Rules.R2 {
+			inc := false
+			for t := 1; t < len(kulcSeq); t++ {
+				if kulcSeq[t] > kulcSeq[t-1] {
+					inc = true
+					break
+				}
+			}
+			if !inc && len(kulcSeq) > 1 {
+				return
+			}
+		}
+		st := years[0]
+		ed := estimateEnd(years, kulcSeq, opt.EndEstimate)
+		// Local likelihood over [st, ed] (Eq. 6.3).
+		var kSum, iSum float64
+		n := 0
+		for t, y := range years {
+			if y < st || y > ed {
+				continue
+			}
+			kSum += kulcSeq[t]
+			iSum += irSeq[t]
+			n++
+		}
+		if n == 0 {
+			n = 1
+		}
+		var local float64
+		switch opt.Likelihood {
+		case "kulc":
+			local = kSum / float64(n)
+		case "ir":
+			local = iSum / float64(n)
+		default:
+			local = (kSum + iSum) / (2 * float64(n))
+		}
+		if local <= 0 {
+			return
+		}
+		net.Cands[i] = append(net.Cands[i], Candidate{Advisor: j, Start: st, End: ed, Local: local})
+	}
+
+	keys := make([][2]int, 0, len(pairs))
+	for k := range pairs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a][0] != keys[b][0] {
+			return keys[a][0] < keys[b][0]
+		}
+		return keys[a][1] < keys[b][1]
+	})
+	for _, k := range keys {
+		ps := pairs[k]
+		consider(k[0], k[1], ps)
+		consider(k[1], k[0], ps)
+	}
+	for i := range net.Cands {
+		sort.Slice(net.Cands[i], func(a, b int) bool { return net.Cands[i][a].Advisor < net.Cands[i][b].Advisor })
+	}
+	return net
+}
+
+// estimateEnd picks the advising end year from the kulc sequence: YEAR1 is
+// the first year the sequence decreases; YEAR2 maximizes the difference of
+// mean kulc before and after; YEAR takes the earlier of the two.
+func estimateEnd(years []int, kulc []float64, mode string) int {
+	last := years[len(years)-1]
+	year1 := last
+	for t := 1; t < len(kulc); t++ {
+		if kulc[t] < kulc[t-1] {
+			year1 = years[t-1]
+			break
+		}
+	}
+	year2 := last
+	bestDiff := math.Inf(-1)
+	for t := 0; t < len(years); t++ {
+		var pre, post float64
+		for u := 0; u <= t; u++ {
+			pre += kulc[u]
+		}
+		pre /= float64(t + 1)
+		if t+1 < len(years) {
+			for u := t + 1; u < len(years); u++ {
+				post += kulc[u]
+			}
+			post /= float64(len(years) - t - 1)
+		}
+		if d := pre - post; d > bestDiff {
+			bestDiff = d
+			year2 = years[t]
+		}
+	}
+	switch mode {
+	case "year1":
+		return year1
+	case "year2":
+		return year2
+	default:
+		if year1 < year2 {
+			return year1
+		}
+		return year2
+	}
+}

@@ -1,0 +1,162 @@
+// Package turbotopics implements a TurboTopics-style baseline (Blei &
+// Lafferty 2009): after a plain LDA run, adjacent same-topic tokens are
+// recursively merged into multiword expressions whenever their collocation
+// is statistically significant. The original uses permutation tests over a
+// back-off n-gram model; we use the same normal-approximation significance
+// score as ToPMine (Eq. 4.7), which preserves the method's behaviour at a
+// fraction of the cost (the substitution is recorded in DESIGN.md §2 —
+// TurboTopics' runtime in Table 4.5 is therefore a lower bound).
+package turbotopics
+
+import (
+	"encoding/binary"
+	"math"
+	"sort"
+
+	"lesm/internal/core"
+	"lesm/internal/lda"
+	"lesm/internal/textkit"
+)
+
+// Config parameterizes the merging loop.
+type Config struct {
+	// MinCount is the minimum frequency for a merged expression (default 5).
+	MinCount int
+	// Sig is the significance threshold in standard deviations (default 4).
+	Sig float64
+	// Rounds bounds the recursive merging passes (default 4, enough for
+	// 5-grams).
+	Rounds int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MinCount == 0 {
+		c.MinCount = 5
+	}
+	if c.Sig == 0 {
+		c.Sig = 4
+	}
+	if c.Rounds == 0 {
+		c.Rounds = 4
+	}
+	return c
+}
+
+// unit is a token or previously merged expression.
+type unit struct {
+	words []int
+	topic int
+}
+
+// Run merges significant same-topic adjacencies given an LDA model's
+// assignments and returns ranked topical phrases per topic.
+func Run(corpus *textkit.Corpus, model *lda.Model, cfg Config, topN int) [][]core.RankedPhrase {
+	cfg = cfg.withDefaults()
+	// Sequence of units per document, initialized from tokens.
+	docs := make([][]unit, len(corpus.Docs))
+	totalUnits := 0
+	for d, doc := range corpus.Docs {
+		us := make([]unit, len(doc.Tokens))
+		for i, w := range doc.Tokens {
+			us[i] = unit{words: []int{w}, topic: model.Z[d][i]}
+		}
+		docs[d] = us
+		totalUnits += len(us)
+	}
+	key := func(ws []int) string {
+		b := make([]byte, 4*len(ws))
+		for i, w := range ws {
+			binary.LittleEndian.PutUint32(b[4*i:], uint32(w))
+		}
+		return string(b)
+	}
+	for round := 0; round < cfg.Rounds; round++ {
+		// Count units and same-topic adjacent pairs.
+		uc := map[string]int{}
+		pc := map[string]int{}
+		for _, us := range docs {
+			for i, u := range us {
+				uc[key(u.words)]++
+				if i+1 < len(us) && us[i+1].topic == u.topic {
+					joint := append(append([]int{}, u.words...), us[i+1].words...)
+					pc[key(joint)]++
+				}
+			}
+		}
+		// Decide merges: pair is significant if observed count beats the
+		// independence expectation by cfg.Sig standard deviations.
+		l := float64(totalUnits)
+		shouldMerge := func(a, b unit) bool {
+			joint := append(append([]int{}, a.words...), b.words...)
+			f := float64(pc[key(joint)])
+			if f < float64(cfg.MinCount) {
+				return false
+			}
+			exp := l * (float64(uc[key(a.words)]) / l) * (float64(uc[key(b.words)]) / l)
+			return (f-exp)/math.Sqrt(f) >= cfg.Sig
+		}
+		merged := false
+		for d, us := range docs {
+			var out []unit
+			i := 0
+			for i < len(us) {
+				if i+1 < len(us) && us[i].topic == us[i+1].topic && shouldMerge(us[i], us[i+1]) {
+					out = append(out, unit{
+						words: append(append([]int{}, us[i].words...), us[i+1].words...),
+						topic: us[i].topic,
+					})
+					i += 2
+					merged = true
+					continue
+				}
+				out = append(out, us[i])
+				i++
+			}
+			docs[d] = out
+		}
+		if !merged {
+			break
+		}
+	}
+	// Rank per topic by frequency (multiword first when tied is implicit in
+	// counts; the baseline ranks by raw frequency as the original does).
+	k := model.K
+	counts := make([]map[string]int, k)
+	repr := make([]map[string][]int, k)
+	for t := range counts {
+		counts[t] = map[string]int{}
+		repr[t] = map[string][]int{}
+	}
+	for _, us := range docs {
+		for _, u := range us {
+			if u.topic >= k { // background topic excluded
+				continue
+			}
+			ky := key(u.words)
+			counts[u.topic][ky]++
+			repr[u.topic][ky] = u.words
+		}
+	}
+	out := make([][]core.RankedPhrase, k)
+	for t := 0; t < k; t++ {
+		var ps []core.RankedPhrase
+		for ky, c := range counts[t] {
+			if c < cfg.MinCount {
+				continue
+			}
+			ws := repr[t][ky]
+			ps = append(ps, core.RankedPhrase{Words: ws, Display: corpus.Phrase(ws), Score: float64(c)})
+		}
+		sort.SliceStable(ps, func(a, b int) bool {
+			if ps[a].Score != ps[b].Score {
+				return ps[a].Score > ps[b].Score
+			}
+			return ps[a].Display < ps[b].Display
+		})
+		if topN > 0 && len(ps) > topN {
+			ps = ps[:topN]
+		}
+		out[t] = ps
+	}
+	return out
+}

@@ -1,0 +1,71 @@
+package turbotopics
+
+import (
+	"strings"
+	"testing"
+
+	"lesm/internal/lda"
+	"lesm/internal/synth"
+)
+
+func TestRunMergesCollocations(t *testing.T) {
+	ds := synth.Arxiv(synth.TextConfig{NumDocs: 1000, Seed: 51})
+	docs := make([][]int, len(ds.Corpus.Docs))
+	for i, d := range ds.Corpus.Docs {
+		docs[i] = d.Tokens
+	}
+	m := lda.Run(docs, ds.Corpus.Vocab.Size(), lda.Config{K: 5, Iters: 80, Seed: 52})
+	topics := Run(ds.Corpus, m, Config{MinCount: 5, Sig: 3}, 15)
+	if len(topics) != 5 {
+		t.Fatalf("topics = %d", len(topics))
+	}
+	multi, pure := 0, 0
+	for _, topic := range topics {
+		for _, p := range topic {
+			if strings.Contains(p.Display, " ") {
+				multi++
+				aff := ds.Truth.PhraseAffinity(p.Display)
+				max := 0.0
+				for _, v := range aff {
+					if v > max {
+						max = v
+					}
+				}
+				if max > 0.5 {
+					pure++
+				}
+			}
+		}
+	}
+	if multi == 0 {
+		t.Fatal("no merged collocations")
+	}
+	if float64(pure)/float64(multi) < 0.5 {
+		t.Fatalf("merged phrases mostly impure: %d/%d", pure, multi)
+	}
+}
+
+func TestNoMergeAcrossTopics(t *testing.T) {
+	// With a tiny corpus engineered so adjacent tokens always differ in
+	// topic assignment, no merges can occur.
+	ds := synth.Arxiv(synth.TextConfig{NumDocs: 200, Seed: 53})
+	docs := make([][]int, len(ds.Corpus.Docs))
+	for i, d := range ds.Corpus.Docs {
+		docs[i] = d.Tokens
+	}
+	m := lda.Run(docs, ds.Corpus.Vocab.Size(), lda.Config{K: 2, Iters: 10, Seed: 54})
+	// Force alternating topics.
+	for d := range m.Z {
+		for i := range m.Z[d] {
+			m.Z[d][i] = i % 2
+		}
+	}
+	topics := Run(ds.Corpus, m, Config{MinCount: 2, Sig: 0.1}, 50)
+	for _, topic := range topics {
+		for _, p := range topic {
+			if strings.Contains(p.Display, " ") {
+				t.Fatalf("merged across topic boundary: %q", p.Display)
+			}
+		}
+	}
+}

@@ -1,0 +1,366 @@
+// Package lesm is the public API of the latent entity structure mining
+// framework — a Go reproduction of "Mining latent entity structures from
+// massive unstructured and interconnected data" (Chi Wang, 2014).
+//
+// The framework solves and integrates a chain of tasks over text-attached
+// heterogeneous information networks:
+//
+//   - hierarchical topic and community discovery (CATHY / CATHYHIN, Ch. 3,
+//     and the moment-based STROD engine, Ch. 7);
+//   - topical phrase mining (KERT and ToPMine, Ch. 4);
+//   - entity topical role analysis (Ch. 5);
+//   - hierarchical relation mining (TPFG and a supervised relational CRF,
+//     Ch. 6).
+//
+// A typical flow: build a Corpus (and optionally per-document entity
+// attachments), construct a collapsed Network, call BuildHierarchy, attach
+// phrases with AttachPhrases, then explore with a RoleAnalyzer. See the
+// runnable programs under examples/ for end-to-end usage.
+package lesm
+
+import (
+	"errors"
+	"fmt"
+
+	"lesm/internal/cathy"
+	"lesm/internal/core"
+	"lesm/internal/hin"
+	"lesm/internal/lda"
+	"lesm/internal/relcrf"
+	"lesm/internal/roles"
+	"lesm/internal/strod"
+	"lesm/internal/textkit"
+	"lesm/internal/topmine"
+	"lesm/internal/tpfg"
+)
+
+// Re-exported core types. External importers use these names; the internal
+// packages stay private.
+type (
+	// Corpus is an id-encoded document collection with its vocabulary.
+	Corpus = textkit.Corpus
+	// Pipeline configures text preprocessing (stopwords, Porter stemming).
+	Pipeline = textkit.Pipeline
+	// Vocabulary maps words to dense ids and back.
+	Vocabulary = textkit.Vocabulary
+	// Hierarchy is a phrase-represented, entity-enriched topical hierarchy.
+	Hierarchy = core.Hierarchy
+	// TopicNode is one topic in a hierarchy.
+	TopicNode = core.TopicNode
+	// TypeID identifies a node type (TermType = 0 is the word type).
+	TypeID = core.TypeID
+	// RankedPhrase is a scored phrase attached to a topic.
+	RankedPhrase = core.RankedPhrase
+	// RankedEntity is a scored entity attached to a topic.
+	RankedEntity = core.RankedEntity
+	// Network is an edge-weighted network with typed nodes.
+	Network = hin.Network
+	// DocRecord carries one document's term ids and entity attachments.
+	DocRecord = hin.DocRecord
+	// RoleAnalyzer answers the Chapter 5 role questions.
+	RoleAnalyzer = roles.Analyzer
+)
+
+// TermType is the node type holding vocabulary terms.
+const TermType = core.TermType
+
+// Entity ranking modes for RoleAnalyzer.RankEntities (Section 5.2).
+const (
+	// ERankPop ranks entities by popularity p(e|t) alone.
+	ERankPop = roles.ERankPop
+	// ERankPopPur combines popularity with purity against sibling topics.
+	ERankPopPur = roles.ERankPopPur
+)
+
+// DefaultPipeline removes stopwords and keeps tokens of length >= 2.
+var DefaultPipeline = textkit.DefaultPipeline
+
+// NewCorpus returns an empty corpus.
+func NewCorpus() *Corpus { return textkit.NewCorpus() }
+
+// BuildCollapsedNetwork converts documents with attached entities into the
+// collapsed heterogeneous network of Example 3.1. typeNames[0] must be
+// "term" and numNodes[0] the vocabulary size.
+func BuildCollapsedNetwork(typeNames []string, numNodes []int, docs []DocRecord) *Network {
+	return hin.BuildCollapsed(typeNames, numNodes, docs, hin.BuildOptions{})
+}
+
+// Engine selects the hierarchy construction algorithm.
+type Engine int
+
+const (
+	// EngineCATHY uses the recursive Poisson link-clustering EM of Ch. 3
+	// (CATHYHIN on heterogeneous networks).
+	EngineCATHY Engine = iota
+	// EngineSTROD uses the moment-based tensor decomposition of Ch. 7
+	// (text only; fast and robust to restarts).
+	EngineSTROD
+)
+
+// HierarchyOptions configure BuildHierarchy.
+type HierarchyOptions struct {
+	// Engine picks the algorithm (default EngineCATHY).
+	Engine Engine
+	// K is the number of children per topic (0 = select by BIC, CATHY only).
+	K int
+	// Levels is the depth below the root (default 2).
+	Levels int
+	// LearnLinkWeights enables link-type weight learning (Eq. 3.37).
+	LearnLinkWeights bool
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// BuildHierarchy constructs a topical hierarchy from a heterogeneous
+// network (EngineCATHY) or from the term type of the network (EngineSTROD
+// requires a corpus; use BuildTextHierarchy instead).
+func BuildHierarchy(net *Network, opt HierarchyOptions) (*Hierarchy, error) {
+	if net == nil {
+		return nil, errors.New("lesm: nil network")
+	}
+	if opt.Engine == EngineSTROD {
+		return nil, errors.New("lesm: EngineSTROD requires a corpus; use BuildTextHierarchy")
+	}
+	if opt.Levels == 0 {
+		opt.Levels = 2
+	}
+	mode := cathy.EqualWeights
+	if opt.LearnLinkWeights {
+		mode = cathy.LearnWeights
+	}
+	res := cathy.Build(net, cathy.Options{
+		K: opt.K, Levels: opt.Levels, Seed: opt.Seed,
+		Background: true, Weights: mode,
+	})
+	return res.Hierarchy, nil
+}
+
+// BuildTextHierarchy constructs a topical hierarchy from plain text.
+func BuildTextHierarchy(corpus *Corpus, opt HierarchyOptions) (*Hierarchy, error) {
+	if corpus == nil || len(corpus.Docs) == 0 {
+		return nil, errors.New("lesm: empty corpus")
+	}
+	if opt.Levels == 0 {
+		opt.Levels = 2
+	}
+	docs := make([][]int, len(corpus.Docs))
+	for i, d := range corpus.Docs {
+		docs[i] = d.Tokens
+	}
+	switch opt.Engine {
+	case EngineSTROD:
+		k := opt.K
+		if k == 0 {
+			k = 5
+		}
+		return strod.BuildTree(strod.FromTokens(docs), corpus.Vocab.Size(), strod.TreeConfig{
+			K: k, Levels: opt.Levels, Config: strod.Config{Seed: opt.Seed},
+		}), nil
+	default:
+		net := hin.TermNetwork(corpus.Vocab.Size(), docs, 0)
+		net.Names[0] = corpus.Vocab.Words()
+		res := cathy.Build(net, cathy.Options{K: opt.K, Levels: opt.Levels, Seed: opt.Seed})
+		return res.Hierarchy, nil
+	}
+}
+
+// PhraseOptions configure phrase mining.
+type PhraseOptions struct {
+	// MinSupport is the frequent-phrase threshold (default 5).
+	MinSupport int
+	// MaxLen caps phrase length (default 5).
+	MaxLen int
+	// TopN truncates each topic's phrase list (default 20).
+	TopN int
+}
+
+// AttachPhrases mines frequent phrases from the corpus (ToPMine, Ch. 4) and
+// attaches ranked phrase lists to every topic of the hierarchy. It returns
+// the role analyzer primed with the same mining results, ready for Chapter 5
+// queries; docs may be nil when the corpus has no entities.
+func AttachPhrases(corpus *Corpus, docs []DocRecord, h *Hierarchy, opt PhraseOptions) (*RoleAnalyzer, error) {
+	if corpus == nil || h == nil {
+		return nil, errors.New("lesm: nil corpus or hierarchy")
+	}
+	if opt.MinSupport == 0 {
+		opt.MinSupport = 5
+	}
+	if opt.MaxLen == 0 {
+		opt.MaxLen = 5
+	}
+	if opt.TopN == 0 {
+		opt.TopN = 20
+	}
+	miner := topmine.MineFrequentPhrases(corpus.Docs, topmine.Config{MinSupport: opt.MinSupport, MaxLen: opt.MaxLen})
+	topmine.VisualizeHierarchy(corpus, miner, h.Root, opt.TopN)
+	if docs == nil {
+		docs = make([]DocRecord, len(corpus.Docs))
+		for i, d := range corpus.Docs {
+			docs[i] = DocRecord{Tokens: d.Tokens}
+		}
+	}
+	part := miner.SegmentCorpus(corpus.Docs)
+	return roles.NewAnalyzer(corpus, docs, h.Root, miner, part), nil
+}
+
+// TopicalPhrases runs the full flat ToPMine pipeline (mining, segmentation,
+// PhraseLDA, ranking) and returns ranked phrases per topic.
+func TopicalPhrases(corpus *Corpus, k int, seed int64) ([][]RankedPhrase, error) {
+	if corpus == nil || len(corpus.Docs) == 0 {
+		return nil, errors.New("lesm: empty corpus")
+	}
+	if k < 2 {
+		return nil, fmt.Errorf("lesm: k = %d, need >= 2", k)
+	}
+	res := topmine.Run(corpus, topmine.Config{},
+		lda.Config{K: k, Seed: seed, Background: true}, topmine.RankConfig{})
+	return res.Topics, nil
+}
+
+// --- Relation mining (Chapter 6) ---
+
+// RelPaper is one publication record for advisor-advisee mining.
+type RelPaper struct {
+	Year    int
+	Authors []int
+	Venue   int
+}
+
+// AdvisorResult holds the inferred advisor ranking.
+type AdvisorResult struct {
+	res *tpfg.Result
+}
+
+// Advisor returns author i's top-ranked advisor (-1 = none) and its
+// normalized ranking score.
+func (r *AdvisorResult) Advisor(i int) (int, float64) {
+	pred := r.res.Predict()
+	best := pred[i]
+	score := r.res.Rank[i][0]
+	if best >= 0 {
+		for v, c := range r.res.Net.Cands[i] {
+			if c.Advisor == best {
+				score = r.res.Rank[i][v+1]
+			}
+		}
+	}
+	return best, score
+}
+
+// Candidates returns author i's candidate advisors with ranks and estimated
+// advising intervals.
+func (r *AdvisorResult) Candidates(i int) []struct {
+	Advisor    int
+	Rank       float64
+	Start, End int
+} {
+	var out []struct {
+		Advisor    int
+		Rank       float64
+		Start, End int
+	}
+	for v, c := range r.res.Net.Cands[i] {
+		out = append(out, struct {
+			Advisor    int
+			Rank       float64
+			Start, End int
+		}{c.Advisor, r.res.Rank[i][v+1], c.Start, c.End})
+	}
+	return out
+}
+
+// MineAdvisorTree runs the unsupervised TPFG pipeline (Section 6.1) on a
+// temporal collaboration network.
+func MineAdvisorTree(papers []RelPaper, numAuthors int, seed int64) (*AdvisorResult, error) {
+	if numAuthors <= 0 || len(papers) == 0 {
+		return nil, errors.New("lesm: empty collaboration network")
+	}
+	plain := make([]tpfg.Paper, len(papers))
+	for i, p := range papers {
+		plain[i] = tpfg.Paper{Year: p.Year, Authors: p.Authors}
+	}
+	net := tpfg.Preprocess(plain, numAuthors, tpfg.PreprocessOptions{Rules: tpfg.AllRules})
+	res := tpfg.Infer(net, tpfg.Config{})
+	_ = seed
+	return &AdvisorResult{res: res}, nil
+}
+
+// MineAdvisorTreeSupervised trains the relational CRF of Section 6.2 on
+// labeled authors (advisorOf[i] = advisor id or -1) listed in trainIdx, then
+// predicts jointly for everyone.
+func MineAdvisorTreeSupervised(papers []RelPaper, numAuthors int, advisorOf []int, trainIdx []int, seed int64) (*AdvisorResult, error) {
+	if numAuthors <= 0 || len(papers) == 0 {
+		return nil, errors.New("lesm: empty collaboration network")
+	}
+	numVenues := 0
+	for _, p := range papers {
+		if p.Venue+1 > numVenues {
+			numVenues = p.Venue + 1
+		}
+	}
+	rp := make([]relcrf.Paper, len(papers))
+	plain := make([]tpfg.Paper, len(papers))
+	for i, p := range papers {
+		rp[i] = relcrf.Paper{Year: p.Year, Authors: p.Authors, Venue: p.Venue}
+		plain[i] = tpfg.Paper{Year: p.Year, Authors: p.Authors}
+	}
+	net := tpfg.Preprocess(plain, numAuthors, tpfg.PreprocessOptions{Rules: tpfg.AllRules})
+	feats := relcrf.Features(rp, numAuthors, numVenues, net)
+	m := relcrf.Train(net, feats, advisorOf, trainIdx, relcrf.TrainOptions{Seed: seed})
+	return &AdvisorResult{res: m.Infer(net, feats)}, nil
+}
+
+// --- Flat topic inference (Chapter 7) ---
+
+// TopicModel is a flat topic-word model recovered by STROD.
+type TopicModel struct {
+	// Phi[k] is topic k's word distribution; Weight[k] its share.
+	Phi    [][]float64
+	Weight []float64
+}
+
+// InferTopics recovers k flat topics from the corpus with the moment-based
+// STROD method: deterministic given a seed, no sampling iterations.
+func InferTopics(corpus *Corpus, k int, seed int64) (*TopicModel, error) {
+	if corpus == nil || len(corpus.Docs) == 0 {
+		return nil, errors.New("lesm: empty corpus")
+	}
+	if k < 2 {
+		return nil, fmt.Errorf("lesm: k = %d, need >= 2", k)
+	}
+	docs := make([][]int, len(corpus.Docs))
+	for i, d := range corpus.Docs {
+		docs[i] = d.Tokens
+	}
+	m := strod.Fit(strod.FromTokens(docs), corpus.Vocab.Size(), strod.Config{K: k, Seed: seed, LearnAlpha0: true})
+	return &TopicModel{Phi: m.Phi, Weight: m.Weight}, nil
+}
+
+// TopWords returns topic k's top-n words rendered through the vocabulary.
+func (m *TopicModel) TopWords(vocab *Vocabulary, k, n int) []string {
+	type wp struct {
+		w int
+		p float64
+	}
+	ws := make([]wp, len(m.Phi[k]))
+	for w, p := range m.Phi[k] {
+		ws[w] = wp{w, p}
+	}
+	for i := 0; i < n && i < len(ws); i++ {
+		best := i
+		for j := i + 1; j < len(ws); j++ {
+			if ws[j].p > ws[best].p {
+				best = j
+			}
+		}
+		ws[i], ws[best] = ws[best], ws[i]
+	}
+	if n > len(ws) {
+		n = len(ws)
+	}
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = vocab.Word(ws[i].w)
+	}
+	return out
+}

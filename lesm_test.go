@@ -1,0 +1,171 @@
+package lesm
+
+import (
+	"strings"
+	"testing"
+
+	"lesm/internal/synth"
+)
+
+func demoCorpus() *Corpus {
+	ds := synth.DBLPTitles(synth.TextConfig{NumDocs: 1200, Seed: 1001})
+	return ds.Corpus
+}
+
+func TestBuildTextHierarchyCATHY(t *testing.T) {
+	h, err := BuildTextHierarchy(demoCorpus(), HierarchyOptions{K: 3, Levels: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Root.Children) != 3 {
+		t.Fatalf("children = %d", len(h.Root.Children))
+	}
+}
+
+func TestBuildTextHierarchySTROD(t *testing.T) {
+	h, err := BuildTextHierarchy(demoCorpus(), HierarchyOptions{Engine: EngineSTROD, K: 3, Levels: 1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Root.Children) != 3 {
+		t.Fatalf("children = %d", len(h.Root.Children))
+	}
+}
+
+func TestBuildHierarchyErrors(t *testing.T) {
+	if _, err := BuildHierarchy(nil, HierarchyOptions{}); err == nil {
+		t.Fatal("nil network should error")
+	}
+	if _, err := BuildTextHierarchy(NewCorpus(), HierarchyOptions{}); err == nil {
+		t.Fatal("empty corpus should error")
+	}
+	if _, err := TopicalPhrases(demoCorpus(), 1, 0); err == nil {
+		t.Fatal("k=1 should error")
+	}
+}
+
+func TestAttachPhrasesAndRoles(t *testing.T) {
+	ds := synth.DBLP(synth.DBLPConfig{NumPapers: 1000, NumAuthors: 250, Seed: 1002})
+	net := ds.CollapsedNetwork(0)
+	h, err := BuildHierarchy(net, HierarchyOptions{K: 3, Levels: 2, LearnLinkWeights: true, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := AttachPhrases(ds.Corpus, ds.Docs, h, PhraseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withPhrases := 0
+	h.Root.Walk(func(n *TopicNode) {
+		if n.Parent() != nil && len(n.Phrases) > 0 {
+			withPhrases++
+		}
+	})
+	if withPhrases == 0 {
+		t.Fatal("no topics got phrases")
+	}
+	top := an.RankEntities(1, h.Root.Children[0].Path, 0, 5)
+	if len(top) == 0 {
+		t.Fatal("no ranked entities")
+	}
+}
+
+func TestTopicalPhrasesFlat(t *testing.T) {
+	topics, err := TopicalPhrases(demoCorpus(), 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(topics) != 4 {
+		t.Fatalf("topics = %d", len(topics))
+	}
+	multi := false
+	for _, ps := range topics {
+		for _, p := range ps {
+			if strings.Contains(p.Display, " ") {
+				multi = true
+			}
+		}
+	}
+	if !multi {
+		t.Fatal("no multiword phrases")
+	}
+}
+
+func TestMineAdvisorTree(t *testing.T) {
+	g := synth.NewGenealogy(synth.GenealogyConfig{Seed: 1003})
+	papers := make([]RelPaper, len(g.Papers))
+	for i, p := range g.Papers {
+		papers[i] = RelPaper{Year: p.Year, Authors: p.Authors, Venue: p.Venue}
+	}
+	res, err := MineAdvisorTree(papers, g.NumAuthors, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit, n := 0, 0
+	for a, adv := range g.AdvisorOf {
+		if adv < 0 {
+			continue
+		}
+		n++
+		if got, _ := res.Advisor(a); got == adv {
+			hit++
+		}
+	}
+	if acc := float64(hit) / float64(n); acc < 0.6 {
+		t.Fatalf("accuracy = %v", acc)
+	}
+	// Candidates accessor sane.
+	for a := range g.AdvisorOf {
+		for _, c := range res.Candidates(a) {
+			if c.Rank < 0 || c.Start > c.End {
+				t.Fatalf("bad candidate %+v", c)
+			}
+		}
+	}
+}
+
+func TestMineAdvisorTreeSupervised(t *testing.T) {
+	g := synth.NewGenealogy(synth.GenealogyConfig{Seed: 1004})
+	papers := make([]RelPaper, len(g.Papers))
+	for i, p := range g.Papers {
+		papers[i] = RelPaper{Year: p.Year, Authors: p.Authors, Venue: p.Venue}
+	}
+	var train []int
+	for a, adv := range g.AdvisorOf {
+		if adv >= 0 && a%2 == 0 {
+			train = append(train, a)
+		}
+	}
+	res, err := MineAdvisorTreeSupervised(papers, g.NumAuthors, g.AdvisorOf, train, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit, n := 0, 0
+	for a, adv := range g.AdvisorOf {
+		if adv < 0 || a%2 == 0 {
+			continue
+		}
+		n++
+		if got, _ := res.Advisor(a); got == adv {
+			hit++
+		}
+	}
+	if acc := float64(hit) / float64(n); acc < 0.6 {
+		t.Fatalf("supervised accuracy = %v", acc)
+	}
+}
+
+func TestInferTopics(t *testing.T) {
+	ds := synth.Arxiv(synth.TextConfig{NumDocs: 1500, Seed: 1005})
+	m, err := InferTopics(ds.Corpus, 5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Phi) != 5 {
+		t.Fatalf("topics = %d", len(m.Phi))
+	}
+	words := m.TopWords(ds.Corpus.Vocab, 0, 5)
+	if len(words) != 5 || words[0] == "" {
+		t.Fatalf("top words = %v", words)
+	}
+}
