@@ -1,0 +1,70 @@
+// Parallel-runtime benchmarks: each engine at Parallelism 1 vs NumCPU over
+// the same fixed-seed workload. `go test -bench 'CATHY|STROD|ToPMine|TPFG'
+// -run '^$'` regenerates the numbers recorded in BENCH_pr1.json; the
+// determinism guarantee means the P=1 and P=N variants produce identical
+// output, so the comparison is pure wall clock.
+package lesm_test
+
+import (
+	"runtime"
+	"testing"
+
+	"lesm"
+	"lesm/internal/synth"
+)
+
+func benchCATHY(b *testing.B, p int) {
+	ds := synth.DBLP(synth.DBLPConfig{NumPapers: 1500, NumAuthors: 400, Seed: 3001})
+	net := ds.CollapsedNetwork(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lesm.BuildHierarchy(net, lesm.HierarchyOptions{
+			K: 3, Levels: 2, Seed: 31, Parallelism: p,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchSTROD(b *testing.B, p int) {
+	ds := synth.Arxiv(synth.TextConfig{NumDocs: 4000, Seed: 3002})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lesm.InferTopics(ds.Corpus, 5, 32, lesm.RunOptions{Parallelism: p}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchToPMine(b *testing.B, p int) {
+	ds := synth.Arxiv(synth.TextConfig{NumDocs: 3000, Seed: 3003})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lesm.TopicalPhrases(ds.Corpus, 5, 33, lesm.RunOptions{Parallelism: p}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchTPFG(b *testing.B, p int) {
+	g := synth.NewGenealogy(synth.GenealogyConfig{Seed: 3004})
+	papers := make([]lesm.RelPaper, len(g.Papers))
+	for i, pp := range g.Papers {
+		papers[i] = lesm.RelPaper{Year: pp.Year, Authors: pp.Authors, Venue: pp.Venue}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lesm.MineAdvisorTree(papers, g.NumAuthors, 34, lesm.RunOptions{Parallelism: p}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCATHY_P1(b *testing.B)   { benchCATHY(b, 1) }
+func BenchmarkCATHY_PN(b *testing.B)   { benchCATHY(b, runtime.NumCPU()) }
+func BenchmarkSTROD_P1(b *testing.B)   { benchSTROD(b, 1) }
+func BenchmarkSTROD_PN(b *testing.B)   { benchSTROD(b, runtime.NumCPU()) }
+func BenchmarkToPMine_P1(b *testing.B) { benchToPMine(b, 1) }
+func BenchmarkToPMine_PN(b *testing.B) { benchToPMine(b, runtime.NumCPU()) }
+func BenchmarkTPFG_P1(b *testing.B)    { benchTPFG(b, 1) }
+func BenchmarkTPFG_PN(b *testing.B)    { benchTPFG(b, runtime.NumCPU()) }

@@ -25,6 +25,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	stem := flag.Bool("stem", false, "apply Porter stemming")
 	top := flag.Int("top", 8, "phrases to print per topic")
+	par := flag.Int("p", 0, "parallel workers for the mining engines (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	var in io.Reader = os.Stdin
@@ -51,7 +52,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	opt := lesm.HierarchyOptions{K: *k, Levels: *levels, Seed: *seed}
+	opt := lesm.HierarchyOptions{K: *k, Levels: *levels, Seed: *seed, Parallelism: *par}
 	if *engine == "strod" {
 		opt.Engine = lesm.EngineSTROD
 	}
@@ -59,7 +60,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if _, err := lesm.AttachPhrases(corpus, nil, h, lesm.PhraseOptions{TopN: *top}); err != nil {
+	if _, err := lesm.AttachPhrases(corpus, nil, h, lesm.PhraseOptions{TopN: *top, Parallelism: *par}); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Print(h.String())

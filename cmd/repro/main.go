@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"lesm/internal/experiments"
@@ -20,7 +21,13 @@ import (
 func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	scale := flag.Float64("scale", 1.0, "workload scale factor in (0,1]")
+	par := flag.Int("p", 0, "bound the whole Go runtime (GOMAXPROCS), and hence the engine worker pools, to n cores (0 = all)")
 	flag.Parse()
+	if *par > 0 {
+		// The engines default their worker pools to GOMAXPROCS, so bounding
+		// it here bounds every experiment.
+		runtime.GOMAXPROCS(*par)
+	}
 
 	if *list {
 		for _, e := range experiments.Registry {

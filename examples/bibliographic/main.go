@@ -5,6 +5,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"strings"
@@ -14,17 +15,20 @@ import (
 )
 
 func main() {
+	par := flag.Int("p", 0, "parallel workers for the mining engines (0 = GOMAXPROCS)")
+	flag.Parse()
+
 	ds := synth.DBLP(synth.DBLPConfig{NumPapers: 3000, NumAuthors: 800, Seed: 21})
 
 	// Collapsed heterogeneous network (Example 3.1): term/author/venue nodes.
 	net := ds.CollapsedNetwork(0)
 	h, err := lesm.BuildHierarchy(net, lesm.HierarchyOptions{
-		K: 3, Levels: 2, LearnLinkWeights: true, Seed: 5,
+		K: 3, Levels: 2, LearnLinkWeights: true, Seed: 5, Parallelism: *par,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	analyzer, err := lesm.AttachPhrases(ds.Corpus, ds.Docs, h, lesm.PhraseOptions{TopN: 10})
+	analyzer, err := lesm.AttachPhrases(ds.Corpus, ds.Docs, h, lesm.PhraseOptions{TopN: 10, Parallelism: *par})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"time"
@@ -13,12 +14,15 @@ import (
 )
 
 func main() {
+	par := flag.Int("p", 0, "parallel workers for the mining engines (0 = GOMAXPROCS)")
+	flag.Parse()
+
 	ds := synth.Arxiv(synth.TextConfig{NumDocs: 6000, Seed: 55})
 	fmt.Printf("corpus: %d docs, %d vocabulary, %d tokens\n",
 		len(ds.Corpus.Docs), ds.Corpus.Vocab.Size(), ds.Corpus.TotalTokens())
 
 	start := time.Now()
-	m, err := lesm.InferTopics(ds.Corpus, 5, 1)
+	m, err := lesm.InferTopics(ds.Corpus, 5, 1, lesm.RunOptions{Parallelism: *par})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -28,7 +32,7 @@ func main() {
 	}
 
 	// Robustness: a different seed gives the same topics.
-	m2, err := lesm.InferTopics(ds.Corpus, 5, 999)
+	m2, err := lesm.InferTopics(ds.Corpus, 5, 999, lesm.RunOptions{Parallelism: *par})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -39,12 +43,12 @@ func main() {
 
 	// STROD also builds hierarchies (LDA with a topic tree, Section 7.2).
 	h, err := lesm.BuildTextHierarchy(ds.Corpus, lesm.HierarchyOptions{
-		Engine: lesm.EngineSTROD, K: 5, Levels: 1, Seed: 3,
+		Engine: lesm.EngineSTROD, K: 5, Levels: 1, Seed: 3, Parallelism: *par,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	if _, err := lesm.AttachPhrases(ds.Corpus, nil, h, lesm.PhraseOptions{TopN: 5}); err != nil {
+	if _, err := lesm.AttachPhrases(ds.Corpus, nil, h, lesm.PhraseOptions{TopN: 5, Parallelism: *par}); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("\nSTROD hierarchy with phrases:")

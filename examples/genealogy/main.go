@@ -4,6 +4,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -12,6 +13,9 @@ import (
 )
 
 func main() {
+	par := flag.Int("p", 0, "parallel workers for TPFG message passing (0 = GOMAXPROCS)")
+	flag.Parse()
+
 	g := synth.NewGenealogy(synth.GenealogyConfig{Seed: 77})
 	papers := make([]lesm.RelPaper, len(g.Papers))
 	for i, p := range g.Papers {
@@ -21,7 +25,7 @@ func main() {
 		g.NumAuthors, len(g.Papers), g.NumAdvised())
 
 	// Unsupervised TPFG.
-	res, err := lesm.MineAdvisorTree(papers, g.NumAuthors, 1)
+	res, err := lesm.MineAdvisorTree(papers, g.NumAuthors, 1, lesm.RunOptions{Parallelism: *par})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -12,16 +13,19 @@ import (
 )
 
 func main() {
+	par := flag.Int("p", 0, "parallel workers for the mining engines (0 = GOMAXPROCS)")
+	flag.Parse()
+
 	ds := synth.News(synth.NewsConfig{NumArticles: 3000, Seed: 33, Stories: 8})
 	net := ds.CollapsedNetwork(0)
 
 	h, err := lesm.BuildHierarchy(net, lesm.HierarchyOptions{
-		K: 4, Levels: 2, LearnLinkWeights: true, Seed: 9,
+		K: 4, Levels: 2, LearnLinkWeights: true, Seed: 9, Parallelism: *par,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	if _, err := lesm.AttachPhrases(ds.Corpus, ds.Docs, h, lesm.PhraseOptions{TopN: 8}); err != nil {
+	if _, err := lesm.AttachPhrases(ds.Corpus, ds.Docs, h, lesm.PhraseOptions{TopN: 8, Parallelism: *par}); err != nil {
 		log.Fatal(err)
 	}
 

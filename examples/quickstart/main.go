@@ -3,6 +3,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -11,18 +12,21 @@ import (
 )
 
 func main() {
+	par := flag.Int("p", 0, "parallel workers for the mining engines (0 = GOMAXPROCS)")
+	flag.Parse()
+
 	// A corpus of ~2000 synthetic CS paper titles (stands in for DBLP).
 	ds := synth.DBLPTitles(synth.TextConfig{NumDocs: 2000, Seed: 42})
 	corpus := ds.Corpus
 
 	// Build a 2-level hierarchy with the CATHY engine, 3 children per node.
-	h, err := lesm.BuildTextHierarchy(corpus, lesm.HierarchyOptions{K: 3, Levels: 2, Seed: 7})
+	h, err := lesm.BuildTextHierarchy(corpus, lesm.HierarchyOptions{K: 3, Levels: 2, Seed: 7, Parallelism: *par})
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// Attach ranked topical phrases (ToPMine) to every topic.
-	if _, err := lesm.AttachPhrases(corpus, nil, h, lesm.PhraseOptions{TopN: 6}); err != nil {
+	if _, err := lesm.AttachPhrases(corpus, nil, h, lesm.PhraseOptions{TopN: 6, Parallelism: *par}); err != nil {
 		log.Fatal(err)
 	}
 
@@ -30,7 +34,7 @@ func main() {
 	fmt.Print(h.String())
 
 	// Flat topical phrases via the full ToPMine pipeline.
-	topics, err := lesm.TopicalPhrases(corpus, 4, 11)
+	topics, err := lesm.TopicalPhrases(corpus, 4, 11, lesm.RunOptions{Parallelism: *par})
 	if err != nil {
 		log.Fatal(err)
 	}

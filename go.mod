@@ -1,0 +1,3 @@
+module lesm
+
+go 1.21

@@ -12,11 +12,13 @@
 package cathy
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
 	"lesm/internal/core"
 	"lesm/internal/hin"
+	"lesm/internal/par"
 )
 
 // WeightMode selects how link-type weights alpha_{x,y} are set
@@ -62,6 +64,11 @@ type Options struct {
 	// MinNetworkWeight stops recursion when a topic's network is smaller
 	// than this total weight (default 50).
 	MinNetworkWeight float64
+	// P is the worker count for the parallel E-step (0 = GOMAXPROCS).
+	// Results are bit-identical at any P.
+	P int
+	// Ctx cancels construction between EM sweeps (nil = background).
+	Ctx context.Context
 }
 
 func (o Options) withDefaults() Options {
@@ -101,9 +108,11 @@ type Result struct {
 }
 
 // Build constructs a topical hierarchy from an edge-weighted network in the
-// top-down recursive manner of Sections 3.1-3.2.
-func Build(net *hin.Network, opt Options) *Result {
+// top-down recursive manner of Sections 3.1-3.2. It returns the context's
+// error if opt.Ctx is cancelled mid-build.
+func Build(net *hin.Network, opt Options) (*Result, error) {
 	opt = opt.withDefaults()
+	o := par.Opts{P: opt.P, Ctx: opt.Ctx}
 	rng := rand.New(rand.NewSource(opt.Seed))
 	h := core.NewHierarchy()
 	h.TypeNames = map[core.TypeID]string{}
@@ -120,20 +129,27 @@ func Build(net *hin.Network, opt Options) *Result {
 	for x := 0; x < net.NumTypes(); x++ {
 		h.Root.Phi[core.TypeID(x)] = degreeDistribution(net, core.TypeID(x))
 	}
-	var grow func(t *core.TopicNode, g *hin.Network, level int)
-	grow = func(t *core.TopicNode, g *hin.Network, level int) {
+	var grow func(t *core.TopicNode, g *hin.Network, level int) error
+	grow = func(t *core.TopicNode, g *hin.Network, level int) error {
 		if level >= opt.Levels || g.TotalWeight() < opt.MinNetworkWeight {
-			return
+			return nil
 		}
 		k := opt.K
 		if k == 0 {
-			k = selectK(g, t, opt, rng)
+			var err error
+			k, err = selectK(g, t, opt, rng, o)
+			if err != nil {
+				return err
+			}
 		}
 		if k < 2 {
-			return
+			return nil
 		}
 		res.ChosenK[t.Path] = k
-		em := runBest(g, t, k, opt, rng)
+		em, err := runBest(g, t, k, opt, rng, o)
+		if err != nil {
+			return err
+		}
 		res.Alphas[t.Path] = em.alpha
 		subs := em.childNetworks(opt.MinLinkWeight)
 		for z := 0; z < k; z++ {
@@ -145,18 +161,25 @@ func Build(net *hin.Network, opt Options) *Result {
 			res.Networks[c.Path] = subs[z]
 		}
 		for z, c := range t.Children {
-			grow(c, subs[z], level+1)
+			if err := grow(c, subs[z], level+1); err != nil {
+				return err
+			}
 		}
+		return nil
 	}
-	grow(h.Root, net, 0)
-	return res
+	if err := grow(h.Root, net, 0); err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
 // degreeDistribution returns the normalized weighted degree of type-x nodes.
+// Pairs iterate in sorted order so the fractional-weight sums of child
+// networks are bit-reproducible run to run.
 func degreeDistribution(g *hin.Network, x core.TypeID) []float64 {
 	d := make([]float64, g.NumNodes[x])
-	for p, links := range g.Links {
-		for _, l := range links {
+	for _, p := range g.SortedPairs() {
+		for _, l := range g.Links[p] {
 			if p.X == x {
 				d[l.I] += l.W
 			}
@@ -179,10 +202,10 @@ func degreeDistribution(g *hin.Network, x core.TypeID) []float64 {
 
 // selectK chooses the child count by minimizing BIC (Section 3.2.3):
 // BIC = -2 log L + |V^t| k log |E^t|, scanning k in [2, MaxK].
-func selectK(g *hin.Network, t *core.TopicNode, opt Options, rng *rand.Rand) int {
+func selectK(g *hin.Network, t *core.TopicNode, opt Options, rng *rand.Rand, o par.Opts) (int, error) {
 	nLinks := g.TotalLinks()
 	if nLinks == 0 {
-		return 0
+		return 0, nil
 	}
 	activeNodes := 0
 	for x := 0; x < g.NumTypes(); x++ {
@@ -200,12 +223,15 @@ func selectK(g *hin.Network, t *core.TopicNode, opt Options, rng *rand.Rand) int
 		short.EMIters = 10
 	}
 	for k := 2; k <= opt.MaxK; k++ {
-		em := runBest(g, t, k, short, rng)
+		em, err := runBest(g, t, k, short, rng, o)
+		if err != nil {
+			return 0, err
+		}
 		bic := -2*em.logL + float64(activeNodes*k)*math.Log(float64(nLinks))
 		if bic < bestBIC {
 			bestBIC = bic
 			bestK = k
 		}
 	}
-	return bestK
+	return bestK, nil
 }

@@ -7,6 +7,7 @@ import (
 
 	"lesm/internal/core"
 	"lesm/internal/hin"
+	"lesm/internal/par"
 	"lesm/internal/synth"
 )
 
@@ -33,7 +34,10 @@ func TestEMSeparatesBlocks(t *testing.T) {
 	opt := Options{K: 2, EMIters: 80, Restarts: 3, Levels: 1}.withDefaults()
 	rng := rand.New(rand.NewSource(1))
 	root := core.NewHierarchy().Root
-	st := runBest(net, root, 2, opt, rng)
+	st, err := runBest(net, root, 2, opt, rng, par.Opts{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Each topic's phi should concentrate on one block.
 	mass := func(z, lo int) float64 {
 		s := 0.0
@@ -60,7 +64,9 @@ func TestEMLikelihoodNonDecreasing(t *testing.T) {
 	st := newEMState(net, root, 2, opt, rng)
 	prev := math.Inf(-1)
 	for it := 0; it < 30; it++ {
-		st.sweep(false)
+		if err := st.sweep(false, par.Opts{}); err != nil {
+			t.Fatal(err)
+		}
 		if st.logL < prev-1e-6 {
 			t.Fatalf("log-likelihood decreased at iter %d: %v -> %v", it, prev, st.logL)
 		}
@@ -74,7 +80,10 @@ func TestPhiAndRhoNormalized(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	root := core.NewHierarchy().Root
 	root.Phi[0] = degreeDistribution(net, 0)
-	st := runBest(net, root, 3, opt, rng)
+	st, err := runBest(net, root, 3, opt, rng, par.Opts{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	rhoSum := 0.0
 	for _, r := range st.rho {
 		rhoSum += r
@@ -98,7 +107,10 @@ func TestChildNetworksPartitionWeight(t *testing.T) {
 	opt := Options{K: 2, EMIters: 40, Restarts: 1, Levels: 1}.withDefaults()
 	rng := rand.New(rand.NewSource(4))
 	root := core.NewHierarchy().Root
-	st := runBest(net, root, 2, opt, rng)
+	st, err := runBest(net, root, 2, opt, rng, par.Opts{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	subs := st.childNetworks(0) // keep everything to check conservation
 	total := 0.0
 	for _, s := range subs {
@@ -127,7 +139,10 @@ func TestChildNetworksPartitionWeight(t *testing.T) {
 func TestBuildHierarchyOnDBLP(t *testing.T) {
 	ds := synth.DBLP(synth.DBLPConfig{NumPapers: 600, NumAuthors: 150, Seed: 5})
 	net := ds.CollapsedNetwork(0)
-	res := Build(net, Options{K: 3, Levels: 2, EMIters: 30, Restarts: 1, Seed: 6, Background: true})
+	res, err := Build(net, Options{K: 3, Levels: 2, EMIters: 30, Restarts: 1, Seed: 6, Background: true})
+	if err != nil {
+		t.Fatal(err)
+	}
 	h := res.Hierarchy
 	if len(h.Root.Children) != 3 {
 		t.Fatalf("root children = %d", len(h.Root.Children))
@@ -161,8 +176,11 @@ func TestBuildHierarchyOnDBLP(t *testing.T) {
 func TestLearnWeightsFindsInformativeTypes(t *testing.T) {
 	ds := synth.DBLP(synth.DBLPConfig{NumPapers: 500, NumAuthors: 120, Seed: 7})
 	net := ds.CollapsedNetwork(0)
-	res := Build(net, Options{K: 6, Levels: 1, EMIters: 30, Restarts: 1, Seed: 8,
+	res, err := Build(net, Options{K: 6, Levels: 1, EMIters: 30, Restarts: 1, Seed: 8,
 		Background: true, Weights: LearnWeights})
+	if err != nil {
+		t.Fatal(err)
+	}
 	alphas := res.Alphas["o"]
 	if len(alphas) == 0 {
 		t.Fatal("no learned alphas")
@@ -178,7 +196,10 @@ func TestBICSelectsReasonableK(t *testing.T) {
 	// A network with two crisp communities should select a small k, and the
 	// chosen split must be recorded.
 	net := blockNetwork(1)
-	res := Build(net, Options{Levels: 1, MaxK: 4, EMIters: 30, Restarts: 1, Seed: 9})
+	res, err := Build(net, Options{Levels: 1, MaxK: 4, EMIters: 30, Restarts: 1, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
 	k := res.ChosenK["o"]
 	if k < 2 || k > 4 {
 		t.Fatalf("chosen k = %d", k)

@@ -7,6 +7,7 @@ import (
 
 	"lesm/internal/core"
 	"lesm/internal/hin"
+	"lesm/internal/par"
 )
 
 // emState holds the parameters of one clustering step: k subtopics plus the
@@ -16,6 +17,12 @@ type emState struct {
 	k          int
 	background bool
 	pairs      []hin.TypePair
+	// linkOff[pi] is the first flat link index of pair pi; linkOff[len(pairs)]
+	// is the total link count. The flat index drives deterministic chunking
+	// of the E-step across workers.
+	linkOff []int
+	// pairW[pi] caches sum of raw link weights of pair pi.
+	pairW []float64
 	// alpha is the link-type weight per pair (Section 3.2.2).
 	alpha map[hin.TypePair]float64
 	// rho[z] for z in 0..k; rho[0] is the background share (0 if disabled).
@@ -29,20 +36,63 @@ type emState struct {
 	// subtopic z (both directions summed), filled by the final E pass.
 	childW [][][]float64
 	logL   float64
+	// accs is the pool of per-chunk E-step accumulators, reused across
+	// sweeps (the per-worker scratch of the parallel runtime).
+	accs []*sweepAcc
+}
+
+// sweepAcc is one chunk's E-step accumulator. Chunks are merged in chunk
+// order, so results are bit-identical at any parallelism level.
+type sweepAcc struct {
+	rho    []float64
+	phi    [][][]float64
+	s      []float64 // per-link posterior scratch
+	logL   float64
+	totalW float64
+}
+
+func newSweepAcc(nz int, g *hin.Network) *sweepAcc {
+	a := &sweepAcc{rho: make([]float64, nz), s: make([]float64, nz)}
+	a.phi = make([][][]float64, nz)
+	for z := 0; z < nz; z++ {
+		a.phi[z] = make([][]float64, g.NumTypes())
+		for x := 0; x < g.NumTypes(); x++ {
+			a.phi[z][x] = make([]float64, g.NumNodes[x])
+		}
+	}
+	return a
+}
+
+func (a *sweepAcc) reset() {
+	for i := range a.rho {
+		a.rho[i] = 0
+	}
+	for z := range a.phi {
+		for x := range a.phi[z] {
+			d := a.phi[z][x]
+			for i := range d {
+				d[i] = 0
+			}
+		}
+	}
+	a.logL = 0
+	a.totalW = 0
 }
 
 // runBest runs EM with opt.Restarts random initializations and returns the
 // best-likelihood state (the paper's standard multi-start strategy).
-func runBest(g *hin.Network, t *core.TopicNode, k int, opt Options, rng *rand.Rand) *emState {
+func runBest(g *hin.Network, t *core.TopicNode, k int, opt Options, rng *rand.Rand, o par.Opts) (*emState, error) {
 	var best *emState
 	for r := 0; r < opt.Restarts; r++ {
 		st := newEMState(g, t, k, opt, rng)
-		st.run(opt, rng)
+		if err := st.run(opt, o); err != nil {
+			return nil, err
+		}
 		if best == nil || st.logL > best.logL {
 			best = st
 		}
 	}
-	return best
+	return best, nil
 }
 
 func newEMState(g *hin.Network, t *core.TopicNode, k int, opt Options, rng *rand.Rand) *emState {
@@ -56,6 +106,16 @@ func newEMState(g *hin.Network, t *core.TopicNode, k int, opt Options, rng *rand
 		}
 		return st.pairs[a].Y < st.pairs[b].Y
 	})
+	st.linkOff = make([]int, len(st.pairs)+1)
+	st.pairW = make([]float64, len(st.pairs))
+	for pi, p := range st.pairs {
+		st.linkOff[pi+1] = st.linkOff[pi] + len(g.Links[p])
+		w := 0.0
+		for _, l := range g.Links[p] {
+			w += l.W
+		}
+		st.pairW[pi] = w
+	}
 	st.alpha = map[hin.TypePair]float64{}
 	switch opt.Weights {
 	case NormWeights:
@@ -145,23 +205,129 @@ func (st *emState) normalizeAlpha() {
 
 // run executes opt.EMIters E/M sweeps, optionally re-estimating the
 // link-type weights, then fills childW and the final log-likelihood.
-func (st *emState) run(opt Options, rng *rand.Rand) {
+func (st *emState) run(opt Options, o par.Opts) error {
 	for it := 0; it < opt.EMIters; it++ {
-		st.sweep(false)
+		if err := st.sweep(false, o); err != nil {
+			return err
+		}
 		if opt.Weights == LearnWeights && it >= 2 && it%5 == 2 {
-			st.updateAlpha()
+			if err := st.updateAlpha(o); err != nil {
+				return err
+			}
 		}
 	}
-	st.sweep(true)
+	return st.sweep(true, o)
+}
+
+// pairAt returns the index of the pair containing flat link index i.
+func (st *emState) pairAt(i int) int {
+	return sort.SearchInts(st.linkOff, i+1) - 1
 }
 
 // sweep performs one E+M step. When final is true it also records per-link
-// child weights and the log-likelihood under the pre-update parameters.
-func (st *emState) sweep(final bool) {
+// child weights and the log-likelihood under the pre-update parameters. The
+// E pass runs on the shared worker pool: links are chunked deterministically
+// by flat index, each chunk accumulates into its own scratch (from the
+// reusable pool), and chunks merge in order — so the result is identical at
+// any parallelism level.
+func (st *emState) sweep(final bool, o par.Opts) error {
 	k := st.k
 	g := st.g
 	nz := k + 1
-	// Fresh accumulators.
+	nLinks := st.linkOff[len(st.pairs)]
+	if final {
+		st.childW = make([][][]float64, len(st.pairs))
+		for pi, p := range st.pairs {
+			cw := make([][]float64, len(g.Links[p]))
+			for li := range cw {
+				cw[li] = make([]float64, k)
+			}
+			st.childW[pi] = cw
+		}
+	}
+	if st.accs == nil {
+		st.accs = make([]*sweepAcc, par.NumChunks(nLinks))
+	}
+	err := par.ForChunks(o, nLinks, func(c, lo, hi int) {
+		acc := st.accs[c]
+		if acc == nil {
+			acc = newSweepAcc(nz, g)
+			st.accs[c] = acc
+		} else {
+			acc.reset()
+		}
+		s := acc.s
+		for pi, idx := st.pairAt(lo), lo; idx < hi; pi++ {
+			p := st.pairs[pi]
+			links := g.Links[p]
+			a := st.alpha[p]
+			x, y := int(p.X), int(p.Y)
+			end := hi - st.linkOff[pi]
+			if end > len(links) {
+				end = len(links)
+			}
+			for li := idx - st.linkOff[pi]; li < end; li++ {
+				l := links[li]
+				w := a * l.W
+				acc.totalW += 2 * w // both directions
+				var cwz []float64
+				if final {
+					cwz = st.childW[pi][li]
+				}
+				// Two directions: (I first, J second) and (J first, I second).
+				for dir := 0; dir < 2; dir++ {
+					var fx, fy int // first-end type, second-end type
+					var fi, fj int // first-end node, second-end node
+					if dir == 0 {
+						fx, fy, fi, fj = x, y, l.I, l.J
+					} else {
+						fx, fy, fi, fj = y, x, l.J, l.I
+					}
+					total := 0.0
+					for z := 1; z <= k; z++ {
+						v := st.rho[z] * st.phi[z][fx][fi] * st.phi[z][fy][fj]
+						s[z] = v
+						total += v
+					}
+					if st.background {
+						v := st.rho[0] * st.phi[0][fx][fi] * st.parentPhi[fy][fj]
+						s[0] = v
+						total += v
+					} else {
+						s[0] = 0
+					}
+					if total <= 0 {
+						// Degenerate link: spread uniformly over subtopics.
+						for z := 1; z <= k; z++ {
+							s[z] = 1
+						}
+						total = float64(k)
+					}
+					acc.logL += w * math.Log(total)
+					for z := 1; z <= k; z++ {
+						e := w * s[z] / total
+						acc.rho[z] += e
+						acc.phi[z][fx][fi] += e
+						acc.phi[z][fy][fj] += e
+						if final {
+							cwz[z-1] += e
+						}
+					}
+					if st.background {
+						e := w * s[0] / total
+						acc.rho[0] += e
+						acc.phi[0][fx][fi] += e
+					}
+				}
+			}
+			idx = st.linkOff[pi] + end
+		}
+	})
+	if err != nil {
+		return err
+	}
+	// Ordered merge of the chunk accumulators. The merged phi arrays are
+	// fresh because the M-step installs them into st.phi.
 	rhoAcc := make([]float64, nz)
 	phiAcc := make([][][]float64, nz)
 	for z := 0; z < nz; z++ {
@@ -170,89 +336,26 @@ func (st *emState) sweep(final bool) {
 			phiAcc[z][x] = make([]float64, g.NumNodes[x])
 		}
 	}
-	if final {
-		st.childW = make([][][]float64, len(st.pairs))
-	}
 	logL := 0.0
-	s := make([]float64, nz)
 	totalW := 0.0
-	for pi, p := range st.pairs {
-		links := g.Links[p]
-		a := st.alpha[p]
-		x, y := int(p.X), int(p.Y)
-		var cw [][]float64
-		if final {
-			cw = make([][]float64, len(links))
-		}
-		pairW := 0.0
-		for _, l := range links {
-			pairW += a * l.W
-		}
-		totalW += 2 * pairW // both directions
-		// theta_{x,y} factor for the likelihood is constant given alpha;
-		// accumulate e*log(theta) once per pair below using pairW.
-		for li, l := range links {
-			w := a * l.W
-			var cwz []float64
-			if final {
-				cwz = make([]float64, k)
-				cw[li] = cwz
-			}
-			// Two directions: (I first, J second) and (J first, I second).
-			for dir := 0; dir < 2; dir++ {
-				var fx, fy int // first-end type, second-end type
-				var fi, fj int // first-end node, second-end node
-				if dir == 0 {
-					fx, fy, fi, fj = x, y, l.I, l.J
-				} else {
-					fx, fy, fi, fj = y, x, l.J, l.I
-				}
-				total := 0.0
-				for z := 1; z <= k; z++ {
-					v := st.rho[z] * st.phi[z][fx][fi] * st.phi[z][fy][fj]
-					s[z] = v
-					total += v
-				}
-				if st.background {
-					v := st.rho[0] * st.phi[0][fx][fi] * st.parentPhi[fy][fj]
-					s[0] = v
-					total += v
-				} else {
-					s[0] = 0
-				}
-				if total <= 0 {
-					// Degenerate link: spread uniformly over subtopics.
-					for z := 1; z <= k; z++ {
-						s[z] = 1
-					}
-					total = float64(k)
-				}
-				logL += w * math.Log(total)
-				for z := 1; z <= k; z++ {
-					e := w * s[z] / total
-					rhoAcc[z] += e
-					phiAcc[z][fx][fi] += e
-					phiAcc[z][fy][fj] += e
-					if final {
-						cwz[z-1] += e
-					}
-				}
-				if st.background {
-					e := w * s[0] / total
-					rhoAcc[0] += e
-					phiAcc[0][fx][fi] += e
+	for c := 0; c < par.NumChunks(nLinks); c++ {
+		acc := st.accs[c]
+		logL += acc.logL
+		totalW += acc.totalW
+		for z := 0; z < nz; z++ {
+			rhoAcc[z] += acc.rho[z]
+			for x := 0; x < g.NumTypes(); x++ {
+				dst, src := phiAcc[z][x], acc.phi[z][x]
+				for i := range dst {
+					dst[i] += src[i]
 				}
 			}
-		}
-		if final {
-			st.childW[pi] = cw
 		}
 	}
 	// Add the theta term: sum over pairs of (directed weight)*log(theta_xy),
 	// theta_xy = directed pair weight / total directed weight; minus M.
-	for _, p := range st.pairs {
-		a := st.alpha[p]
-		pw := 2 * a * st.g.PairWeight(p)
+	for pi, p := range st.pairs {
+		pw := 2 * st.alpha[p] * st.pairW[pi]
 		if pw > 0 && totalW > 0 {
 			logL += pw * math.Log(pw/totalW)
 		}
@@ -276,54 +379,71 @@ func (st *emState) sweep(final bool) {
 		rhoAcc[0] = 0
 	}
 	st.rho = rhoAcc
+	return nil
 }
 
 // updateAlpha re-estimates link-type weights by the closed form of Eq. 3.37:
 // alpha is inversely proportional to sigma_{x,y}, the average per-link KL
 // surprise of the observed weights under the current model, normalized to a
-// unit weighted geometric mean.
-func (st *emState) updateAlpha() {
+// unit weighted geometric mean. The per-link surprise accumulates on the
+// worker pool with the same deterministic chunking as the E-step.
+func (st *emState) updateAlpha(o par.Opts) error {
 	k := st.k
-	sigma := map[hin.TypePair]float64{}
-	for _, p := range st.pairs {
+	nLinks := st.linkOff[len(st.pairs)]
+	sums, err := par.MapReduce(o, nLinks,
+		func() []float64 { return make([]float64, len(st.pairs)) },
+		func(acc []float64, _, lo, hi int) {
+			for pi, idx := st.pairAt(lo), lo; idx < hi; pi++ {
+				p := st.pairs[pi]
+				links := st.g.Links[p]
+				x, y := int(p.X), int(p.Y)
+				mxy := st.pairW[pi]
+				end := hi - st.linkOff[pi]
+				if end > len(links) {
+					end = len(links)
+				}
+				for li := idx - st.linkOff[pi]; li < end; li++ {
+					l := links[li]
+					for dir := 0; dir < 2; dir++ {
+						var fx, fy, fi, fj int
+						if dir == 0 {
+							fx, fy, fi, fj = x, y, l.I, l.J
+						} else {
+							fx, fy, fi, fj = y, x, l.J, l.I
+						}
+						sij := 0.0
+						for z := 1; z <= k; z++ {
+							sij += st.rho[z] * st.phi[z][fx][fi] * st.phi[z][fy][fj]
+						}
+						if st.background {
+							sij += st.rho[0] * st.phi[0][fx][fi] * st.parentPhi[fy][fj]
+						}
+						if sij <= 1e-300 {
+							sij = 1e-300
+						}
+						acc[pi] += l.W * math.Log(l.W/(mxy*sij))
+					}
+				}
+				idx = st.linkOff[pi] + end
+			}
+		},
+		func(dst, src []float64) {
+			for i := range dst {
+				dst[i] += src[i]
+			}
+		})
+	if err != nil {
+		return err
+	}
+	for pi, p := range st.pairs {
 		links := st.g.Links[p]
 		if len(links) == 0 {
 			continue
 		}
-		x, y := int(p.X), int(p.Y)
-		mxy := 0.0
-		for _, l := range links {
-			mxy += l.W
-		}
-		acc := 0.0
-		for _, l := range links {
-			for dir := 0; dir < 2; dir++ {
-				var fx, fy, fi, fj int
-				if dir == 0 {
-					fx, fy, fi, fj = x, y, l.I, l.J
-				} else {
-					fx, fy, fi, fj = y, x, l.J, l.I
-				}
-				sij := 0.0
-				for z := 1; z <= k; z++ {
-					sij += st.rho[z] * st.phi[z][fx][fi] * st.phi[z][fy][fj]
-				}
-				if st.background {
-					sij += st.rho[0] * st.phi[0][fx][fi] * st.parentPhi[fy][fj]
-				}
-				if sij <= 1e-300 {
-					sij = 1e-300
-				}
-				acc += l.W * math.Log(l.W/(mxy*sij))
-			}
-		}
-		s := acc / float64(2*len(links))
+		s := sums[pi] / float64(2*len(links))
 		if s < 1e-6 {
 			s = 1e-6
 		}
-		sigma[p] = s
-	}
-	for p, s := range sigma {
 		st.alpha[p] = 1 / s
 	}
 	st.normalizeAlpha()
@@ -335,6 +455,7 @@ func (st *emState) updateAlpha() {
 			st.alpha[p] = 1e-3
 		}
 	}
+	return nil
 }
 
 // childNetworks extracts the per-subtopic subnetworks: links whose expected

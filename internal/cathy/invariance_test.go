@@ -7,6 +7,7 @@ import (
 
 	"lesm/internal/core"
 	"lesm/internal/hin"
+	"lesm/internal/par"
 )
 
 // TestScaleInvarianceLemma31 verifies Lemma 3.1: multiplying every link
@@ -27,8 +28,8 @@ func TestScaleInvarianceLemma31(t *testing.T) {
 		opt := Options{K: 2, EMIters: 50, Restarts: 1, Levels: 1}.withDefaults()
 		root1 := core.NewHierarchy().Root
 		root2 := core.NewHierarchy().Root
-		st1 := runBest(base, root1, 2, opt, rand.New(rand.NewSource(99)))
-		st2 := runBest(scaled, root2, 2, opt, rand.New(rand.NewSource(99)))
+		st1, _ := runBest(base, root1, 2, opt, rand.New(rand.NewSource(99)), par.Opts{})
+		st2, _ := runBest(scaled, root2, 2, opt, rand.New(rand.NewSource(99)), par.Opts{})
 		for z := 1; z <= 2; z++ {
 			if math.Abs(st1.rho[z]-st2.rho[z]) > 1e-9 {
 				t.Fatalf("c=%v: rho[%d] %v != %v", c, z, st1.rho[z], st2.rho[z])
@@ -57,8 +58,8 @@ func TestSubnetworkWeightsScaleWithInput(t *testing.T) {
 		scaled.Links[p] = out
 	}
 	opt := Options{K: 2, EMIters: 50, Restarts: 1, Levels: 1}.withDefaults()
-	st1 := runBest(base, core.NewHierarchy().Root, 2, opt, rand.New(rand.NewSource(7)))
-	st2 := runBest(scaled, core.NewHierarchy().Root, 2, opt, rand.New(rand.NewSource(7)))
+	st1, _ := runBest(base, core.NewHierarchy().Root, 2, opt, rand.New(rand.NewSource(7)), par.Opts{})
+	st2, _ := runBest(scaled, core.NewHierarchy().Root, 2, opt, rand.New(rand.NewSource(7)), par.Opts{})
 	w1 := 0.0
 	for _, sub := range st1.childNetworks(0) {
 		w1 += sub.TotalWeight()

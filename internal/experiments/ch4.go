@@ -188,8 +188,8 @@ func phraseMethodTopics(ds *synth.Dataset, k int, seed int64) map[string][][]cor
 	out := map[string][][]core.RankedPhrase{}
 
 	// ToPMine.
-	tm := topmine.Run(ds.Corpus, topmine.Config{MinSupport: 5, MaxLen: 5, Alpha: 3},
-		lda.Config{K: k, Iters: 120, Seed: seed, Background: true}, topmine.RankConfig{TopN: 25})
+	tm := must(topmine.Run(ds.Corpus, topmine.Config{MinSupport: 5, MaxLen: 5, Alpha: 3},
+		lda.Config{K: k, Iters: 120, Seed: seed, Background: true}, topmine.RankConfig{TopN: 25}))
 	out["ToPMine"] = tm.Topics
 
 	// KERT.
@@ -414,8 +414,8 @@ func Table45(scale float64) *Table {
 			kert.Mine(tokensOf(ds), kert.TopicsFromLDA(m), kert.Config{MinSupport: 5, MaxLen: 4, Background: true})
 		}},
 		{"ToPMine", false, func(ds *synth.Dataset) {
-			topmine.Run(ds.Corpus, topmine.Config{MinSupport: 5, MaxLen: 5, Alpha: 3},
-				lda.Config{K: 5, Iters: 100, Seed: 428}, topmine.RankConfig{})
+			must(topmine.Run(ds.Corpus, topmine.Config{MinSupport: 5, MaxLen: 5, Alpha: 3},
+				lda.Config{K: 5, Iters: 100, Seed: 428}, topmine.RankConfig{}))
 		}},
 	}
 	for _, m := range methods {
@@ -440,8 +440,8 @@ func Table45(scale float64) *Table {
 // 4.6-4.8): top unigrams (from PhraseLDA) and top multiword phrases.
 func topMineShowcase(id, title string, domain synth.LongTextDomain, k int, scale float64, seed int64) *Table {
 	ds := synth.LongText(domain, synth.TextConfig{NumDocs: scaled(1500, scale), Seed: seed})
-	res := topmine.Run(ds.Corpus, topmine.Config{MinSupport: 5, MaxLen: 5, Alpha: 3},
-		lda.Config{K: k, Iters: 150, Seed: seed + 1, Background: true}, topmine.RankConfig{TopN: 30})
+	res := must(topmine.Run(ds.Corpus, topmine.Config{MinSupport: 5, MaxLen: 5, Alpha: 3},
+		lda.Config{K: k, Iters: 150, Seed: seed + 1, Background: true}, topmine.RankConfig{TopN: 30}))
 	t := &Table{ID: id, Title: title, Header: []string{"topic", "top unigrams", "top phrases"}}
 	for tp := 0; tp < k; tp++ {
 		var unis, phrases []string

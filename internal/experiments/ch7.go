@@ -24,7 +24,7 @@ func Fig71(scale float64) *Table {
 		v := ds.Corpus.Vocab.Size()
 
 		start := time.Now()
-		strod.Fit(strod.FromTokens(docs), v, strod.Config{K: 5, Seed: 702})
+		must(strod.Fit(strod.FromTokens(docs), v, strod.Config{K: 5, Seed: 702}))
 		tS := time.Since(start)
 
 		start = time.Now()
@@ -33,7 +33,7 @@ func Fig71(scale float64) *Table {
 
 		start = time.Now()
 		net := hin.TermNetwork(v, docs, 0)
-		cathy.Build(net, cathy.Options{K: 5, Levels: 1, EMIters: 100, Restarts: 1, Seed: 704})
+		must(cathy.Build(net, cathy.Options{K: 5, Levels: 1, EMIters: 100, Restarts: 1, Seed: 704}))
 		tC := time.Since(start)
 
 		t.Rows = append(t.Rows, []string{fmt.Sprintf("%d", nd), ms(tS), ms(tG), ms(tC)})
@@ -54,7 +54,7 @@ func Table71(scale float64) *Table {
 
 	var strodRuns, gibbsRuns [][][]float64
 	for seed := int64(0); seed < 5; seed++ {
-		m := strod.Fit(sd, v, strod.Config{K: 5, Seed: 706 + seed})
+		m := must(strod.Fit(sd, v, strod.Config{K: 5, Seed: 706 + seed}))
 		strodRuns = append(strodRuns, m.Phi)
 		g := lda.Run(docs, v, lda.Config{K: 5, Iters: 150, Seed: 711 + seed})
 		gibbsRuns = append(gibbsRuns, g.Phi)
@@ -106,7 +106,7 @@ func Table72(scale float64) *Table {
 		}
 	}
 	sd := strod.FromTokens(docs)
-	m := strod.Fit(sd, v, strod.Config{K: 5, Seed: 721, LearnAlpha0: true})
+	m := must(strod.Fit(sd, v, strod.Config{K: 5, Seed: 721, LearnAlpha0: true}))
 	g := lda.Run(docs, v, lda.Config{K: 5, Iters: 200, Seed: 722})
 	t.Rows = append(t.Rows, []string{"STROD recovery error", f3(strod.MatchError(m.Phi, truePhi))})
 	t.Rows = append(t.Rows, []string{"Gibbs recovery error", f3(strod.MatchError(g.Phi, truePhi))})
@@ -120,8 +120,8 @@ func Table72(scale float64) *Table {
 	}
 	// Sample recursive tree on the hierarchical CS corpus.
 	cs := synth.DBLPTitles(synth.TextConfig{NumDocs: scaled(4000, scale), Seed: 723})
-	h := strod.BuildTree(strod.FromTokens(tokensOf(cs)), cs.Corpus.Vocab.Size(),
-		strod.TreeConfig{K: 3, Levels: 2, Config: strod.Config{Seed: 724}})
+	h := must(strod.BuildTree(strod.FromTokens(tokensOf(cs)), cs.Corpus.Vocab.Size(),
+		strod.TreeConfig{K: 3, Levels: 2, Config: strod.Config{Seed: 724}}))
 	t.Rows = append(t.Rows, []string{"STROD tree size (3x3, 2 levels)", fmt.Sprintf("%d topics", h.Root.Size()-1)})
 	return t
 }

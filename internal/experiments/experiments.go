@@ -130,23 +130,33 @@ func scaled(n int, scale float64) int {
 
 // --- shared pipeline helpers ---
 
+// must unwraps engine results inside the harness: experiments always run
+// with a background context, so the only possible error is a programming
+// mistake worth failing loudly on.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
 // buildHIN constructs a CATHYHIN hierarchy over a dataset's collapsed
 // network.
 func buildHIN(ds *synth.Dataset, k, levels int, mode cathy.WeightMode, seed int64) *cathy.Result {
 	net := ds.CollapsedNetwork(0)
-	return cathy.Build(net, cathy.Options{
+	return must(cathy.Build(net, cathy.Options{
 		K: k, Levels: levels, EMIters: 60, Restarts: 3, Seed: seed,
 		Background: true, Weights: mode,
-	})
+	}))
 }
 
 // buildTextHierarchy constructs a text-only CATHY hierarchy.
 func buildTextHierarchy(ds *synth.Dataset, k, levels int, seed int64) *cathy.Result {
 	net := hin.TermNetwork(ds.Corpus.Vocab.Size(), tokensOf(ds), 0)
 	net.Names[0] = ds.Corpus.Vocab.Words()
-	return cathy.Build(net, cathy.Options{
+	return must(cathy.Build(net, cathy.Options{
 		K: k, Levels: levels, EMIters: 40, Restarts: 2, Seed: seed,
-	})
+	}))
 }
 
 func tokensOf(ds *synth.Dataset) [][]int {

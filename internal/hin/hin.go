@@ -70,12 +70,31 @@ func NewNetwork(typeNames []string, numNodes []int) *Network {
 // NumTypes returns the number of node types.
 func (n *Network) NumTypes() int { return len(n.TypeNames) }
 
+// SortedPairs returns the network's type pairs in (X, Y) order. Iterating
+// pairs through it instead of ranging over the Links map keeps
+// floating-point accumulations bit-reproducible across runs (map order
+// varies per process, and fractional child-network weights make the sums
+// order sensitive).
+func (n *Network) SortedPairs() []TypePair {
+	ps := make([]TypePair, 0, len(n.Links))
+	for p := range n.Links {
+		ps = append(ps, p)
+	}
+	sort.Slice(ps, func(a, b int) bool {
+		if ps[a].X != ps[b].X {
+			return ps[a].X < ps[b].X
+		}
+		return ps[a].Y < ps[b].Y
+	})
+	return ps
+}
+
 // TotalWeight returns M^t, the total link weight (each stored link counted
 // once).
 func (n *Network) TotalWeight() float64 {
 	s := 0.0
-	for _, ls := range n.Links {
-		for _, l := range ls {
+	for _, p := range n.SortedPairs() {
+		for _, l := range n.Links[p] {
 			s += l.W
 		}
 	}

@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"lesm/internal/par"
 )
 
 func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
@@ -222,7 +224,7 @@ func TestTensorPowerRecoversOrthogonalDecomposition(t *testing.T) {
 	}
 	recovered := map[int]bool{}
 	for iter := 0; iter < k; iter++ {
-		v, lambda := tt.PowerIteration(10, 60, rng)
+		v, lambda := tt.PowerIteration(10, 60, rng, par.Opts{})
 		// Find which ground-truth component this matches.
 		found := -1
 		for c := 0; c < k; c++ {

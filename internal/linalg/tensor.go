@@ -1,6 +1,10 @@
 package linalg
 
-import "math/rand"
+import (
+	"math/rand"
+
+	"lesm/internal/par"
+)
 
 // Tensor3 is a dense symmetric-use 3-mode tensor of dimension K x K x K,
 // stored flat. STROD's whitened third moment lives here (K = number of
@@ -108,31 +112,49 @@ func (t *Tensor3) Deflate(lambda float64, v []float64) {
 // Section 7.3.1) on t: nTrials random restarts of nIters power updates,
 // keeping the candidate with the largest eigenvalue, then polishing it with
 // nIters further updates. It returns the eigenvector and eigenvalue.
-func (t *Tensor3) PowerIteration(nTrials, nIters int, rng *rand.Rand) ([]float64, float64) {
+//
+// Trials are independent, so they run on the shared worker pool: the start
+// vectors are drawn from rng up front (preserving the serial random stream),
+// each trial iterates in its own scratch, and the winner is selected by
+// (eigenvalue, then lowest trial index) — the same answer the serial scan
+// produces, at any parallelism level.
+func (t *Tensor3) PowerIteration(nTrials, nIters int, rng *rand.Rand, o par.Opts) ([]float64, float64) {
 	k := t.K
+	starts := make([][]float64, nTrials)
+	for trial := range starts {
+		v := make([]float64, k)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		Normalize(v)
+		starts[trial] = v
+	}
+	lambdas := make([]float64, nTrials)
+	par.For(o, nTrials, func(lo, hi int) {
+		next := make([]float64, k)
+		for trial := lo; trial < hi; trial++ {
+			cur := starts[trial]
+			for it := 0; it < nIters; it++ {
+				t.Apply2(next, cur)
+				if Normalize(next) == 0 {
+					break
+				}
+				copy(cur, next)
+			}
+			lambdas[trial] = t.Apply3(cur, cur, cur)
+		}
+	})
 	best := make([]float64, k)
 	bestLambda := 0.0
-	cur := make([]float64, k)
-	next := make([]float64, k)
 	for trial := 0; trial < nTrials; trial++ {
-		for i := range cur {
-			cur[i] = rng.NormFloat64()
-		}
-		Normalize(cur)
-		for it := 0; it < nIters; it++ {
-			t.Apply2(next, cur)
-			if Normalize(next) == 0 {
-				break
-			}
-			copy(cur, next)
-		}
-		lambda := t.Apply3(cur, cur, cur)
-		if lambda > bestLambda {
-			bestLambda = lambda
-			copy(best, cur)
+		if lambdas[trial] > bestLambda {
+			bestLambda = lambdas[trial]
+			copy(best, starts[trial])
 		}
 	}
 	// Polish the winning candidate.
+	cur := make([]float64, k)
+	next := make([]float64, k)
 	copy(cur, best)
 	for it := 0; it < nIters; it++ {
 		t.Apply2(next, cur)

@@ -1,0 +1,152 @@
+// Package par is the shared parallel runtime of the mining engines: a
+// bounded worker pool with deterministic chunked execution, ordered
+// reduction, and context-based cancellation.
+//
+// Every engine in the repo (CATHY EM, STROD moment accumulation, ToPMine
+// mining and segmentation, TPFG message passing) funnels its hot loops
+// through this package. The central guarantee is determinism: a range of n
+// items is always split into the same chunks regardless of how many workers
+// execute them, and reductions merge per-chunk accumulators in chunk order.
+// Floating-point results are therefore bit-identical at P=1 and P=8 — the
+// invariant the engines' same-seed reproducibility tests rely on.
+package par
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Opts selects the execution policy an engine call runs under.
+type Opts struct {
+	// P is the maximum number of concurrent workers; <= 0 means
+	// runtime.GOMAXPROCS(0).
+	P int
+	// Ctx cancels work between chunks; nil means context.Background().
+	Ctx context.Context
+}
+
+// Workers resolves P to the effective worker count.
+func (o Opts) Workers() int {
+	if o.P > 0 {
+		return o.P
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Context resolves Ctx, defaulting to context.Background().
+func (o Opts) Context() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
+}
+
+// Err reports the cancellation state without doing any work.
+func (o Opts) Err() error { return o.Context().Err() }
+
+// MaxChunks is the fixed upper bound on the number of chunks a range is
+// split into. Chunk boundaries depend only on the item count — never on P —
+// so ordered reductions over chunks group floating-point additions
+// identically at any parallelism level. It also bounds the memory spent on
+// per-chunk accumulators (at most MaxChunks live copies).
+const MaxChunks = 16
+
+// NumChunks returns the number of chunks used for n items: n when n is
+// small, MaxChunks otherwise.
+func NumChunks(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	if n < MaxChunks {
+		return n
+	}
+	return MaxChunks
+}
+
+// ChunkBounds returns the half-open item range [lo, hi) of chunk c of n
+// items. Chunks differ in size by at most one item.
+func ChunkBounds(n, c int) (lo, hi int) {
+	nc := NumChunks(n)
+	return c * n / nc, (c + 1) * n / nc
+}
+
+// ForChunks splits [0, n) into the deterministic chunking of NumChunks /
+// ChunkBounds and calls fn(c, lo, hi) once per chunk on up to o.Workers()
+// goroutines. fn must only touch state that is disjoint per chunk (or per
+// item). Cancellation is checked between chunks; ForChunks returns the
+// context error if the run was cut short, in which case some chunks may not
+// have executed.
+func ForChunks(o Opts, n int, fn func(c, lo, hi int)) error {
+	nc := NumChunks(n)
+	if nc == 0 {
+		return o.Err()
+	}
+	ctx := o.Context()
+	w := o.Workers()
+	if w > nc {
+		w = nc
+	}
+	if w <= 1 {
+		for c := 0; c < nc; c++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			lo, hi := ChunkBounds(n, c)
+			fn(c, lo, hi)
+		}
+		return nil
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				c := int(next.Add(1)) - 1
+				if c >= nc {
+					return
+				}
+				lo, hi := ChunkBounds(n, c)
+				fn(c, lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// For runs fn(lo, hi) over the deterministic chunking of [0, n) on up to
+// o.Workers() goroutines. Use it when iterations write disjoint outputs and
+// no reduction is needed.
+func For(o Opts, n int, fn func(lo, hi int)) error {
+	return ForChunks(o, n, func(_, lo, hi int) { fn(lo, hi) })
+}
+
+// MapReduce runs mapChunk over every chunk of [0, n) in parallel, then
+// merges the per-chunk accumulators in chunk order, which keeps
+// floating-point reductions bit-identical at any parallelism level. newAcc
+// allocates one accumulator (called once per chunk); merge folds src into
+// dst. The merged result is the chunk-0 accumulator. When n == 0 it returns
+// a fresh accumulator.
+func MapReduce[T any](o Opts, n int, newAcc func() T, mapChunk func(acc T, c, lo, hi int), merge func(dst, src T)) (T, error) {
+	nc := NumChunks(n)
+	if nc == 0 {
+		return newAcc(), o.Err()
+	}
+	accs := make([]T, nc)
+	err := ForChunks(o, n, func(c, lo, hi int) {
+		accs[c] = newAcc()
+		mapChunk(accs[c], c, lo, hi)
+	})
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	for c := 1; c < nc; c++ {
+		merge(accs[0], accs[c])
+	}
+	return accs[0], nil
+}

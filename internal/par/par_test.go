@@ -1,0 +1,130 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestChunkBoundsCoverRange(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 15, 16, 17, 100, 1000, 1001} {
+		nc := NumChunks(n)
+		covered := 0
+		prev := 0
+		for c := 0; c < nc; c++ {
+			lo, hi := ChunkBounds(n, c)
+			if lo != prev {
+				t.Fatalf("n=%d chunk %d: lo=%d, want %d", n, c, lo, prev)
+			}
+			if hi < lo {
+				t.Fatalf("n=%d chunk %d: hi=%d < lo=%d", n, c, hi, lo)
+			}
+			covered += hi - lo
+			prev = hi
+		}
+		if covered != n {
+			t.Fatalf("n=%d: chunks cover %d items", n, covered)
+		}
+	}
+}
+
+func TestForVisitsEveryIndexOnce(t *testing.T) {
+	for _, p := range []int{1, 2, 8, 33} {
+		const n = 977
+		seen := make([]int32, n)
+		var mu sync.Mutex
+		err := For(Opts{P: p}, n, func(lo, hi int) {
+			mu.Lock()
+			for i := lo; i < hi; i++ {
+				seen[i]++
+			}
+			mu.Unlock()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("P=%d: index %d visited %d times", p, i, c)
+			}
+		}
+	}
+}
+
+// TestMapReduceDeterministicAcrossP is the load-bearing property: a
+// floating-point reduction must be bit-identical at every parallelism level.
+func TestMapReduceDeterministicAcrossP(t *testing.T) {
+	const n = 10000
+	xs := make([]float64, n)
+	for i := range xs {
+		// Values spread over magnitudes so summation order matters.
+		xs[i] = 1.0 / float64(1+i*i%977)
+	}
+	sum := func(p int) float64 {
+		s, err := MapReduce(Opts{P: p}, n,
+			func() *float64 { f := 0.0; return &f },
+			func(acc *float64, _, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					*acc += xs[i]
+				}
+			},
+			func(dst, src *float64) { *dst += *src })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return *s
+	}
+	want := sum(1)
+	for _, p := range []int{2, 3, 8, 64} {
+		if got := sum(p); got != want {
+			t.Fatalf("P=%d: sum %v != P=1 sum %v", p, got, want)
+		}
+	}
+}
+
+func TestCancelledContextReturnsPromptly(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := 0
+	var mu sync.Mutex
+	start := time.Now()
+	err := For(Opts{P: 4, Ctx: ctx}, 1<<20, func(lo, hi int) {
+		mu.Lock()
+		ran++
+		mu.Unlock()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// An already-cancelled context must not start every chunk; with P=4 at
+	// most a few chunks can slip in before the workers observe the cancel.
+	if ran >= NumChunks(1<<20) {
+		t.Fatalf("all %d chunks ran despite cancelled context", ran)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("cancelled For did not return promptly")
+	}
+}
+
+func TestMidFlightCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var once sync.Once
+	err := ForChunks(Opts{P: 2, Ctx: ctx}, 1000, func(c, lo, hi int) {
+		once.Do(cancel) // cancel from inside the first chunk that runs
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestOptsDefaults(t *testing.T) {
+	var o Opts
+	if o.Workers() < 1 {
+		t.Fatalf("Workers() = %d", o.Workers())
+	}
+	if o.Context() == nil || o.Err() != nil {
+		t.Fatal("default context should be non-nil and live")
+	}
+}

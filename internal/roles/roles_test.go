@@ -15,7 +15,10 @@ func setup(t *testing.T) (*synth.Dataset, *Analyzer) {
 	t.Helper()
 	ds := synth.DBLP(synth.DBLPConfig{NumPapers: 800, NumAuthors: 160, Seed: 61})
 	net := ds.CollapsedNetwork(0)
-	res := cathy.Build(net, cathy.Options{K: 3, Levels: 2, EMIters: 25, Restarts: 1, Seed: 62, Background: true})
+	res, err := cathy.Build(net, cathy.Options{K: 3, Levels: 2, EMIters: 25, Restarts: 1, Seed: 62, Background: true})
+	if err != nil {
+		t.Fatal(err)
+	}
 	miner := topmine.MineFrequentPhrases(ds.Corpus.Docs, topmine.Config{MinSupport: 5, MaxLen: 5, Alpha: 3})
 	part := miner.SegmentCorpus(ds.Corpus.Docs)
 	a := NewAnalyzer(ds.Corpus, ds.Docs, res.Hierarchy.Root, miner, part)

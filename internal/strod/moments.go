@@ -15,6 +15,7 @@ import (
 	"math/rand"
 
 	"lesm/internal/linalg"
+	"lesm/internal/par"
 )
 
 // SparseDoc is a document as a sparse (possibly fractional) word-count
@@ -53,23 +54,40 @@ func FromTokens(docs [][]int) []SparseDoc {
 // usable reports documents long enough for third-moment estimation.
 func usable(d SparseDoc) bool { return d.Len >= 3 }
 
-// m1 computes the first moment E[x] over usable documents.
-func m1(docs []SparseDoc, v int) []float64 {
-	out := make([]float64, v)
-	n := 0.0
-	for _, d := range docs {
-		if !usable(d) {
-			continue
-		}
-		for i, id := range d.IDs {
-			out[id] += d.Cnt[i] / d.Len
-		}
-		n++
+// m1 computes the first moment E[x] over usable documents. Documents are
+// chunked on the worker pool and the per-chunk sums merge in chunk order, so
+// the result is bit-identical at any parallelism level.
+func m1(docs []SparseDoc, v int, o par.Opts) ([]float64, error) {
+	type acc struct {
+		out []float64
+		n   float64
 	}
-	if n > 0 {
-		linalg.Scale(out, 1/n)
+	a, err := par.MapReduce(o, len(docs),
+		func() *acc { return &acc{out: make([]float64, v)} },
+		func(a *acc, _, lo, hi int) {
+			for _, d := range docs[lo:hi] {
+				if !usable(d) {
+					continue
+				}
+				for i, id := range d.IDs {
+					a.out[id] += d.Cnt[i] / d.Len
+				}
+				a.n++
+			}
+		},
+		func(dst, src *acc) {
+			for i := range dst.out {
+				dst.out[i] += src.out[i]
+			}
+			dst.n += src.n
+		})
+	if err != nil {
+		return nil, err
 	}
-	return out
+	if a.n > 0 {
+		linalg.Scale(a.out, 1/a.n)
+	}
+	return a.out, nil
 }
 
 // applyM2 returns a matvec closure for the centered second moment
@@ -78,7 +96,13 @@ func m1(docs []SparseDoc, v int) []float64 {
 //
 // where E[x1 ⊗ x2] is estimated per document as
 // (c c^T - diag(c)) / (l (l-1)). Only O(nnz) work per document per call.
-func applyM2(docs []SparseDoc, mu1 []float64, alpha0 float64) func(dst, src []float64) {
+//
+// The returned closure runs the document pass on the worker pool; each chunk
+// scatters into its own partial output vector (allocated once and reused
+// across the many matvec calls of the orthogonal iteration) and the partials
+// merge in chunk order, keeping every call bit-identical at any parallelism
+// level. The closure is not itself safe for concurrent calls.
+func applyM2(docs []SparseDoc, mu1 []float64, alpha0 float64, o par.Opts) func(dst, src []float64) {
 	var used []SparseDoc
 	for _, d := range docs {
 		if usable(d) {
@@ -87,18 +111,39 @@ func applyM2(docs []SparseDoc, mu1 []float64, alpha0 float64) func(dst, src []fl
 	}
 	n := float64(len(used))
 	c0 := alpha0 / (alpha0 + 1)
+	v := len(mu1)
+	partial := make([][]float64, par.NumChunks(len(used)))
 	return func(dst, src []float64) {
+		par.ForChunks(o, len(used), func(c, lo, hi int) {
+			p := partial[c]
+			if p == nil {
+				p = make([]float64, v)
+				partial[c] = p
+			} else {
+				for i := range p {
+					p[i] = 0
+				}
+			}
+			for _, d := range used[lo:hi] {
+				dot := 0.0
+				for i, id := range d.IDs {
+					dot += d.Cnt[i] * src[id]
+				}
+				norm := 1 / (d.Len * (d.Len - 1) * n)
+				for i, id := range d.IDs {
+					p[id] += (d.Cnt[i]*dot - d.Cnt[i]*src[id]) * norm
+				}
+			}
+		})
 		for i := range dst {
 			dst[i] = 0
 		}
-		for _, d := range used {
-			dot := 0.0
-			for i, id := range d.IDs {
-				dot += d.Cnt[i] * src[id]
+		for _, p := range partial {
+			if p == nil {
+				continue
 			}
-			norm := 1 / (d.Len * (d.Len - 1) * n)
-			for i, id := range d.IDs {
-				dst[id] += (d.Cnt[i]*dot - d.Cnt[i]*src[id]) * norm
+			for i := range dst {
+				dst[i] += p[i]
 			}
 		}
 		m1dot := linalg.Dot(mu1, src)
@@ -110,8 +155,8 @@ func applyM2(docs []SparseDoc, mu1 []float64, alpha0 float64) func(dst, src []fl
 
 // whiten computes W (V x K) with W^T M2 W = I and the unwhitening matrix
 // B = U diag(sqrt(lambda)) with B v recovering topic directions.
-func whiten(docs []SparseDoc, v, k int, mu1 []float64, alpha0 float64, iters int, rng *rand.Rand) (w, b *linalg.Dense) {
-	apply := applyM2(docs, mu1, alpha0)
+func whiten(docs []SparseDoc, v, k int, mu1 []float64, alpha0 float64, iters int, rng *rand.Rand, o par.Opts) (w, b *linalg.Dense) {
+	apply := applyM2(docs, mu1, alpha0, o)
 	vals, vecs := linalg.TopKEigSym(v, k, apply, iters, rng)
 	w = linalg.NewDense(v, k)
 	b = linalg.NewDense(v, k)
@@ -135,10 +180,8 @@ func whiten(docs []SparseDoc, v, k int, mu1 []float64, alpha0 float64, iters int
 //
 //	E3_d = [ y⊗y⊗y - Σ_v c_v sym(Wv⊗Wv⊗y) + 2 Σ_v c_v Wv⊗Wv⊗Wv ] / (l(l-1)(l-2))
 //	M3  = E3 - alpha0/(alpha0+2) * sym(E2w ⊗ m1w) + 2alpha0²/((alpha0+1)(alpha0+2)) m1w⊗m1w⊗m1w
-func whitenedM3(docs []SparseDoc, w *linalg.Dense, mu1 []float64, alpha0 float64) *linalg.Tensor3 {
+func whitenedM3(docs []SparseDoc, w *linalg.Dense, mu1 []float64, alpha0 float64, o par.Opts) (*linalg.Tensor3, error) {
 	k := w.Cols
-	t := linalg.NewTensor3(k)
-	e2w := linalg.NewDense(k, k)
 	var used []SparseDoc
 	for _, d := range docs {
 		if usable(d) {
@@ -146,39 +189,65 @@ func whitenedM3(docs []SparseDoc, w *linalg.Dense, mu1 []float64, alpha0 float64
 		}
 	}
 	n := float64(len(used))
-	y := make([]float64, k)
-	for _, d := range used {
-		for i := range y {
-			y[i] = 0
-		}
-		for i, id := range d.IDs {
-			row := w.Row(id)
-			linalg.Axpy(d.Cnt[i], row, y)
-		}
-		norm3 := 1 / (d.Len * (d.Len - 1) * (d.Len - 2) * n)
-		norm2 := 1 / (d.Len * (d.Len - 1) * n)
-		t.AddOuter3(norm3, y, y, y)
-		for i, id := range d.IDs {
-			row := w.Row(id)
-			t.AddSym3(-d.Cnt[i]*norm3, row, y)
-			t.AddOuter3(2*d.Cnt[i]*norm3, row, row, row)
-		}
-		// Whitened pairs matrix for the M1-correction term.
-		for a := 0; a < k; a++ {
-			for bidx := 0; bidx < k; bidx++ {
-				e2w.Add(a, bidx, y[a]*y[bidx]*norm2)
-			}
-		}
-		for i, id := range d.IDs {
-			row := w.Row(id)
-			cv := d.Cnt[i] * norm2
-			for a := 0; a < k; a++ {
-				for bidx := 0; bidx < k; bidx++ {
-					e2w.Add(a, bidx, -cv*row[a]*row[bidx])
+	// The document pass accumulates the K^3 tensor and the K x K pairs
+	// matrix per chunk (K is small, so MaxChunks live copies are cheap) and
+	// merges them in chunk order — bit-identical at any parallelism level.
+	type m3Acc struct {
+		t   *linalg.Tensor3
+		e2w *linalg.Dense
+		y   []float64
+	}
+	acc, err := par.MapReduce(o, len(used),
+		func() *m3Acc {
+			return &m3Acc{t: linalg.NewTensor3(k), e2w: linalg.NewDense(k, k), y: make([]float64, k)}
+		},
+		func(a *m3Acc, _, lo, hi int) {
+			t, e2w, y := a.t, a.e2w, a.y
+			for _, d := range used[lo:hi] {
+				for i := range y {
+					y[i] = 0
+				}
+				for i, id := range d.IDs {
+					row := w.Row(id)
+					linalg.Axpy(d.Cnt[i], row, y)
+				}
+				norm3 := 1 / (d.Len * (d.Len - 1) * (d.Len - 2) * n)
+				norm2 := 1 / (d.Len * (d.Len - 1) * n)
+				t.AddOuter3(norm3, y, y, y)
+				for i, id := range d.IDs {
+					row := w.Row(id)
+					t.AddSym3(-d.Cnt[i]*norm3, row, y)
+					t.AddOuter3(2*d.Cnt[i]*norm3, row, row, row)
+				}
+				// Whitened pairs matrix for the M1-correction term.
+				for a2 := 0; a2 < k; a2++ {
+					for bidx := 0; bidx < k; bidx++ {
+						e2w.Add(a2, bidx, y[a2]*y[bidx]*norm2)
+					}
+				}
+				for i, id := range d.IDs {
+					row := w.Row(id)
+					cv := d.Cnt[i] * norm2
+					for a2 := 0; a2 < k; a2++ {
+						for bidx := 0; bidx < k; bidx++ {
+							e2w.Add(a2, bidx, -cv*row[a2]*row[bidx])
+						}
+					}
 				}
 			}
-		}
+		},
+		func(dst, src *m3Acc) {
+			for i := range dst.t.Data {
+				dst.t.Data[i] += src.t.Data[i]
+			}
+			for i := range dst.e2w.Data {
+				dst.e2w.Data[i] += src.e2w.Data[i]
+			}
+		})
+	if err != nil {
+		return nil, err
 	}
+	t, e2w := acc.t, acc.e2w
 	// m1 in whitened coordinates.
 	m1w := make([]float64, k)
 	for r := 0; r < w.Rows; r++ {
@@ -204,5 +273,5 @@ func whitenedM3(docs []SparseDoc, w *linalg.Dense, mu1 []float64, alpha0 float64
 	}
 	cb := 2 * alpha0 * alpha0 / ((alpha0 + 1) * (alpha0 + 2))
 	t.AddOuter3(cb, m1w, m1w, m1w)
-	return t
+	return t, nil
 }

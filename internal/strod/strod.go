@@ -1,12 +1,14 @@
 package strod
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sort"
 
 	"lesm/internal/core"
 	"lesm/internal/linalg"
+	"lesm/internal/par"
 )
 
 // Config parameterizes one STROD decomposition.
@@ -25,7 +27,14 @@ type Config struct {
 	// eigenpairs of M2 (default 60).
 	WhitenIters int
 	Seed        int64
+	// P bounds the worker count of the parallel moment passes and tensor
+	// power trials (0 = GOMAXPROCS). Results are bit-identical at any P.
+	P int
+	// Ctx cancels the decomposition between chunks (nil = background).
+	Ctx context.Context
 }
+
+func (c Config) parOpts() par.Opts { return par.Opts{P: c.P, Ctx: c.Ctx} }
 
 func (c Config) withDefaults() Config {
 	if c.Alpha0 == 0 {
@@ -56,6 +65,9 @@ type Model struct {
 	// recovered topics to the simplex — the recovery-quality diagnostic
 	// used for hyperparameter selection.
 	ClippedMass float64
+	// o is the execution policy the model was fit under; folding-in
+	// (DocTopics) reuses it.
+	o par.Opts
 }
 
 // Fit recovers K topics from sparse documents over a vocabulary of size v
@@ -63,7 +75,7 @@ type Model struct {
 // the procedure is non-iterative over the corpus: two moment passes plus
 // small-k tensor work (the Chapter 7 desiderata: bounded computation,
 // robustness to restarts).
-func Fit(docs []SparseDoc, v int, cfg Config) *Model {
+func Fit(docs []SparseDoc, v int, cfg Config) (*Model, error) {
 	cfg = cfg.withDefaults()
 	if cfg.LearnAlpha0 {
 		grid := []float64{0.5, 1, 2, 5}
@@ -73,23 +85,36 @@ func Fit(docs []SparseDoc, v int, cfg Config) *Model {
 			c.LearnAlpha0 = false
 			c.Alpha0 = a0
 			c.Seed = cfg.Seed + int64(gi) // independent restarts per grid point
-			m := Fit(docs, v, c)
+			m, err := Fit(docs, v, c)
+			if err != nil {
+				return nil, err
+			}
 			if best == nil || m.ClippedMass < best.ClippedMass {
 				best = m
 			}
 		}
-		return best
+		return best, nil
 	}
+	o := cfg.parOpts()
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	mu1 := m1(docs, v)
-	w, b := whiten(docs, v, cfg.K, mu1, cfg.Alpha0, cfg.WhitenIters, rng)
-	t := whitenedM3(docs, w, mu1, cfg.Alpha0)
+	mu1, err := m1(docs, v, o)
+	if err != nil {
+		return nil, err
+	}
+	w, b := whiten(docs, v, cfg.K, mu1, cfg.Alpha0, cfg.WhitenIters, rng, o)
+	if err := o.Err(); err != nil {
+		return nil, err
+	}
+	t, err := whitenedM3(docs, w, mu1, cfg.Alpha0, o)
+	if err != nil {
+		return nil, err
+	}
 
-	model := &Model{K: cfg.K, Alpha0: cfg.Alpha0}
+	model := &Model{K: cfg.K, Alpha0: cfg.Alpha0, o: o}
 	lambdas := make([]float64, 0, cfg.K)
 	clipped := 0.0
 	for k := 0; k < cfg.K; k++ {
-		vec, lambda := t.PowerIteration(cfg.PowerTrials, cfg.PowerIters, rng)
+		vec, lambda := t.PowerIteration(cfg.PowerTrials, cfg.PowerIters, rng, o)
 		t.Deflate(lambda, vec)
 		mu := b.MulVec(vec)
 		// Fix sign so the distribution is mostly positive.
@@ -139,43 +164,48 @@ func Fit(docs []SparseDoc, v int, cfg Config) *Model {
 		wgt[i] = model.Weight[j]
 	}
 	model.Phi, model.Weight = phi, wgt
-	return model
+	return model, o.Err()
 }
 
 // DocTopics infers per-document topic mixtures by a few EM steps with the
 // recovered topics held fixed (the lightweight folding-in step used when
 // recursing).
-func (m *Model) DocTopics(docs []SparseDoc, iters int) [][]float64 {
+func (m *Model) DocTopics(docs []SparseDoc, iters int) ([][]float64, error) {
 	if iters == 0 {
 		iters = 10
 	}
 	out := make([][]float64, len(docs))
-	for di, d := range docs {
-		theta := make([]float64, m.K)
-		copy(theta, m.Weight)
-		linalg.SumTo1(theta)
+	// Documents fold in independently, so they chunk onto the worker pool;
+	// each chunk writes its own slice entries with per-chunk scratch.
+	err := par.For(m.o, len(docs), func(lo, hi int) {
 		post := make([]float64, m.K)
-		for it := 0; it < iters; it++ {
-			next := make([]float64, m.K)
-			for i, id := range d.IDs {
-				total := 0.0
-				for k := 0; k < m.K; k++ {
-					post[k] = theta[k] * m.Phi[k][id]
-					total += post[k]
+		for di := lo; di < hi; di++ {
+			d := docs[di]
+			theta := make([]float64, m.K)
+			copy(theta, m.Weight)
+			linalg.SumTo1(theta)
+			for it := 0; it < iters; it++ {
+				next := make([]float64, m.K)
+				for i, id := range d.IDs {
+					total := 0.0
+					for k := 0; k < m.K; k++ {
+						post[k] = theta[k] * m.Phi[k][id]
+						total += post[k]
+					}
+					if total <= 0 {
+						continue
+					}
+					for k := 0; k < m.K; k++ {
+						next[k] += d.Cnt[i] * post[k] / total
+					}
 				}
-				if total <= 0 {
-					continue
-				}
-				for k := 0; k < m.K; k++ {
-					next[k] += d.Cnt[i] * post[k] / total
-				}
+				linalg.SumTo1(next)
+				theta = next
 			}
-			linalg.SumTo1(next)
-			theta = next
+			out[di] = theta
 		}
-		out[di] = theta
-	}
-	return out
+	})
+	return out, err
 }
 
 // TreeConfig parameterizes recursive topic-tree construction (LDA with a
@@ -196,15 +226,16 @@ type TreeConfig struct {
 
 // BuildTree recursively applies STROD: recover topics at a node, split every
 // document's counts across the children by posterior attribution, recurse.
-func BuildTree(docs []SparseDoc, v int, cfg TreeConfig) *core.Hierarchy {
+// It returns the context's error if cfg.Config.Ctx is cancelled mid-build.
+func BuildTree(docs []SparseDoc, v int, cfg TreeConfig) (*core.Hierarchy, error) {
 	if cfg.MinDocs == 0 {
 		cfg.MinDocs = 50
 	}
 	h := core.NewHierarchy()
-	var rec func(node *core.TopicNode, sub []SparseDoc, level int, seed int64)
-	rec = func(node *core.TopicNode, sub []SparseDoc, level int, seed int64) {
+	var rec func(node *core.TopicNode, sub []SparseDoc, level int, seed int64) error
+	rec = func(node *core.TopicNode, sub []SparseDoc, level int, seed int64) error {
 		if level >= cfg.Levels {
-			return
+			return nil
 		}
 		n := 0
 		for _, d := range sub {
@@ -213,7 +244,7 @@ func BuildTree(docs []SparseDoc, v int, cfg TreeConfig) *core.Hierarchy {
 			}
 		}
 		if n < cfg.MinDocs {
-			return
+			return nil
 		}
 		k := cfg.K
 		if level < len(cfg.KPerLevel) {
@@ -222,8 +253,14 @@ func BuildTree(docs []SparseDoc, v int, cfg TreeConfig) *core.Hierarchy {
 		c := cfg.Config
 		c.K = k
 		c.Seed = seed
-		m := Fit(sub, v, c)
-		theta := m.DocTopics(sub, 10)
+		m, err := Fit(sub, v, c)
+		if err != nil {
+			return err
+		}
+		theta, err := m.DocTopics(sub, 10)
+		if err != nil {
+			return err
+		}
 		// Split counts: child z receives c_dv * p(z | v, d).
 		children := make([][]SparseDoc, k)
 		post := make([]float64, k)
@@ -258,11 +295,16 @@ func BuildTree(docs []SparseDoc, v int, cfg TreeConfig) *core.Hierarchy {
 			child := node.AddChild()
 			child.Rho = m.Weight[z]
 			child.Phi[core.TermType] = m.Phi[z]
-			rec(child, children[z], level+1, seed*131+int64(z)+17)
+			if err := rec(child, children[z], level+1, seed*131+int64(z)+17); err != nil {
+				return err
+			}
 		}
+		return nil
 	}
-	rec(h.Root, docs, 0, cfg.Config.Seed+1)
-	return h
+	if err := rec(h.Root, docs, 0, cfg.Config.Seed+1); err != nil {
+		return nil, err
+	}
+	return h, nil
 }
 
 // TopWords lists topic k's top-n word ids.

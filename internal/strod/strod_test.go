@@ -8,6 +8,16 @@ import (
 	"lesm/internal/synth"
 )
 
+// mustFit unwraps Fit in tests that run without a cancellable context.
+func mustFit(t *testing.T, docs []SparseDoc, v int, cfg Config) *Model {
+	t.Helper()
+	m, err := Fit(docs, v, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
 // ldaCorpus draws documents from a true LDA model with k well-separated
 // topics over v words and returns the true topic-word distributions.
 func ldaCorpus(nDocs, docLen, k, v int, alpha float64, seed int64) ([][]int, [][]float64) {
@@ -91,7 +101,7 @@ func sampleCat(rng *rand.Rand, p []float64) int {
 func TestFitRecoversTopics(t *testing.T) {
 	k, v := 4, 80
 	docs, truePhi := ldaCorpus(3000, 40, k, v, 0.25, 91)
-	m := Fit(FromTokens(docs), v, Config{K: k, Alpha0: 1, Seed: 92})
+	m := mustFit(t, FromTokens(docs), v, Config{K: k, Alpha0: 1, Seed: 92})
 	err := MatchError(m.Phi, truePhi)
 	if err > 0.25 {
 		t.Fatalf("recovery error = %v, want <= 0.25", err)
@@ -116,8 +126,8 @@ func TestFitDeterministicAcrossSeeds(t *testing.T) {
 	k, v := 4, 60
 	docs, _ := ldaCorpus(2500, 40, k, v, 0.2, 93)
 	sd := FromTokens(docs)
-	a := Fit(sd, v, Config{K: k, Seed: 1})
-	b := Fit(sd, v, Config{K: k, Seed: 999})
+	a := mustFit(t, sd, v, Config{K: k, Seed: 1})
+	b := mustFit(t, sd, v, Config{K: k, Seed: 999})
 	if err := MatchError(a.Phi, b.Phi); err > 0.05 {
 		t.Fatalf("run-to-run variation = %v, want <= 0.05", err)
 	}
@@ -125,7 +135,7 @@ func TestFitDeterministicAcrossSeeds(t *testing.T) {
 
 func TestWeightsNormalized(t *testing.T) {
 	docs, _ := ldaCorpus(1500, 30, 3, 45, 0.3, 94)
-	m := Fit(FromTokens(docs), 45, Config{K: 3, Seed: 95})
+	m := mustFit(t, FromTokens(docs), 45, Config{K: 3, Seed: 95})
 	s := 0.0
 	for _, w := range m.Weight {
 		if w < 0 {
@@ -146,7 +156,7 @@ func TestWeightsNormalized(t *testing.T) {
 
 func TestLearnAlpha0PicksFiniteModel(t *testing.T) {
 	docs, truePhi := ldaCorpus(2000, 40, 4, 60, 0.25, 96)
-	m := Fit(FromTokens(docs), 60, Config{K: 4, LearnAlpha0: true, Seed: 97})
+	m := mustFit(t, FromTokens(docs), 60, Config{K: 4, LearnAlpha0: true, Seed: 97})
 	if m.Alpha0 <= 0 {
 		t.Fatalf("alpha0 = %v", m.Alpha0)
 	}
@@ -159,8 +169,11 @@ func TestDocTopicsInference(t *testing.T) {
 	k, v := 3, 45
 	docs, _ := ldaCorpus(1200, 40, k, v, 0.15, 98)
 	sd := FromTokens(docs)
-	m := Fit(sd, v, Config{K: k, Seed: 99})
-	theta := m.DocTopics(sd, 10)
+	m := mustFit(t, sd, v, Config{K: k, Seed: 99})
+	theta, err := m.DocTopics(sd, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for d, th := range theta {
 		s := 0.0
 		for _, p := range th {
@@ -178,9 +191,12 @@ func TestBuildTreeOnHierarchicalCorpus(t *testing.T) {
 	for i, d := range ds.Corpus.Docs {
 		docs[i] = d.Tokens
 	}
-	h := BuildTree(FromTokens(docs), ds.Corpus.Vocab.Size(), TreeConfig{
+	h, err := BuildTree(FromTokens(docs), ds.Corpus.Vocab.Size(), TreeConfig{
 		K: 3, Levels: 2, Config: Config{Seed: 101},
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(h.Root.Children) != 3 {
 		t.Fatalf("root children = %d", len(h.Root.Children))
 	}

@@ -6,8 +6,10 @@
 package topmine
 
 import (
+	"context"
 	"encoding/binary"
 
+	"lesm/internal/par"
 	"lesm/internal/textkit"
 )
 
@@ -22,7 +24,15 @@ type Config struct {
 	// Alpha is the significance threshold (in standard deviations) for
 	// merging two adjacent phrases during segmentation (default 4).
 	Alpha float64
+	// P bounds the worker count of the parallel counting and segmentation
+	// passes (0 = GOMAXPROCS). Results are identical at any P.
+	P int
+	// Ctx cancels mining between chunks (nil = background). A cancelled
+	// miner holds partial counts; Run surfaces the context error.
+	Ctx context.Context
 }
+
+func (c Config) parOpts() par.Opts { return par.Opts{P: c.P, Ctx: c.Ctx} }
 
 func (c Config) withDefaults() Config {
 	if c.MinSupport == 0 {
@@ -72,6 +82,7 @@ func decodeKey(k string) []int {
 // positions (data antimonotonicity).
 func MineFrequentPhrases(docs []textkit.Document, cfg Config) *Miner {
 	cfg = cfg.withDefaults()
+	o := cfg.parOpts()
 	m := &Miner{cfg: cfg, counts: map[string]int{}}
 
 	// Work on segments: phrases never cross phrase-invariant punctuation.
@@ -84,12 +95,27 @@ func MineFrequentPhrases(docs []textkit.Document, cfg Config) *Miner {
 		}
 	}
 
-	// Level 1: word counts.
-	for _, s := range segs {
-		for _, w := range s.toks {
-			m.counts[key([]int{w})]++
-		}
+	// Level 1: word counts. Segments chunk onto the worker pool; per-chunk
+	// counters merge by integer addition, so the result is independent of
+	// the parallelism level.
+	l1, err := par.MapReduce(o, len(segs),
+		func() map[string]int { return map[string]int{} },
+		func(acc map[string]int, _, lo, hi int) {
+			for _, s := range segs[lo:hi] {
+				for _, w := range s.toks {
+					acc[key([]int{w})]++
+				}
+			}
+		},
+		func(dst, src map[string]int) {
+			for k, c := range src {
+				dst[k] += c
+			}
+		})
+	if err != nil {
+		return m
 	}
+	m.counts = l1
 
 	// active[si] holds the indices where a frequent (n-1)-phrase starts.
 	active := make([][]int, len(segs))
@@ -103,49 +129,63 @@ func MineFrequentPhrases(docs []textkit.Document, cfg Config) *Miner {
 		alive = append(alive, si)
 	}
 
-	buf := make([]int, 0, cfg.MaxLen)
 	for n := 2; n <= cfg.MaxLen && len(alive) > 0; n++ {
-		level := map[string]int{}
-		var nextAlive []int
-		for _, si := range alive {
-			toks := segs[si].toks
-			// Keep positions whose (n-1)-phrase is frequent and that can
-			// still host an (n-1)-phrase (Algorithm 1, line 1.7; dropping
-			// the boundary position plays the role of line 1.8's
-			// max-index removal).
-			var nxt []int
-			for _, i := range active[si] {
-				if i+n-1 > len(toks) {
-					continue
+		// One level counts on the worker pool: m.counts is read-only during
+		// the pass, active[si] updates are disjoint per segment, and the
+		// per-chunk level counters and survivor lists merge in chunk order.
+		type lvlAcc struct {
+			level map[string]int
+			next  []int
+		}
+		a, err := par.MapReduce(o, len(alive),
+			func() *lvlAcc { return &lvlAcc{level: map[string]int{}} },
+			func(a *lvlAcc, _, lo, hi int) {
+				buf := make([]int, 0, cfg.MaxLen)
+				for _, si := range alive[lo:hi] {
+					toks := segs[si].toks
+					// Keep positions whose (n-1)-phrase is frequent and that
+					// can still host an (n-1)-phrase (Algorithm 1, line 1.7;
+					// dropping the boundary position plays the role of line
+					// 1.8's max-index removal).
+					var nxt []int
+					for _, i := range active[si] {
+						if i+n-1 > len(toks) {
+							continue
+						}
+						buf = append(buf[:0], toks[i:i+n-1]...)
+						if m.counts[key(buf)] >= cfg.MinSupport {
+							nxt = append(nxt, i)
+						}
+					}
+					if len(nxt) == 0 {
+						active[si] = nil
+						continue
+					}
+					activeSet := make(map[int]bool, len(nxt))
+					for _, i := range nxt {
+						activeSet[i] = true
+					}
+					for _, i := range nxt {
+						if activeSet[i+1] && i+n <= len(toks) {
+							a.level[key(toks[i:i+n])]++
+						}
+					}
+					active[si] = nxt
+					a.next = append(a.next, si)
 				}
-				buf = append(buf[:0], toks[i:i+n-1]...)
-				if m.counts[key(buf)] >= cfg.MinSupport {
-					nxt = append(nxt, i)
+			},
+			func(dst, src *lvlAcc) {
+				for k, c := range src.level {
+					dst.level[k] += c
 				}
-			}
-			if len(nxt) == 0 {
-				active[si] = nil
-				continue
-			}
-			activeSet := make(map[int]bool, len(nxt))
-			for _, i := range nxt {
-				activeSet[i] = true
-			}
-			counted := false
-			for _, i := range nxt {
-				if activeSet[i+1] && i+n <= len(toks) {
-					level[key(toks[i:i+n])]++
-					counted = true
-				}
-			}
-			active[si] = nxt
-			if counted || len(nxt) > 0 {
-				nextAlive = append(nextAlive, si)
-			}
+				dst.next = append(dst.next, src.next...)
+			})
+		if err != nil {
+			return m
 		}
 		// Promote frequent n-phrases into the global counter.
 		promoted := false
-		for k, c := range level {
+		for k, c := range a.level {
 			if c >= cfg.MinSupport {
 				m.counts[k] = c
 				promoted = true
@@ -154,7 +194,7 @@ func MineFrequentPhrases(docs []textkit.Document, cfg Config) *Miner {
 		if !promoted {
 			break
 		}
-		alive = nextAlive
+		alive = a.next
 	}
 
 	// Drop infrequent unigrams from the counter? No: unigram counts are

@@ -40,13 +40,21 @@ func (c RankConfig) withDefaults() RankConfig {
 	return c
 }
 
-// Run executes mining, segmentation, PhraseLDA and ranking end to end.
-func Run(corpus *textkit.Corpus, cfg Config, ldaCfg lda.Config, rankCfg RankConfig) *Result {
+// Run executes mining, segmentation, PhraseLDA and ranking end to end. It
+// returns the context's error if cfg.Ctx is cancelled mid-pipeline.
+func Run(corpus *textkit.Corpus, cfg Config, ldaCfg lda.Config, rankCfg RankConfig) (*Result, error) {
+	o := cfg.parOpts()
 	miner := MineFrequentPhrases(corpus.Docs, cfg)
+	if err := o.Err(); err != nil {
+		return nil, err
+	}
 	partition := miner.SegmentCorpus(corpus.Docs)
+	if err := o.Err(); err != nil {
+		return nil, err
+	}
 	model := lda.RunPhrases(partition, corpus.Vocab.Size(), ldaCfg)
 	topics := RankPhrases(corpus, miner, partition, model, rankCfg)
-	return &Result{Miner: miner, Partition: partition, Model: model, Topics: topics}
+	return &Result{Miner: miner, Partition: partition, Model: model, Topics: topics}, nil
 }
 
 // RankPhrases ranks every phrase within every topic by

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"lesm/internal/lda"
+	"lesm/internal/par"
 	"lesm/internal/textkit"
 )
 
@@ -65,11 +66,15 @@ func (m *Miner) segmentTokens(toks []int) [][]int {
 }
 
 // SegmentCorpus partitions every document, returning the bag-of-phrases form
-// consumed by PhraseLDA.
+// consumed by PhraseLDA. Documents segment independently against the
+// read-only mined counts, so they chunk onto the worker pool; a cancelled
+// context leaves later entries nil (Run surfaces the error).
 func (m *Miner) SegmentCorpus(docs []textkit.Document) []lda.PhraseDoc {
 	out := make([]lda.PhraseDoc, len(docs))
-	for i, d := range docs {
-		out[i] = m.Segment(d)
-	}
+	par.For(m.cfg.parOpts(), len(docs), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = m.Segment(docs[i])
+		}
+	})
 	return out
 }

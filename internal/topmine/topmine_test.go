@@ -142,8 +142,11 @@ func TestSegmentationFindsKnownPhrases(t *testing.T) {
 
 func TestRunPipelineRanksTopicalPhrases(t *testing.T) {
 	ds := synth.Arxiv(synth.TextConfig{NumDocs: 1500, Seed: 5})
-	res := Run(ds.Corpus, Config{MinSupport: 5, MaxLen: 5, Alpha: 3},
+	res, err := Run(ds.Corpus, Config{MinSupport: 5, MaxLen: 5, Alpha: 3},
 		lda.Config{K: 5, Iters: 120, Seed: 6, Background: true}, RankConfig{TopN: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res.Topics) != 5 {
 		t.Fatalf("topics = %d", len(res.Topics))
 	}

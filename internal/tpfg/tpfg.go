@@ -1,8 +1,11 @@
 package tpfg
 
 import (
+	"context"
 	"math"
 	"sort"
+
+	"lesm/internal/par"
 )
 
 // Config parameterizes TPFG inference (Stage 2).
@@ -12,6 +15,15 @@ type Config struct {
 	NoAdvisorWeight float64
 	// Sweeps is the number of message-passing sweeps (default 15).
 	Sweeps int
+	// P bounds the worker count of the parallel message passes
+	// (0 = GOMAXPROCS). Results are bit-identical at any P.
+	P int
+	// Ctx stops inference early (nil = background). Cancellation is
+	// best-effort: a cancel that lands mid-sweep leaves messages from two
+	// adjacent sweeps mixed, so callers needing a hard guarantee must check
+	// Ctx.Err() afterwards and discard the result (lesm.MineAdvisorTree
+	// does exactly that).
+	Ctx context.Context
 }
 
 func (c Config) withDefaults() Config {
@@ -60,11 +72,18 @@ func Infer(net *Network, cfg Config) *Result {
 	}
 
 	// advisees[j] lists (x, idx) pairs: author x has j as candidate at
-	// position idx of x's candidate list.
+	// position idx of x's candidate list. pos[x][idx] is the position of
+	// (x, idx) within advisees[j] — the reverse index that lets the
+	// variable-side pass gather its incoming messages without scattering
+	// across authors (the restructuring that makes the passes disjoint per
+	// author, hence parallelizable over the independent subtrees).
 	type adv struct{ x, idx int }
 	advisees := make([][]adv, n)
+	pos := make([][]int, n)
 	for x := 0; x < n; x++ {
+		pos[x] = make([]int, len(net.Cands[x]))
 		for idx, c := range net.Cands[x] {
+			pos[x][idx] = len(advisees[c.Advisor])
 			advisees[c.Advisor] = append(advisees[c.Advisor], adv{x, idx})
 		}
 	}
@@ -118,99 +137,102 @@ func Infer(net *Network, cfg Config) *Result {
 		return net.Cands[i][v-1].End < net.Cands[ad.x][u-1].Start
 	}
 
+	o := par.Opts{P: cfg.P, Ctx: cfg.Ctx}
+	incoming := make([][]float64, n) // summed f_j -> y_i
+	for i := 0; i < n; i++ {
+		incoming[i] = make([]float64, dom[i])
+	}
 	for sweep := 0; sweep < cfg.Sweeps; sweep++ {
-		// Variable -> factor messages.
-		for i := 0; i < n; i++ {
-			// y_i -> f_i: sum of messages from factors f_j (j candidate
-			// advisor of i) to y_i. Those messages live in mFxV[j][a]
-			// where advisees[j][a] == (i, idx).
-			for v := 0; v < dom[i]; v++ {
-				mVF[i][v] = 0
+		if o.Err() != nil {
+			break // best-effort: report beliefs of the completed sweeps
+		}
+		// Variable -> factor messages. Each variable x gathers the messages
+		// of its candidate-advisor factors through the reverse index in its
+		// fixed candidate order, so the floating-point sums are identical at
+		// any parallelism level; writes are disjoint per variable.
+		par.For(o, n, func(lo, hi int) {
+			for x := lo; x < hi; x++ {
+				inc := incoming[x]
+				for u := range inc {
+					inc[u] = 0
+				}
+				for idx, c := range net.Cands[x] {
+					msg := mFxV[c.Advisor][pos[x][idx]]
+					for u := range inc {
+						inc[u] += msg[u]
+					}
+				}
+				copy(mVF[x], inc)
+				normalizeMsg(mVF[x])
 			}
-		}
-		// Collect factor->variable contributions into mVF and mVFx.
-		// First gather for each variable i the incoming messages from
-		// advisor-side factors.
-		incoming := make([][]float64, n) // summed f_j -> y_i
-		for i := 0; i < n; i++ {
-			incoming[i] = make([]float64, dom[i])
-		}
-		for j := 0; j < n; j++ {
-			for a, ad := range advisees[j] {
-				for u := 0; u < dom[ad.x]; u++ {
-					incoming[ad.x][u] += mFxV[j][a][u]
+		})
+		// y_x -> f_j: all incoming except f_j's own message, plus x's own
+		// factor message mFV[x]. Disjoint per factor j.
+		par.For(o, n, func(lo, hi int) {
+			for j := lo; j < hi; j++ {
+				for a, ad := range advisees[j] {
+					x := ad.x
+					for u := 0; u < dom[x]; u++ {
+						mVFx[j][a][u] = mFV[x][u] + incoming[x][u] - mFxV[j][a][u]
+					}
+					normalizeMsg(mVFx[j][a])
 				}
 			}
-		}
-		for i := 0; i < n; i++ {
-			for v := 0; v < dom[i]; v++ {
-				mVF[i][v] = incoming[i][v]
-			}
-			normalizeMsg(mVF[i])
-		}
-		for j := 0; j < n; j++ {
-			for a, ad := range advisees[j] {
-				x := ad.x
-				for u := 0; u < dom[x]; u++ {
-					// y_x -> f_j: all incoming except f_j's own message,
-					// plus x's own factor message mFV[x].
-					mVFx[j][a][u] = mFV[x][u] + incoming[x][u] - mFxV[j][a][u]
-				}
-				normalizeMsg(mVFx[j][a])
-			}
-		}
+		})
 
-		// Factor -> variable messages.
-		for i := 0; i < n; i++ {
-			na := len(advisees[i])
-			// term[a][v] = max_u (compat ? mVFx[i][a][u] : -inf)
-			term := make([][]float64, na)
-			for a := 0; a < na; a++ {
-				term[a] = make([]float64, dom[i])
-				for v := 0; v < dom[i]; v++ {
-					best := negInf
-					for u := 0; u < dom[advisees[i][a].x]; u++ {
-						if compat(i, a, u, v) {
-							if m := mVFx[i][a][u]; m > best {
-								best = m
+		// Factor -> variable messages. Disjoint per factor i.
+		par.For(o, n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				na := len(advisees[i])
+				// term[a][v] = max_u (compat ? mVFx[i][a][u] : -inf)
+				term := make([][]float64, na)
+				for a := 0; a < na; a++ {
+					term[a] = make([]float64, dom[i])
+					for v := 0; v < dom[i]; v++ {
+						best := negInf
+						for u := 0; u < dom[advisees[i][a].x]; u++ {
+							if compat(i, a, u, v) {
+								if m := mVFx[i][a][u]; m > best {
+									best = m
+								}
 							}
 						}
+						term[a][v] = best
 					}
-					term[a][v] = best
 				}
-			}
-			sum := make([]float64, dom[i])
-			for v := 0; v < dom[i]; v++ {
-				s := 0.0
+				sum := make([]float64, dom[i])
+				for v := 0; v < dom[i]; v++ {
+					s := 0.0
+					for a := 0; a < na; a++ {
+						s += term[a][v]
+					}
+					sum[v] = s
+				}
+				// f_i -> y_i.
+				for v := 0; v < dom[i]; v++ {
+					mFV[i][v] = logPrior[i][v] + sum[v]
+				}
+				normalizeMsg(mFV[i])
+				// f_i -> y_x for each advisee a.
 				for a := 0; a < na; a++ {
-					s += term[a][v]
-				}
-				sum[v] = s
-			}
-			// f_i -> y_i.
-			for v := 0; v < dom[i]; v++ {
-				mFV[i][v] = logPrior[i][v] + sum[v]
-			}
-			normalizeMsg(mFV[i])
-			// f_i -> y_x for each advisee a.
-			for a := 0; a < na; a++ {
-				x := advisees[i][a].x
-				for u := 0; u < dom[x]; u++ {
-					best := negInf
-					for v := 0; v < dom[i]; v++ {
-						if !compat(i, a, u, v) {
-							continue
+					x := advisees[i][a].x
+					for u := 0; u < dom[x]; u++ {
+						best := negInf
+						for v := 0; v < dom[i]; v++ {
+							if !compat(i, a, u, v) {
+								continue
+							}
+							cand := logPrior[i][v] + mVF[i][v] + sum[v] - term[a][v]
+							if cand > best {
+								best = cand
+							}
 						}
-						cand := logPrior[i][v] + mVF[i][v] + sum[v] - term[a][v]
-						if cand > best {
-							best = cand
-						}
+						mFxV[i][a][u] = best
 					}
-					mFxV[i][a][u] = best
+					normalizeMsg(mFxV[i][a])
 				}
-				normalizeMsg(mFxV[i][a])
 			}
-		}
+		})
 	}
 
 	// Beliefs -> normalized ranks.

@@ -19,6 +19,7 @@
 package lesm
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -97,6 +98,23 @@ const (
 	EngineSTROD
 )
 
+// RunOptions carries the execution-policy knobs of the shared parallel
+// runtime for entry points without a richer options struct.
+type RunOptions struct {
+	// Parallelism bounds the worker count of the engines' parallel hot
+	// loops (0 = GOMAXPROCS). Results are bit-identical at any setting.
+	Parallelism int
+	// Ctx cancels the computation between work chunks (nil = background).
+	Ctx context.Context
+}
+
+func firstRunOptions(opts []RunOptions) RunOptions {
+	if len(opts) > 0 {
+		return opts[0]
+	}
+	return RunOptions{}
+}
+
 // HierarchyOptions configure BuildHierarchy.
 type HierarchyOptions struct {
 	// Engine picks the algorithm (default EngineCATHY).
@@ -109,6 +127,12 @@ type HierarchyOptions struct {
 	LearnLinkWeights bool
 	// Seed drives all randomness.
 	Seed int64
+	// Parallelism bounds the worker count of the engine's parallel hot
+	// loops (0 = GOMAXPROCS). Same seed gives bit-identical hierarchies at
+	// any setting.
+	Parallelism int
+	// Ctx cancels construction between work chunks (nil = background).
+	Ctx context.Context
 }
 
 // BuildHierarchy constructs a topical hierarchy from a heterogeneous
@@ -128,10 +152,14 @@ func BuildHierarchy(net *Network, opt HierarchyOptions) (*Hierarchy, error) {
 	if opt.LearnLinkWeights {
 		mode = cathy.LearnWeights
 	}
-	res := cathy.Build(net, cathy.Options{
+	res, err := cathy.Build(net, cathy.Options{
 		K: opt.K, Levels: opt.Levels, Seed: opt.Seed,
 		Background: true, Weights: mode,
+		P: opt.Parallelism, Ctx: opt.Ctx,
 	})
+	if err != nil {
+		return nil, err
+	}
 	return res.Hierarchy, nil
 }
 
@@ -154,12 +182,19 @@ func BuildTextHierarchy(corpus *Corpus, opt HierarchyOptions) (*Hierarchy, error
 			k = 5
 		}
 		return strod.BuildTree(strod.FromTokens(docs), corpus.Vocab.Size(), strod.TreeConfig{
-			K: k, Levels: opt.Levels, Config: strod.Config{Seed: opt.Seed},
-		}), nil
+			K: k, Levels: opt.Levels,
+			Config: strod.Config{Seed: opt.Seed, P: opt.Parallelism, Ctx: opt.Ctx},
+		})
 	default:
 		net := hin.TermNetwork(corpus.Vocab.Size(), docs, 0)
 		net.Names[0] = corpus.Vocab.Words()
-		res := cathy.Build(net, cathy.Options{K: opt.K, Levels: opt.Levels, Seed: opt.Seed})
+		res, err := cathy.Build(net, cathy.Options{
+			K: opt.K, Levels: opt.Levels, Seed: opt.Seed,
+			P: opt.Parallelism, Ctx: opt.Ctx,
+		})
+		if err != nil {
+			return nil, err
+		}
 		return res.Hierarchy, nil
 	}
 }
@@ -172,6 +207,12 @@ type PhraseOptions struct {
 	MaxLen int
 	// TopN truncates each topic's phrase list (default 20).
 	TopN int
+	// Parallelism bounds the worker count of the parallel mining and
+	// segmentation passes (0 = GOMAXPROCS). Results are identical at any
+	// setting.
+	Parallelism int
+	// Ctx cancels mining between work chunks (nil = background).
+	Ctx context.Context
 }
 
 // AttachPhrases mines frequent phrases from the corpus (ToPMine, Ch. 4) and
@@ -191,7 +232,14 @@ func AttachPhrases(corpus *Corpus, docs []DocRecord, h *Hierarchy, opt PhraseOpt
 	if opt.TopN == 0 {
 		opt.TopN = 20
 	}
-	miner := topmine.MineFrequentPhrases(corpus.Docs, topmine.Config{MinSupport: opt.MinSupport, MaxLen: opt.MaxLen})
+	cfg := topmine.Config{
+		MinSupport: opt.MinSupport, MaxLen: opt.MaxLen,
+		P: opt.Parallelism, Ctx: opt.Ctx,
+	}
+	miner := topmine.MineFrequentPhrases(corpus.Docs, cfg)
+	if opt.Ctx != nil && opt.Ctx.Err() != nil {
+		return nil, opt.Ctx.Err()
+	}
 	topmine.VisualizeHierarchy(corpus, miner, h.Root, opt.TopN)
 	if docs == nil {
 		docs = make([]DocRecord, len(corpus.Docs))
@@ -200,20 +248,28 @@ func AttachPhrases(corpus *Corpus, docs []DocRecord, h *Hierarchy, opt PhraseOpt
 		}
 	}
 	part := miner.SegmentCorpus(corpus.Docs)
+	if opt.Ctx != nil && opt.Ctx.Err() != nil {
+		return nil, opt.Ctx.Err()
+	}
 	return roles.NewAnalyzer(corpus, docs, h.Root, miner, part), nil
 }
 
 // TopicalPhrases runs the full flat ToPMine pipeline (mining, segmentation,
-// PhraseLDA, ranking) and returns ranked phrases per topic.
-func TopicalPhrases(corpus *Corpus, k int, seed int64) ([][]RankedPhrase, error) {
+// PhraseLDA, ranking) and returns ranked phrases per topic. An optional
+// RunOptions bounds parallelism and carries a cancellation context.
+func TopicalPhrases(corpus *Corpus, k int, seed int64, opts ...RunOptions) ([][]RankedPhrase, error) {
 	if corpus == nil || len(corpus.Docs) == 0 {
 		return nil, errors.New("lesm: empty corpus")
 	}
 	if k < 2 {
 		return nil, fmt.Errorf("lesm: k = %d, need >= 2", k)
 	}
-	res := topmine.Run(corpus, topmine.Config{},
+	ro := firstRunOptions(opts)
+	res, err := topmine.Run(corpus, topmine.Config{P: ro.Parallelism, Ctx: ro.Ctx},
 		lda.Config{K: k, Seed: seed, Background: true}, topmine.RankConfig{})
+	if err != nil {
+		return nil, err
+	}
 	return res.Topics, nil
 }
 
@@ -270,17 +326,22 @@ func (r *AdvisorResult) Candidates(i int) []struct {
 }
 
 // MineAdvisorTree runs the unsupervised TPFG pipeline (Section 6.1) on a
-// temporal collaboration network.
-func MineAdvisorTree(papers []RelPaper, numAuthors int, seed int64) (*AdvisorResult, error) {
+// temporal collaboration network. An optional RunOptions bounds the
+// parallelism of the message-passing sweeps.
+func MineAdvisorTree(papers []RelPaper, numAuthors int, seed int64, opts ...RunOptions) (*AdvisorResult, error) {
 	if numAuthors <= 0 || len(papers) == 0 {
 		return nil, errors.New("lesm: empty collaboration network")
 	}
+	ro := firstRunOptions(opts)
 	plain := make([]tpfg.Paper, len(papers))
 	for i, p := range papers {
 		plain[i] = tpfg.Paper{Year: p.Year, Authors: p.Authors}
 	}
 	net := tpfg.Preprocess(plain, numAuthors, tpfg.PreprocessOptions{Rules: tpfg.AllRules})
-	res := tpfg.Infer(net, tpfg.Config{})
+	res := tpfg.Infer(net, tpfg.Config{P: ro.Parallelism, Ctx: ro.Ctx})
+	if ro.Ctx != nil && ro.Ctx.Err() != nil {
+		return nil, ro.Ctx.Err()
+	}
 	_ = seed
 	return &AdvisorResult{res: res}, nil
 }
@@ -320,47 +381,97 @@ type TopicModel struct {
 }
 
 // InferTopics recovers k flat topics from the corpus with the moment-based
-// STROD method: deterministic given a seed, no sampling iterations.
-func InferTopics(corpus *Corpus, k int, seed int64) (*TopicModel, error) {
+// STROD method: deterministic given a seed, no sampling iterations. An
+// optional RunOptions bounds parallelism and carries a cancellation context.
+func InferTopics(corpus *Corpus, k int, seed int64, opts ...RunOptions) (*TopicModel, error) {
 	if corpus == nil || len(corpus.Docs) == 0 {
 		return nil, errors.New("lesm: empty corpus")
 	}
 	if k < 2 {
 		return nil, fmt.Errorf("lesm: k = %d, need >= 2", k)
 	}
+	ro := firstRunOptions(opts)
 	docs := make([][]int, len(corpus.Docs))
 	for i, d := range corpus.Docs {
 		docs[i] = d.Tokens
 	}
-	m := strod.Fit(strod.FromTokens(docs), corpus.Vocab.Size(), strod.Config{K: k, Seed: seed, LearnAlpha0: true})
+	m, err := strod.Fit(strod.FromTokens(docs), corpus.Vocab.Size(), strod.Config{
+		K: k, Seed: seed, LearnAlpha0: true,
+		P: ro.Parallelism, Ctx: ro.Ctx,
+	})
+	if err != nil {
+		return nil, err
+	}
 	return &TopicModel{Phi: m.Phi, Weight: m.Weight}, nil
 }
 
 // TopWords returns topic k's top-n words rendered through the vocabulary.
+// Selection keeps a size-n min-heap over the vocabulary — O(V log n) instead
+// of the O(n·V) selection scan — with ties going to the lower word id.
 func (m *TopicModel) TopWords(vocab *Vocabulary, k, n int) []string {
+	phi := m.Phi[k]
+	if n > len(phi) {
+		n = len(phi)
+	}
+	if n <= 0 {
+		return nil
+	}
 	type wp struct {
 		w int
 		p float64
 	}
-	ws := make([]wp, len(m.Phi[k]))
-	for w, p := range m.Phi[k] {
-		ws[w] = wp{w, p}
-	}
-	for i := 0; i < n && i < len(ws); i++ {
-		best := i
-		for j := i + 1; j < len(ws); j++ {
-			if ws[j].p > ws[best].p {
-				best = j
-			}
+	// less orders the heap worst-first: lower probability, tie broken by
+	// HIGHER word id so that the lowest-id word among equals survives.
+	less := func(a, b wp) bool {
+		if a.p != b.p {
+			return a.p < b.p
 		}
-		ws[i], ws[best] = ws[best], ws[i]
+		return a.w > b.w
 	}
-	if n > len(ws) {
-		n = len(ws)
+	heap := make([]wp, 0, n)
+	siftUp := func(i int) {
+		for i > 0 {
+			parent := (i - 1) / 2
+			if !less(heap[i], heap[parent]) {
+				break
+			}
+			heap[i], heap[parent] = heap[parent], heap[i]
+			i = parent
+		}
 	}
-	out := make([]string, n)
-	for i := 0; i < n; i++ {
-		out[i] = vocab.Word(ws[i].w)
+	siftDown := func(i int) {
+		for {
+			small := i
+			if l := 2*i + 1; l < len(heap) && less(heap[l], heap[small]) {
+				small = l
+			}
+			if r := 2*i + 2; r < len(heap) && less(heap[r], heap[small]) {
+				small = r
+			}
+			if small == i {
+				return
+			}
+			heap[i], heap[small] = heap[small], heap[i]
+			i = small
+		}
+	}
+	for w, p := range phi {
+		e := wp{w, p}
+		if len(heap) < n {
+			heap = append(heap, e)
+			siftUp(len(heap) - 1)
+		} else if less(heap[0], e) {
+			heap[0] = e
+			siftDown(0)
+		}
+	}
+	// Drain worst-first into the output back-to-front.
+	out := make([]string, len(heap))
+	for i := len(heap) - 1; i >= 0; i-- {
+		out[i] = vocab.Word(heap[0].w)
+		heap[0] = heap[len(heap)-1]
+		heap = heap[:len(heap)-1]
+		siftDown(0)
 	}
 	return out
 }

@@ -1,0 +1,143 @@
+// Parallel-runtime invariants of the public API: the shared worker pool
+// (internal/par) chunks work independently of the parallelism level and
+// merges reductions in chunk order, so every entry point must produce
+// bit-identical output at Parallelism 1 and 8 under the same seed, and a
+// cancelled context must surface promptly as an error.
+package lesm
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"lesm/internal/synth"
+)
+
+// hierarchiesEqual compares two hierarchies exactly: same rendered shape and
+// bitwise-equal topic distributions at every node.
+func hierarchiesEqual(t *testing.T, a, b *Hierarchy) {
+	t.Helper()
+	if a.String() != b.String() {
+		t.Fatalf("hierarchy shapes differ:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	var bs []*TopicNode
+	b.Root.Walk(func(n *TopicNode) { bs = append(bs, n) })
+	i := 0
+	a.Root.Walk(func(n *TopicNode) {
+		m := bs[i]
+		i++
+		if n.Rho != m.Rho {
+			t.Fatalf("node %s: rho %v vs %v", n.Path, n.Rho, m.Rho)
+		}
+		for x, phi := range n.Phi {
+			for w, p := range phi {
+				if p != m.Phi[x][w] {
+					t.Fatalf("node %s: phi[%d][%d] %v vs %v", n.Path, x, w, p, m.Phi[x][w])
+				}
+			}
+		}
+	})
+}
+
+func TestParallelDeterminism(t *testing.T) {
+	ds := synth.DBLP(synth.DBLPConfig{NumPapers: 800, NumAuthors: 200, Seed: 2001})
+	text := synth.DBLPTitles(synth.TextConfig{NumDocs: 1200, Seed: 2002})
+	for _, tc := range []struct {
+		name string
+		run  func(t *testing.T, parallelism int) any
+	}{
+		{"BuildHierarchy/CATHY", func(t *testing.T, p int) any {
+			net := ds.CollapsedNetwork(0)
+			h, err := BuildHierarchy(net, HierarchyOptions{
+				K: 3, Levels: 2, LearnLinkWeights: true, Seed: 11, Parallelism: p,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return h
+		}},
+		{"BuildTextHierarchy/STROD", func(t *testing.T, p int) any {
+			h, err := BuildTextHierarchy(text.Corpus, HierarchyOptions{
+				Engine: EngineSTROD, K: 3, Levels: 2, Seed: 12, Parallelism: p,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return h
+		}},
+		{"InferTopics", func(t *testing.T, p int) any {
+			m, err := InferTopics(text.Corpus, 4, 13, RunOptions{Parallelism: p})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return m
+		}},
+		{"TopicalPhrases", func(t *testing.T, p int) any {
+			topics, err := TopicalPhrases(text.Corpus, 4, 14, RunOptions{Parallelism: p})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return topics
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			serial := tc.run(t, 1)
+			parallel := tc.run(t, 8)
+			if ha, ok := serial.(*Hierarchy); ok {
+				hierarchiesEqual(t, ha, parallel.(*Hierarchy))
+				return
+			}
+			if !reflect.DeepEqual(serial, parallel) {
+				t.Fatalf("P=1 and P=8 outputs differ:\n%#v\nvs\n%#v", serial, parallel)
+			}
+		})
+	}
+}
+
+func TestCancelledContextReturnsError(t *testing.T) {
+	ds := synth.DBLP(synth.DBLPConfig{NumPapers: 800, NumAuthors: 200, Seed: 2003})
+	text := synth.DBLPTitles(synth.TextConfig{NumDocs: 1200, Seed: 2004})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, tc := range []struct {
+		name string
+		run  func() error
+	}{
+		{"BuildHierarchy", func() error {
+			_, err := BuildHierarchy(ds.CollapsedNetwork(0), HierarchyOptions{
+				K: 3, Levels: 2, Seed: 21, Ctx: ctx,
+			})
+			return err
+		}},
+		{"BuildTextHierarchy/STROD", func() error {
+			_, err := BuildTextHierarchy(text.Corpus, HierarchyOptions{
+				Engine: EngineSTROD, K: 3, Levels: 1, Seed: 22, Ctx: ctx,
+			})
+			return err
+		}},
+		{"InferTopics", func() error {
+			_, err := InferTopics(text.Corpus, 4, 23, RunOptions{Ctx: ctx})
+			return err
+		}},
+		{"TopicalPhrases", func() error {
+			_, err := TopicalPhrases(text.Corpus, 4, 24, RunOptions{Ctx: ctx})
+			return err
+		}},
+		{"AttachPhrases", func() error {
+			h, err := BuildTextHierarchy(text.Corpus, HierarchyOptions{K: 3, Levels: 1, Seed: 25})
+			if err != nil {
+				return err
+			}
+			_, err = AttachPhrases(text.Corpus, nil, h, PhraseOptions{Ctx: ctx})
+			return err
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.run()
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+		})
+	}
+}
