@@ -13,7 +13,7 @@ import (
 )
 
 func main() {
-	par := flag.Int("p", 0, "parallel workers for TPFG message passing (0 = GOMAXPROCS)")
+	par := flag.Int("p", 0, "parallel workers for TPFG message passing and CRF training (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	g := synth.NewGenealogy(synth.GenealogyConfig{Seed: 77})
@@ -59,7 +59,8 @@ func main() {
 			skip[a] = true
 		}
 	}
-	sup, err := lesm.MineAdvisorTreeSupervised(papers, g.NumAuthors, g.AdvisorOf, train, 2)
+	sup, err := lesm.MineAdvisorTreeSupervised(papers, g.NumAuthors, g.AdvisorOf, train, 2,
+		lesm.RunOptions{Parallelism: *par})
 	if err != nil {
 		log.Fatal(err)
 	}

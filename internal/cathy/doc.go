@@ -1,0 +1,12 @@
+// Package cathy implements CATHY (Section 3.1) and CATHYHIN (Section 3.2):
+// recursive construction of a topical hierarchy by clustering an
+// edge-weighted (heterogeneous) network with a Poisson link-generation model
+// fit by EM.
+//
+// One clustering step softly partitions every link's weight across k
+// subtopics plus an optional background topic (Eq. 3.24-3.29); the per-topic
+// expected link weights then define the child subnetworks that are clustered
+// recursively. Link-type weights can be learned (Eq. 3.37) so that, e.g.,
+// venue links dominate at the top level of a bibliographic network but not
+// below (Figure 3.8).
+package cathy

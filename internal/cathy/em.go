@@ -224,6 +224,14 @@ func (st *emState) pairAt(i int) int {
 	return sort.SearchInts(st.linkOff, i+1) - 1
 }
 
+// maxSweepChunks caps the E-step's link chunking below the runtime's
+// default policy: each chunk holds a sweepAcc of O(topics x nodes) floats,
+// so the cap bounds the scratch at 32 copies while still exposing 32-way
+// parallelism.
+const maxSweepChunks = 32
+
+func sweepChunks(nLinks int) int { return par.NumChunksCapped(nLinks, maxSweepChunks) }
+
 // sweep performs one E+M step. When final is true it also records per-link
 // child weights and the log-likelihood under the pre-update parameters. The
 // E pass runs on the shared worker pool: links are chunked deterministically
@@ -246,9 +254,9 @@ func (st *emState) sweep(final bool, o par.Opts) error {
 		}
 	}
 	if st.accs == nil {
-		st.accs = make([]*sweepAcc, par.NumChunks(nLinks))
+		st.accs = make([]*sweepAcc, sweepChunks(nLinks))
 	}
-	err := par.ForChunks(o, nLinks, func(c, lo, hi int) {
+	err := par.ForChunksN(o, nLinks, sweepChunks(nLinks), func(c, lo, hi int) {
 		acc := st.accs[c]
 		if acc == nil {
 			acc = newSweepAcc(nz, g)
@@ -338,7 +346,7 @@ func (st *emState) sweep(final bool, o par.Opts) error {
 	}
 	logL := 0.0
 	totalW := 0.0
-	for c := 0; c < par.NumChunks(nLinks); c++ {
+	for c := 0; c < sweepChunks(nLinks); c++ {
 		acc := st.accs[c]
 		logL += acc.logL
 		totalW += acc.totalW

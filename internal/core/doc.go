@@ -1,0 +1,9 @@
+// Package core defines the shared output structures of the latent entity
+// structure mining framework: phrase-represented, entity-enriched topical
+// hierarchies (Definition 2 of the paper) and ranked lists of phrases and
+// entities attached to each topic.
+//
+// All mining engines in this module (CATHY, CATHYHIN, STROD) emit values of
+// these types, and the downstream analyses (topical phrase mining, entity
+// role analysis) consume and enrich them.
+package core

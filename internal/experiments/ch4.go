@@ -19,7 +19,7 @@ import (
 // kertSetup fits background LDA on a titles corpus and mines KERT patterns.
 func kertSetup(ds *synth.Dataset, k int, seed int64) (*kert.Result, *lda.Model) {
 	docs := tokensOf(ds)
-	m := lda.Run(docs, ds.Corpus.Vocab.Size(), lda.Config{K: k, Iters: 150, Seed: seed, Background: true})
+	m := must(lda.Run(docs, ds.Corpus.Vocab.Size(), lda.Config{K: k, Iters: 150, Seed: seed, Background: true}))
 	res := kert.Mine(docs, kert.TopicsFromLDA(m), kert.Config{MinSupport: 5, MaxLen: 4, Background: true})
 	return res, m
 }
@@ -139,7 +139,7 @@ func Table44(scale float64) *Table {
 func Fig42(scale float64) *Table {
 	ds := synth.Arxiv(synth.TextConfig{NumDocs: scaled(4000, scale), Seed: 406})
 	docs := tokensOf(ds)
-	m := lda.Run(docs, ds.Corpus.Vocab.Size(), lda.Config{K: 5, Iters: 150, Seed: 407, Background: true})
+	m := must(lda.Run(docs, ds.Corpus.Vocab.Size(), lda.Config{K: 5, Iters: 150, Seed: 407, Background: true}))
 	res := kert.Mine(docs, kert.TopicsFromLDA(m), kert.Config{MinSupport: 5, MaxLen: 4, Background: true})
 	vocab := ds.Corpus.Vocab
 	methods := []struct {
@@ -193,7 +193,7 @@ func phraseMethodTopics(ds *synth.Dataset, k int, seed int64) map[string][][]cor
 	out["ToPMine"] = tm.Topics
 
 	// KERT.
-	m := lda.Run(docs, v, lda.Config{K: k, Iters: 120, Seed: seed + 1, Background: true})
+	m := must(lda.Run(docs, v, lda.Config{K: k, Iters: 120, Seed: seed + 1, Background: true}))
 	kr := kert.Mine(docs, kert.TopicsFromLDA(m), kert.Config{MinSupport: 5, MaxLen: 4, Background: true})
 	topicsK := make([][]core.RankedPhrase, kr.ContentTopics())
 	for tp := range topicsK {
@@ -210,7 +210,7 @@ func phraseMethodTopics(ds *synth.Dataset, k int, seed int64) map[string][][]cor
 	out["PDLDA*"] = pd.TopicalPhrases(ds.Corpus, 25)
 
 	// TurboTopics.
-	plain := lda.Run(docs, v, lda.Config{K: k, Iters: 120, Seed: seed + 4})
+	plain := must(lda.Run(docs, v, lda.Config{K: k, Iters: 120, Seed: seed + 4}))
 	out["Turbo"] = turbotopics.Run(ds.Corpus, plain, turbotopics.Config{MinCount: 5, Sig: 3}, 25)
 	return out
 }
@@ -364,7 +364,7 @@ func Fig46(scale float64) *Table {
 		part := miner.SegmentCorpus(ds.Corpus.Docs)
 		mine := time.Since(start)
 		start = time.Now()
-		lda.RunPhrases(part, ds.Corpus.Vocab.Size(), lda.Config{K: 5, Iters: 100, Seed: 418})
+		must(lda.RunPhrases(part, ds.Corpus.Vocab.Size(), lda.Config{K: 5, Iters: 100, Seed: 418}))
 		model := time.Since(start)
 		t.Rows = append(t.Rows, []string{fmt.Sprintf("%d", nd), ms(mine), ms(model)})
 	}
@@ -400,17 +400,17 @@ func Table45(scale float64) *Table {
 			tng.Run(tokensOf(ds), ds.Corpus.Vocab.Size(), tng.Config{K: 5, Iters: 100, Seed: 423, Discount: 0.5, ExtraWork: 15})
 		}},
 		{"Turbo", false, func(ds *synth.Dataset) {
-			m := lda.Run(tokensOf(ds), ds.Corpus.Vocab.Size(), lda.Config{K: 5, Iters: 100, Seed: 424})
+			m := must(lda.Run(tokensOf(ds), ds.Corpus.Vocab.Size(), lda.Config{K: 5, Iters: 100, Seed: 424}))
 			turbotopics.Run(ds.Corpus, m, turbotopics.Config{}, 20)
 		}},
 		{"TNG", false, func(ds *synth.Dataset) {
 			tng.Run(tokensOf(ds), ds.Corpus.Vocab.Size(), tng.Config{K: 5, Iters: 100, Seed: 425})
 		}},
 		{"LDA", false, func(ds *synth.Dataset) {
-			lda.Run(tokensOf(ds), ds.Corpus.Vocab.Size(), lda.Config{K: 5, Iters: 100, Seed: 426})
+			must(lda.Run(tokensOf(ds), ds.Corpus.Vocab.Size(), lda.Config{K: 5, Iters: 100, Seed: 426}))
 		}},
 		{"KERT", true, func(ds *synth.Dataset) {
-			m := lda.Run(tokensOf(ds), ds.Corpus.Vocab.Size(), lda.Config{K: 5, Iters: 100, Seed: 427, Background: true})
+			m := must(lda.Run(tokensOf(ds), ds.Corpus.Vocab.Size(), lda.Config{K: 5, Iters: 100, Seed: 427, Background: true}))
 			kert.Mine(tokensOf(ds), kert.TopicsFromLDA(m), kert.Config{MinSupport: 5, MaxLen: 4, Background: true})
 		}},
 		{"ToPMine", false, func(ds *synth.Dataset) {

@@ -138,8 +138,8 @@ func Table62(scale float64) *Table {
 		train := pool[:n]
 		lb := tpfg.TrainLogit(plainFeats, net, g.AdvisorOf, train, 606)
 		addRow("logit", frac, lb.Predict(plainFeats, net))
-		m := relcrf.Train(net, feats, g.AdvisorOf, train, relcrf.TrainOptions{Seed: 607})
-		addRow("CRF", frac, m.Infer(net, feats).Predict())
+		m := must(relcrf.Train(net, feats, g.AdvisorOf, train, relcrf.TrainOptions{Seed: 607}))
+		addRow("CRF", frac, must(m.Infer(net, feats)).Predict())
 	}
 	t.Notes = append(t.Notes, "expected shape: CRF >= TPFG and CRF > logit; CRF improves with training data")
 	return t

@@ -28,7 +28,7 @@ func Fig71(scale float64) *Table {
 		tS := time.Since(start)
 
 		start = time.Now()
-		lda.Run(docs, v, lda.Config{K: 5, Iters: 200, Seed: 703})
+		must(lda.Run(docs, v, lda.Config{K: 5, Iters: 200, Seed: 703}))
 		tG := time.Since(start)
 
 		start = time.Now()
@@ -56,7 +56,7 @@ func Table71(scale float64) *Table {
 	for seed := int64(0); seed < 5; seed++ {
 		m := must(strod.Fit(sd, v, strod.Config{K: 5, Seed: 706 + seed}))
 		strodRuns = append(strodRuns, m.Phi)
-		g := lda.Run(docs, v, lda.Config{K: 5, Iters: 150, Seed: 711 + seed})
+		g := must(lda.Run(docs, v, lda.Config{K: 5, Iters: 150, Seed: 711 + seed}))
 		gibbsRuns = append(gibbsRuns, g.Phi)
 	}
 	pairwise := func(runs [][][]float64) float64 {
@@ -107,7 +107,7 @@ func Table72(scale float64) *Table {
 	}
 	sd := strod.FromTokens(docs)
 	m := must(strod.Fit(sd, v, strod.Config{K: 5, Seed: 721, LearnAlpha0: true}))
-	g := lda.Run(docs, v, lda.Config{K: 5, Iters: 200, Seed: 722})
+	g := must(lda.Run(docs, v, lda.Config{K: 5, Iters: 200, Seed: 722}))
 	t.Rows = append(t.Rows, []string{"STROD recovery error", f3(strod.MatchError(m.Phi, truePhi))})
 	t.Rows = append(t.Rows, []string{"Gibbs recovery error", f3(strod.MatchError(g.Phi, truePhi))})
 	t.Rows = append(t.Rows, []string{"STROD learned alpha0", f2(m.Alpha0)})

@@ -1,8 +1,3 @@
-// Package experiments regenerates every table and figure of the paper's
-// evaluation chapters on the synthetic stand-in datasets (DESIGN.md §3 maps
-// experiment ids to paper artifacts). Each experiment accepts a scale factor
-// in (0, 1] that shrinks workloads proportionally, so the same code drives
-// the full `cmd/repro` runs, the unit tests and the benchmarks.
 package experiments
 
 import (
@@ -16,6 +11,7 @@ import (
 	"lesm/internal/hin"
 	"lesm/internal/lda"
 	"lesm/internal/netclus"
+	"lesm/internal/par"
 	"lesm/internal/roles"
 	"lesm/internal/synth"
 	"lesm/internal/topmine"
@@ -172,7 +168,7 @@ func tokensOf(ds *synth.Dataset) [][]int {
 // attaches ranked phrases to every topic.
 func attachPhrases(ds *synth.Dataset, root *core.TopicNode, maxLen int, topN int) *topmine.Miner {
 	miner := topmine.MineFrequentPhrases(ds.Corpus.Docs, topmine.Config{MinSupport: 5, MaxLen: maxLen, Alpha: 3})
-	topmine.VisualizeHierarchy(ds.Corpus, miner, root, topN)
+	topmine.VisualizeHierarchy(ds.Corpus, miner, root, topN, par.Opts{})
 	return miner
 }
 

@@ -1,0 +1,9 @@
+// Package hin implements the paper's data model (Definition 1): the
+// text-attached heterogeneous information network, and the collapsed
+// edge-weighted network derived from it (Example 3.1) that CATHYHIN analyzes.
+//
+// A network holds m node types; links are stored per unordered type pair
+// with float weights. Documents contribute term-term co-occurrence links;
+// entities attached to a document are linked to the document's words and to
+// each other.
+package hin

@@ -1,12 +1,3 @@
-// Package kert implements KERT (Section 4.2): topical phrase mining for
-// short, content-representative text. Frequent word-set patterns are mined
-// from the documents, their frequency is distributed over topics with the
-// topic model (Eq. 4.3), and phrases are ranked by combining the four
-// criteria of Section 4.1 — popularity, purity, concordance and completeness
-// (Eq. 4.1-4.6).
-//
-// The package also provides the kpRel and kpRelInt* ranking baselines of
-// Zhao et al. used in the paper's comparison (Section 4.4.1).
 package kert
 
 import (

@@ -115,8 +115,8 @@ func TestDisplayOrderFollowsSurfaceOrder(t *testing.T) {
 
 func TestVariantsChangeRanking(t *testing.T) {
 	ds := synth.DBLPTitles(synth.TextConfig{NumDocs: 1500, Seed: 21})
-	m := lda.Run(corpusDocs(ds), ds.Corpus.Vocab.Size(),
-		lda.Config{K: 6, Iters: 80, Seed: 22, Background: true})
+	m := lda.Must(lda.Run(corpusDocs(ds), ds.Corpus.Vocab.Size(),
+		lda.Config{K: 6, Iters: 80, Seed: 22, Background: true}))
 	topics := TopicsFromLDA(m)
 	res := Mine(corpusDocs(ds), topics, Config{MinSupport: 5, MaxLen: 4, Background: true})
 	full := res.RankAll(FullKERT, ds.Corpus.Vocab, 10)
@@ -142,8 +142,8 @@ func TestVariantsChangeRanking(t *testing.T) {
 
 func TestKERTPrefersPhrasesOverBaseline(t *testing.T) {
 	ds := synth.DBLPTitles(synth.TextConfig{NumDocs: 1500, Seed: 23})
-	m := lda.Run(corpusDocs(ds), ds.Corpus.Vocab.Size(),
-		lda.Config{K: 6, Iters: 80, Seed: 24, Background: true})
+	m := lda.Must(lda.Run(corpusDocs(ds), ds.Corpus.Vocab.Size(),
+		lda.Config{K: 6, Iters: 80, Seed: 24, Background: true}))
 	topics := TopicsFromLDA(m)
 	res := Mine(corpusDocs(ds), topics, Config{MinSupport: 5, MaxLen: 4, Background: true})
 	kertMulti, baseMulti := 0, 0

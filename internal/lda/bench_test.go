@@ -1,0 +1,46 @@
+// Gibbs-sampler benchmarks at Parallelism 1 vs NumCPU over the same
+// fixed-seed workload. `go test -bench 'LDA' -run '^$' ./internal/lda`
+// regenerates the numbers recorded in BENCH_pr2.json; the determinism
+// guarantee means the P=1 and P=N variants produce identical models, so
+// the comparison is pure wall clock.
+package lda
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+func benchLDA(b *testing.B, p int) {
+	docs, _ := synthCorpus(2048, 64, 71)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(docs, 10, Config{K: 5, Iters: 50, Seed: 72, Background: true, P: p}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchPhraseLDA(b *testing.B, p int) {
+	rng := rand.New(rand.NewSource(73))
+	docs := make([]PhraseDoc, 2048)
+	for d := range docs {
+		top := d % 2
+		var doc PhraseDoc
+		for q := 0; q < 24; q++ {
+			doc = append(doc, []int{top*6 + rng.Intn(3), top*6 + 3 + rng.Intn(3)})
+		}
+		docs[d] = doc
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunPhrases(docs, 12, Config{K: 5, Iters: 50, Seed: 74, P: p}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLDA_P1(b *testing.B)       { benchLDA(b, 1) }
+func BenchmarkLDA_PN(b *testing.B)       { benchLDA(b, runtime.NumCPU()) }
+func BenchmarkPhraseLDA_P1(b *testing.B) { benchPhraseLDA(b, 1) }
+func BenchmarkPhraseLDA_PN(b *testing.B) { benchPhraseLDA(b, runtime.NumCPU()) }

@@ -1,0 +1,193 @@
+package lda
+
+import (
+	"lesm/internal/par"
+)
+
+// Parallel Gibbs machinery shared by Run and RunPhrases.
+//
+// A sweep is one chunked pass over the documents on the shared runtime
+// (internal/par). The global count tables nKV/nK are frozen for the
+// duration of the pass; every chunk records its count changes in a private
+// delta table, and sampling inside a chunk reads global + own-chunk delta.
+// After the pass, deltas merge into the global tables in chunk order.
+// Chunk boundaries and per-document PRNG streams depend only on
+// (seed, n, sweep) — never on the worker count — so the sampled trajectory
+// is bit-identical at any parallelism level. Across chunks the counts are
+// one pass stale, the standard approximate-distributed-Gibbs trade
+// (AD-LDA, Newman et al. 2009); within a chunk sampling remains fully
+// collapsed.
+
+// Sampler chunk policy: clamp(d/minDocsPerChunk, 1, maxSamplerChunks),
+// further lowered until the delta tables fit deltaCellBudget.
+//
+// The sampler deliberately uses coarser chunks than the runtime's default
+// policy, for two reasons. Statistically, counts are stale across chunks
+// within a sweep, so fewer/bigger chunks keep the sampler closer to fully
+// collapsed Gibbs — and the small corpora where staleness hurts most are
+// exactly the ones that get few chunks. In memory, each chunk carries a
+// delta table of O(topics x vocabulary) ints, so maxSamplerChunks bounds
+// the sampler at 64 such tables while still exposing 64-way parallelism
+// for corpora of 2048+ documents, and deltaCellBudget caps the tables'
+// total cell count (~0.5 GB of ints when saturated) so a huge vocabulary
+// sheds parallelism instead of multiplying the serial sampler's memory.
+const (
+	minDocsPerChunk  = 32
+	maxSamplerChunks = 64
+	deltaCellBudget  = 1 << 26
+)
+
+// samplerChunks is the pass's chunk count for d documents over kTotal
+// topics and v words. A pure function of the problem shape, never of P —
+// the determinism contract's requirement.
+func samplerChunks(d, kTotal, v int) int {
+	nc := d / minDocsPerChunk
+	if nc < 1 {
+		nc = 1
+	}
+	if nc > maxSamplerChunks {
+		nc = maxSamplerChunks
+	}
+	if cells := kTotal * v; cells > 0 {
+		if byMem := deltaCellBudget / cells; nc > byMem {
+			nc = byMem
+			if nc < 1 {
+				nc = 1
+			}
+		}
+	}
+	return nc
+}
+
+// delta is one chunk's private count-table diff against the sweep-start
+// global tables. Reads during sampling go through the dense kv table;
+// writes go through add, which also tracks the touched cells, so folding a
+// delta back into the globals costs O(cells touched) rather than a full
+// O(topics x vocabulary) scan per chunk per sweep — on realistic
+// vocabularies a chunk's documents touch a tiny fraction of the table.
+type delta struct {
+	v       int
+	kv      [][]int // [kTotal][v] topic-word count changes
+	k       []int   // [kTotal] topic total changes
+	touched []bool  // [kTotal*v] whether the flat cell is on the dirty list
+	dirty   []int   // flat k*v+w indices with touched == true
+}
+
+func newDelta(kTotal, v int) *delta {
+	kv := make([][]int, kTotal)
+	for k := range kv {
+		kv[k] = make([]int, v)
+	}
+	return &delta{
+		v:       v,
+		kv:      kv,
+		k:       make([]int, kTotal),
+		touched: make([]bool, kTotal*v),
+	}
+}
+
+// add applies a count change for (topic k, word w), recording the cell on
+// the dirty list on first touch.
+func (dl *delta) add(k, w, c int) {
+	idx := k*dl.v + w
+	if !dl.touched[idx] {
+		dl.touched[idx] = true
+		dl.dirty = append(dl.dirty, idx)
+	}
+	dl.kv[k][w] += c
+	dl.k[k] += c
+}
+
+// applyTo folds the delta into the global tables and resets it for the
+// next pass, visiting only the touched cells. Counts are integers, so
+// merge order cannot change the result; we still merge in chunk order to
+// honor the runtime's ordered-reduction contract.
+func (dl *delta) applyTo(nKV [][]int, nK []int) {
+	for _, idx := range dl.dirty {
+		k, w := idx/dl.v, idx%dl.v
+		if c := dl.kv[k][w]; c != 0 {
+			nKV[k][w] += c
+			dl.kv[k][w] = 0
+		}
+		dl.touched[idx] = false
+	}
+	dl.dirty = dl.dirty[:0]
+	for k, c := range dl.k {
+		nK[k] += c
+		dl.k[k] = 0
+	}
+}
+
+// sweepScratch is the per-chunk scratch of a sampler run — delta tables
+// and probability buffers — allocated once and reused across all sweeps
+// (the tables are O(topics x vocabulary) each, too big to reallocate per
+// sweep). applyTo re-zeroes each delta as it folds it into the globals.
+type sweepScratch struct {
+	deltas []*delta
+	probs  [][]float64
+}
+
+func newSweepScratch(nc, kTotal, v int) *sweepScratch {
+	sc := &sweepScratch{deltas: make([]*delta, nc), probs: make([][]float64, nc)}
+	for c := range sc.deltas {
+		sc.deltas[c] = newDelta(kTotal, v)
+		sc.probs[c] = make([]float64, kTotal)
+	}
+	return sc
+}
+
+// gibbsPass runs one chunked pass (initialization or a Gibbs sweep) over d
+// documents, using the chunk count the scratch was sized for. visit
+// samples document di with its own counter-based PRNG stream derived from
+// (seed, di, sweep), records count changes in the chunk's delta dl, and
+// may use probs (len kTotal) as scratch. On success the chunk deltas are
+// merged into nKV/nK in chunk order and reset; on cancellation the global
+// tables are left unchanged and the context error is returned. A pass over
+// zero documents is a no-op.
+func gibbsPass(o par.Opts, seed int64, sweep uint64, d int, sc *sweepScratch,
+	nKV [][]int, nK []int, visit func(di int, rng *stream, dl *delta, probs []float64)) error {
+	if d <= 0 {
+		return o.Err()
+	}
+	nc := len(sc.deltas)
+	err := par.ForChunksN(o, d, nc, func(c, lo, hi int) {
+		dl := sc.deltas[c]
+		probs := sc.probs[c]
+		for di := lo; di < hi; di++ {
+			rng := newStream(seed, uint64(di), sweep)
+			visit(di, &rng, dl, probs)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	// ForChunksN clamps nc to d, so trailing deltas may be untouched;
+	// applying an empty delta is O(topics), harmless.
+	for _, dl := range sc.deltas {
+		dl.applyTo(nKV, nK)
+	}
+	return nil
+}
+
+// alphaVec expands the document prior: cfg.Alpha per content topic, with
+// the background slot (index cfg.K) inflated by BGWeight when present.
+func alphaVec(cfg Config, kTotal int) []float64 {
+	alpha := make([]float64, kTotal)
+	for k := 0; k < cfg.K; k++ {
+		alpha[k] = cfg.Alpha
+	}
+	if cfg.Background {
+		alpha[cfg.K] = cfg.Alpha * cfg.BGWeight
+	}
+	return alpha
+}
+
+// Must unwraps a (model, error) pair from Run or RunPhrases, panicking on
+// error. A run can only fail through a cancelled Config.Ctx, so callers
+// that pass no context use Must to keep call sites expression-shaped.
+func Must(m *Model, err error) *Model {
+	if err != nil {
+		panic(err)
+	}
+	return m
+}

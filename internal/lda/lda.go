@@ -1,17 +1,10 @@
-// Package lda implements latent Dirichlet allocation with collapsed Gibbs
-// sampling, the workhorse baseline of the paper's evaluations (Sections
-// 4.4.2-4.4.3, Chapter 7) and the topic-inference substrate of KERT.
-//
-// Two variants extend the plain sampler:
-//
-//   - a background topic (topic index K) with an inflated document prior,
-//     which absorbs corpus-wide common words — the "background LDA" used by
-//     KERT (Section 4.4.3);
-//   - PhraseLDA, the phrase-constrained sampler of ToPMine, where all words
-//     of a mined phrase share one topic assignment.
 package lda
 
-import "math/rand"
+import (
+	"context"
+
+	"lesm/internal/par"
+)
 
 // Config parameterizes a Gibbs run.
 type Config struct {
@@ -22,14 +15,24 @@ type Config struct {
 	Alpha, Beta float64
 	// Iters is the number of Gibbs sweeps (default 200).
 	Iters int
-	// Seed drives the sampler's randomness.
+	// Seed drives the sampler's randomness. Every document draws from its
+	// own counter-based PRNG stream keyed by (Seed, doc, sweep), so the
+	// trajectory is a pure function of Seed at any parallelism level.
 	Seed int64
 	// Background adds one extra shared topic with prior Alpha*BGWeight that
 	// soaks up topic-independent words.
 	Background bool
 	// BGWeight inflates the background topic's document prior (default 3).
 	BGWeight float64
+	// P bounds the worker count of the parallel sweeps (0 = GOMAXPROCS).
+	// Models are bit-identical at any P.
+	P int
+	// Ctx cancels sampling between work chunks (nil = background); a
+	// cancelled run returns the context error and no model.
+	Ctx context.Context
 }
+
+func (c Config) parOpts() par.Opts { return par.Opts{P: c.P, Ctx: c.Ctx} }
 
 func (c Config) withDefaults() Config {
 	if c.Alpha == 0 {
@@ -68,9 +71,16 @@ type Model struct {
 }
 
 // Run fits LDA to id-encoded documents over a vocabulary of size V.
-func Run(docs [][]int, v int, cfg Config) *Model {
+//
+// Sweeps execute as chunked passes over the documents on the shared
+// parallel runtime: every document samples from its own (Seed, doc, sweep)
+// PRNG stream against the sweep-start counts plus its chunk's running
+// delta, and chunk deltas merge in chunk order afterwards (see gibbsPass).
+// The fitted model is therefore bit-identical at any Config.P. Run only
+// returns an error when Config.Ctx is cancelled.
+func Run(docs [][]int, v int, cfg Config) (*Model, error) {
 	cfg = cfg.withDefaults()
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	o := cfg.parOpts()
 	kTotal := cfg.K
 	if cfg.Background {
 		kTotal++
@@ -83,59 +93,61 @@ func Run(docs [][]int, v int, cfg Config) *Model {
 		nKV[k] = make([]int, v)
 	}
 	z := make([][]int, d)
-	alpha := make([]float64, kTotal)
-	for k := 0; k < cfg.K; k++ {
-		alpha[k] = cfg.Alpha
-	}
-	if cfg.Background {
-		alpha[cfg.K] = cfg.Alpha * cfg.BGWeight
-	}
+	alpha := alphaVec(cfg, kTotal)
+	sc := newSweepScratch(samplerChunks(d, kTotal, v), kTotal, v)
 
-	for di, doc := range docs {
-		nDK[di] = make([]int, kTotal)
-		z[di] = make([]int, len(doc))
-		for i, w := range doc {
-			k := rng.Intn(kTotal)
-			z[di][i] = k
-			nDK[di][k]++
-			nKV[k][w]++
-			nK[k]++
-		}
-	}
-
-	probs := make([]float64, kTotal)
-	vb := float64(v) * cfg.Beta
-	for it := 0; it < cfg.Iters; it++ {
-		for di, doc := range docs {
+	err := gibbsPass(o, cfg.Seed, 0, d, sc, nKV, nK,
+		func(di int, rng *stream, dl *delta, _ []float64) {
+			doc := docs[di]
+			nDK[di] = make([]int, kTotal)
+			z[di] = make([]int, len(doc))
 			for i, w := range doc {
-				k := z[di][i]
-				nDK[di][k]--
-				nKV[k][w]--
-				nK[k]--
-				total := 0.0
-				for kk := 0; kk < kTotal; kk++ {
-					p := (float64(nDK[di][kk]) + alpha[kk]) *
-						(float64(nKV[kk][w]) + cfg.Beta) / (float64(nK[kk]) + vb)
-					probs[kk] = p
-					total += p
-				}
-				r := rng.Float64() * total
-				k = kTotal - 1
-				for kk := 0; kk < kTotal; kk++ {
-					r -= probs[kk]
-					if r <= 0 {
-						k = kk
-						break
-					}
-				}
+				k := rng.Intn(kTotal)
 				z[di][i] = k
 				nDK[di][k]++
-				nKV[k][w]++
-				nK[k]++
+				dl.add(k, w, 1)
 			}
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	vb := float64(v) * cfg.Beta
+	for it := 0; it < cfg.Iters; it++ {
+		err := gibbsPass(o, cfg.Seed, uint64(it+1), d, sc, nKV, nK,
+			func(di int, rng *stream, dl *delta, probs []float64) {
+				doc := docs[di]
+				for i, w := range doc {
+					k := z[di][i]
+					nDK[di][k]--
+					dl.add(k, w, -1)
+					total := 0.0
+					for kk := 0; kk < kTotal; kk++ {
+						p := (float64(nDK[di][kk]) + alpha[kk]) *
+							(float64(nKV[kk][w]+dl.kv[kk][w]) + cfg.Beta) /
+							(float64(nK[kk]+dl.k[kk]) + vb)
+						probs[kk] = p
+						total += p
+					}
+					r := rng.Float64() * total
+					k = kTotal - 1
+					for kk := 0; kk < kTotal; kk++ {
+						r -= probs[kk]
+						if r <= 0 {
+							k = kk
+							break
+						}
+					}
+					z[di][i] = k
+					nDK[di][k]++
+					dl.add(k, w, 1)
+				}
+			})
+		if err != nil {
+			return nil, err
 		}
 	}
-	return summarize(docs, v, kTotal, cfg, nDK, nKV, nK, z)
+	return summarize(docs, v, kTotal, cfg, nDK, nKV, nK, z), nil
 }
 
 func summarize(docs [][]int, v, kTotal int, cfg Config, nDK [][]int, nKV [][]int, nK []int, z [][]int) *Model {

@@ -26,7 +26,7 @@ func synthCorpus(nDocs, docLen int, seed int64) ([][]int, []int) {
 
 func TestRunSeparatesTopics(t *testing.T) {
 	docs, labels := synthCorpus(100, 20, 1)
-	m := Run(docs, 10, Config{K: 2, Iters: 100, Seed: 2})
+	m := Must(Run(docs, 10, Config{K: 2, Iters: 100, Seed: 2}))
 	// Documents of the same true topic should have matching argmax thetas.
 	argmax := func(x []float64) int {
 		best := 0
@@ -74,7 +74,7 @@ func TestRunSeparatesTopics(t *testing.T) {
 
 func TestDistributionsNormalized(t *testing.T) {
 	docs, _ := synthCorpus(30, 10, 3)
-	m := Run(docs, 10, Config{K: 3, Iters: 30, Seed: 4, Background: true})
+	m := Must(Run(docs, 10, Config{K: 3, Iters: 30, Seed: 4, Background: true}))
 	if len(m.Phi) != 4 {
 		t.Fatalf("phi rows = %d, want K+1 with background", len(m.Phi))
 	}
@@ -107,8 +107,8 @@ func TestDistributionsNormalized(t *testing.T) {
 
 func TestDeterministicGivenSeed(t *testing.T) {
 	docs, _ := synthCorpus(20, 10, 5)
-	a := Run(docs, 10, Config{K: 2, Iters: 20, Seed: 6})
-	b := Run(docs, 10, Config{K: 2, Iters: 20, Seed: 6})
+	a := Must(Run(docs, 10, Config{K: 2, Iters: 20, Seed: 6}))
+	b := Must(Run(docs, 10, Config{K: 2, Iters: 20, Seed: 6}))
 	for k := range a.Phi {
 		for w := range a.Phi[k] {
 			if a.Phi[k][w] != b.Phi[k][w] {
@@ -120,7 +120,7 @@ func TestDeterministicGivenSeed(t *testing.T) {
 
 func TestTopWords(t *testing.T) {
 	docs, _ := synthCorpus(50, 15, 7)
-	m := Run(docs, 10, Config{K: 2, Iters: 60, Seed: 8})
+	m := Must(Run(docs, 10, Config{K: 2, Iters: 60, Seed: 8}))
 	top := m.TopWords(0, 5)
 	if len(top) != 5 {
 		t.Fatalf("top = %v", top)
@@ -152,7 +152,7 @@ func TestRunPhrasesSharesTopicWithinPhrase(t *testing.T) {
 		}
 		docs = append(docs, doc)
 	}
-	m := RunPhrases(docs, 12, Config{K: 2, Iters: 80, Seed: 10})
+	m := Must(RunPhrases(docs, 12, Config{K: 2, Iters: 80, Seed: 10}))
 	if m.PhraseZ == nil {
 		t.Fatal("PhraseZ missing")
 	}
@@ -197,7 +197,7 @@ func TestBackgroundAbsorbsCommonWords(t *testing.T) {
 		}
 		docs[d] = doc
 	}
-	m := Run(docs, 11, Config{K: 2, Iters: 120, Seed: 12, Background: true, BGWeight: 4})
+	m := Must(Run(docs, 11, Config{K: 2, Iters: 120, Seed: 12, Background: true, BGWeight: 4}))
 	// Topic identity is not fixed (the background slot can swap with a
 	// content topic), so check the label-agnostic property: some topic is
 	// dominated by the shared word, and the two content word blocks

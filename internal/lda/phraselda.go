@@ -1,7 +1,5 @@
 package lda
 
-import "math/rand"
-
 // PhraseDoc is a document partitioned into a bag of phrases (each phrase a
 // word-id sequence), the output form of ToPMine's segmentation step.
 type PhraseDoc [][]int
@@ -14,9 +12,14 @@ type PhraseDoc [][]int
 // where c_i counts earlier occurrences of word w_i inside the same phrase.
 // Sampling one topic per multi-word phrase is also why PhraseLDA often runs
 // faster than token-level LDA (Table 4.5).
-func RunPhrases(docs []PhraseDoc, v int, cfg Config) *Model {
+//
+// Like Run, sweeps execute as chunked document passes on the shared
+// parallel runtime with per-document (Seed, doc, sweep) PRNG streams and
+// chunk-ordered delta merging, so the model is bit-identical at any
+// Config.P. RunPhrases only returns an error when Config.Ctx is cancelled.
+func RunPhrases(docs []PhraseDoc, v int, cfg Config) (*Model, error) {
 	cfg = cfg.withDefaults()
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	o := cfg.parOpts()
 	kTotal := cfg.K
 	if cfg.Background {
 		kTotal++
@@ -30,72 +33,73 @@ func RunPhrases(docs []PhraseDoc, v int, cfg Config) *Model {
 	}
 	// zP[d][p] is the topic of phrase p in doc d.
 	zP := make([][]int, d)
-	alpha := make([]float64, kTotal)
-	for k := 0; k < cfg.K; k++ {
-		alpha[k] = cfg.Alpha
-	}
-	if cfg.Background {
-		alpha[cfg.K] = cfg.Alpha * cfg.BGWeight
-	}
+	alpha := alphaVec(cfg, kTotal)
+	sc := newSweepScratch(samplerChunks(d, kTotal, v), kTotal, v)
 
-	for di, doc := range docs {
-		nDK[di] = make([]int, kTotal)
-		zP[di] = make([]int, len(doc))
-		for pi, phrase := range doc {
-			k := rng.Intn(kTotal)
-			zP[di][pi] = k
-			nDK[di][k] += len(phrase)
-			for _, w := range phrase {
-				nKV[k][w]++
-				nK[k]++
-			}
-		}
-	}
-
-	probs := make([]float64, kTotal)
-	vb := float64(v) * cfg.Beta
-	for it := 0; it < cfg.Iters; it++ {
-		for di, doc := range docs {
+	err := gibbsPass(o, cfg.Seed, 0, d, sc, nKV, nK,
+		func(di int, rng *stream, dl *delta, _ []float64) {
+			doc := docs[di]
+			nDK[di] = make([]int, kTotal)
+			zP[di] = make([]int, len(doc))
 			for pi, phrase := range doc {
-				k := zP[di][pi]
-				nDK[di][k] -= len(phrase)
-				for _, w := range phrase {
-					nKV[k][w]--
-					nK[k]--
-				}
-				total := 0.0
-				for kk := 0; kk < kTotal; kk++ {
-					p := float64(nDK[di][kk]) + alpha[kk]
-					for i, w := range phrase {
-						// c counts earlier in-phrase occurrences of w.
-						c := 0
-						for j := 0; j < i; j++ {
-							if phrase[j] == w {
-								c++
-							}
-						}
-						p *= (float64(nKV[kk][w]) + cfg.Beta + float64(c)) /
-							(float64(nK[kk]) + vb + float64(i))
-					}
-					probs[kk] = p
-					total += p
-				}
-				r := rng.Float64() * total
-				k = kTotal - 1
-				for kk := 0; kk < kTotal; kk++ {
-					r -= probs[kk]
-					if r <= 0 {
-						k = kk
-						break
-					}
-				}
+				k := rng.Intn(kTotal)
 				zP[di][pi] = k
 				nDK[di][k] += len(phrase)
 				for _, w := range phrase {
-					nKV[k][w]++
-					nK[k]++
+					dl.add(k, w, 1)
 				}
 			}
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	vb := float64(v) * cfg.Beta
+	for it := 0; it < cfg.Iters; it++ {
+		err := gibbsPass(o, cfg.Seed, uint64(it+1), d, sc, nKV, nK,
+			func(di int, rng *stream, dl *delta, probs []float64) {
+				doc := docs[di]
+				for pi, phrase := range doc {
+					k := zP[di][pi]
+					nDK[di][k] -= len(phrase)
+					for _, w := range phrase {
+						dl.add(k, w, -1)
+					}
+					total := 0.0
+					for kk := 0; kk < kTotal; kk++ {
+						p := float64(nDK[di][kk]) + alpha[kk]
+						for i, w := range phrase {
+							// c counts earlier in-phrase occurrences of w.
+							c := 0
+							for j := 0; j < i; j++ {
+								if phrase[j] == w {
+									c++
+								}
+							}
+							p *= (float64(nKV[kk][w]+dl.kv[kk][w]) + cfg.Beta + float64(c)) /
+								(float64(nK[kk]+dl.k[kk]) + vb + float64(i))
+						}
+						probs[kk] = p
+						total += p
+					}
+					r := rng.Float64() * total
+					k = kTotal - 1
+					for kk := 0; kk < kTotal; kk++ {
+						r -= probs[kk]
+						if r <= 0 {
+							k = kk
+							break
+						}
+					}
+					zP[di][pi] = k
+					nDK[di][k] += len(phrase)
+					for _, w := range phrase {
+						dl.add(k, w, 1)
+					}
+				}
+			})
+		if err != nil {
+			return nil, err
 		}
 	}
 
@@ -112,5 +116,5 @@ func RunPhrases(docs []PhraseDoc, v int, cfg Config) *Model {
 	}
 	m := summarize(flat, v, kTotal, cfg, nDK, nKV, nK, zTok)
 	m.PhraseZ = zP
-	return m
+	return m, nil
 }

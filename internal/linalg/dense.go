@@ -1,9 +1,3 @@
-// Package linalg is a small dense linear-algebra substrate built on the
-// standard library only. It provides exactly what the moment-based topic
-// inference (Chapter 7, STROD) and the relational CRF need: dense
-// matrix/vector arithmetic, a cyclic-Jacobi symmetric eigensolver, orthogonal
-// iteration for the top-k eigenpairs of implicitly defined symmetric
-// operators, and 3-mode tensor utilities.
 package linalg
 
 import (

@@ -224,7 +224,10 @@ func TestTensorPowerRecoversOrthogonalDecomposition(t *testing.T) {
 	}
 	recovered := map[int]bool{}
 	for iter := 0; iter < k; iter++ {
-		v, lambda := tt.PowerIteration(10, 60, rng, par.Opts{})
+		v, lambda, err := tt.PowerIteration(10, 60, rng, par.Opts{})
+		if err != nil {
+			t.Fatal(err)
+		}
 		// Find which ground-truth component this matches.
 		found := -1
 		for c := 0; c < k; c++ {

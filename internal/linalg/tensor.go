@@ -118,7 +118,7 @@ func (t *Tensor3) Deflate(lambda float64, v []float64) {
 // each trial iterates in its own scratch, and the winner is selected by
 // (eigenvalue, then lowest trial index) — the same answer the serial scan
 // produces, at any parallelism level.
-func (t *Tensor3) PowerIteration(nTrials, nIters int, rng *rand.Rand, o par.Opts) ([]float64, float64) {
+func (t *Tensor3) PowerIteration(nTrials, nIters int, rng *rand.Rand, o par.Opts) ([]float64, float64, error) {
 	k := t.K
 	starts := make([][]float64, nTrials)
 	for trial := range starts {
@@ -130,7 +130,7 @@ func (t *Tensor3) PowerIteration(nTrials, nIters int, rng *rand.Rand, o par.Opts
 		starts[trial] = v
 	}
 	lambdas := make([]float64, nTrials)
-	par.For(o, nTrials, func(lo, hi int) {
+	err := par.For(o, nTrials, func(lo, hi int) {
 		next := make([]float64, k)
 		for trial := lo; trial < hi; trial++ {
 			cur := starts[trial]
@@ -144,6 +144,9 @@ func (t *Tensor3) PowerIteration(nTrials, nIters int, rng *rand.Rand, o par.Opts
 			lambdas[trial] = t.Apply3(cur, cur, cur)
 		}
 	})
+	if err != nil {
+		return nil, 0, err
+	}
 	best := make([]float64, k)
 	bestLambda := 0.0
 	for trial := 0; trial < nTrials; trial++ {
@@ -168,5 +171,5 @@ func (t *Tensor3) PowerIteration(nTrials, nIters int, rng *rand.Rand, o par.Opts
 		bestLambda = lambda
 		copy(best, cur)
 	}
-	return best, bestLambda
+	return best, bestLambda, nil
 }

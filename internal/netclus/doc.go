@@ -1,0 +1,13 @@
+// Package netclus implements the NetClus baseline (Sun et al. 2009) used in
+// the paper's Chapter 3 comparisons: ranking-based clustering of a
+// star-schema information network. Documents are the center objects; terms
+// and entities are attribute objects. Each cluster maintains smoothed
+// ranking distributions per attribute type, and documents get posterior
+// cluster memberships from the product of their attributes' conditional
+// ranks.
+//
+// For the Topic Intrusion comparison the paper applies NetClus level by
+// level; BuildHierarchy reproduces that by hard-partitioning documents at
+// each node and re-clustering each part ("hard partitioning of papers",
+// Section 3.3.3).
+package netclus

@@ -1,0 +1,17 @@
+// Package par is the shared parallel runtime of the mining engines: a
+// bounded worker pool with deterministic chunked execution, ordered
+// reduction, and context-based cancellation. It is the scalability
+// substrate behind the paper's corpus-scale ambitions (Chapter 7).
+//
+// Every engine in the repo (CATHY EM, STROD moment accumulation, ToPMine
+// mining and segmentation, TPFG message passing, the PhraseLDA Gibbs
+// sweeps, relcrf mini-batch training) funnels its hot loops through this
+// package. The central guarantee is determinism: a range of n items is
+// always split into the same chunks regardless of how many workers execute
+// them — the chunk count is n-dependent but P-independent (NumChunks) —
+// and reductions merge per-chunk accumulators in chunk order.
+// Floating-point results are therefore bit-identical at any parallelism
+// level, the invariant the engines' same-seed reproducibility tests rely
+// on. Large inputs expose up to MaxChunks (256) chunks, so machines well
+// past 16 cores keep scaling.
+package par

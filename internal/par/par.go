@@ -1,14 +1,3 @@
-// Package par is the shared parallel runtime of the mining engines: a
-// bounded worker pool with deterministic chunked execution, ordered
-// reduction, and context-based cancellation.
-//
-// Every engine in the repo (CATHY EM, STROD moment accumulation, ToPMine
-// mining and segmentation, TPFG message passing) funnels its hot loops
-// through this package. The central guarantee is determinism: a range of n
-// items is always split into the same chunks regardless of how many workers
-// execute them, and reductions merge per-chunk accumulators in chunk order.
-// Floating-point results are therefore bit-identical at P=1 and P=8 — the
-// invariant the engines' same-seed reproducibility tests rely on.
 package par
 
 import (
@@ -46,30 +35,78 @@ func (o Opts) Context() context.Context {
 // Err reports the cancellation state without doing any work.
 func (o Opts) Err() error { return o.Context().Err() }
 
-// MaxChunks is the fixed upper bound on the number of chunks a range is
-// split into. Chunk boundaries depend only on the item count — never on P —
-// so ordered reductions over chunks group floating-point additions
-// identically at any parallelism level. It also bounds the memory spent on
-// per-chunk accumulators (at most MaxChunks live copies).
-const MaxChunks = 16
+// Chunk-count policy. The number of chunks a range is split into depends
+// only on the item count n — never on P — so chunk boundaries, and with
+// them the grouping of floating-point additions in ordered reductions, are
+// identical at any parallelism level.
+//
+// The policy is n-dependent so large inputs expose enough chunks to keep
+// >16-core machines busy, while the MaxChunks ceiling bounds the memory
+// spent on per-chunk accumulators (at most MaxChunks live copies; CATHY's
+// E-step scratch, for example, is O(topics x nodes) per chunk):
+//
+//	n < MinChunks             -> n chunks (one item each)
+//	otherwise                 -> clamp(n/MinChunkItems, MinChunks, MaxChunks)
+const (
+	// MinChunks is the chunk-count floor for ranges of at least MinChunks
+	// items; smaller ranges get one chunk per item.
+	MinChunks = 16
+	// MinChunkItems is the target number of items per chunk once the floor
+	// is exceeded; more chunks than n/MinChunkItems would spend more time
+	// on scheduling and accumulator merging than on work.
+	MinChunkItems = 8
+	// MaxChunks is the ceiling on the chunk count, bounding per-chunk
+	// accumulator memory and reduction cost. It is the effective worker
+	// ceiling for very large inputs.
+	MaxChunks = 256
+)
 
-// NumChunks returns the number of chunks used for n items: n when n is
-// small, MaxChunks otherwise.
+// NumChunks returns the number of chunks the policy above assigns to n
+// items. It is a pure function of n, never of P.
 func NumChunks(n int) int {
 	if n <= 0 {
 		return 0
 	}
-	if n < MaxChunks {
+	if n < MinChunks {
 		return n
 	}
-	return MaxChunks
+	c := n / MinChunkItems
+	if c < MinChunks {
+		c = MinChunks
+	}
+	if c > MaxChunks {
+		c = MaxChunks
+	}
+	return c
+}
+
+// NumChunksCapped is NumChunks clamped to at most max chunks, for engines
+// whose per-chunk accumulators are too large for the default policy
+// (CATHY's E-step scratch, STROD's vocabulary-sized moment accumulators,
+// the Gibbs samplers' delta tables). Like NumChunks it is a pure function
+// of n — the cap must be a constant or itself n-derived, never P-derived,
+// or determinism is lost. Pair it with ForChunksN / MapReduceN.
+func NumChunksCapped(n, max int) int {
+	nc := NumChunks(n)
+	if nc > max {
+		nc = max
+	}
+	return nc
 }
 
 // ChunkBounds returns the half-open item range [lo, hi) of chunk c of n
-// items. Chunks differ in size by at most one item.
+// items under the default NumChunks policy. Chunks differ in size by at
+// most one item.
 func ChunkBounds(n, c int) (lo, hi int) {
-	nc := NumChunks(n)
-	return c * n / nc, (c + 1) * n / nc
+	return ChunkBoundsN(n, NumChunks(n), c)
+}
+
+// ChunkBoundsN returns the half-open item range [lo, hi) of chunk c when n
+// items are split into nc chunks. Chunks differ in size by at most one
+// item. The intermediate products run in 64 bits so corpus-scale n cannot
+// overflow on 32-bit platforms.
+func ChunkBoundsN(n, nc, c int) (lo, hi int) {
+	return int(int64(c) * int64(n) / int64(nc)), int(int64(c+1) * int64(n) / int64(nc))
 }
 
 // ForChunks splits [0, n) into the deterministic chunking of NumChunks /
@@ -79,9 +116,23 @@ func ChunkBounds(n, c int) (lo, hi int) {
 // context error if the run was cut short, in which case some chunks may not
 // have executed.
 func ForChunks(o Opts, n int, fn func(c, lo, hi int)) error {
-	nc := NumChunks(n)
-	if nc == 0 {
+	return ForChunksN(o, n, NumChunks(n), fn)
+}
+
+// ForChunksN is ForChunks with an explicit chunk count nc, for callers
+// whose per-chunk accumulators are too large for the default policy (the
+// Gibbs samplers cap nc to bound their delta count tables). nc is clamped
+// to [1, n]; it must be a pure function of n (never of P) or determinism
+// is lost.
+func ForChunksN(o Opts, n, nc int, fn func(c, lo, hi int)) error {
+	if n <= 0 {
 		return o.Err()
+	}
+	if nc > n {
+		nc = n
+	}
+	if nc < 1 {
+		nc = 1
 	}
 	ctx := o.Context()
 	w := o.Workers()
@@ -93,7 +144,7 @@ func ForChunks(o Opts, n int, fn func(c, lo, hi int)) error {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			lo, hi := ChunkBounds(n, c)
+			lo, hi := ChunkBoundsN(n, nc, c)
 			fn(c, lo, hi)
 		}
 		return nil
@@ -109,7 +160,7 @@ func ForChunks(o Opts, n int, fn func(c, lo, hi int)) error {
 				if c >= nc {
 					return
 				}
-				lo, hi := ChunkBounds(n, c)
+				lo, hi := ChunkBoundsN(n, nc, c)
 				fn(c, lo, hi)
 			}
 		}()
@@ -132,12 +183,26 @@ func For(o Opts, n int, fn func(lo, hi int)) error {
 // dst. The merged result is the chunk-0 accumulator. When n == 0 it returns
 // a fresh accumulator.
 func MapReduce[T any](o Opts, n int, newAcc func() T, mapChunk func(acc T, c, lo, hi int), merge func(dst, src T)) (T, error) {
-	nc := NumChunks(n)
-	if nc == 0 {
+	return MapReduceN(o, n, NumChunks(n), newAcc, mapChunk, merge)
+}
+
+// MapReduceN is MapReduce with an explicit chunk count nc, for callers
+// whose accumulators are too large for the default policy (CATHY's E-step
+// scratch and STROD's vocabulary-sized moment accumulators cap nc to bound
+// the number of live copies). nc is clamped to [1, n]; it must be a pure
+// function of n (never of P) or determinism is lost.
+func MapReduceN[T any](o Opts, n, nc int, newAcc func() T, mapChunk func(acc T, c, lo, hi int), merge func(dst, src T)) (T, error) {
+	if n <= 0 {
 		return newAcc(), o.Err()
 	}
+	if nc > n {
+		nc = n
+	}
+	if nc < 1 {
+		nc = 1
+	}
 	accs := make([]T, nc)
-	err := ForChunks(o, n, func(c, lo, hi int) {
+	err := ForChunksN(o, n, nc, func(c, lo, hi int) {
 		accs[c] = newAcc()
 		mapChunk(accs[c], c, lo, hi)
 	})

@@ -30,6 +30,78 @@ func TestChunkBoundsCoverRange(t *testing.T) {
 	}
 }
 
+// TestNumChunksPolicy pins the n-dependent chunk-count policy: one chunk
+// per item below the floor, then n/MinChunkItems clamped to
+// [MinChunks, MaxChunks]. The count is a pure function of n — there is no
+// P anywhere in the signature — which is what keeps chunk boundaries (and
+// ordered reductions) identical at every parallelism level.
+func TestNumChunksPolicy(t *testing.T) {
+	for _, tc := range []struct{ n, want int }{
+		{0, 0},
+		{1, 1},
+		{15, 15},
+		{16, MinChunks},
+		{100, MinChunks},
+		{MinChunks * MinChunkItems, MinChunks},
+		{1000, 125},
+		{MaxChunks * MinChunkItems, MaxChunks},
+		{1 << 20, MaxChunks},
+	} {
+		if got := NumChunks(tc.n); got != tc.want {
+			t.Fatalf("NumChunks(%d) = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+	// Scaling past the old 16-chunk ceiling: a large input must expose
+	// enough chunks to keep a >16-core machine busy.
+	if got := NumChunks(10000); got <= 16 {
+		t.Fatalf("NumChunks(10000) = %d, want > 16", got)
+	}
+	// Monotone non-decreasing, so growing inputs never lose parallelism.
+	prev := 0
+	for n := 0; n <= 4096; n++ {
+		if c := NumChunks(n); c < prev {
+			t.Fatalf("NumChunks not monotone at n=%d: %d < %d", n, c, prev)
+		} else {
+			prev = c
+		}
+	}
+}
+
+func TestForChunksNCoversRangeWithExplicitCount(t *testing.T) {
+	for _, tc := range []struct{ n, nc int }{
+		{100, 7}, {100, 1}, {100, 1000}, {7, 3}, {1, 5},
+	} {
+		seen := make([]int32, tc.n)
+		var mu sync.Mutex
+		maxChunk := -1
+		err := ForChunksN(Opts{P: 4}, tc.n, tc.nc, func(c, lo, hi int) {
+			mu.Lock()
+			for i := lo; i < hi; i++ {
+				seen[i]++
+			}
+			if c > maxChunk {
+				maxChunk = c
+			}
+			mu.Unlock()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("n=%d nc=%d: index %d visited %d times", tc.n, tc.nc, i, c)
+			}
+		}
+		wantChunks := tc.nc
+		if wantChunks > tc.n {
+			wantChunks = tc.n
+		}
+		if maxChunk != wantChunks-1 {
+			t.Fatalf("n=%d nc=%d: max chunk index %d, want %d", tc.n, tc.nc, maxChunk, wantChunks-1)
+		}
+	}
+}
+
 func TestForVisitsEveryIndexOnce(t *testing.T) {
 	for _, p := range []int{1, 2, 8, 33} {
 		const n = 977

@@ -1,0 +1,11 @@
+// Package relcrf implements the supervised hierarchical-relation model of
+// Section 6.2: a conditional random field over each object's choice of
+// parent, with potential functions over heterogeneous attributes and links
+// (collaboration statistics plus venue overlap) and the same temporal
+// consistency constraints as TPFG.
+//
+// Learning maximizes the pseudo-likelihood of labeled parent assignments
+// with the neighbors clamped to their labels (Section 6.2.3); prediction
+// plugs the learned potentials into TPFG's max-product message passing, so
+// the supervised and unsupervised models share one inference engine.
+package relcrf

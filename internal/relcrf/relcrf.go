@@ -1,19 +1,11 @@
-// Package relcrf implements the supervised hierarchical-relation model of
-// Section 6.2: a conditional random field over each object's choice of
-// parent, with potential functions over heterogeneous attributes and links
-// (collaboration statistics plus venue overlap) and the same temporal
-// consistency constraints as TPFG.
-//
-// Learning maximizes the pseudo-likelihood of labeled parent assignments
-// with the neighbors clamped to their labels (Section 6.2.3); prediction
-// plugs the learned potentials into TPFG's max-product message passing, so
-// the supervised and unsupervised models share one inference engine.
 package relcrf
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
+	"lesm/internal/par"
 	"lesm/internal/tpfg"
 )
 
@@ -74,13 +66,25 @@ func Features(papers []Paper, numAuthors, numVenues int, net *tpfg.Network) map[
 	return out
 }
 
-// TrainOptions configure pseudo-likelihood SGD.
+// TrainOptions configure pseudo-likelihood mini-batch gradient training.
 type TrainOptions struct {
+	// Epochs is the number of passes over the labeled set (default 60).
 	Epochs int
-	LR     float64
-	L2     float64
-	Seed   int64
+	// LR is the initial learning rate (default 0.05), decayed 3% per epoch.
+	LR float64
+	// L2 is the weight-decay coefficient (default 1e-4).
+	L2 float64
+	// Seed drives the per-epoch shuffle of the labeled examples.
+	Seed int64
+	// P bounds the worker count of the parallel gradient computation
+	// (0 = GOMAXPROCS). The learned weights are bit-identical at any P.
+	P int
+	// Ctx cancels training between mini-batches (nil = background); a
+	// cancelled run returns the context error and no model.
+	Ctx context.Context
 }
+
+func (o TrainOptions) parOpts() par.Opts { return par.Opts{P: o.P, Ctx: o.Ctx} }
 
 func (o TrainOptions) withDefaults() TrainOptions {
 	if o.Epochs == 0 {
@@ -99,8 +103,16 @@ func (o TrainOptions) withDefaults() TrainOptions {
 // parent assignments: for each labeled author i, the conditional
 // distribution over i's candidates given all other labels, including the
 // temporal constraint factors evaluated at the neighbors' labels.
-func Train(net *tpfg.Network, feats map[[2]int][]float64, advisorOf []int, trainIdx []int, opt TrainOptions) *Model {
+//
+// Each epoch shuffles the labeled examples (seeded), splits them into
+// mini-batches whose boundaries depend only on the example count, computes
+// every example's gradient against the batch-start weights in parallel on
+// the shared runtime, and applies the gradients in example order — so the
+// learned weights are a pure function of the seed at any opt.P. Train only
+// returns an error when opt.Ctx is cancelled.
+func Train(net *tpfg.Network, feats map[[2]int][]float64, advisorOf []int, trainIdx []int, opt TrainOptions) (*Model, error) {
 	opt = opt.withDefaults()
+	o := opt.parOpts()
 	rng := rand.New(rand.NewSource(opt.Seed))
 	var dim int
 	for _, f := range feats {
@@ -139,105 +151,172 @@ func Train(net *tpfg.Network, feats map[[2]int][]float64, advisorOf []int, train
 		return true
 	}
 
-	idx := append([]int(nil), trainIdx...)
-	lr := opt.LR
-	for epoch := 0; epoch < opt.Epochs; epoch++ {
-		rng.Shuffle(len(idx), func(a, b int) { idx[a], idx[b] = idx[b], idx[a] })
-		for _, i := range idx {
-			cands := net.Cands[i]
-			// Scores: virtual no-parent option first.
-			scores := make([]float64, len(cands)+1)
-			ok := make([]bool, len(cands)+1)
-			scores[0] = m.Bias
-			ok[0] = true
-			for v, c := range cands {
-				f := feats[[2]int{i, c.Advisor}]
-				s := 0.0
-				for d := range m.W {
-					s += m.W[d] * f[d]
-				}
-				scores[v+1] = s
-				ok[v+1] = allowed(i, c)
-			}
-			// Softmax over allowed options.
-			max := math.Inf(-1)
-			for v := range scores {
-				if ok[v] && scores[v] > max {
-					max = scores[v]
-				}
-			}
-			z := 0.0
-			probs := make([]float64, len(scores))
-			for v := range scores {
-				if ok[v] {
-					probs[v] = math.Exp(scores[v] - max)
-					z += probs[v]
-				}
-			}
-			for v := range probs {
-				probs[v] /= z
-			}
-			// Target index.
-			target := 0
-			if advisorOf[i] >= 0 {
-				for v, c := range cands {
-					if c.Advisor == advisorOf[i] {
-						target = v + 1
-						break
-					}
-				}
-				if target == 0 {
-					continue // true advisor filtered from candidates
-				}
-			}
-			// Gradient step: observed minus expected features.
-			gBias := -probs[0]
-			if target == 0 {
-				gBias += 1
-			}
-			m.Bias += lr * gBias
-			for v, c := range cands {
-				f := feats[[2]int{i, c.Advisor}]
-				coef := -probs[v+1]
-				if v+1 == target {
-					coef += 1
-				}
-				if coef == 0 {
-					continue
-				}
-				for d := range m.W {
-					m.W[d] += lr * (coef*f[d] - opt.L2*m.W[d])
-				}
-			}
+	// exGrad computes example i's pseudo-likelihood gradient (observed minus
+	// expected features, plus weight decay) against the current weights,
+	// writing the W part into g[:dim] and the bias part into g[dim]. It only
+	// reads m, so a mini-batch of examples can run concurrently.
+	exGrad := func(i int, g []float64) {
+		for d := range g {
+			g[d] = 0
 		}
-		lr *= 0.97
-	}
-	return m
-}
-
-// Infer runs TPFG's max-product message passing with the learned potentials:
-// candidate locals become exp(w·f) and the no-parent weight exp(bias), so
-// temporal constraints are enforced jointly at prediction time too.
-func (m *Model) Infer(net *tpfg.Network, feats map[[2]int][]float64) *tpfg.Result {
-	scaled := &tpfg.Network{
-		NumAuthors: net.NumAuthors,
-		Cands:      make([][]tpfg.Candidate, net.NumAuthors),
-		First:      net.First,
-	}
-	for i, cands := range net.Cands {
-		out := make([]tpfg.Candidate, len(cands))
+		cands := net.Cands[i]
+		// Scores: virtual no-parent option first.
+		scores := make([]float64, len(cands)+1)
+		ok := make([]bool, len(cands)+1)
+		scores[0] = m.Bias
+		ok[0] = true
 		for v, c := range cands {
 			f := feats[[2]int{i, c.Advisor}]
 			s := 0.0
 			for d := range m.W {
 				s += m.W[d] * f[d]
 			}
-			c.Local = math.Exp(clamp(s, -20, 20))
-			out[v] = c
+			scores[v+1] = s
+			ok[v+1] = allowed(i, c)
 		}
-		scaled.Cands[i] = out
+		// Softmax over allowed options.
+		max := math.Inf(-1)
+		for v := range scores {
+			if ok[v] && scores[v] > max {
+				max = scores[v]
+			}
+		}
+		z := 0.0
+		probs := make([]float64, len(scores))
+		for v := range scores {
+			if ok[v] {
+				probs[v] = math.Exp(scores[v] - max)
+				z += probs[v]
+			}
+		}
+		for v := range probs {
+			probs[v] /= z
+		}
+		// Target index.
+		target := 0
+		if advisorOf[i] >= 0 {
+			for v, c := range cands {
+				if c.Advisor == advisorOf[i] {
+					target = v + 1
+					break
+				}
+			}
+			if target == 0 {
+				return // true advisor filtered from candidates: zero gradient
+			}
+		}
+		g[dim] = -probs[0]
+		if target == 0 {
+			g[dim] += 1
+		}
+		touched := false
+		for v, c := range cands {
+			f := feats[[2]int{i, c.Advisor}]
+			coef := -probs[v+1]
+			if v+1 == target {
+				coef += 1
+			}
+			if coef == 0 {
+				continue
+			}
+			touched = true
+			for d := 0; d < dim; d++ {
+				g[d] += coef * f[d]
+			}
+		}
+		if touched {
+			for d := 0; d < dim; d++ {
+				g[d] -= opt.L2 * m.W[d]
+			}
+		}
 	}
-	return tpfg.Infer(scaled, tpfg.Config{NoAdvisorWeight: math.Exp(clamp(m.Bias, -20, 20))})
+
+	idx := append([]int(nil), trainIdx...)
+	lr := opt.LR
+	// Mini-batches of ~batchSize examples: big enough that the parallel
+	// gradient fan-out inside a batch amortizes the pool's per-call
+	// overhead over real work, and a pure function of n — never of P — so
+	// the update sequence is too.
+	const batchSize = 64
+	nb := len(idx) / batchSize
+	if nb < 1 {
+		nb = 1
+	}
+	// Per-example gradient slots for one batch (only one batch is in
+	// flight at a time); slot j-lo belongs to position j of the shuffled
+	// order, so parallel writes are disjoint.
+	grads := make([][]float64, (len(idx)+nb-1)/nb+1)
+	for j := range grads {
+		grads[j] = make([]float64, dim+1)
+	}
+	for epoch := 0; epoch < opt.Epochs; epoch++ {
+		rng.Shuffle(len(idx), func(a, b int) { idx[a], idx[b] = idx[b], idx[a] })
+		for b := 0; b < nb; b++ {
+			lo, hi := par.ChunkBoundsN(len(idx), nb, b)
+			if err := par.For(o, hi-lo, func(glo, ghi int) {
+				for j := glo; j < ghi; j++ {
+					exGrad(idx[lo+j], grads[j])
+				}
+			}); err != nil {
+				return nil, err
+			}
+			// Apply in example order: deterministic floating-point sums.
+			for j := 0; j < hi-lo; j++ {
+				g := grads[j]
+				m.Bias += lr * g[dim]
+				for d := 0; d < dim; d++ {
+					m.W[d] += lr * g[d]
+				}
+			}
+		}
+		lr *= 0.97
+	}
+	return m, nil
+}
+
+// Infer runs TPFG's max-product message passing with the learned potentials:
+// candidate locals become exp(w·f) and the no-parent weight exp(bias), so
+// temporal constraints are enforced jointly at prediction time too. An
+// optional par.Opts bounds the parallelism of the potential scaling and the
+// message-passing sweeps; predictions are identical at any setting. Infer
+// only returns an error when o.Ctx is cancelled.
+func (m *Model) Infer(net *tpfg.Network, feats map[[2]int][]float64, opts ...par.Opts) (*tpfg.Result, error) {
+	var o par.Opts
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	scaled := &tpfg.Network{
+		NumAuthors: net.NumAuthors,
+		Cands:      make([][]tpfg.Candidate, net.NumAuthors),
+		First:      net.First,
+	}
+	err := par.For(o, net.NumAuthors, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			cands := net.Cands[i]
+			out := make([]tpfg.Candidate, len(cands))
+			for v, c := range cands {
+				f := feats[[2]int{i, c.Advisor}]
+				s := 0.0
+				for d := range m.W {
+					s += m.W[d] * f[d]
+				}
+				c.Local = math.Exp(clamp(s, -20, 20))
+				out[v] = c
+			}
+			scaled.Cands[i] = out
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := tpfg.Infer(scaled, tpfg.Config{
+		NoAdvisorWeight: math.Exp(clamp(m.Bias, -20, 20)),
+		P:               o.P, Ctx: o.Ctx,
+	})
+	if err := o.Err(); err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
 func clamp(x, lo, hi float64) float64 {

@@ -1,7 +1,10 @@
 package relcrf
 
 import (
+	"context"
+	"errors"
 	"math"
+	"reflect"
 	"testing"
 
 	"lesm/internal/synth"
@@ -74,8 +77,11 @@ func TestFeaturesIncludeVenueOverlap(t *testing.T) {
 func TestTrainImprovesOverUnsupervised(t *testing.T) {
 	g, _, net, feats := setup(82)
 	train, test := split(g, 0.5)
-	m := Train(net, feats, g.AdvisorOf, train, TrainOptions{Seed: 83})
-	crfPred := m.Infer(net, feats).Predict()
+	m, err := Train(net, feats, g.AdvisorOf, train, TrainOptions{Seed: 83})
+	if err != nil {
+		t.Fatal(err)
+	}
+	crfPred := mustInfer(t, m, net, feats).Predict()
 	crfAcc := tpfg.Accuracy(crfPred, g.AdvisorOf, test)
 	unsup := tpfg.Infer(net, tpfg.Config{})
 	unsupAcc := tpfg.Accuracy(unsup.Predict(), g.AdvisorOf, test)
@@ -91,7 +97,10 @@ func TestTrainImprovesOverUnsupervised(t *testing.T) {
 func TestTrainedWeightsFinite(t *testing.T) {
 	g, _, net, feats := setup(84)
 	train, _ := split(g, 0.3)
-	m := Train(net, feats, g.AdvisorOf, train, TrainOptions{Seed: 85, Epochs: 20})
+	m, err := Train(net, feats, g.AdvisorOf, train, TrainOptions{Seed: 85, Epochs: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
 	for d, w := range m.W {
 		if math.IsNaN(w) || math.IsInf(w, 0) {
 			t.Fatalf("weight %d = %v", d, w)
@@ -115,8 +124,11 @@ func TestMoreTrainingDataHelps(t *testing.T) {
 	test := advised[cut:]
 	accAt := func(frac float64) float64 {
 		n := int(frac * float64(cut))
-		m := Train(net, feats, g.AdvisorOf, advised[:n], TrainOptions{Seed: 87})
-		return tpfg.Accuracy(m.Infer(net, feats).Predict(), g.AdvisorOf, test)
+		m, err := Train(net, feats, g.AdvisorOf, advised[:n], TrainOptions{Seed: 87})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tpfg.Accuracy(mustInfer(t, m, net, feats).Predict(), g.AdvisorOf, test)
 	}
 	small := accAt(0.1)
 	large := accAt(1.0)
@@ -124,4 +136,48 @@ func TestMoreTrainingDataHelps(t *testing.T) {
 	if large+0.05 < small {
 		t.Fatalf("more training data hurt badly: %v -> %v", small, large)
 	}
+}
+
+// TestTrainDeterministicAcrossP pins the mini-batch trainer's determinism
+// contract: batch boundaries come from the runtime's P-independent
+// chunking and per-example gradients apply in example order, so the
+// learned weights must be bit-identical at any parallelism level.
+func TestTrainDeterministicAcrossP(t *testing.T) {
+	g, _, net, feats := setup(88)
+	train, _ := split(g, 0.5)
+	run := func(p int) *Model {
+		m, err := Train(net, feats, g.AdvisorOf, train, TrainOptions{Seed: 89, Epochs: 15, P: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	want := run(1)
+	for _, p := range []int{2, 8} {
+		if got := run(p); !reflect.DeepEqual(want, got) {
+			t.Fatalf("P=%d weights differ from P=1: %v vs %v (bias %v vs %v)",
+				p, got.W, want.W, got.Bias, want.Bias)
+		}
+	}
+}
+
+func TestTrainCancelledContextReturnsError(t *testing.T) {
+	g, _, net, feats := setup(90)
+	train, _ := split(g, 0.5)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m, err := Train(net, feats, g.AdvisorOf, train, TrainOptions{Seed: 91, Ctx: ctx})
+	if !errors.Is(err, context.Canceled) || m != nil {
+		t.Fatalf("model=%v err=%v, want nil model and context.Canceled", m, err)
+	}
+}
+
+// mustInfer unwraps Infer for tests that pass no cancellation context.
+func mustInfer(t *testing.T, m *Model, net *tpfg.Network, feats map[[2]int][]float64) *tpfg.Result {
+	t.Helper()
+	res, err := m.Infer(net, feats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
 }

@@ -1,12 +1,3 @@
-// Package roles implements entity topical role analysis (Chapter 5): given
-// a phrase-represented topical hierarchy over a text-attached heterogeneous
-// network, it answers the paper's two question types —
-//
-//   - Type A: what is a given entity's role in a topical community?
-//     (entity-specific phrase ranking, Eq. 5.1-5.2, and the entity's
-//     distribution over subtopics, Eq. 5.3-5.6)
-//   - Type B: which entities play the most important roles in a community?
-//     (ERank with popularity and purity, Section 5.2)
 package roles
 
 import (

@@ -1,0 +1,11 @@
+// Package strod implements the scalable and robust topic discovery method
+// of Chapter 7 (STROD): moment-based inference for latent Dirichlet
+// allocation with a topic tree. Instead of likelihood maximization, it
+// estimates the first three observable moments of the word co-occurrence
+// distribution, whitens the second moment, and recovers the topic-word
+// distributions by a robust orthogonal tensor decomposition of the whitened
+// third moment (Section 7.3.1). The moments are accumulated from sparse
+// document statistics without materializing any V x V matrix — the
+// scalability device of Section 7.3.2 — and the Dirichlet concentration
+// alpha0 can be selected by the data (Section 7.3.3).
+package strod

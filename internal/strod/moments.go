@@ -1,13 +1,3 @@
-// Package strod implements the scalable and robust topic discovery method
-// of Chapter 7 (STROD): moment-based inference for latent Dirichlet
-// allocation with a topic tree. Instead of likelihood maximization, it
-// estimates the first three observable moments of the word co-occurrence
-// distribution, whitens the second moment, and recovers the topic-word
-// distributions by a robust orthogonal tensor decomposition of the whitened
-// third moment (Section 7.3.1). The moments are accumulated from sparse
-// document statistics without materializing any V x V matrix — the
-// scalability device of Section 7.3.2 — and the Dirichlet concentration
-// alpha0 can be selected by the data (Section 7.3.3).
 package strod
 
 import (
@@ -54,6 +44,15 @@ func FromTokens(docs [][]int) []SparseDoc {
 // usable reports documents long enough for third-moment estimation.
 func usable(d SparseDoc) bool { return d.Len >= 3 }
 
+// maxMomentChunks caps the document chunking of the vocabulary-sized
+// moment accumulators (m1's sums, applyM2's partial outputs) below the
+// runtime's default policy: each chunk holds O(V) floats, so the cap
+// bounds the scratch at 64 copies while still exposing 64-way parallelism.
+// The k-sized third-moment accumulators stay on the default policy.
+const maxMomentChunks = 64
+
+func momentChunks(nDocs int) int { return par.NumChunksCapped(nDocs, maxMomentChunks) }
+
 // m1 computes the first moment E[x] over usable documents. Documents are
 // chunked on the worker pool and the per-chunk sums merge in chunk order, so
 // the result is bit-identical at any parallelism level.
@@ -62,7 +61,7 @@ func m1(docs []SparseDoc, v int, o par.Opts) ([]float64, error) {
 		out []float64
 		n   float64
 	}
-	a, err := par.MapReduce(o, len(docs),
+	a, err := par.MapReduceN(o, len(docs), momentChunks(len(docs)),
 		func() *acc { return &acc{out: make([]float64, v)} },
 		func(a *acc, _, lo, hi int) {
 			for _, d := range docs[lo:hi] {
@@ -112,9 +111,9 @@ func applyM2(docs []SparseDoc, mu1 []float64, alpha0 float64, o par.Opts) func(d
 	n := float64(len(used))
 	c0 := alpha0 / (alpha0 + 1)
 	v := len(mu1)
-	partial := make([][]float64, par.NumChunks(len(used)))
+	partial := make([][]float64, momentChunks(len(used)))
 	return func(dst, src []float64) {
-		par.ForChunks(o, len(used), func(c, lo, hi int) {
+		par.ForChunksN(o, len(used), momentChunks(len(used)), func(c, lo, hi int) {
 			p := partial[c]
 			if p == nil {
 				p = make([]float64, v)

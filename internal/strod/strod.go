@@ -65,9 +65,6 @@ type Model struct {
 	// recovered topics to the simplex — the recovery-quality diagnostic
 	// used for hyperparameter selection.
 	ClippedMass float64
-	// o is the execution policy the model was fit under; folding-in
-	// (DocTopics) reuses it.
-	o par.Opts
 }
 
 // Fit recovers K topics from sparse documents over a vocabulary of size v
@@ -110,11 +107,14 @@ func Fit(docs []SparseDoc, v int, cfg Config) (*Model, error) {
 		return nil, err
 	}
 
-	model := &Model{K: cfg.K, Alpha0: cfg.Alpha0, o: o}
+	model := &Model{K: cfg.K, Alpha0: cfg.Alpha0}
 	lambdas := make([]float64, 0, cfg.K)
 	clipped := 0.0
 	for k := 0; k < cfg.K; k++ {
-		vec, lambda := t.PowerIteration(cfg.PowerTrials, cfg.PowerIters, rng, o)
+		vec, lambda, err := t.PowerIteration(cfg.PowerTrials, cfg.PowerIters, rng, o)
+		if err != nil {
+			return nil, err
+		}
 		t.Deflate(lambda, vec)
 		mu := b.MulVec(vec)
 		// Fix sign so the distribution is mostly positive.
@@ -164,20 +164,30 @@ func Fit(docs []SparseDoc, v int, cfg Config) (*Model, error) {
 		wgt[i] = model.Weight[j]
 	}
 	model.Phi, model.Weight = phi, wgt
-	return model, o.Err()
+	if err := o.Err(); err != nil {
+		return nil, err
+	}
+	return model, nil
 }
 
 // DocTopics infers per-document topic mixtures by a few EM steps with the
 // recovered topics held fixed (the lightweight folding-in step used when
-// recursing).
-func (m *Model) DocTopics(docs []SparseDoc, iters int) ([][]float64, error) {
+// recursing). An optional par.Opts bounds parallelism and carries a
+// cancellation context; by default folding-in runs unbounded on a
+// background context (a fitted model holds no execution policy, so it can
+// outlive the context it was fit under).
+func (m *Model) DocTopics(docs []SparseDoc, iters int, opts ...par.Opts) ([][]float64, error) {
+	var o par.Opts
+	if len(opts) > 0 {
+		o = opts[0]
+	}
 	if iters == 0 {
 		iters = 10
 	}
 	out := make([][]float64, len(docs))
 	// Documents fold in independently, so they chunk onto the worker pool;
 	// each chunk writes its own slice entries with per-chunk scratch.
-	err := par.For(m.o, len(docs), func(lo, hi int) {
+	err := par.For(o, len(docs), func(lo, hi int) {
 		post := make([]float64, m.K)
 		for di := lo; di < hi; di++ {
 			d := docs[di]
@@ -257,7 +267,7 @@ func BuildTree(docs []SparseDoc, v int, cfg TreeConfig) (*core.Hierarchy, error)
 		if err != nil {
 			return err
 		}
-		theta, err := m.DocTopics(sub, 10)
+		theta, err := m.DocTopics(sub, 10, c.parOpts())
 		if err != nil {
 			return err
 		}

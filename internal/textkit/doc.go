@@ -1,0 +1,9 @@
+// Package textkit provides the text-processing substrate used throughout the
+// module: tokenization, stopword removal, Porter stemming, vocabulary
+// management and corpus containers.
+//
+// The paper's pipelines (Section 4.4.2) minimally pre-process text by
+// lowercasing, removing stopwords and optionally stemming with the Porter
+// algorithm; this package reproduces that pipeline with the standard library
+// only.
+package textkit

@@ -1,0 +1,15 @@
+// Package tng implements a Topical N-Gram baseline (Wang, McCallum & Wei
+// 2007) in the simplified form the paper's Chapter 4 comparisons require:
+// a collapsed Gibbs sampler with a per-token bigram-status variable. When a
+// token's status is 1 it continues a phrase with the previous token, draws
+// its word from a (topic, previous-word)-specific bigram distribution, and
+// shares the previous token's topic; consecutive status-1 tokens chain into
+// n-grams ("these bigrams can be combined to form n-gram phrases").
+//
+// It also provides PYNgram, a Pitman-Yor-flavored variant standing in for
+// PD-LDA (Lindsey et al. 2012): identical structure but with a discount on
+// bigram table counts, and a deliberately heavier sampling loop — PD-LDA's
+// hierarchical Pitman-Yor machinery is the reason the paper reports it as
+// orders of magnitude slower (Table 4.5). See DESIGN.md §2 for the
+// substitution note.
+package tng

@@ -1,0 +1,6 @@
+// Package topmine implements ToPMine (Section 4.3): frequent contiguous
+// phrase mining with position-based Apriori pruning and data antimonotonicity
+// (Algorithm 1), bottom-up agglomerative document segmentation guided by a
+// collocation significance score (Algorithm 2), and topical phrase ranking
+// over the resulting bag-of-phrases (Section 4.3.3).
+package topmine

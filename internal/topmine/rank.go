@@ -1,11 +1,13 @@
 package topmine
 
 import (
+	"context"
 	"math"
 	"sort"
 
 	"lesm/internal/core"
 	"lesm/internal/lda"
+	"lesm/internal/par"
 	"lesm/internal/textkit"
 )
 
@@ -28,7 +30,14 @@ type RankConfig struct {
 	Omega float64
 	// TopN truncates each topic's ranked list (default 30).
 	TopN int
+	// P bounds the worker count of the parallel counting and scoring
+	// passes (0 = GOMAXPROCS). Rankings are identical at any P.
+	P int
+	// Ctx cancels ranking between work chunks (nil = background).
+	Ctx context.Context
 }
+
+func (c RankConfig) parOpts() par.Opts { return par.Opts{P: c.P, Ctx: c.Ctx} }
 
 func (c RankConfig) withDefaults() RankConfig {
 	if c.Omega == 0 {
@@ -52,77 +61,143 @@ func Run(corpus *textkit.Corpus, cfg Config, ldaCfg lda.Config, rankCfg RankConf
 	if err := o.Err(); err != nil {
 		return nil, err
 	}
-	model := lda.RunPhrases(partition, corpus.Vocab.Size(), ldaCfg)
-	topics := RankPhrases(corpus, miner, partition, model, rankCfg)
+	// The PhraseLDA stage inherits the pipeline's execution policy unless
+	// the caller set its own.
+	if ldaCfg.P == 0 {
+		ldaCfg.P = cfg.P
+	}
+	if ldaCfg.Ctx == nil {
+		ldaCfg.Ctx = cfg.Ctx
+	}
+	model, err := lda.RunPhrases(partition, corpus.Vocab.Size(), ldaCfg)
+	if err != nil {
+		return nil, err
+	}
+	if rankCfg.P == 0 {
+		rankCfg.P = cfg.P
+	}
+	if rankCfg.Ctx == nil {
+		rankCfg.Ctx = cfg.Ctx
+	}
+	topics, err := RankPhrases(corpus, miner, partition, model, rankCfg)
+	if err != nil {
+		return nil, err
+	}
 	return &Result{Miner: miner, Partition: partition, Model: model, Topics: topics}, nil
+}
+
+// topicCounts accumulates per-topic and corpus-wide phrase-instance counts
+// over one document chunk; chunks merge in chunk order. All values are
+// whole counts stored in float64, so the merged numbers are exact and
+// independent of the chunking.
+type topicCounts struct {
+	cnt         []map[string]float64
+	totals      []float64
+	globalCnt   map[string]float64
+	globalTotal float64
 }
 
 // RankPhrases ranks every phrase within every topic by
 // (1-ω)·p(P|t)·log(p(P|t)/p(P)) + ω·p(P|t)·log sig(P), the Section 4.3.3
 // ranking function with the corpus as the parent topic.
-func RankPhrases(corpus *textkit.Corpus, miner *Miner, partition []lda.PhraseDoc, model *lda.Model, cfg RankConfig) [][]core.RankedPhrase {
+//
+// Counting runs as a chunk-ordered reduction over the partition and
+// scoring in parallel over topics, so the ranking is identical at any
+// cfg.P. RankPhrases only returns an error when cfg.Ctx is cancelled.
+func RankPhrases(corpus *textkit.Corpus, miner *Miner, partition []lda.PhraseDoc, model *lda.Model, cfg RankConfig) ([][]core.RankedPhrase, error) {
 	cfg = cfg.withDefaults()
+	o := cfg.parOpts()
 	k := model.K
 	// Count phrase instances per topic from the sampled assignments.
-	cnt := make([]map[string]float64, k)
-	for t := range cnt {
-		cnt[t] = map[string]float64{}
-	}
-	totals := make([]float64, k)
-	globalCnt := map[string]float64{}
-	globalTotal := 0.0
-	for d, doc := range partition {
-		for p, phrase := range doc {
-			t := model.PhraseZ[d][p]
-			if t >= k { // background topic: not ranked
-				continue
+	acc, err := par.MapReduce(o, len(partition),
+		func() *topicCounts {
+			a := &topicCounts{
+				cnt:       make([]map[string]float64, k),
+				totals:    make([]float64, k),
+				globalCnt: map[string]float64{},
 			}
-			ky := key(phrase)
-			cnt[t][ky]++
-			totals[t]++
-			globalCnt[ky]++
-			globalTotal++
-		}
+			for t := range a.cnt {
+				a.cnt[t] = map[string]float64{}
+			}
+			return a
+		},
+		func(a *topicCounts, _, lo, hi int) {
+			for d := lo; d < hi; d++ {
+				for p, phrase := range partition[d] {
+					t := model.PhraseZ[d][p]
+					if t >= k { // background topic: not ranked
+						continue
+					}
+					ky := key(phrase)
+					a.cnt[t][ky]++
+					a.totals[t]++
+					a.globalCnt[ky]++
+					a.globalTotal++
+				}
+			}
+		},
+		func(dst, src *topicCounts) {
+			for t := range dst.cnt {
+				for ky, c := range src.cnt[t] {
+					dst.cnt[t][ky] += c
+				}
+				dst.totals[t] += src.totals[t]
+			}
+			for ky, c := range src.globalCnt {
+				dst.globalCnt[ky] += c
+			}
+			dst.globalTotal += src.globalTotal
+		})
+	if err != nil {
+		return nil, err
 	}
 	out := make([][]core.RankedPhrase, k)
-	for t := 0; t < k; t++ {
-		var ranked []core.RankedPhrase
-		for ky, c := range cnt[t] {
-			words := decodeKey(ky)
-			// Multiword phrases must be mined-frequent; unigrams must meet
-			// support too.
-			if miner.Count(words) < miner.cfg.MinSupport {
-				continue
+	err = par.For(o, k, func(lo, hi int) {
+		for t := lo; t < hi; t++ {
+			var ranked []core.RankedPhrase
+			for ky, c := range acc.cnt[t] {
+				words := decodeKey(ky)
+				// Multiword phrases must be mined-frequent; unigrams must meet
+				// support too.
+				if miner.Count(words) < miner.cfg.MinSupport {
+					continue
+				}
+				pt := c / math.Max(acc.totals[t], 1)
+				pg := acc.globalCnt[ky] / math.Max(acc.globalTotal, 1)
+				rt := 0.0
+				if pt > 0 && pg > 0 {
+					rt = pt * math.Log(pt/pg)
+				}
+				s := miner.phraseSignificance(words)
+				if s < 1 {
+					s = 1
+				}
+				score := (1-cfg.Omega)*rt + cfg.Omega*pt*math.Log(s)
+				ranked = append(ranked, core.RankedPhrase{
+					Words:   words,
+					Display: corpus.Phrase(words),
+					Score:   score,
+				})
 			}
-			pt := c / math.Max(totals[t], 1)
-			pg := globalCnt[ky] / math.Max(globalTotal, 1)
-			rt := 0.0
-			if pt > 0 && pg > 0 {
-				rt = pt * math.Log(pt/pg)
-			}
-			s := miner.phraseSignificance(words)
-			if s < 1 {
-				s = 1
-			}
-			score := (1-cfg.Omega)*rt + cfg.Omega*pt*math.Log(s)
-			ranked = append(ranked, core.RankedPhrase{
-				Words:   words,
-				Display: corpus.Phrase(words),
-				Score:   score,
+			// The comparison is a total order (no two distinct phrases share a
+			// Display), so the sorted list is independent of map iteration
+			// order.
+			sort.SliceStable(ranked, func(a, b int) bool {
+				if ranked[a].Score != ranked[b].Score {
+					return ranked[a].Score > ranked[b].Score
+				}
+				return ranked[a].Display < ranked[b].Display
 			})
-		}
-		sort.SliceStable(ranked, func(a, b int) bool {
-			if ranked[a].Score != ranked[b].Score {
-				return ranked[a].Score > ranked[b].Score
+			if len(ranked) > cfg.TopN {
+				ranked = ranked[:cfg.TopN]
 			}
-			return ranked[a].Display < ranked[b].Display
-		})
-		if len(ranked) > cfg.TopN {
-			ranked = ranked[:cfg.TopN]
+			out[t] = ranked
 		}
-		out[t] = ranked
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out
+	return out, nil
 }
 
 // phraseSignificance generalizes Eq. 4.7 to a whole phrase against the
@@ -148,7 +223,14 @@ func (m *Miner) phraseSignificance(phrase []int) float64 {
 // hierarchy: each mined phrase's corpus frequency is attributed down the
 // tree with Eq. 4.3/4.8, and each topic ranks phrases by the pointwise
 // KL-divergence of its share against the parent's (Eq. 4.9).
-func VisualizeHierarchy(corpus *textkit.Corpus, miner *Miner, root *core.TopicNode, topN int) {
+//
+// Frequency attribution runs in parallel over candidate phrases and
+// ranking in parallel over topic nodes on the shared runtime; per-topic
+// totals accumulate serially in the candidates' sorted order, so the
+// attached lists are identical at any o.P. VisualizeHierarchy only returns
+// an error when o.Ctx is cancelled, in which case some nodes may be left
+// without phrase lists.
+func VisualizeHierarchy(corpus *textkit.Corpus, miner *Miner, root *core.TopicNode, topN int, o par.Opts) error {
 	if topN == 0 {
 		topN = 30
 	}
@@ -166,52 +248,66 @@ func VisualizeHierarchy(corpus *textkit.Corpus, miner *Miner, root *core.TopicNo
 		}
 		return key(cands[a].words) < key(cands[b].words)
 	})
-	// Attribute each phrase's frequency to every topic, then score.
-	freqAt := map[string]map[string]float64{} // phrase key -> topic path -> freq
-	for _, c := range cands {
-		freqAt[key(c.words)] = root.AttributeFrequency(c.words, c.freq)
+	// Attribute each phrase's frequency to every topic (read-only walks of
+	// the tree, disjoint output slots), then total per topic in candidate
+	// order so the floating-point sums are P-independent.
+	attributed := make([]map[string]float64, len(cands)) // topic path -> freq
+	if err := par.For(o, len(cands), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			attributed[i] = root.AttributeFrequency(cands[i].words, cands[i].freq)
+		}
+	}); err != nil {
+		return err
 	}
+	freqAt := map[string]map[string]float64{} // phrase key -> topic path -> freq
 	totals := map[string]float64{}
-	for _, byTopic := range freqAt {
-		for path, f := range byTopic {
+	for i, c := range cands {
+		freqAt[key(c.words)] = attributed[i]
+		for path, f := range attributed[i] {
 			totals[path] += f
 		}
 	}
+	var nodes []*core.TopicNode
 	root.Walk(func(n *core.TopicNode) {
-		if n.Parent() == nil {
-			return
+		if n.Parent() != nil {
+			nodes = append(nodes, n)
 		}
-		parent := n.Parent()
-		var ranked []core.RankedPhrase
-		for _, c := range cands {
-			ky := key(c.words)
-			ft := freqAt[ky][n.Path]
-			fp := freqAt[ky][parent.Path]
-			if ft < 1 {
-				continue
+	})
+	return par.For(o, len(nodes), func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			n := nodes[j]
+			parent := n.Parent()
+			var ranked []core.RankedPhrase
+			for _, c := range cands {
+				ky := key(c.words)
+				ft := freqAt[ky][n.Path]
+				fp := freqAt[ky][parent.Path]
+				if ft < 1 {
+					continue
+				}
+				pt := ft / math.Max(totals[n.Path], 1)
+				pp := fp / math.Max(totals[parent.Path], 1)
+				if pp <= 0 {
+					pp = 1e-12
+				}
+				score := pt * math.Log(pt/pp)
+				// Mild significance prior keeps junk n-grams out.
+				if s := m2sig(miner, c.words); s > 1 {
+					score += 0.1 * pt * math.Log(s)
+				}
+				ranked = append(ranked, core.RankedPhrase{Words: c.words, Display: corpus.Phrase(c.words), Score: score})
 			}
-			pt := ft / math.Max(totals[n.Path], 1)
-			pp := fp / math.Max(totals[parent.Path], 1)
-			if pp <= 0 {
-				pp = 1e-12
+			sort.SliceStable(ranked, func(a, b int) bool {
+				if ranked[a].Score != ranked[b].Score {
+					return ranked[a].Score > ranked[b].Score
+				}
+				return ranked[a].Display < ranked[b].Display
+			})
+			if len(ranked) > topN {
+				ranked = ranked[:topN]
 			}
-			score := pt * math.Log(pt/pp)
-			// Mild significance prior keeps junk n-grams out.
-			if s := m2sig(miner, c.words); s > 1 {
-				score += 0.1 * pt * math.Log(s)
-			}
-			ranked = append(ranked, core.RankedPhrase{Words: c.words, Display: corpus.Phrase(c.words), Score: score})
+			n.Phrases = ranked
 		}
-		sort.SliceStable(ranked, func(a, b int) bool {
-			if ranked[a].Score != ranked[b].Score {
-				return ranked[a].Score > ranked[b].Score
-			}
-			return ranked[a].Display < ranked[b].Display
-		})
-		if len(ranked) > topN {
-			ranked = ranked[:topN]
-		}
-		n.Phrases = ranked
 	})
 }
 

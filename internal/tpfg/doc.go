@@ -1,0 +1,10 @@
+// Package tpfg implements the unsupervised hierarchical-relation miner of
+// Section 6.1: Stage 1 preprocesses a temporal collaboration network into a
+// candidate DAG using the Kulczynski and imbalance-ratio sequences
+// (Eq. 6.1-6.2) and the filtering rules R1-R4; Stage 2 runs max-product
+// message passing on the Time-constrained Probabilistic Factor Graph
+// (Eq. 6.4-6.10) to jointly rank every author's candidate advisors.
+//
+// The RULE, IndMAX and logistic-regression baselines of the paper's
+// comparison live in baselines.go.
+package tpfg

@@ -14,7 +14,7 @@ func TestRunMergesCollocations(t *testing.T) {
 	for i, d := range ds.Corpus.Docs {
 		docs[i] = d.Tokens
 	}
-	m := lda.Run(docs, ds.Corpus.Vocab.Size(), lda.Config{K: 5, Iters: 80, Seed: 52})
+	m := lda.Must(lda.Run(docs, ds.Corpus.Vocab.Size(), lda.Config{K: 5, Iters: 80, Seed: 52}))
 	topics := Run(ds.Corpus, m, Config{MinCount: 5, Sig: 3}, 15)
 	if len(topics) != 5 {
 		t.Fatalf("topics = %d", len(topics))
@@ -53,7 +53,7 @@ func TestNoMergeAcrossTopics(t *testing.T) {
 	for i, d := range ds.Corpus.Docs {
 		docs[i] = d.Tokens
 	}
-	m := lda.Run(docs, ds.Corpus.Vocab.Size(), lda.Config{K: 2, Iters: 10, Seed: 54})
+	m := lda.Must(lda.Run(docs, ds.Corpus.Vocab.Size(), lda.Config{K: 2, Iters: 10, Seed: 54}))
 	// Force alternating topics.
 	for d := range m.Z {
 		for i := range m.Z[d] {

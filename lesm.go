@@ -27,6 +27,7 @@ import (
 	"lesm/internal/core"
 	"lesm/internal/hin"
 	"lesm/internal/lda"
+	"lesm/internal/par"
 	"lesm/internal/relcrf"
 	"lesm/internal/roles"
 	"lesm/internal/strod"
@@ -240,7 +241,9 @@ func AttachPhrases(corpus *Corpus, docs []DocRecord, h *Hierarchy, opt PhraseOpt
 	if opt.Ctx != nil && opt.Ctx.Err() != nil {
 		return nil, opt.Ctx.Err()
 	}
-	topmine.VisualizeHierarchy(corpus, miner, h.Root, opt.TopN)
+	if err := topmine.VisualizeHierarchy(corpus, miner, h.Root, opt.TopN, par.Opts{P: opt.Parallelism, Ctx: opt.Ctx}); err != nil {
+		return nil, err
+	}
 	if docs == nil {
 		docs = make([]DocRecord, len(corpus.Docs))
 		for i, d := range corpus.Docs {
@@ -348,11 +351,14 @@ func MineAdvisorTree(papers []RelPaper, numAuthors int, seed int64, opts ...RunO
 
 // MineAdvisorTreeSupervised trains the relational CRF of Section 6.2 on
 // labeled authors (advisorOf[i] = advisor id or -1) listed in trainIdx, then
-// predicts jointly for everyone.
-func MineAdvisorTreeSupervised(papers []RelPaper, numAuthors int, advisorOf []int, trainIdx []int, seed int64) (*AdvisorResult, error) {
+// predicts jointly for everyone. An optional RunOptions bounds the
+// parallelism of the mini-batch gradient training and the prediction
+// sweeps; the learned model is bit-identical at any setting.
+func MineAdvisorTreeSupervised(papers []RelPaper, numAuthors int, advisorOf []int, trainIdx []int, seed int64, opts ...RunOptions) (*AdvisorResult, error) {
 	if numAuthors <= 0 || len(papers) == 0 {
 		return nil, errors.New("lesm: empty collaboration network")
 	}
+	ro := firstRunOptions(opts)
 	numVenues := 0
 	for _, p := range papers {
 		if p.Venue+1 > numVenues {
@@ -367,8 +373,17 @@ func MineAdvisorTreeSupervised(papers []RelPaper, numAuthors int, advisorOf []in
 	}
 	net := tpfg.Preprocess(plain, numAuthors, tpfg.PreprocessOptions{Rules: tpfg.AllRules})
 	feats := relcrf.Features(rp, numAuthors, numVenues, net)
-	m := relcrf.Train(net, feats, advisorOf, trainIdx, relcrf.TrainOptions{Seed: seed})
-	return &AdvisorResult{res: m.Infer(net, feats)}, nil
+	m, err := relcrf.Train(net, feats, advisorOf, trainIdx, relcrf.TrainOptions{
+		Seed: seed, P: ro.Parallelism, Ctx: ro.Ctx,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, err := m.Infer(net, feats, par.Opts{P: ro.Parallelism, Ctx: ro.Ctx})
+	if err != nil {
+		return nil, err
+	}
+	return &AdvisorResult{res: res}, nil
 }
 
 // --- Flat topic inference (Chapter 7) ---

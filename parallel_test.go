@@ -80,6 +80,41 @@ func TestParallelDeterminism(t *testing.T) {
 			}
 			return topics
 		}},
+		{"AttachPhrases", func(t *testing.T, p int) any {
+			// Fixed-P hierarchy so only the phrase attachment varies with p.
+			h, err := BuildTextHierarchy(text.Corpus, HierarchyOptions{K: 3, Levels: 2, Seed: 15, Parallelism: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := AttachPhrases(text.Corpus, nil, h, PhraseOptions{Parallelism: p}); err != nil {
+				t.Fatal(err)
+			}
+			var phrases [][]RankedPhrase
+			h.Root.Walk(func(n *TopicNode) { phrases = append(phrases, n.Phrases) })
+			return phrases
+		}},
+		{"MineAdvisorTreeSupervised", func(t *testing.T, p int) any {
+			g := synth.NewGenealogy(synth.GenealogyConfig{Seed: 2005})
+			papers := make([]RelPaper, len(g.Papers))
+			for i, pp := range g.Papers {
+				papers[i] = RelPaper{Year: pp.Year, Authors: pp.Authors, Venue: pp.Venue}
+			}
+			var train []int
+			for a, adv := range g.AdvisorOf {
+				if adv >= 0 && a%2 == 0 {
+					train = append(train, a)
+				}
+			}
+			res, err := MineAdvisorTreeSupervised(papers, g.NumAuthors, g.AdvisorOf, train, 16, RunOptions{Parallelism: p})
+			if err != nil {
+				t.Fatal(err)
+			}
+			preds := make([]int, g.NumAuthors)
+			for i := range preds {
+				preds[i], _ = res.Advisor(i)
+			}
+			return preds
+		}},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			serial := tc.run(t, 1)
@@ -130,6 +165,21 @@ func TestCancelledContextReturnsError(t *testing.T) {
 				return err
 			}
 			_, err = AttachPhrases(text.Corpus, nil, h, PhraseOptions{Ctx: ctx})
+			return err
+		}},
+		{"MineAdvisorTreeSupervised", func() error {
+			g := synth.NewGenealogy(synth.GenealogyConfig{Seed: 2006})
+			papers := make([]RelPaper, len(g.Papers))
+			for i, pp := range g.Papers {
+				papers[i] = RelPaper{Year: pp.Year, Authors: pp.Authors, Venue: pp.Venue}
+			}
+			var train []int
+			for a, adv := range g.AdvisorOf {
+				if adv >= 0 {
+					train = append(train, a)
+				}
+			}
+			_, err := MineAdvisorTreeSupervised(papers, g.NumAuthors, g.AdvisorOf, train, 26, RunOptions{Ctx: ctx})
 			return err
 		}},
 	} {
