@@ -1,10 +1,13 @@
 // Command lesm builds a phrase-represented topical hierarchy from a plain
-// text corpus (one document per line) and prints it.
+// text corpus (one document per line) and prints it. With -save it also
+// persists the fitted artifacts as a model snapshot that cmd/lesmd can
+// serve.
 //
 // Usage:
 //
 //	lesm -k 4 -levels 2 -engine cathy corpus.txt
 //	cat corpus.txt | lesm -engine strod
+//	lesm -k 3 -topics 4 -save model.lesm corpus.txt   # fit & persist
 package main
 
 import (
@@ -26,6 +29,8 @@ func main() {
 	stem := flag.Bool("stem", false, "apply Porter stemming")
 	top := flag.Int("top", 8, "phrases to print per topic")
 	par := flag.Int("p", 0, "parallel workers for the mining engines (0 = GOMAXPROCS)")
+	save := flag.String("save", "", "persist the fitted artifacts as a snapshot at this path (see cmd/lesmd)")
+	topics := flag.Int("topics", 0, "with -save: also fit a flat Gibbs topic model with this many topics for /infer")
 	flag.Parse()
 
 	var in io.Reader = os.Stdin
@@ -64,4 +69,24 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Print(h.String())
+
+	if *save != "" {
+		art := &lesm.Artifact{
+			Hierarchy:   h,
+			Vocab:       corpus.Vocab,
+			Corpus:      lesm.NewCorpusMeta(corpus),
+			RolePhrases: lesm.RolePhrasesOf(h),
+		}
+		if *topics > 0 {
+			tm, err := lesm.InferTopicsGibbs(corpus, *topics, *seed, lesm.RunOptions{Parallelism: *par})
+			if err != nil {
+				log.Fatal(err)
+			}
+			art.Topics = tm
+		}
+		if err := lesm.Save(*save, art); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("saved snapshot %s (sections: %v)\n", *save, art.Sections())
+	}
 }

@@ -1,0 +1,80 @@
+// Command lesmd serves a fitted model snapshot over HTTP/JSON: structure
+// lookups answer from immutable in-memory state, and /infer runs
+// deterministic fold-in Gibbs inference for unseen documents.
+//
+// Usage:
+//
+//	lesm -save model.lesm -topics 4 corpus.txt   # fit & persist
+//	lesmd -snapshot model.lesm -addr :8471       # serve
+//
+// Endpoints:
+//
+//	GET  /healthz                     liveness + loaded sections
+//	GET  /topics                      topic list with weights
+//	GET  /topics/{k}/top-words?n=10   topic k's top words
+//	GET  /hierarchy/node/{id}         hierarchy node by path (o/1/2 or o.1.2)
+//	GET  /phrases/search?q=&limit=    ranked phrase search
+//	GET  /advisor/{author}            advisor ranking for an author
+//	POST /infer                       fold-in inference for new documents
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"lesm/internal/serve"
+	"lesm/internal/store"
+)
+
+func main() {
+	snapshot := flag.String("snapshot", "", "path to the model snapshot (required)")
+	addr := flag.String("addr", ":8471", "listen address")
+	p := flag.Int("p", 0, "fold-in workers per /infer batch (0 = GOMAXPROCS)")
+	inflight := flag.Int("max-inflight", 4, "max concurrent /infer batches")
+	sweeps := flag.Int("sweeps", 30, "default fold-in Gibbs sweeps")
+	alpha := flag.Float64("alpha", 0, "fold-in document prior (0 = 0.1; the fitted 50/K prior swamps short documents — pass it explicitly for posterior-mean behavior)")
+	flag.Parse()
+
+	if *snapshot == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	snap, err := store.Read(*snapshot)
+	if err != nil {
+		log.Fatalf("lesmd: load %s: %v", *snapshot, err)
+	}
+	srv, err := serve.New(snap, serve.Options{
+		P: *p, MaxInFlight: *inflight, Sweeps: *sweeps, Alpha: *alpha,
+	})
+	if err != nil {
+		log.Fatalf("lesmd: %v", err)
+	}
+	log.Printf("lesmd: loaded %s (sections: %s), listening on %s",
+		*snapshot, strings.Join(snap.Sections(), ", "), *addr)
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		<-sig
+		// Shutdown stops the listener (unblocking ListenAndServe) and then
+		// drains in-flight requests; main must wait for the drain, not just
+		// for ListenAndServe to return, or exiting would sever them.
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		hs.Shutdown(ctx)
+	}()
+	if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatalf("lesmd: %v", err)
+	}
+	<-drained
+}

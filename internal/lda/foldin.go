@@ -1,0 +1,205 @@
+package lda
+
+import (
+	"context"
+	"errors"
+
+	"lesm/internal/par"
+)
+
+// Fold-in inference: estimate document-topic distributions for unseen
+// documents against a *fixed* fitted model (Griffiths & Steyvers' query
+// sampling). The topic-word statistics never change during fold-in, so
+// documents are fully independent of each other — the sampler
+// parallelizes over documents with no shared mutable state, and every
+// document's trajectory is a pure function of (Seed, doc index). This is
+// the inference mode the serving daemon (internal/serve) runs per request.
+
+// DefaultFoldInAlpha is the document prior fold-in consumers should reach
+// for when the caller doesn't supply one. The *fitting* default (50/K) is
+// calibrated for estimating topic-word counts over whole training
+// documents; folded-in query documents are typically a handful of tokens,
+// and a 50/K prior bounds their theta to near-uniform regardless of
+// content. 0.1 keeps short-document estimates evidence-driven.
+const DefaultFoldInAlpha = 0.1
+
+// FoldInModel is the frozen topic side of fold-in: the per-topic word
+// likelihoods and the document prior.
+type FoldInModel struct {
+	// PhiLike[k][w] is the fixed p(w | topic k) each token is scored
+	// against. Rows must share one length V; tokens with id >= V are
+	// ignored.
+	PhiLike [][]float64
+	// Alpha[k] is the Dirichlet document prior (uniform in practice, but
+	// kept per-topic so a background topic's inflated prior survives).
+	Alpha []float64
+}
+
+// NewFoldInModel freezes explicit topic-word distributions (e.g. a STROD
+// model's Phi) with a uniform symmetric prior alpha (default 50/K).
+func NewFoldInModel(phi [][]float64, alpha float64) *FoldInModel {
+	k := len(phi)
+	if alpha <= 0 {
+		alpha = 50 / float64(max(k, 1))
+	}
+	av := make([]float64, k)
+	for i := range av {
+		av[i] = alpha
+	}
+	return &FoldInModel{PhiLike: phi, Alpha: av}
+}
+
+// FoldInModelFromCounts freezes a Gibbs model's sufficient statistics:
+// PhiLike[k][w] = (nKV[k][w]+beta) / (nK[k]+V*beta), the exact smoothed
+// distribution the fitting sampler would have used on its next sweep.
+func FoldInModelFromCounts(nKV [][]int, nK []int, alpha, beta float64) *FoldInModel {
+	k := len(nKV)
+	if beta <= 0 {
+		beta = 0.01
+	}
+	phi := make([][]float64, k)
+	for t := range nKV {
+		v := len(nKV[t])
+		vb := float64(v) * beta
+		row := make([]float64, v)
+		for w, c := range nKV[t] {
+			row[w] = (float64(c) + beta) / (float64(nK[t]) + vb)
+		}
+		phi[t] = row
+	}
+	return NewFoldInModel(phi, alpha)
+}
+
+// K returns the number of topics.
+func (fm *FoldInModel) K() int { return len(fm.PhiLike) }
+
+// V returns the vocabulary size (0 for an empty model).
+func (fm *FoldInModel) V() int {
+	if len(fm.PhiLike) == 0 {
+		return 0
+	}
+	return len(fm.PhiLike[0])
+}
+
+// FoldInConfig parameterizes FoldIn.
+type FoldInConfig struct {
+	// Sweeps is the number of Gibbs sweeps per document (default 30 —
+	// fold-in mixes fast because the topic side is frozen).
+	Sweeps int
+	// Seed keys the per-document PRNG streams: document i of the batch
+	// samples from the (Seed, i, sweep) SplitMix64 stream, so results are
+	// a pure function of (Seed, i, tokens) at any parallelism level.
+	Seed int64
+	// P bounds the worker count (0 = GOMAXPROCS).
+	P int
+	// Ctx cancels the batch between document chunks (nil = background).
+	Ctx context.Context
+}
+
+func (c FoldInConfig) withDefaults() FoldInConfig {
+	if c.Sweeps <= 0 {
+		c.Sweeps = 30
+	}
+	return c
+}
+
+// FoldIn estimates theta[d][k] for each document against the frozen model.
+// Unknown token ids (>= V) are skipped; a document with no usable token
+// gets the normalized prior. Because the model is fixed, each document is
+// sampled independently on the shared pool — bit-identical output at any
+// cfg.P, and identical for a given (Seed, doc index, tokens) regardless of
+// what else is in the batch.
+func FoldIn(fm *FoldInModel, docs [][]int, cfg FoldInConfig) ([][]float64, error) {
+	if fm == nil || fm.K() == 0 {
+		return nil, errors.New("lda: fold-in against an empty model")
+	}
+	cfg = cfg.withDefaults()
+	k := fm.K()
+	v := fm.V()
+	alphaSum := 0.0
+	for _, a := range fm.Alpha {
+		alphaSum += a
+	}
+	theta := make([][]float64, len(docs))
+	err := par.For(par.Opts{P: cfg.P, Ctx: cfg.Ctx}, len(docs), func(lo, hi int) {
+		nDK := make([]int, k)
+		probs := make([]float64, k)
+		for di := lo; di < hi; di++ {
+			theta[di] = foldInDoc(fm, docs[di], cfg, uint64(di), nDK, probs, alphaSum, v)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return theta, nil
+}
+
+// foldInDoc runs the per-document sampler. nDK and probs are caller-owned
+// scratch of length K; nDK is re-zeroed here before use.
+func foldInDoc(fm *FoldInModel, doc []int, cfg FoldInConfig, di uint64, nDK []int, probs []float64, alphaSum float64, v int) []float64 {
+	k := len(nDK)
+	for t := range nDK {
+		nDK[t] = 0
+	}
+	// Keep only tokens the model can score.
+	toks := make([]int, 0, len(doc))
+	for _, w := range doc {
+		if w >= 0 && w < v {
+			toks = append(toks, w)
+		}
+	}
+	z := make([]int, len(toks))
+
+	// Initialization pass (sweep 0): sample from alpha * phi.
+	rng := newStream(cfg.Seed, di, 0)
+	for i, w := range toks {
+		total := 0.0
+		for t := 0; t < k; t++ {
+			p := fm.Alpha[t] * fm.PhiLike[t][w]
+			probs[t] = p
+			total += p
+		}
+		z[i] = drawIndex(&rng, probs, total)
+		nDK[z[i]]++
+	}
+
+	for sweep := 1; sweep <= cfg.Sweeps; sweep++ {
+		rng := newStream(cfg.Seed, di, uint64(sweep))
+		for i, w := range toks {
+			nDK[z[i]]--
+			total := 0.0
+			for t := 0; t < k; t++ {
+				p := (float64(nDK[t]) + fm.Alpha[t]) * fm.PhiLike[t][w]
+				probs[t] = p
+				total += p
+			}
+			z[i] = drawIndex(&rng, probs, total)
+			nDK[z[i]]++
+		}
+	}
+
+	out := make([]float64, k)
+	denom := float64(len(toks)) + alphaSum
+	for t := 0; t < k; t++ {
+		out[t] = (float64(nDK[t]) + fm.Alpha[t]) / denom
+	}
+	return out
+}
+
+// drawIndex samples an index proportionally to probs (sum = total). A
+// non-positive total (every topic scored zero) falls back to a uniform
+// draw, consuming exactly one stream step either way so trajectories stay
+// aligned.
+func drawIndex(rng *stream, probs []float64, total float64) int {
+	if total <= 0 {
+		return rng.Intn(len(probs))
+	}
+	r := rng.Float64() * total
+	for t, p := range probs {
+		r -= p
+		if r <= 0 {
+			return t
+		}
+	}
+	return len(probs) - 1
+}

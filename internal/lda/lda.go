@@ -68,6 +68,15 @@ type Model struct {
 	PhraseZ [][]int
 	// Background reports whether row K of Phi is a background topic.
 	Background bool
+	// NKV[k][v] and NK[k] are the final topic-word and topic-total token
+	// counts — the sufficient statistics fold-in inference (FoldIn) and
+	// incremental refitting need. Phi is their smoothed normalization:
+	// Phi[k][v] = (NKV[k][v]+Beta) / (NK[k]+V*Beta).
+	NKV [][]int
+	NK  []int
+	// Alpha and Beta echo the fit's effective hyperparameters so a
+	// persisted model can be folded into with the same smoothing.
+	Alpha, Beta float64
 }
 
 // Run fits LDA to id-encoded documents over a vocabulary of size V.
@@ -151,7 +160,8 @@ func Run(docs [][]int, v int, cfg Config) (*Model, error) {
 }
 
 func summarize(docs [][]int, v, kTotal int, cfg Config, nDK [][]int, nKV [][]int, nK []int, z [][]int) *Model {
-	m := &Model{K: cfg.K, V: v, Background: cfg.Background, Z: z}
+	m := &Model{K: cfg.K, V: v, Background: cfg.Background, Z: z,
+		NKV: nKV, NK: nK, Alpha: cfg.Alpha, Beta: cfg.Beta}
 	vb := float64(v) * cfg.Beta
 	m.Phi = make([][]float64, kTotal)
 	for k := 0; k < kTotal; k++ {

@@ -3,6 +3,8 @@ package linalg
 import (
 	"math"
 	"math/rand"
+	"reflect"
+	"sort"
 	"testing"
 	"testing/quick"
 
@@ -247,5 +249,40 @@ func TestTensorPowerRecoversOrthogonalDecomposition(t *testing.T) {
 			t.Fatalf("lambda %v, want %v", lambda, lambdas[found])
 		}
 		tt.Deflate(lambda, v)
+	}
+}
+
+func TestTopK(t *testing.T) {
+	v := []float64{0.2, 0.5, 0.2, 0.9}
+	if got := TopK(v, 3); !reflect.DeepEqual(got, []int{3, 1, 0}) {
+		t.Fatalf("TopK = %v, want [3 1 0] (tie to lower index)", got)
+	}
+	if got := TopK(v, 10); !reflect.DeepEqual(got, []int{3, 1, 0, 2}) {
+		t.Fatalf("overlong n = %v", got)
+	}
+	if got := TopK(v, 0); got != nil {
+		t.Fatalf("n=0 gave %v", got)
+	}
+	if got := TopK(nil, 5); got != nil {
+		t.Fatalf("empty input gave %v", got)
+	}
+	// Agreement with a full sort on a larger input.
+	big := make([]float64, 400)
+	for i := range big {
+		big[i] = float64((i * 7919) % 97)
+	}
+	got := TopK(big, 25)
+	idx := make([]int, len(big))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		if big[idx[a]] != big[idx[b]] {
+			return big[idx[a]] > big[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	if !reflect.DeepEqual(got, idx[:25]) {
+		t.Fatalf("TopK disagrees with full sort:\n%v\n%v", got, idx[:25])
 	}
 }

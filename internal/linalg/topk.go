@@ -1,0 +1,69 @@
+package linalg
+
+// TopK returns the indices of the n largest values of v in descending
+// order, ties broken toward the lower index. Selection keeps a size-n
+// min-heap over v — O(len(v) log n) instead of the O(len(v) log len(v))
+// full sort — which matters when callers ask for ~10 entries out of
+// vocabulary-sized rows (TopicModel.TopWords, the lesmd top-words
+// endpoint). n is clamped to len(v); n <= 0 returns nil.
+func TopK(v []float64, n int) []int {
+	if n > len(v) {
+		n = len(v)
+	}
+	if n <= 0 {
+		return nil
+	}
+	// less orders the heap worst-first: lower value, ties broken by HIGHER
+	// index so that the lowest-index entry among equals survives.
+	less := func(a, b int) bool {
+		if v[a] != v[b] {
+			return v[a] < v[b]
+		}
+		return a > b
+	}
+	heap := make([]int, 0, n)
+	siftUp := func(i int) {
+		for i > 0 {
+			parent := (i - 1) / 2
+			if !less(heap[i], heap[parent]) {
+				break
+			}
+			heap[i], heap[parent] = heap[parent], heap[i]
+			i = parent
+		}
+	}
+	siftDown := func(i int) {
+		for {
+			small := i
+			if l := 2*i + 1; l < len(heap) && less(heap[l], heap[small]) {
+				small = l
+			}
+			if r := 2*i + 2; r < len(heap) && less(heap[r], heap[small]) {
+				small = r
+			}
+			if small == i {
+				return
+			}
+			heap[i], heap[small] = heap[small], heap[i]
+			i = small
+		}
+	}
+	for w := range v {
+		if len(heap) < n {
+			heap = append(heap, w)
+			siftUp(len(heap) - 1)
+		} else if less(heap[0], w) {
+			heap[0] = w
+			siftDown(0)
+		}
+	}
+	// Drain worst-first into the output back-to-front.
+	out := make([]int, len(heap))
+	for i := len(heap) - 1; i >= 0; i-- {
+		out[i] = heap[0]
+		heap[0] = heap[len(heap)-1]
+		heap = heap[:len(heap)-1]
+		siftDown(0)
+	}
+	return out
+}

@@ -200,3 +200,75 @@ func TestOptsDefaults(t *testing.T) {
 		t.Fatal("default context should be non-nil and live")
 	}
 }
+
+// TestNumChunksCappedSmallN pins the cap's behavior on serving-sized
+// inputs: when n is below the cap (tiny /infer batches) the cap must not
+// inflate the chunk count, and n == 0 must stay 0 — a request with no
+// documents schedules no work.
+func TestNumChunksCappedSmallN(t *testing.T) {
+	for _, tc := range []struct{ n, cap, want int }{
+		{0, 64, 0},
+		{0, 1, 0},
+		{1, 64, 1},
+		{3, 64, 3},
+		{15, 64, 15},
+		{15, 4, 4},
+		{16, 64, 16},
+		{200, 64, 25}, // NumChunks(200) = 25, under the cap
+		{10000, 64, 64},
+		{10000, 1, 1},
+	} {
+		if got := NumChunksCapped(tc.n, tc.cap); got != tc.want {
+			t.Fatalf("NumChunksCapped(%d, %d) = %d, want %d", tc.n, tc.cap, got, tc.want)
+		}
+	}
+}
+
+// TestChunkBoundsNTinyRanges covers the n < nc and n == 0 corners the
+// serving path hits with tiny batches: every chunking must still partition
+// [0, n) exactly, and empty ranges must yield only empty chunks.
+func TestChunkBoundsNTinyRanges(t *testing.T) {
+	for _, tc := range []struct{ n, nc int }{
+		{0, 1}, {0, 4}, {1, 1}, {1, 4}, {2, 7}, {3, 64}, {5, 5}, {7, 3},
+	} {
+		prev := 0
+		for c := 0; c < tc.nc; c++ {
+			lo, hi := ChunkBoundsN(tc.n, tc.nc, c)
+			if lo != prev || hi < lo || hi > tc.n {
+				t.Fatalf("ChunkBoundsN(%d, %d, %d) = [%d, %d), prev end %d", tc.n, tc.nc, c, lo, hi, prev)
+			}
+			prev = hi
+		}
+		if prev != tc.n {
+			t.Fatalf("n=%d nc=%d: chunks cover %d items", tc.n, tc.nc, prev)
+		}
+	}
+}
+
+// TestForChunksNEmptyAndTiny: n == 0 runs nothing (and still reports
+// cancellation); n < nc clamps to one chunk per item.
+func TestForChunksNEmptyAndTiny(t *testing.T) {
+	calls := 0
+	if err := ForChunksN(Opts{}, 0, 64, func(c, lo, hi int) { calls++ }); err != nil || calls != 0 {
+		t.Fatalf("n=0: calls=%d err=%v", calls, err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := ForChunksN(Opts{Ctx: ctx}, 0, 4, func(c, lo, hi int) {}); err == nil {
+		t.Fatal("n=0 with cancelled ctx should surface the context error")
+	}
+	var mu sync.Mutex
+	seen := map[int]int{}
+	if err := ForChunksN(Opts{P: 8}, 3, 64, func(c, lo, hi int) {
+		mu.Lock()
+		for i := lo; i < hi; i++ {
+			seen[i]++
+		}
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 3 || seen[0] != 1 || seen[1] != 1 || seen[2] != 1 {
+		t.Fatalf("n<nc visit counts = %v", seen)
+	}
+}

@@ -1,0 +1,41 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+)
+
+// benchInfer measures /infer requests per second end to end (HTTP decode,
+// semaphore, fold-in, JSON encode) at a given fold-in parallelism.
+func benchInfer(b *testing.B, p int) {
+	s, err := New(testSnapshot(b), Options{P: p, MaxInFlight: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	// A 32-document batch of 8-token docs per request.
+	ids := make([][]int, 32)
+	for i := range ids {
+		ids[i] = []int{i % 10, (i + 1) % 10, (i + 2) % 10, (i + 3) % 10, i % 10, (i + 5) % 10, (i + 6) % 10, (i + 7) % 10}
+	}
+	body, _ := json.Marshal(map[string]any{"seed": 7, "ids": ids, "sweeps": 20})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(ts.URL+"/infer", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+}
+
+func BenchmarkInferP1(b *testing.B)      { benchInfer(b, 1) }
+func BenchmarkInferPNumCPU(b *testing.B) { benchInfer(b, runtime.GOMAXPROCS(0)) }

@@ -1,0 +1,17 @@
+// Package serve is the read side of the framework: an HTTP/JSON query
+// server over a loaded model snapshot (internal/store). It answers
+// structure lookups (topic top-words, hierarchy nodes, phrase search,
+// advisor rankings) from immutable in-memory state, and runs fold-in Gibbs
+// inference (internal/lda.FoldIn) for unseen documents on the shared
+// parallel runtime.
+//
+// Concurrency model: everything the handlers read is built once in New and
+// never mutated afterwards, so query handlers run lock-free; the only
+// guarded resource is the bounded in-flight semaphore that caps concurrent
+// /infer batches. Inference is deterministic per request — identical
+// (seed, doc index, tokens) give identical distributions at any server
+// parallelism — because each document samples from its own counter-based
+// PRNG stream against the frozen topic-word statistics.
+//
+// cmd/lesmd wraps this package as a standalone daemon.
+package serve

@@ -1,0 +1,515 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+
+	"lesm/internal/core"
+	"lesm/internal/lda"
+	"lesm/internal/linalg"
+	"lesm/internal/store"
+	"lesm/internal/textkit"
+	"lesm/internal/tpfg"
+)
+
+// Options configure a Server.
+type Options struct {
+	// P bounds the fold-in worker count per /infer batch (0 = GOMAXPROCS).
+	P int
+	// MaxInFlight caps concurrent /infer batches; further requests wait
+	// until a slot frees or their context is cancelled (default 4).
+	MaxInFlight int
+	// Sweeps is the fold-in sweep count (default 30).
+	Sweeps int
+	// Alpha is the fold-in document prior (default
+	// lda.DefaultFoldInAlpha). The snapshot's fitted alpha (50/K by
+	// convention) is deliberately NOT the default: it is calibrated for
+	// whole training documents and bounds a short query document's theta
+	// to near-uniform; pass it explicitly to get posterior-mean behavior.
+	Alpha float64
+}
+
+// withDefaults fills defaults and clamps nonsensical negatives (a negative
+// MaxInFlight would panic in make(chan); a negative Sweeps would silently
+// skip all refinement sweeps).
+func (o Options) withDefaults() Options {
+	if o.MaxInFlight <= 0 {
+		o.MaxInFlight = 4
+	}
+	if o.Sweeps <= 0 {
+		o.Sweeps = 30
+	}
+	if o.Sweeps > maxInferSweeps {
+		o.Sweeps = maxInferSweeps
+	}
+	if o.Alpha <= 0 {
+		o.Alpha = lda.DefaultFoldInAlpha
+	}
+	return o
+}
+
+// phraseHit is one prepared entry of the phrase search index.
+type phraseHit struct {
+	Path    string  `json:"path"`
+	Display string  `json:"display"`
+	Score   float64 `json:"score"`
+	lower   string
+}
+
+// Server answers read-only queries over one immutable snapshot. All fields
+// are initialized in New and never written afterwards; handlers therefore
+// need no locking.
+type Server struct {
+	snap    *store.Snapshot
+	opt     Options
+	vocab   *textkit.Vocabulary
+	foldIn  *lda.FoldInModel
+	nodes   map[string]*core.TopicNode
+	paths   []string // hierarchy pre-order
+	phrases []phraseHit
+	advisor *tpfg.Result
+	// predicted[i] is advisor.Predict()[i], computed once at startup so
+	// /advisor lookups don't re-run the all-authors argmax per request.
+	predicted []int
+	inferSem  chan struct{}
+	mux       *http.ServeMux
+}
+
+// New builds a server over the snapshot. The snapshot must carry at least
+// one section; endpoints whose section is absent answer 404 with an
+// explanatory error.
+func New(snap *store.Snapshot, opt Options) (*Server, error) {
+	if snap == nil {
+		return nil, errors.New("serve: nil snapshot")
+	}
+	if len(snap.Sections()) == 0 {
+		return nil, errors.New("serve: empty snapshot (no sections)")
+	}
+	// CRC-valid files can still be shape-inconsistent (e.g. rank vectors
+	// disagreeing with candidate lists); reject them here instead of
+	// panicking at query time.
+	if err := snap.Validate(); err != nil {
+		return nil, fmt.Errorf("serve: invalid snapshot: %w", err)
+	}
+	opt = opt.withDefaults()
+	s := &Server{snap: snap, opt: opt, inferSem: make(chan struct{}, opt.MaxInFlight)}
+
+	if snap.Vocab != nil {
+		s.vocab = textkit.VocabularyFromWords(snap.Vocab)
+	}
+	if t := snap.Topics; t != nil {
+		if t.NKV != nil && t.NK != nil {
+			s.foldIn = lda.FoldInModelFromCounts(t.NKV, t.NK, opt.Alpha, t.Beta)
+		} else if t.Phi != nil {
+			s.foldIn = lda.NewFoldInModel(t.Phi, opt.Alpha)
+		}
+	}
+	if h := snap.Hierarchy; h != nil {
+		s.nodes = map[string]*core.TopicNode{}
+		h.Root.Walk(func(n *core.TopicNode) {
+			s.paths = append(s.paths, n.Path)
+			s.nodes[n.Path] = n
+		})
+	}
+	// Phrase search index: the roles section when present (the analyzer's
+	// per-topic view), otherwise the hierarchy's attached phrase lists.
+	if snap.RolePhrases != nil {
+		for _, tp := range snap.RolePhrases {
+			for _, p := range tp.Phrases {
+				s.phrases = append(s.phrases, phraseHit{Path: tp.Path, Display: p.Display, Score: p.Score, lower: strings.ToLower(p.Display)})
+			}
+		}
+	} else if snap.Hierarchy != nil {
+		for _, path := range s.paths {
+			for _, p := range s.nodes[path].Phrases {
+				s.phrases = append(s.phrases, phraseHit{Path: path, Display: p.Display, Score: p.Score, lower: strings.ToLower(p.Display)})
+			}
+		}
+	}
+	if a := snap.Advisor; a != nil {
+		s.advisor = &tpfg.Result{Net: a.Net, Rank: a.Rank}
+		s.predicted = s.advisor.Predict()
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/topics", s.handleTopics)
+	mux.HandleFunc("/topics/", s.handleTopicTopWords)
+	mux.HandleFunc("/hierarchy/node/", s.handleHierarchyNode)
+	mux.HandleFunc("/phrases/search", s.handlePhraseSearch)
+	mux.HandleFunc("/advisor/", s.handleAdvisor)
+	mux.HandleFunc("/infer", s.handleInfer)
+	s.mux = mux
+	return s, nil
+}
+
+// Handler returns the HTTP handler serving all endpoints.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// --- helpers ---
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func requireGet(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		writeErr(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return false
+	}
+	return true
+}
+
+// queryInt parses an integer query parameter with a default.
+func queryInt(r *http.Request, name string, def int) (int, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %q: %v", name, err)
+	}
+	return v, nil
+}
+
+// --- /healthz ---
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
+	resp := map[string]any{
+		"status":   "ok",
+		"sections": s.snap.Sections(),
+	}
+	if s.snap.Topics != nil {
+		resp["topics"] = s.snap.Topics.K
+	}
+	if s.vocab != nil {
+		resp["vocab"] = s.vocab.Size()
+	}
+	if s.snap.Hierarchy != nil {
+		resp["hierarchy_nodes"] = len(s.paths)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// --- /topics and /topics/:k/top-words ---
+
+func (s *Server) handleTopics(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
+	t := s.snap.Topics
+	if t == nil {
+		writeErr(w, http.StatusNotFound, "snapshot has no topics section")
+		return
+	}
+	type topicInfo struct {
+		Topic  int     `json:"topic"`
+		Weight float64 `json:"weight,omitempty"`
+	}
+	out := make([]topicInfo, 0, len(t.Phi))
+	for k := range t.Phi {
+		ti := topicInfo{Topic: k}
+		if k < len(t.Weight) {
+			ti.Weight = t.Weight[k]
+		}
+		out = append(out, ti)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"topics": out})
+}
+
+func (s *Server) handleTopicTopWords(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
+	t := s.snap.Topics
+	if t == nil {
+		writeErr(w, http.StatusNotFound, "snapshot has no topics section")
+		return
+	}
+	rest := strings.TrimPrefix(r.URL.Path, "/topics/")
+	parts := strings.Split(rest, "/")
+	if len(parts) != 2 || parts[1] != "top-words" {
+		writeErr(w, http.StatusNotFound, "unknown topics endpoint %q (want /topics/{k}/top-words)", r.URL.Path)
+		return
+	}
+	k, err := strconv.Atoi(parts[0])
+	if err != nil || k < 0 || k >= len(t.Phi) {
+		writeErr(w, http.StatusNotFound, "topic %q out of range [0, %d)", parts[0], len(t.Phi))
+		return
+	}
+	n, err := queryInt(r, "n", 10)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	phi := t.Phi[k]
+	if n > len(phi) {
+		n = len(phi)
+	}
+	if n < 0 {
+		n = 0
+	}
+	type wordInfo struct {
+		ID   int     `json:"id"`
+		Word string  `json:"word,omitempty"`
+		P    float64 `json:"p"`
+	}
+	words := make([]wordInfo, 0, n)
+	for _, id := range linalg.TopK(phi, n) {
+		wi := wordInfo{ID: id, P: phi[id]}
+		if s.vocab != nil && id < s.vocab.Size() {
+			wi.Word = s.vocab.Word(id)
+		}
+		words = append(words, wi)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"topic": k, "words": words})
+}
+
+// --- /hierarchy/node/:id ---
+
+func (s *Server) handleHierarchyNode(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
+	if s.nodes == nil {
+		writeErr(w, http.StatusNotFound, "snapshot has no hierarchy section")
+		return
+	}
+	// Node ids are topic paths ("o", "o/1/2"); dots are accepted as
+	// separators too ("o.1.2") for clients that keep slashes out of ids.
+	id := strings.TrimPrefix(r.URL.Path, "/hierarchy/node/")
+	path := strings.ReplaceAll(id, ".", "/")
+	n := s.nodes[path]
+	if n == nil {
+		writeErr(w, http.StatusNotFound, "no hierarchy node %q", id)
+		return
+	}
+	type phraseInfo struct {
+		Display string  `json:"display"`
+		Score   float64 `json:"score"`
+	}
+	type entityInfo struct {
+		ID      int     `json:"id"`
+		Display string  `json:"display"`
+		Score   float64 `json:"score"`
+	}
+	type entityGroup struct {
+		Type     int          `json:"type"`
+		Name     string       `json:"name,omitempty"`
+		Entities []entityInfo `json:"entities"`
+	}
+	phrases := make([]phraseInfo, 0, len(n.Phrases))
+	for _, p := range n.Phrases {
+		phrases = append(phrases, phraseInfo{p.Display, p.Score})
+	}
+	children := make([]string, 0, len(n.Children))
+	for _, c := range n.Children {
+		children = append(children, c.Path)
+	}
+	var groups []entityGroup
+	typeIDs := make([]core.TypeID, 0, len(n.Entities))
+	for x := range n.Entities {
+		typeIDs = append(typeIDs, x)
+	}
+	sort.Slice(typeIDs, func(a, b int) bool { return typeIDs[a] < typeIDs[b] })
+	for _, x := range typeIDs {
+		g := entityGroup{Type: int(x), Name: s.snap.Hierarchy.TypeNames[x]}
+		for _, e := range n.Entities[x] {
+			g.Entities = append(g.Entities, entityInfo{e.ID, e.Display, e.Score})
+		}
+		groups = append(groups, g)
+	}
+	parent := ""
+	if p := n.Parent(); p != nil {
+		parent = p.Path
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"path": n.Path, "level": n.Level, "rho": n.Rho,
+		"parent": parent, "children": children,
+		"phrases": phrases, "entities": groups,
+	})
+}
+
+// --- /phrases/search ---
+
+func (s *Server) handlePhraseSearch(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
+	if s.phrases == nil {
+		writeErr(w, http.StatusNotFound, "snapshot has no phrases (roles or hierarchy section required)")
+		return
+	}
+	q := strings.ToLower(strings.TrimSpace(r.URL.Query().Get("q")))
+	if q == "" {
+		writeErr(w, http.StatusBadRequest, "missing query parameter q")
+		return
+	}
+	limit, err := queryInt(r, "limit", 20)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if limit <= 0 {
+		limit = 20 // a non-positive limit is not "unlimited"
+	}
+	var hits []phraseHit
+	for _, p := range s.phrases {
+		if strings.Contains(p.lower, q) {
+			hits = append(hits, p)
+		}
+	}
+	sort.SliceStable(hits, func(a, b int) bool {
+		if hits[a].Score != hits[b].Score {
+			return hits[a].Score > hits[b].Score
+		}
+		if hits[a].Display != hits[b].Display {
+			return hits[a].Display < hits[b].Display
+		}
+		return hits[a].Path < hits[b].Path
+	})
+	if limit > 0 && len(hits) > limit {
+		hits = hits[:limit]
+	}
+	if hits == nil {
+		hits = []phraseHit{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"query": q, "hits": hits})
+}
+
+// --- /advisor/:author ---
+
+func (s *Server) handleAdvisor(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
+	if s.advisor == nil {
+		writeErr(w, http.StatusNotFound, "snapshot has no advisor section")
+		return
+	}
+	raw := strings.TrimPrefix(r.URL.Path, "/advisor/")
+	author, err := strconv.Atoi(raw)
+	if err != nil || author < 0 || author >= s.advisor.Net.NumAuthors {
+		writeErr(w, http.StatusNotFound, "author %q out of range [0, %d)", raw, s.advisor.Net.NumAuthors)
+		return
+	}
+	type candInfo struct {
+		Advisor int     `json:"advisor"`
+		Rank    float64 `json:"rank"`
+		Start   int     `json:"start"`
+		End     int     `json:"end"`
+	}
+	best := s.predicted[author]
+	bestScore := s.advisor.Rank[author][0]
+	cands := make([]candInfo, 0, len(s.advisor.Net.Cands[author]))
+	for v, c := range s.advisor.Net.Cands[author] {
+		rank := s.advisor.Rank[author][v+1]
+		cands = append(cands, candInfo{c.Advisor, rank, c.Start, c.End})
+		if c.Advisor == best {
+			bestScore = rank
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"author": author, "advisor": best, "score": bestScore, "candidates": cands,
+	})
+}
+
+// --- /infer ---
+
+// maxInferSweeps caps the per-request sweep count (client-supplied or
+// operator default alike) so one request cannot monopolize the pool.
+const maxInferSweeps = 500
+
+// inferRequest is the fold-in request body. Documents arrive either as
+// token strings (resolved through the snapshot vocabulary; unknown words
+// are dropped) or as raw vocabulary ids.
+type inferRequest struct {
+	Seed   int64      `json:"seed"`
+	Docs   [][]string `json:"docs,omitempty"`
+	IDs    [][]int    `json:"ids,omitempty"`
+	Sweeps int        `json:"sweeps,omitempty"`
+}
+
+func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if s.foldIn == nil {
+		writeErr(w, http.StatusNotFound, "snapshot has no topics section (fold-in unavailable)")
+		return
+	}
+	var req inferRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20)).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if (req.Docs == nil) == (req.IDs == nil) {
+		writeErr(w, http.StatusBadRequest, "exactly one of docs (token strings) or ids (vocabulary ids) required")
+		return
+	}
+	var batch [][]int
+	if req.IDs != nil {
+		batch = req.IDs
+	} else {
+		if s.vocab == nil {
+			writeErr(w, http.StatusBadRequest, "snapshot has no vocab section; send ids instead of docs")
+			return
+		}
+		batch = make([][]int, len(req.Docs))
+		for i, doc := range req.Docs {
+			ids := make([]int, 0, len(doc))
+			for _, tok := range doc {
+				if id, ok := s.vocab.ID(tok); ok {
+					ids = append(ids, id)
+				}
+			}
+			batch[i] = ids
+		}
+	}
+
+	// Bounded in-flight batching: at most MaxInFlight fold-in batches run
+	// concurrently; waiters drop out when their request is cancelled.
+	select {
+	case s.inferSem <- struct{}{}:
+		defer func() { <-s.inferSem }()
+	case <-r.Context().Done():
+		writeErr(w, http.StatusServiceUnavailable, "request cancelled while waiting for an inference slot")
+		return
+	}
+
+	sweeps := req.Sweeps
+	if sweeps <= 0 {
+		sweeps = s.opt.Sweeps
+	}
+	if sweeps > maxInferSweeps {
+		sweeps = maxInferSweeps
+	}
+	theta, err := lda.FoldIn(s.foldIn, batch, lda.FoldInConfig{
+		Seed: req.Seed, Sweeps: sweeps, P: s.opt.P, Ctx: r.Context(),
+	})
+	if err != nil {
+		writeErr(w, http.StatusServiceUnavailable, "inference aborted: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"topics": s.foldIn.K(), "seed": req.Seed, "sweeps": sweeps, "theta": theta,
+	})
+}

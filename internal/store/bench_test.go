@@ -1,0 +1,62 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchSnapshot builds a serving-sized snapshot: v-word vocabulary, k
+// topics with count tables, and a 2-level hierarchy with phrases.
+func benchSnapshot(k, v int) *Snapshot {
+	vocab := make([]string, v)
+	counts := make([]int, v)
+	for i := range vocab {
+		vocab[i] = fmt.Sprintf("word%06d", i)
+		counts[i] = 1 + i%37
+	}
+	tp := &Topics{K: k, V: v, Alpha: 0.5, Beta: 0.01,
+		Weight: make([]float64, k), Phi: make([][]float64, k),
+		NKV: make([][]int, k), NK: make([]int, k)}
+	for t := 0; t < k; t++ {
+		tp.Weight[t] = 1 / float64(k)
+		tp.Phi[t] = make([]float64, v)
+		tp.NKV[t] = make([]int, v)
+		for w := 0; w < v; w++ {
+			tp.Phi[t][w] = 1 / float64(v)
+			tp.NKV[t][w] = (t*v + w) % 11
+			tp.NK[t] += tp.NKV[t][w]
+		}
+	}
+	h := sampleHierarchy()
+	return &Snapshot{Vocab: vocab, Corpus: &CorpusMeta{NumDocs: 10000, TotalTokens: 90000, WordCounts: counts},
+		Topics: tp, Hierarchy: h}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	s := benchSnapshot(20, 20000)
+	buf, err := Encode(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	buf, err := Encode(benchSnapshot(20, 20000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

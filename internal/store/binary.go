@@ -1,0 +1,143 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// enc is an append-only little-endian encoder. All writes are infallible;
+// the resulting bytes are a pure function of the written values.
+type enc struct {
+	buf []byte
+}
+
+func (e *enc) u32(v uint32) {
+	e.buf = binary.LittleEndian.AppendUint32(e.buf, v)
+}
+
+func (e *enc) u64(v uint64) {
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, v)
+}
+
+// i64 stores a signed integer as its two's-complement bit pattern.
+func (e *enc) i64(v int64) { e.u64(uint64(v)) }
+
+// f64 stores a float by its IEEE-754 bit pattern, preserving it exactly
+// (including negative zero and NaN payloads).
+func (e *enc) f64(v float64) { e.u64(math.Float64bits(v)) }
+
+func (e *enc) str(s string) {
+	e.u32(uint32(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+func (e *enc) ints(v []int) {
+	e.u64(uint64(len(v)))
+	for _, x := range v {
+		e.i64(int64(x))
+	}
+}
+
+func (e *enc) floats(v []float64) {
+	e.u64(uint64(len(v)))
+	for _, x := range v {
+		e.f64(x)
+	}
+}
+
+// dec is the bounds-checked reader for enc's output. The first out-of-range
+// read latches err and turns every later read into a zero-value no-op, so
+// decoders can run straight-line and check err once at the end.
+type dec struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *dec) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("store: truncated %s at offset %d", what, d.off)
+	}
+}
+
+func (d *dec) take(n int, what string) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || d.off+n > len(d.buf) {
+		d.fail(what)
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+func (d *dec) u32(what string) uint32 {
+	b := d.take(4, what)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *dec) u64(what string) uint64 {
+	b := d.take(8, what)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (d *dec) i64(what string) int64 { return int64(d.u64(what)) }
+
+func (d *dec) f64(what string) float64 { return math.Float64frombits(d.u64(what)) }
+
+func (d *dec) str(what string) string {
+	n := d.u32(what)
+	b := d.take(int(n), what)
+	return string(b)
+}
+
+// length reads a collection length and sanity-bounds it against the bytes
+// that remain, so a corrupt length cannot drive a huge allocation. minSize
+// is the smallest possible encoded size of one element.
+func (d *dec) length(minSize int, what string) int {
+	n := d.u64(what)
+	if d.err != nil {
+		return 0
+	}
+	if minSize < 1 {
+		minSize = 1
+	}
+	if n > uint64(len(d.buf)-d.off)/uint64(minSize) {
+		d.fail(what + " length")
+		return 0
+	}
+	return int(n)
+}
+
+func (d *dec) ints(what string) []int {
+	n := d.length(8, what)
+	if n == 0 {
+		return nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = int(d.i64(what))
+	}
+	return out
+}
+
+func (d *dec) floats(what string) []float64 {
+	n := d.length(8, what)
+	if n == 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = d.f64(what)
+	}
+	return out
+}

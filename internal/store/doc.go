@@ -1,0 +1,24 @@
+// Package store persists fitted mining artifacts — topical hierarchies,
+// topic models with their fold-in sufficient statistics, per-topic ranked
+// phrases, advisor rankings, and vocabulary/corpus metadata — in a
+// versioned, self-describing binary snapshot format.
+//
+// A snapshot is the hand-off point between the batch side of the framework
+// (fit once, expensively) and the serving side (internal/serve, cmd/lesmd:
+// load once, answer many read-only queries). The format is deterministic:
+// encoding the same Snapshot value always yields the same bytes, and
+// Decode(Encode(s)) re-encodes byte-identically, so snapshots can be
+// content-addressed, diffed, and cached safely.
+//
+// Layout (all integers little-endian):
+//
+//	magic "LESMSNAP" | version u32 | section count u32
+//	section table: per section, name (u32 len + bytes) | offset u64 |
+//	               length u64 | CRC32 (IEEE) u32
+//	section payloads, concatenated in table order
+//
+// Sections appear in a fixed canonical order ("vocab", "corpus", "topics",
+// "hier", "roles", "advisor") and only when present. Every section's CRC is
+// verified on load; unknown section names are skipped, so newer writers
+// stay readable by older readers.
+package store

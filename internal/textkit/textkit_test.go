@@ -170,6 +170,38 @@ func TestVocabularyRoundTrip(t *testing.T) {
 	}
 }
 
+func TestVocabularyFromWords(t *testing.T) {
+	v := NewVocabulary()
+	for _, w := range []string{"alpha", "beta", "gamma"} {
+		v.Add(w)
+	}
+	// Persist as the id-ordered word list and rebuild.
+	got := VocabularyFromWords(v.Words())
+	if got.Size() != v.Size() {
+		t.Fatalf("Size = %d, want %d", got.Size(), v.Size())
+	}
+	for i := 0; i < v.Size(); i++ {
+		if got.Word(i) != v.Word(i) {
+			t.Fatalf("Word(%d) = %q, want %q", i, got.Word(i), v.Word(i))
+		}
+		if id, ok := got.ID(v.Word(i)); !ok || id != i {
+			t.Fatalf("ID(%q) = %d,%v", v.Word(i), id, ok)
+		}
+	}
+	// Adding after a rebuild continues from the next free id.
+	if id := got.Add("delta"); id != 3 {
+		t.Fatalf("next id after rebuild = %d, want 3", id)
+	}
+	// Empty list gives a usable empty vocabulary.
+	empty := VocabularyFromWords(nil)
+	if empty.Size() != 0 {
+		t.Fatalf("empty Size = %d", empty.Size())
+	}
+	if id := empty.Add("x"); id != 0 {
+		t.Fatalf("Add on rebuilt-empty vocab = %d", id)
+	}
+}
+
 func TestVocabularyTopByCount(t *testing.T) {
 	v := NewVocabulary()
 	v.Add("a")

@@ -14,6 +14,22 @@ func NewVocabulary() *Vocabulary {
 	return &Vocabulary{ids: map[string]int{}}
 }
 
+// VocabularyFromWords rebuilds a vocabulary from its id-ordered word list
+// (the persisted form): word i gets id i. Duplicate words keep the first
+// id, matching Add's semantics, so VocabularyFromWords(v.Words()) always
+// reproduces v.
+func VocabularyFromWords(words []string) *Vocabulary {
+	v := NewVocabulary()
+	v.words = make([]string, 0, len(words))
+	for _, w := range words {
+		v.words = append(v.words, w)
+		if _, ok := v.ids[w]; !ok {
+			v.ids[w] = len(v.words) - 1
+		}
+	}
+	return v
+}
+
 // Add returns the id for w, assigning the next free id if w is new.
 func (v *Vocabulary) Add(w string) int {
 	if v.ids == nil {

@@ -22,14 +22,17 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 
 	"lesm/internal/cathy"
 	"lesm/internal/core"
 	"lesm/internal/hin"
 	"lesm/internal/lda"
+	"lesm/internal/linalg"
 	"lesm/internal/par"
 	"lesm/internal/relcrf"
 	"lesm/internal/roles"
+	"lesm/internal/store"
 	"lesm/internal/strod"
 	"lesm/internal/textkit"
 	"lesm/internal/topmine"
@@ -388,11 +391,21 @@ func MineAdvisorTreeSupervised(papers []RelPaper, numAuthors int, advisorOf []in
 
 // --- Flat topic inference (Chapter 7) ---
 
-// TopicModel is a flat topic-word model recovered by STROD.
+// TopicModel is a flat topic-word model, recovered either by the
+// moment-based STROD method (InferTopics) or by collapsed Gibbs sampling
+// (InferTopicsGibbs).
 type TopicModel struct {
 	// Phi[k] is topic k's word distribution; Weight[k] its share.
 	Phi    [][]float64
 	Weight []float64
+	// NKV[k][v] and NK[k] are the Gibbs sampler's final token count tables
+	// — the sufficient statistics fold-in inference uses. Nil for STROD
+	// models (fold-in then samples against Phi directly).
+	NKV [][]int
+	NK  []int
+	// Alpha and Beta are the fit's effective Dirichlet hyperparameters
+	// (zero for STROD models).
+	Alpha, Beta float64
 }
 
 // InferTopics recovers k flat topics from the corpus with the moment-based
@@ -420,73 +433,248 @@ func InferTopics(corpus *Corpus, k int, seed int64, opts ...RunOptions) (*TopicM
 	return &TopicModel{Phi: m.Phi, Weight: m.Weight}, nil
 }
 
-// TopWords returns topic k's top-n words rendered through the vocabulary.
-// Selection keeps a size-n min-heap over the vocabulary — O(V log n) instead
-// of the O(n·V) selection scan — with ties going to the lower word id.
+// TopWords returns topic k's top-n words rendered through the vocabulary
+// (linalg.TopK selection: O(V log n), ties to the lower word id). n is
+// clamped to the number of renderable words, min(len(Phi[k]),
+// vocab.Size()), so a vocabulary smaller than the model's word axis yields
+// a short list instead of an out-of-range panic.
 func (m *TopicModel) TopWords(vocab *Vocabulary, k, n int) []string {
 	phi := m.Phi[k]
-	if n > len(phi) {
-		n = len(phi)
+	if vs := vocab.Size(); len(phi) > vs {
+		phi = phi[:vs]
 	}
-	if n <= 0 {
+	ids := linalg.TopK(phi, n)
+	if ids == nil {
 		return nil
 	}
-	type wp struct {
-		w int
-		p float64
-	}
-	// less orders the heap worst-first: lower probability, tie broken by
-	// HIGHER word id so that the lowest-id word among equals survives.
-	less := func(a, b wp) bool {
-		if a.p != b.p {
-			return a.p < b.p
-		}
-		return a.w > b.w
-	}
-	heap := make([]wp, 0, n)
-	siftUp := func(i int) {
-		for i > 0 {
-			parent := (i - 1) / 2
-			if !less(heap[i], heap[parent]) {
-				break
-			}
-			heap[i], heap[parent] = heap[parent], heap[i]
-			i = parent
-		}
-	}
-	siftDown := func(i int) {
-		for {
-			small := i
-			if l := 2*i + 1; l < len(heap) && less(heap[l], heap[small]) {
-				small = l
-			}
-			if r := 2*i + 2; r < len(heap) && less(heap[r], heap[small]) {
-				small = r
-			}
-			if small == i {
-				return
-			}
-			heap[i], heap[small] = heap[small], heap[i]
-			i = small
-		}
-	}
-	for w, p := range phi {
-		e := wp{w, p}
-		if len(heap) < n {
-			heap = append(heap, e)
-			siftUp(len(heap) - 1)
-		} else if less(heap[0], e) {
-			heap[0] = e
-			siftDown(0)
-		}
-	}
-	// Drain worst-first into the output back-to-front.
-	out := make([]string, len(heap))
-	for i := len(heap) - 1; i >= 0; i-- {
-		out[i] = vocab.Word(heap[0].w)
-		heap[0] = heap[len(heap)-1]
-		heap = heap[:len(heap)-1]
-		siftDown(0)
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = vocab.Word(id)
 	}
 	return out
+}
+
+// InferTopicsGibbs fits k flat topics with the collapsed Gibbs sampler of
+// Chapter 4's LDA substrate. Unlike InferTopics (STROD), the returned model
+// carries the sampler's sufficient statistics (NKV/NK), so fold-in
+// inference — Artifact.Infer, the lesmd /infer endpoint — samples against
+// the exact smoothed distributions the fit would have used. Deterministic:
+// same seed gives a bit-identical model at any parallelism level.
+func InferTopicsGibbs(corpus *Corpus, k int, seed int64, opts ...RunOptions) (*TopicModel, error) {
+	if corpus == nil || len(corpus.Docs) == 0 {
+		return nil, errors.New("lesm: empty corpus")
+	}
+	if k < 2 {
+		return nil, fmt.Errorf("lesm: k = %d, need >= 2", k)
+	}
+	ro := firstRunOptions(opts)
+	docs := make([][]int, len(corpus.Docs))
+	for i, d := range corpus.Docs {
+		docs[i] = d.Tokens
+	}
+	m, err := lda.Run(docs, corpus.Vocab.Size(), lda.Config{
+		K: k, Seed: seed, P: ro.Parallelism, Ctx: ro.Ctx,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &TopicModel{
+		Phi: m.Phi, Weight: m.Rho, NKV: m.NKV, NK: m.NK,
+		Alpha: m.Alpha, Beta: m.Beta,
+	}, nil
+}
+
+// --- Persistence & serving (the snapshot store) ---
+
+// CorpusMeta is the corpus-level metadata persisted alongside a model:
+// enough for a server to report shapes and compute IDF-style statistics
+// without shipping the documents themselves.
+type CorpusMeta = store.CorpusMeta
+
+// TopicPhrases pairs a topic path with its ranked phrase list — the role
+// analyzer's per-topic view in snapshot form.
+type TopicPhrases = store.TopicPhrases
+
+// NewCorpusMeta extracts the persistable metadata of a corpus.
+func NewCorpusMeta(c *Corpus) *CorpusMeta {
+	if c == nil {
+		return nil
+	}
+	return &CorpusMeta{
+		NumDocs:     len(c.Docs),
+		TotalTokens: c.TotalTokens(),
+		WordCounts:  c.WordCounts(),
+	}
+}
+
+// RolePhrasesOf collects every topic's ranked phrase list from a
+// phrase-enriched hierarchy (AttachPhrases output) in pre-order — the
+// snapshot's roles section.
+func RolePhrasesOf(h *Hierarchy) []TopicPhrases {
+	if h == nil {
+		return nil
+	}
+	var out []TopicPhrases
+	h.Root.Walk(func(n *TopicNode) {
+		out = append(out, TopicPhrases{Path: n.Path, Phrases: n.Phrases})
+	})
+	return out
+}
+
+// Artifact aggregates the persistable mining outputs of one fit. Every
+// field is optional; Save writes a section per present field and Load
+// restores exactly the sections the file carries.
+type Artifact struct {
+	// Hierarchy is a (possibly phrase-enriched) topical hierarchy.
+	Hierarchy *Hierarchy
+	// Topics is a flat topic model; with NKV/NK present, fold-in inference
+	// (Artifact.Infer, lesmd /infer) uses the exact fitted statistics.
+	Topics *TopicModel
+	// Vocab maps word ids to strings for rendering and query encoding.
+	Vocab *Vocabulary
+	// Corpus is the fitting corpus's metadata.
+	Corpus *CorpusMeta
+	// RolePhrases is the role analyzer's per-topic ranked phrase view.
+	RolePhrases []TopicPhrases
+	// Advisor is a mined advisor-advisee ranking.
+	Advisor *AdvisorResult
+
+	// foldOnce caches the frozen fold-in model: deriving the smoothed
+	// distributions from the count tables is O(K·V), too much to repeat on
+	// every Infer call against an immutable model. Callers must not mutate
+	// Topics after the first Infer.
+	foldOnce  sync.Once
+	foldModel *lda.FoldInModel
+	foldErr   error
+}
+
+// Sections lists the snapshot sections this artifact would persist, in
+// file order.
+func (a *Artifact) Sections() []string { return a.snapshot().Sections() }
+
+// Infer runs deterministic fold-in Gibbs inference for unseen documents
+// against the artifact's frozen topic model: theta[d][k] is document d's
+// topic distribution. Identical (seed, document index, tokens) give
+// identical results at any parallelism level. The artifact must carry a
+// topic model.
+func (a *Artifact) Infer(docs [][]int, seed int64, opts ...RunOptions) ([][]float64, error) {
+	fm, err := a.foldInModel()
+	if err != nil {
+		return nil, err
+	}
+	ro := firstRunOptions(opts)
+	return lda.FoldIn(fm, docs, lda.FoldInConfig{
+		Seed: seed, P: ro.Parallelism, Ctx: ro.Ctx,
+	})
+}
+
+// InferText tokenizes raw text through the pipeline, encodes it with the
+// artifact's vocabulary (unknown words dropped) and folds it in.
+func (a *Artifact) InferText(texts []string, p Pipeline, seed int64, opts ...RunOptions) ([][]float64, error) {
+	if a.Vocab == nil {
+		return nil, errors.New("lesm: artifact has no vocabulary; use Infer with token ids")
+	}
+	docs := make([][]int, len(texts))
+	for i, text := range texts {
+		var ids []int
+		for _, tok := range p.Process(text) {
+			if id, ok := a.Vocab.ID(tok); ok {
+				ids = append(ids, id)
+			}
+		}
+		docs[i] = ids
+	}
+	return a.Infer(docs, seed, opts...)
+}
+
+func (a *Artifact) foldInModel() (*lda.FoldInModel, error) {
+	a.foldOnce.Do(func() {
+		t := a.Topics
+		if t == nil {
+			a.foldErr = errors.New("lesm: artifact has no topic model")
+			return
+		}
+		// The fold-in prior is deliberately NOT the fitting alpha (50/K by
+		// convention): that prior is calibrated for whole training
+		// documents and bounds a short query document's theta to
+		// near-uniform regardless of content.
+		if t.NKV != nil && t.NK != nil {
+			a.foldModel = lda.FoldInModelFromCounts(t.NKV, t.NK, lda.DefaultFoldInAlpha, t.Beta)
+			return
+		}
+		a.foldModel = lda.NewFoldInModel(t.Phi, lda.DefaultFoldInAlpha)
+	})
+	return a.foldModel, a.foldErr
+}
+
+// snapshot converts the artifact to the store's section set.
+func (a *Artifact) snapshot() *store.Snapshot {
+	s := &store.Snapshot{
+		Hierarchy:   a.Hierarchy,
+		Corpus:      a.Corpus,
+		RolePhrases: a.RolePhrases,
+	}
+	if a.Vocab != nil {
+		s.Vocab = a.Vocab.Words()
+	}
+	if t := a.Topics; t != nil {
+		v := 0
+		if len(t.Phi) > 0 {
+			v = len(t.Phi[0])
+		}
+		s.Topics = &store.Topics{
+			K: len(t.Phi), V: v, Weight: t.Weight, Phi: t.Phi,
+			Alpha: t.Alpha, Beta: t.Beta, NKV: t.NKV, NK: t.NK,
+		}
+	}
+	if a.Advisor != nil {
+		s.Advisor = &store.Advisor{Net: a.Advisor.res.Net, Rank: a.Advisor.res.Rank}
+	}
+	return s
+}
+
+func artifactFromSnapshot(s *store.Snapshot) *Artifact {
+	a := &Artifact{
+		Hierarchy:   s.Hierarchy,
+		Corpus:      s.Corpus,
+		RolePhrases: s.RolePhrases,
+	}
+	if s.Vocab != nil {
+		a.Vocab = textkit.VocabularyFromWords(s.Vocab)
+	}
+	if t := s.Topics; t != nil {
+		a.Topics = &TopicModel{
+			Phi: t.Phi, Weight: t.Weight, NKV: t.NKV, NK: t.NK,
+			Alpha: t.Alpha, Beta: t.Beta,
+		}
+	}
+	if s.Advisor != nil {
+		a.Advisor = &AdvisorResult{res: &tpfg.Result{Net: s.Advisor.Net, Rank: s.Advisor.Rank}}
+	}
+	return a
+}
+
+// Save persists the artifact to path in the versioned binary snapshot
+// format (magic + section table + per-section CRC; see internal/store).
+// Encoding is deterministic — the same artifact always produces the same
+// bytes — and Load(Save(a)) re-encodes byte-identically.
+func Save(path string, a *Artifact) error {
+	if a == nil {
+		return errors.New("lesm: nil artifact")
+	}
+	return store.Write(path, a.snapshot())
+}
+
+// Load reads an artifact persisted by Save, verifying the per-section
+// checksums and the sections' cross-field shape invariants. The result can
+// be queried directly (Infer, the typed fields) or served with cmd/lesmd.
+func Load(path string) (*Artifact, error) {
+	s, err := store.Read(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return artifactFromSnapshot(s), nil
 }

@@ -1,6 +1,9 @@
 package lesm
 
 import (
+	"bytes"
+	"os"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -167,5 +170,189 @@ func TestInferTopics(t *testing.T) {
 	words := m.TopWords(ds.Corpus.Vocab, 0, 5)
 	if len(words) != 5 || words[0] == "" {
 		t.Fatalf("top words = %v", words)
+	}
+}
+
+// --- Persistence & serving (PR 3) ---
+
+func TestTopWordsClampsToVocabulary(t *testing.T) {
+	// A model whose word axis is longer than the vocabulary (e.g. a model
+	// fit on a larger corpus queried through a trimmed vocabulary) must
+	// clamp instead of panicking in Vocabulary.Word.
+	v := NewCorpus().Vocab
+	v.Add("alpha")
+	v.Add("beta")
+	m := &TopicModel{Phi: [][]float64{{0.1, 0.5, 0.3, 0.05, 0.05}}}
+	words := m.TopWords(v, 0, 5)
+	if len(words) != 2 {
+		t.Fatalf("clamped words = %v, want 2 entries", words)
+	}
+	// Highest-probability renderable word first (id 1 = "beta").
+	if words[0] != "beta" || words[1] != "alpha" {
+		t.Fatalf("words = %v", words)
+	}
+	if got := m.TopWords(v, 0, 0); got != nil {
+		t.Fatalf("n=0 gave %v", got)
+	}
+}
+
+func TestInferTopicsGibbsExportsCounts(t *testing.T) {
+	corpus := demoCorpus()
+	m, err := InferTopicsGibbs(corpus, 4, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NKV == nil || m.NK == nil || m.Beta <= 0 {
+		t.Fatal("Gibbs model missing fold-in sufficient statistics")
+	}
+	if len(m.Phi) != 4 || len(m.Weight) != 4 {
+		t.Fatalf("shape: phi=%d weight=%d", len(m.Phi), len(m.Weight))
+	}
+	if words := m.TopWords(corpus.Vocab, 0, 5); len(words) != 5 {
+		t.Fatalf("top words = %v", words)
+	}
+}
+
+// fullArtifact fits every artifact type on small synthetic data.
+func fullArtifact(t *testing.T) *Artifact {
+	t.Helper()
+	corpus := demoCorpus()
+	h, err := BuildTextHierarchy(corpus, HierarchyOptions{K: 3, Levels: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AttachPhrases(corpus, nil, h, PhraseOptions{TopN: 6}); err != nil {
+		t.Fatal(err)
+	}
+	topics, err := InferTopicsGibbs(corpus, 4, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := synth.NewGenealogy(synth.GenealogyConfig{Seed: 1003})
+	papers := make([]RelPaper, len(g.Papers))
+	for i, p := range g.Papers {
+		papers[i] = RelPaper{Year: p.Year, Authors: p.Authors, Venue: p.Venue}
+	}
+	adv, err := MineAdvisorTree(papers, g.NumAuthors, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Artifact{
+		Hierarchy:   h,
+		Topics:      topics,
+		Vocab:       corpus.Vocab,
+		Corpus:      NewCorpusMeta(corpus),
+		RolePhrases: RolePhrasesOf(h),
+		Advisor:     adv,
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	a := fullArtifact(t)
+	dir := t.TempDir()
+	p1, p2 := dir+"/m1.lesm", dir+"/m2.lesm"
+	if err := Save(p1, a); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Save(Load(Save(a))) must be byte-identical to Save(a).
+	if err := Save(p2, got); err != nil {
+		t.Fatal(err)
+	}
+	b1, err := os.ReadFile(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("re-saved snapshot differs: %d vs %d bytes", len(b1), len(b2))
+	}
+	// Restored content answers the same queries.
+	if got.Vocab.Size() != a.Vocab.Size() {
+		t.Fatalf("vocab size %d != %d", got.Vocab.Size(), a.Vocab.Size())
+	}
+	if got.Hierarchy.Root.Size() != a.Hierarchy.Root.Size() {
+		t.Fatalf("hierarchy size changed")
+	}
+	if !reflect.DeepEqual(got.Topics, a.Topics) {
+		t.Fatal("topic model changed across round-trip")
+	}
+	if len(got.RolePhrases) != len(a.RolePhrases) {
+		t.Fatal("role phrases changed")
+	}
+	wantAdv, wantScore := a.Advisor.Advisor(5)
+	gotAdv, gotScore := got.Advisor.Advisor(5)
+	if wantAdv != gotAdv || wantScore != gotScore {
+		t.Fatalf("advisor answer changed: %d/%v vs %d/%v", gotAdv, gotScore, wantAdv, wantScore)
+	}
+	if !reflect.DeepEqual(got.Sections(), a.Sections()) || len(a.Sections()) != 6 {
+		t.Fatalf("sections = %v vs %v", got.Sections(), a.Sections())
+	}
+}
+
+func TestArtifactInferDeterministicAcrossP(t *testing.T) {
+	corpus := demoCorpus()
+	topics, err := InferTopicsGibbs(corpus, 4, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := &Artifact{Topics: topics, Vocab: corpus.Vocab}
+	docs := make([][]int, 60)
+	for i := range docs {
+		docs[i] = []int{i % corpus.Vocab.Size(), (3 * i) % corpus.Vocab.Size()}
+	}
+	base, err := a.Infer(docs, 13, RunOptions{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := a.Infer(docs, 13, RunOptions{Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base, par) {
+		t.Fatal("fold-in differs across parallelism")
+	}
+	// Text-level inference drops unknown words and still normalizes.
+	theta, err := a.InferText([]string{"database query processing", "entirely unknown words"}, DefaultPipeline, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, th := range theta {
+		sum := 0.0
+		for _, v := range th {
+			sum += v
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Fatalf("theta not normalized: %v", th)
+		}
+	}
+	// No topics section -> typed error.
+	if _, err := (&Artifact{Vocab: corpus.Vocab}).Infer(docs, 1); err == nil {
+		t.Fatal("inference without topics should error")
+	}
+}
+
+func TestLoadRejectsCorruptFile(t *testing.T) {
+	a := fullArtifact(t)
+	path := t.TempDir() + "/m.lesm"
+	if err := Save(path, a); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)-3] ^= 0x55
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("corrupted snapshot accepted")
 	}
 }
