@@ -31,7 +31,14 @@ func main() {
 	par := flag.Int("p", 0, "parallel workers for the mining engines (0 = GOMAXPROCS)")
 	save := flag.String("save", "", "persist the fitted artifacts as a snapshot at this path (see cmd/lesmd)")
 	topics := flag.Int("topics", 0, "with -save: also fit a flat Gibbs topic model with this many topics for /infer")
+	sampler := flag.String("sampler", "", "Gibbs sampling core for the -topics flat model: empty or 'sparse' for the bucket+alias core, 'dense' for the O(K)-per-token core")
 	flag.Parse()
+
+	// Reject a bad -sampler up front, even when -topics is 0 and the flag
+	// would otherwise be silently unused.
+	if !lesm.Sampler(*sampler).Valid() {
+		log.Fatalf("lesm: unknown -sampler %q (want 'sparse' or 'dense')", *sampler)
+	}
 
 	var in io.Reader = os.Stdin
 	if flag.NArg() > 0 {
@@ -78,7 +85,8 @@ func main() {
 			RolePhrases: lesm.RolePhrasesOf(h),
 		}
 		if *topics > 0 {
-			tm, err := lesm.InferTopicsGibbs(corpus, *topics, *seed, lesm.RunOptions{Parallelism: *par})
+			tm, err := lesm.InferTopicsGibbs(corpus, *topics, *seed,
+				lesm.RunOptions{Parallelism: *par, Sampler: lesm.Sampler(*sampler)})
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -29,6 +29,7 @@ import (
 	"syscall"
 	"time"
 
+	"lesm/internal/lda"
 	"lesm/internal/serve"
 	"lesm/internal/store"
 )
@@ -40,6 +41,7 @@ func main() {
 	inflight := flag.Int("max-inflight", 4, "max concurrent /infer batches")
 	sweeps := flag.Int("sweeps", 30, "default fold-in Gibbs sweeps")
 	alpha := flag.Float64("alpha", 0, "fold-in document prior (0 = 0.1; the fitted 50/K prior swamps short documents — pass it explicitly for posterior-mean behavior)")
+	sampler := flag.String("sampler", "", "fold-in sampling core: empty or 'sparse' for the bucket+alias core, 'dense' for the O(K)-per-token core (A/B validation)")
 	flag.Parse()
 
 	if *snapshot == "" {
@@ -52,6 +54,7 @@ func main() {
 	}
 	srv, err := serve.New(snap, serve.Options{
 		P: *p, MaxInFlight: *inflight, Sweeps: *sweeps, Alpha: *alpha,
+		Sampler: lda.Sampler(*sampler),
 	})
 	if err != nil {
 		log.Fatalf("lesmd: %v", err)

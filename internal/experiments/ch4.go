@@ -202,11 +202,11 @@ func phraseMethodTopics(ds *synth.Dataset, k int, seed int64) map[string][][]cor
 	out["KERT"] = topicsK
 
 	// TNG.
-	tm2 := tng.Run(docs, v, tng.Config{K: k, Iters: 100, Seed: seed + 2})
+	tm2 := must(tng.Run(docs, v, tng.Config{K: k, Iters: 100, Seed: seed + 2}))
 	out["TNG"] = tm2.TopicalPhrases(ds.Corpus, 25)
 
 	// PDLDA stand-in: Pitman-Yor-flavored n-gram sampler (see tng docs).
-	pd := tng.Run(docs, v, tng.Config{K: k, Iters: 100, Seed: seed + 3, Discount: 0.5, ExtraWork: 15})
+	pd := must(tng.Run(docs, v, tng.Config{K: k, Iters: 100, Seed: seed + 3, Discount: 0.5, ExtraWork: 15}))
 	out["PDLDA*"] = pd.TopicalPhrases(ds.Corpus, 25)
 
 	// TurboTopics.
@@ -397,14 +397,14 @@ func Table45(scale float64) *Table {
 		run      func(ds *synth.Dataset)
 	}{
 		{"PDLDA*", false, func(ds *synth.Dataset) {
-			tng.Run(tokensOf(ds), ds.Corpus.Vocab.Size(), tng.Config{K: 5, Iters: 100, Seed: 423, Discount: 0.5, ExtraWork: 15})
+			must(tng.Run(tokensOf(ds), ds.Corpus.Vocab.Size(), tng.Config{K: 5, Iters: 100, Seed: 423, Discount: 0.5, ExtraWork: 15}))
 		}},
 		{"Turbo", false, func(ds *synth.Dataset) {
 			m := must(lda.Run(tokensOf(ds), ds.Corpus.Vocab.Size(), lda.Config{K: 5, Iters: 100, Seed: 424}))
 			turbotopics.Run(ds.Corpus, m, turbotopics.Config{}, 20)
 		}},
 		{"TNG", false, func(ds *synth.Dataset) {
-			tng.Run(tokensOf(ds), ds.Corpus.Vocab.Size(), tng.Config{K: 5, Iters: 100, Seed: 425})
+			must(tng.Run(tokensOf(ds), ds.Corpus.Vocab.Size(), tng.Config{K: 5, Iters: 100, Seed: 425}))
 		}},
 		{"LDA", false, func(ds *synth.Dataset) {
 			must(lda.Run(tokensOf(ds), ds.Corpus.Vocab.Size(), lda.Config{K: 5, Iters: 100, Seed: 426}))

@@ -1,8 +1,12 @@
-// Gibbs-sampler benchmarks at Parallelism 1 vs NumCPU over the same
-// fixed-seed workload. `go test -bench 'LDA' -run '^$' ./internal/lda`
-// regenerates the numbers recorded in BENCH_pr2.json; the determinism
-// guarantee means the P=1 and P=N variants produce identical models, so
-// the comparison is pure wall clock.
+// Gibbs-sampler benchmarks: dense vs sparse core at Parallelism 1 and
+// NumCPU over fixed-seed workloads, reporting tokens/sec so the perf
+// trajectory stays comparable across BENCH_*.json files regardless of
+// workload shape. `go test -bench 'LDA|FoldIn' -run '^$' ./internal/lda`
+// regenerates the numbers recorded in BENCH_pr4.json. The determinism
+// guarantee means every variant of one core produces identical models at
+// any P, so P1-vs-PN comparisons are pure wall clock; dense-vs-sparse
+// compares two different (equally valid) trajectories over the same
+// workload — see TestSparseDensePerplexityParity for the quality gate.
 package lda
 
 import (
@@ -11,17 +15,60 @@ import (
 	"testing"
 )
 
-func benchLDA(b *testing.B, p int) {
+// reportTokensPerSec converts the benchmark's elapsed time into the
+// sampler's end-to-end token throughput (init pass excluded: tokens
+// sampled = corpus tokens x sweeps x iterations run).
+func reportTokensPerSec(b *testing.B, tokensPerOp int) {
+	b.ReportMetric(float64(tokensPerOp)*float64(b.N)/b.Elapsed().Seconds(), "tokens/s")
+}
+
+func benchLDA(b *testing.B, p int, sampler Sampler) {
 	docs, _ := synthCorpus(2048, 64, 71)
+	cfg := Config{K: 5, Iters: 50, Seed: 72, Background: true, P: p, Sampler: sampler}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Run(docs, 10, Config{K: 5, Iters: 50, Seed: 72, Background: true, P: p}); err != nil {
+		if _, err := Run(docs, 10, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
+	reportTokensPerSec(b, 2048*64*cfg.Iters)
 }
 
-func benchPhraseLDA(b *testing.B, p int) {
+// wideCorpus is the many-topic workload for the K >= 200 comparison: 32
+// topic blocks over a 1000-word vocabulary with a 10% uniform noise
+// floor, so fitted documents concentrate on few topics (K_d << K) the way
+// real corpora do.
+func wideCorpus(nDocs, docLen int, seed int64) [][]int {
+	rng := rand.New(rand.NewSource(seed))
+	docs := make([][]int, nDocs)
+	for d := range docs {
+		top := d % 32
+		doc := make([]int, docLen)
+		for i := range doc {
+			if rng.Float64() < 0.1 {
+				doc[i] = rng.Intn(1000)
+			} else {
+				doc[i] = top*30 + rng.Intn(30)
+			}
+		}
+		docs[d] = doc
+	}
+	return docs
+}
+
+func benchLDAK200(b *testing.B, sampler Sampler) {
+	docs := wideCorpus(512, 64, 75)
+	cfg := Config{K: 200, Alpha: 0.25, Iters: 20, Seed: 76, Sampler: sampler}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(docs, 1000, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportTokensPerSec(b, 512*64*cfg.Iters)
+}
+
+func benchPhraseLDA(b *testing.B, p int, sampler Sampler) {
 	rng := rand.New(rand.NewSource(73))
 	docs := make([]PhraseDoc, 2048)
 	for d := range docs {
@@ -32,15 +79,53 @@ func benchPhraseLDA(b *testing.B, p int) {
 		}
 		docs[d] = doc
 	}
+	cfg := Config{K: 5, Iters: 50, Seed: 74, P: p, Sampler: sampler}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := RunPhrases(docs, 12, Config{K: 5, Iters: 50, Seed: 74, P: p}); err != nil {
+		if _, err := RunPhrases(docs, 12, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
+	reportTokensPerSec(b, 2048*24*2*cfg.Iters)
 }
 
-func BenchmarkLDA_P1(b *testing.B)       { benchLDA(b, 1) }
-func BenchmarkLDA_PN(b *testing.B)       { benchLDA(b, runtime.NumCPU()) }
-func BenchmarkPhraseLDA_P1(b *testing.B) { benchPhraseLDA(b, 1) }
-func BenchmarkPhraseLDA_PN(b *testing.B) { benchPhraseLDA(b, runtime.NumCPU()) }
+func benchFoldIn(b *testing.B, sampler Sampler) {
+	// Frozen K=200 model over the wide corpus; 256 short query docs per
+	// op, the serving-shaped workload.
+	m := Must(Run(wideCorpus(512, 64, 77), 1000, Config{K: 200, Alpha: 0.25, Iters: 10, Seed: 78}))
+	fm := FoldInModelFromCounts(m.NKV, m.NK, DefaultFoldInAlpha, m.Beta)
+	fm.PrecomputeSparse() // pay the one-time alias build outside the timer
+	rng := rand.New(rand.NewSource(79))
+	docs := make([][]int, 256)
+	for i := range docs {
+		docs[i] = make([]int, 16)
+		top := rng.Intn(32)
+		for j := range docs[i] {
+			docs[i][j] = top*30 + rng.Intn(30)
+		}
+	}
+	cfg := FoldInConfig{Seed: 80, Sweeps: 30, Sampler: sampler}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FoldIn(fm, docs, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportTokensPerSec(b, 256*16*cfg.Sweeps)
+}
+
+func BenchmarkLDA_Dense_P1(b *testing.B)  { benchLDA(b, 1, SamplerDense) }
+func BenchmarkLDA_Dense_PN(b *testing.B)  { benchLDA(b, runtime.NumCPU(), SamplerDense) }
+func BenchmarkLDA_Sparse_P1(b *testing.B) { benchLDA(b, 1, SamplerSparse) }
+func BenchmarkLDA_Sparse_PN(b *testing.B) { benchLDA(b, runtime.NumCPU(), SamplerSparse) }
+
+func BenchmarkLDA_K200_Dense(b *testing.B)  { benchLDAK200(b, SamplerDense) }
+func BenchmarkLDA_K200_Sparse(b *testing.B) { benchLDAK200(b, SamplerSparse) }
+
+func BenchmarkPhraseLDA_Dense_P1(b *testing.B)  { benchPhraseLDA(b, 1, SamplerDense) }
+func BenchmarkPhraseLDA_Dense_PN(b *testing.B)  { benchPhraseLDA(b, runtime.NumCPU(), SamplerDense) }
+func BenchmarkPhraseLDA_Sparse_P1(b *testing.B) { benchPhraseLDA(b, 1, SamplerSparse) }
+func BenchmarkPhraseLDA_Sparse_PN(b *testing.B) { benchPhraseLDA(b, runtime.NumCPU(), SamplerSparse) }
+
+func BenchmarkFoldIn_Dense(b *testing.B)  { benchFoldIn(b, SamplerDense) }
+func BenchmarkFoldIn_Sparse(b *testing.B) { benchFoldIn(b, SamplerSparse) }

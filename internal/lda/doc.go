@@ -16,4 +16,11 @@
 // sweep), and per-chunk count deltas merge in chunk order, so a fitted
 // model is a pure function of the seed at any Config.P (see gibbs.go for
 // the design and its AD-LDA-style staleness trade).
+//
+// Two sampling cores implement the per-token draw (Config.Sampler /
+// FoldInConfig.Sampler): the default sparse core — a SparseLDA-style
+// bucket decomposition with per-sweep Walker alias tables, O(K_d + 1)
+// amortized per token (sparse.go) — and the classic dense O(K) core kept
+// for A/B validation. Fold-in inference against a frozen model (foldin.go)
+// shares the machinery and is what the serving daemon runs per request.
 package lda

@@ -3,7 +3,11 @@ package lda
 import (
 	"context"
 	"errors"
+	"fmt"
+	"math"
+	"sync"
 
+	"lesm/internal/linalg"
 	"lesm/internal/par"
 )
 
@@ -14,6 +18,15 @@ import (
 // parallelizes over documents with no shared mutable state, and every
 // document's trajectory is a pure function of (Seed, doc index). This is
 // the inference mode the serving daemon (internal/serve) runs per request.
+//
+// The conditional p(k) ∝ (n_dk + α_k)·φ_kw splits into a document part
+// n_dk·φ_kw (sparse over the topics the query document uses, O(K_d)) and a
+// prior part α_k·φ_kw that depends only on the word — served by one Walker
+// alias table per word, built lazily once per model and cached (the model
+// is immutable, so unlike the fitting side the tables never go stale and
+// the sparse fold-in samples the *exact* same conditional as the dense
+// one, just through a different draw pattern). FoldInConfig.Sampler picks
+// the core; the default is sparse.
 
 // DefaultFoldInAlpha is the document prior fold-in consumers should reach
 // for when the caller doesn't supply one. The *fitting* default (50/K) is
@@ -24,7 +37,9 @@ import (
 const DefaultFoldInAlpha = 0.1
 
 // FoldInModel is the frozen topic side of fold-in: the per-topic word
-// likelihoods and the document prior.
+// likelihoods and the document prior. Treat a model as immutable once it
+// has served a FoldIn call (the sparse core caches per-word alias tables
+// derived from it).
 type FoldInModel struct {
 	// PhiLike[k][w] is the fixed p(w | topic k) each token is scored
 	// against. Rows must share one length V; tokens with id >= V are
@@ -33,6 +48,14 @@ type FoldInModel struct {
 	// Alpha[k] is the Dirichlet document prior (uniform in practice, but
 	// kept per-topic so a background topic's inflated prior survives).
 	Alpha []float64
+
+	// Lazily-built sparse machinery: per-word alias tables over the prior
+	// part α_k·φ_kw of the conditional, plus their masses. ~2 extra words
+	// of memory per (topic, word) cell, paid only when the sparse core is
+	// first used.
+	sparseOnce sync.Once
+	qMass      []float64
+	qTab       []linalg.Alias
 }
 
 // NewFoldInModel freezes explicit topic-word distributions (e.g. a STROD
@@ -81,6 +104,57 @@ func (fm *FoldInModel) V() int {
 	return len(fm.PhiLike[0])
 }
 
+// validate rejects malformed models up front instead of panicking deep in
+// the per-document sampler.
+func (fm *FoldInModel) validate() error {
+	if fm == nil || fm.K() == 0 {
+		return errors.New("lda: fold-in against an empty model")
+	}
+	v := fm.V()
+	for k, row := range fm.PhiLike {
+		if len(row) != v {
+			return fmt.Errorf("lda: FoldInModel.PhiLike row %d has length %d, want %d (rows must share one vocabulary)", k, len(row), v)
+		}
+	}
+	if len(fm.Alpha) != fm.K() {
+		return fmt.Errorf("lda: FoldInModel has %d topics but %d Alpha entries", fm.K(), len(fm.Alpha))
+	}
+	for k, a := range fm.Alpha {
+		if a < 0 || math.IsNaN(a) {
+			return fmt.Errorf("lda: FoldInModel.Alpha[%d] = %v, need >= 0", k, a)
+		}
+	}
+	return nil
+}
+
+// ensureSparse builds the per-word alias tables over α_k·φ_kw once. The
+// build is O(K·V) and the result is cached for the model's lifetime —
+// serving pays it on the first sparse /infer, not per request.
+func (fm *FoldInModel) ensureSparse() {
+	fm.sparseOnce.Do(func() {
+		k, v := fm.K(), fm.V()
+		fm.qMass = make([]float64, v)
+		fm.qTab = make([]linalg.Alias, v)
+		prob := make([]float64, k*v)
+		alias := make([]int32, k*v)
+		weights := make([]float64, k)
+		var b linalg.AliasBuilder
+		for w := 0; w < v; w++ {
+			for t := 0; t < k; t++ {
+				weights[t] = fm.Alpha[t] * fm.PhiLike[t][w]
+			}
+			fm.qTab[w] = b.Build(nil, weights, prob[w*k:(w+1)*k], alias[w*k:(w+1)*k])
+			fm.qMass[w] = fm.qTab[w].Total
+		}
+	})
+}
+
+// PrecomputeSparse eagerly builds the sparse core's cached per-word alias
+// tables (normally built lazily on the first sparse FoldIn call), so a
+// long-lived server pays the O(K·V) build at startup instead of on its
+// first request. Safe to call concurrently; a no-op after the first build.
+func (fm *FoldInModel) PrecomputeSparse() { fm.ensureSparse() }
+
 // FoldInConfig parameterizes FoldIn.
 type FoldInConfig struct {
 	// Sweeps is the number of Gibbs sweeps per document (default 30 —
@@ -92,6 +166,9 @@ type FoldInConfig struct {
 	Seed int64
 	// P bounds the worker count (0 = GOMAXPROCS).
 	P int
+	// Sampler selects the sampling core (SamplerAuto = sparse). Both cores
+	// sample the same per-token conditional; their trajectories differ.
+	Sampler Sampler
 	// Ctx cancels the batch between document chunks (nil = background).
 	Ctx context.Context
 }
@@ -110,12 +187,19 @@ func (c FoldInConfig) withDefaults() FoldInConfig {
 // cfg.P, and identical for a given (Seed, doc index, tokens) regardless of
 // what else is in the batch.
 func FoldIn(fm *FoldInModel, docs [][]int, cfg FoldInConfig) ([][]float64, error) {
-	if fm == nil || fm.K() == 0 {
-		return nil, errors.New("lda: fold-in against an empty model")
+	if err := fm.validate(); err != nil {
+		return nil, err
+	}
+	if !cfg.Sampler.Valid() {
+		return nil, cfg.Sampler.errUnknown()
 	}
 	cfg = cfg.withDefaults()
 	k := fm.K()
 	v := fm.V()
+	sparse := cfg.Sampler.resolve() == SamplerSparse
+	if sparse {
+		fm.ensureSparse()
+	}
 	alphaSum := 0.0
 	for _, a := range fm.Alpha {
 		alphaSum += a
@@ -123,9 +207,17 @@ func FoldIn(fm *FoldInModel, docs [][]int, cfg FoldInConfig) ([][]float64, error
 	theta := make([][]float64, len(docs))
 	err := par.For(par.Opts{P: cfg.P, Ctx: cfg.Ctx}, len(docs), func(lo, hi int) {
 		nDK := make([]int, k)
-		probs := make([]float64, k)
+		scratch := make([]float64, k)
+		var docSet *linalg.IndexSet
+		if sparse {
+			docSet = linalg.NewIndexSet(k)
+		}
 		for di := lo; di < hi; di++ {
-			theta[di] = foldInDoc(fm, docs[di], cfg, uint64(di), nDK, probs, alphaSum, v)
+			if sparse {
+				theta[di] = foldInDocSparse(fm, docs[di], cfg, uint64(di), nDK, docSet, scratch, alphaSum, v)
+			} else {
+				theta[di] = foldInDoc(fm, docs[di], cfg, uint64(di), nDK, scratch, alphaSum, v)
+			}
 		}
 	})
 	if err != nil {
@@ -134,8 +226,8 @@ func FoldIn(fm *FoldInModel, docs [][]int, cfg FoldInConfig) ([][]float64, error
 	return theta, nil
 }
 
-// foldInDoc runs the per-document sampler. nDK and probs are caller-owned
-// scratch of length K; nDK is re-zeroed here before use.
+// foldInDoc runs the dense per-document sampler. nDK and probs are
+// caller-owned scratch of length K; nDK is re-zeroed here before use.
 func foldInDoc(fm *FoldInModel, doc []int, cfg FoldInConfig, di uint64, nDK []int, probs []float64, alphaSum float64, v int) []float64 {
 	k := len(nDK)
 	for t := range nDK {
@@ -178,9 +270,99 @@ func foldInDoc(fm *FoldInModel, doc []int, cfg FoldInConfig, di uint64, nDK []in
 		}
 	}
 
-	out := make([]float64, k)
-	denom := float64(len(toks)) + alphaSum
-	for t := 0; t < k; t++ {
+	return foldInTheta(fm, nDK, len(toks), alphaSum)
+}
+
+// foldInDocSparse runs the per-document sampler through the sparse
+// decomposition: the prior part answers from the model's cached alias
+// tables in O(1), the document part walks the query document's topic
+// support in O(K_d). Same conditional as foldInDoc, different trajectory.
+// nDK, docSet and tvals are caller-owned scratch of length K; nDK and
+// docSet are reset here before use.
+func foldInDocSparse(fm *FoldInModel, doc []int, cfg FoldInConfig, di uint64, nDK []int, docSet *linalg.IndexSet, tvals []float64, alphaSum float64, v int) []float64 {
+	k := len(nDK)
+	for t := range nDK {
+		nDK[t] = 0
+	}
+	docSet.Clear()
+	toks := make([]int, 0, len(doc))
+	for _, w := range doc {
+		if w >= 0 && w < v {
+			toks = append(toks, w)
+		}
+	}
+	z := make([]int, len(toks))
+
+	// Initialization pass (sweep 0): the conditional is exactly the prior
+	// part α_k·φ_kw — a pure alias draw.
+	rng := newStream(cfg.Seed, di, 0)
+	for i, w := range toks {
+		var t int
+		if fm.qMass[w] > 0 {
+			t = fm.qTab[w].Draw(rng.Float64())
+		} else {
+			t = rng.Intn(k) // every topic scores zero: uniform fallback
+		}
+		z[i] = t
+		nDK[t]++
+		docSet.Add(t)
+	}
+
+	for sweep := 1; sweep <= cfg.Sweeps; sweep++ {
+		rng := newStream(cfg.Seed, di, uint64(sweep))
+		for i, w := range toks {
+			told := z[i]
+			nDK[told]--
+			if nDK[told] == 0 {
+				docSet.Remove(told)
+			}
+			nz := docSet.Indices()
+			tv := tvals[:len(nz)]
+			tMass := 0.0
+			for j, t32 := range nz {
+				t := int(t32)
+				val := float64(nDK[t]) * fm.PhiLike[t][w]
+				tv[j] = val
+				tMass += val
+			}
+			qm := fm.qMass[w]
+			total := tMass + qm
+			var t int
+			switch {
+			case total <= 0:
+				t = rng.Intn(k) // every topic scores zero: uniform fallback
+			default:
+				u := rng.Float64() * total
+				switch {
+				case u < tMass:
+					t = int(nz[len(nz)-1])
+					for j, val := range tv {
+						u -= val
+						if u <= 0 {
+							t = int(nz[j])
+							break
+						}
+					}
+				case qm > 0:
+					t = fm.qTab[w].Draw(rng.Float64())
+				default:
+					t = int(nz[len(nz)-1]) // rounding pushed u past tMass
+				}
+			}
+			z[i] = t
+			nDK[t]++
+			docSet.Add(t)
+		}
+	}
+
+	return foldInTheta(fm, nDK, len(toks), alphaSum)
+}
+
+// foldInTheta is the smoothed normalization both cores share.
+func foldInTheta(fm *FoldInModel, nDK []int, nToks int, alphaSum float64) []float64 {
+	out := make([]float64, len(nDK))
+	denom := float64(nToks) + alphaSum
+	for t := range nDK {
 		out[t] = (float64(nDK[t]) + fm.Alpha[t]) / denom
 	}
 	return out

@@ -18,45 +18,14 @@ import (
 // (AD-LDA, Newman et al. 2009); within a chunk sampling remains fully
 // collapsed.
 
-// Sampler chunk policy: clamp(d/minDocsPerChunk, 1, maxSamplerChunks),
-// further lowered until the delta tables fit deltaCellBudget.
-//
-// The sampler deliberately uses coarser chunks than the runtime's default
-// policy, for two reasons. Statistically, counts are stale across chunks
-// within a sweep, so fewer/bigger chunks keep the sampler closer to fully
-// collapsed Gibbs — and the small corpora where staleness hurts most are
-// exactly the ones that get few chunks. In memory, each chunk carries a
-// delta table of O(topics x vocabulary) ints, so maxSamplerChunks bounds
-// the sampler at 64 such tables while still exposing 64-way parallelism
-// for corpora of 2048+ documents, and deltaCellBudget caps the tables'
-// total cell count (~0.5 GB of ints when saturated) so a huge vocabulary
-// sheds parallelism instead of multiplying the serial sampler's memory.
-const (
-	minDocsPerChunk  = 32
-	maxSamplerChunks = 64
-	deltaCellBudget  = 1 << 26
-)
-
 // samplerChunks is the pass's chunk count for d documents over kTotal
-// topics and v words. A pure function of the problem shape, never of P —
-// the determinism contract's requirement.
+// topics and v words — the shared coarse sampler policy (par.SamplerChunks:
+// clamp(d/32, 1, 64), lowered until the O(topics x vocabulary) delta
+// tables fit the cell budget; see the rationale there). internal/tng uses
+// the same policy, so the two samplers' staleness/memory behavior cannot
+// silently diverge.
 func samplerChunks(d, kTotal, v int) int {
-	nc := d / minDocsPerChunk
-	if nc < 1 {
-		nc = 1
-	}
-	if nc > maxSamplerChunks {
-		nc = maxSamplerChunks
-	}
-	if cells := kTotal * v; cells > 0 {
-		if byMem := deltaCellBudget / cells; nc > byMem {
-			nc = byMem
-			if nc < 1 {
-				nc = 1
-			}
-		}
-	}
-	return nc
+	return par.SamplerChunks(d, kTotal*v)
 }
 
 // delta is one chunk's private count-table diff against the sweep-start
@@ -118,13 +87,17 @@ func (dl *delta) applyTo(nKV [][]int, nK []int) {
 	}
 }
 
-// sweepScratch is the per-chunk scratch of a sampler run — delta tables
-// and probability buffers — allocated once and reused across all sweeps
-// (the tables are O(topics x vocabulary) each, too big to reallocate per
-// sweep). applyTo re-zeroes each delta as it folds it into the globals.
+// sweepScratch is the per-chunk scratch of a sampler run — delta tables,
+// probability buffers and (for the sparse sampler) incremental bucket
+// state — allocated once and reused across all sweeps (the tables are
+// O(topics x vocabulary) each, too big to reallocate per sweep). applyTo
+// re-zeroes each delta as it folds it into the globals.
 type sweepScratch struct {
 	deltas []*delta
 	probs  [][]float64
+	// sparse[c] is chunk c's incremental bucket state; nil for dense runs
+	// (see enableSparse / sparse.go).
+	sparse []*sparseChunk
 }
 
 func newSweepScratch(nc, kTotal, v int) *sweepScratch {
@@ -137,25 +110,31 @@ func newSweepScratch(nc, kTotal, v int) *sweepScratch {
 }
 
 // gibbsPass runs one chunked pass (initialization or a Gibbs sweep) over d
-// documents, using the chunk count the scratch was sized for. visit
-// samples document di with its own counter-based PRNG stream derived from
+// documents, using the chunk count the scratch was sized for. begin, when
+// non-nil, runs once at the start of each chunk (the sparse sampler
+// refreshes its per-chunk bucket masses there). visit samples document di
+// of chunk c with its own counter-based PRNG stream derived from
 // (seed, di, sweep), records count changes in the chunk's delta dl, and
 // may use probs (len kTotal) as scratch. On success the chunk deltas are
 // merged into nKV/nK in chunk order and reset; on cancellation the global
 // tables are left unchanged and the context error is returned. A pass over
 // zero documents is a no-op.
 func gibbsPass(o par.Opts, seed int64, sweep uint64, d int, sc *sweepScratch,
-	nKV [][]int, nK []int, visit func(di int, rng *stream, dl *delta, probs []float64)) error {
+	nKV [][]int, nK []int, begin func(c int),
+	visit func(c, di int, rng *stream, dl *delta, probs []float64)) error {
 	if d <= 0 {
 		return o.Err()
 	}
 	nc := len(sc.deltas)
 	err := par.ForChunksN(o, d, nc, func(c, lo, hi int) {
+		if begin != nil {
+			begin(c)
+		}
 		dl := sc.deltas[c]
 		probs := sc.probs[c]
 		for di := lo; di < hi; di++ {
 			rng := newStream(seed, uint64(di), sweep)
-			visit(di, &rng, dl, probs)
+			visit(c, di, &rng, dl, probs)
 		}
 	})
 	if err != nil {

@@ -2,9 +2,53 @@ package lda
 
 import (
 	"context"
+	"fmt"
+	"math"
 
 	"lesm/internal/par"
 )
+
+// Sampler selects the Gibbs sampling core. Both cores honor the
+// determinism contract (bit-identical models at any Config.P), but they
+// consume the per-document PRNG streams differently, so they are two
+// *different* deterministic trajectories with the same stationary
+// behaviour.
+type Sampler string
+
+const (
+	// SamplerAuto resolves to SamplerSparse, the default.
+	SamplerAuto Sampler = ""
+	// SamplerSparse is the bucket-decomposed sparse core with per-sweep
+	// Walker alias tables (SparseLDA / AliasLDA hybrid): O(K_d) amortized
+	// per token instead of O(K). See sparse.go.
+	SamplerSparse Sampler = "sparse"
+	// SamplerDense is the classic O(K)-per-token collapsed sampler, kept
+	// for A/B validation of the sparse core.
+	SamplerDense Sampler = "dense"
+)
+
+func (s Sampler) resolve() Sampler {
+	if s == SamplerAuto {
+		return SamplerSparse
+	}
+	return s
+}
+
+// Valid reports whether s names a known sampling core. Consumers that
+// accept a sampler name from a flag or an options struct (internal/serve,
+// the CLIs) share this check so a new core only has to be registered here.
+func (s Sampler) Valid() bool {
+	switch s {
+	case SamplerAuto, SamplerSparse, SamplerDense:
+		return true
+	}
+	return false
+}
+
+// errUnknown is the shared rejection message for unknown sampler names.
+func (s Sampler) errUnknown() error {
+	return fmt.Errorf("lda: unknown sampler %q (want %q or %q)", s, SamplerSparse, SamplerDense)
+}
 
 // Config parameterizes a Gibbs run.
 type Config struct {
@@ -27,12 +71,61 @@ type Config struct {
 	// P bounds the worker count of the parallel sweeps (0 = GOMAXPROCS).
 	// Models are bit-identical at any P.
 	P int
+	// Sampler selects the sampling core: SamplerAuto/SamplerSparse is the
+	// sparse bucket+alias core, SamplerDense the classic O(K)-per-token
+	// sampler for A/B validation. The two produce different (both
+	// deterministic) trajectories.
+	Sampler Sampler
 	// Ctx cancels sampling between work chunks (nil = background); a
 	// cancelled run returns the context error and no model.
 	Ctx context.Context
 }
 
 func (c Config) parOpts() par.Opts { return par.Opts{P: c.P, Ctx: c.Ctx} }
+
+// validate rejects configurations that would otherwise panic deep inside
+// the sampler (K <= 0 divides by zero in withDefaults, an empty vocabulary
+// indexes out of range, negative priors produce negative probabilities).
+// Called on the raw config, before defaulting fills zero fields.
+func (c Config) validate(v int) error {
+	if c.K <= 0 {
+		return fmt.Errorf("lda: Config.K = %d, need at least 1 topic", c.K)
+	}
+	if v <= 0 {
+		return fmt.Errorf("lda: vocabulary size %d, need at least 1", v)
+	}
+	// NaN compares false against everything, so "< 0" alone would wave a
+	// NaN prior through into every per-token probability.
+	if c.Alpha < 0 || math.IsNaN(c.Alpha) {
+		return fmt.Errorf("lda: Config.Alpha = %v, need >= 0 (0 = default 50/K)", c.Alpha)
+	}
+	if c.Beta < 0 || math.IsNaN(c.Beta) {
+		return fmt.Errorf("lda: Config.Beta = %v, need >= 0 (0 = default 0.01)", c.Beta)
+	}
+	if c.Iters < 0 {
+		return fmt.Errorf("lda: Config.Iters = %d, need >= 0 (0 = default 200)", c.Iters)
+	}
+	if c.BGWeight < 0 || math.IsNaN(c.BGWeight) {
+		return fmt.Errorf("lda: Config.BGWeight = %v, need >= 0 (0 = default 3)", c.BGWeight)
+	}
+	if !c.Sampler.Valid() {
+		return c.Sampler.errUnknown()
+	}
+	return nil
+}
+
+// validateTokens rejects word ids outside [0, v) up front: the count
+// tables are sized by v, and an out-of-range id would panic mid-sweep.
+func validateTokens(docs [][]int, v int) error {
+	for di, doc := range docs {
+		for i, w := range doc {
+			if w < 0 || w >= v {
+				return fmt.Errorf("lda: doc %d token %d: word id %d outside vocabulary [0, %d)", di, i, w, v)
+			}
+		}
+	}
+	return nil
+}
 
 func (c Config) withDefaults() Config {
 	if c.Alpha == 0 {
@@ -85,9 +178,16 @@ type Model struct {
 // parallel runtime: every document samples from its own (Seed, doc, sweep)
 // PRNG stream against the sweep-start counts plus its chunk's running
 // delta, and chunk deltas merge in chunk order afterwards (see gibbsPass).
-// The fitted model is therefore bit-identical at any Config.P. Run only
-// returns an error when Config.Ctx is cancelled.
+// The fitted model is therefore bit-identical at any Config.P. Run returns
+// an error when the config or a token id is invalid, or when Config.Ctx is
+// cancelled.
 func Run(docs [][]int, v int, cfg Config) (*Model, error) {
+	if err := cfg.validate(v); err != nil {
+		return nil, err
+	}
+	if err := validateTokens(docs, v); err != nil {
+		return nil, err
+	}
 	cfg = cfg.withDefaults()
 	o := cfg.parOpts()
 	kTotal := cfg.K
@@ -105,8 +205,10 @@ func Run(docs [][]int, v int, cfg Config) (*Model, error) {
 	alpha := alphaVec(cfg, kTotal)
 	sc := newSweepScratch(samplerChunks(d, kTotal, v), kTotal, v)
 
-	err := gibbsPass(o, cfg.Seed, 0, d, sc, nKV, nK,
-		func(di int, rng *stream, dl *delta, _ []float64) {
+	// Initialization pass (uniform assignments), shared by both cores so a
+	// dense/sparse A/B comparison starts from the same state.
+	err := gibbsPass(o, cfg.Seed, 0, d, sc, nKV, nK, nil,
+		func(_, di int, rng *stream, dl *delta, _ []float64) {
 			doc := docs[di]
 			nDK[di] = make([]int, kTotal)
 			z[di] = make([]int, len(doc))
@@ -121,10 +223,25 @@ func Run(docs [][]int, v int, cfg Config) (*Model, error) {
 		return nil, err
 	}
 
+	if cfg.Sampler.resolve() == SamplerSparse {
+		err = runSparse(o, cfg, docs, v, d, sc, alpha, nDK, nKV, nK, z)
+	} else {
+		err = runDense(o, cfg, docs, v, d, kTotal, sc, alpha, nDK, nKV, nK, z)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return summarize(docs, v, kTotal, cfg, nDK, nKV, nK, z), nil
+}
+
+// runDense is the classic collapsed sampler: every token scores all kTotal
+// topics (O(K) per token) against global + own-chunk delta counts.
+func runDense(o par.Opts, cfg Config, docs [][]int, v, d, kTotal int, sc *sweepScratch,
+	alpha []float64, nDK [][]int, nKV [][]int, nK []int, z [][]int) error {
 	vb := float64(v) * cfg.Beta
 	for it := 0; it < cfg.Iters; it++ {
-		err := gibbsPass(o, cfg.Seed, uint64(it+1), d, sc, nKV, nK,
-			func(di int, rng *stream, dl *delta, probs []float64) {
+		err := gibbsPass(o, cfg.Seed, uint64(it+1), d, sc, nKV, nK, nil,
+			func(_, di int, rng *stream, dl *delta, probs []float64) {
 				doc := docs[di]
 				for i, w := range doc {
 					k := z[di][i]
@@ -153,10 +270,47 @@ func Run(docs [][]int, v int, cfg Config) (*Model, error) {
 				}
 			})
 		if err != nil {
-			return nil, err
+			return err
 		}
 	}
-	return summarize(docs, v, kTotal, cfg, nDK, nKV, nK, z), nil
+	return nil
+}
+
+// runSparse is the bucket+alias core (sparse.go): per sweep, the q-bucket
+// alias tables rebuild from the frozen globals, then every chunk samples
+// its documents through the incremental bucket state at O(K_d) amortized
+// per token.
+func runSparse(o par.Opts, cfg Config, docs [][]int, v, d int, sc *sweepScratch,
+	alpha []float64, nDK [][]int, nKV [][]int, nK []int, z [][]int) error {
+	if d == 0 {
+		// Every pass is a no-op; skip the per-sweep O(K·V) alias rebuilds.
+		return o.Err()
+	}
+	qa := newQAlias(v)
+	sc.enableSparse(alpha, cfg.Beta, v, nKV, nK, qa)
+	for it := 0; it < cfg.Iters; it++ {
+		if err := qa.rebuild(o, alpha, cfg.Beta, nKV, nK); err != nil {
+			return err
+		}
+		err := gibbsPass(o, cfg.Seed, uint64(it+1), d, sc, nKV, nK,
+			func(c int) { sc.sparse[c].beginPass() },
+			func(c, di int, rng *stream, _ *delta, _ []float64) {
+				ch := sc.sparse[c]
+				ch.beginDoc(nDK[di])
+				doc := docs[di]
+				zd := z[di]
+				for i, w := range doc {
+					ch.adjust(zd[i], w, -1)
+					k := ch.sampleToken(w, rng)
+					zd[i] = k
+					ch.adjust(k, w, 1)
+				}
+			})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func summarize(docs [][]int, v, kTotal int, cfg Config, nDK [][]int, nKV [][]int, nK []int, z [][]int) *Model {

@@ -12,6 +12,8 @@ import (
 	"math/rand"
 	"reflect"
 	"testing"
+
+	"lesm/internal/par"
 )
 
 // bigSynthCorpus builds a corpus large enough to span several sampler
@@ -74,13 +76,14 @@ func TestRunIndependentOfWorkerScheduling(t *testing.T) {
 	}
 }
 
-// TestSamplerChunksPolicy pins the sampler's chunk policy: coarse doc
-// chunks, a 64-chunk ceiling, and a delta-table cell budget that sheds
-// parallelism on huge vocabularies instead of multiplying memory. All
-// pure functions of the problem shape, never of P.
+// TestSamplerChunksPolicy pins the sampler's chunk policy (shared with
+// internal/tng via par.SamplerChunks): coarse doc chunks, a 64-chunk
+// ceiling, and a delta-table cell budget that sheds parallelism on huge
+// vocabularies instead of multiplying memory. All pure functions of the
+// problem shape, never of P.
 func TestSamplerChunksPolicy(t *testing.T) {
-	if nc := samplerChunks(2048, 5, 100); nc != maxSamplerChunks {
-		t.Fatalf("samplerChunks(2048, small vocab) = %d, want %d", nc, maxSamplerChunks)
+	if nc := samplerChunks(2048, 5, 100); nc != par.SamplerMaxChunks {
+		t.Fatalf("samplerChunks(2048, small vocab) = %d, want %d", nc, par.SamplerMaxChunks)
 	}
 	if nc := samplerChunks(31, 5, 100); nc != 1 {
 		t.Fatalf("samplerChunks(31) = %d, want 1", nc)
@@ -88,9 +91,9 @@ func TestSamplerChunksPolicy(t *testing.T) {
 	// 21 topics x 500k words = 10.5M cells per chunk: the budget allows
 	// only a handful of live delta tables.
 	nc := samplerChunks(100000, 21, 500000)
-	if nc < 1 || nc*21*500000 > deltaCellBudget {
+	if nc < 1 || nc*21*500000 > par.SamplerCellBudget {
 		t.Fatalf("samplerChunks huge-vocab = %d chunks, %d cells exceeds budget %d",
-			nc, nc*21*500000, deltaCellBudget)
+			nc, nc*21*500000, par.SamplerCellBudget)
 	}
 }
 

@@ -1,5 +1,11 @@
 package lda
 
+import (
+	"fmt"
+
+	"lesm/internal/par"
+)
+
 // PhraseDoc is a document partitioned into a bag of phrases (each phrase a
 // word-id sequence), the output form of ToPMine's segmentation step.
 type PhraseDoc [][]int
@@ -16,8 +22,27 @@ type PhraseDoc [][]int
 // Like Run, sweeps execute as chunked document passes on the shared
 // parallel runtime with per-document (Seed, doc, sweep) PRNG streams and
 // chunk-ordered delta merging, so the model is bit-identical at any
-// Config.P. RunPhrases only returns an error when Config.Ctx is cancelled.
+// Config.P. The sparse core applies to single-word phrases — for those the
+// conditional is exactly token LDA's, so they go through the bucket+alias
+// decomposition at O(K_d) amortized; multi-word phrases keep the dense
+// O(K·len) product (the bucket split does not factor across a product of
+// word likelihoods) while reading counts through the same incremental
+// state. Since segmented corpora are dominated by unigram phrases, the
+// sparse win carries over. RunPhrases returns an error when the config or
+// a token id is invalid, or when Config.Ctx is cancelled.
 func RunPhrases(docs []PhraseDoc, v int, cfg Config) (*Model, error) {
+	if err := cfg.validate(v); err != nil {
+		return nil, err
+	}
+	for di, doc := range docs {
+		for pi, phrase := range doc {
+			for _, w := range phrase {
+				if w < 0 || w >= v {
+					return nil, fmt.Errorf("lda: doc %d phrase %d: word id %d outside vocabulary [0, %d)", di, pi, w, v)
+				}
+			}
+		}
+	}
 	cfg = cfg.withDefaults()
 	o := cfg.parOpts()
 	kTotal := cfg.K
@@ -36,8 +61,8 @@ func RunPhrases(docs []PhraseDoc, v int, cfg Config) (*Model, error) {
 	alpha := alphaVec(cfg, kTotal)
 	sc := newSweepScratch(samplerChunks(d, kTotal, v), kTotal, v)
 
-	err := gibbsPass(o, cfg.Seed, 0, d, sc, nKV, nK,
-		func(di int, rng *stream, dl *delta, _ []float64) {
+	err := gibbsPass(o, cfg.Seed, 0, d, sc, nKV, nK, nil,
+		func(_, di int, rng *stream, dl *delta, _ []float64) {
 			doc := docs[di]
 			nDK[di] = make([]int, kTotal)
 			zP[di] = make([]int, len(doc))
@@ -54,53 +79,13 @@ func RunPhrases(docs []PhraseDoc, v int, cfg Config) (*Model, error) {
 		return nil, err
 	}
 
-	vb := float64(v) * cfg.Beta
-	for it := 0; it < cfg.Iters; it++ {
-		err := gibbsPass(o, cfg.Seed, uint64(it+1), d, sc, nKV, nK,
-			func(di int, rng *stream, dl *delta, probs []float64) {
-				doc := docs[di]
-				for pi, phrase := range doc {
-					k := zP[di][pi]
-					nDK[di][k] -= len(phrase)
-					for _, w := range phrase {
-						dl.add(k, w, -1)
-					}
-					total := 0.0
-					for kk := 0; kk < kTotal; kk++ {
-						p := float64(nDK[di][kk]) + alpha[kk]
-						for i, w := range phrase {
-							// c counts earlier in-phrase occurrences of w.
-							c := 0
-							for j := 0; j < i; j++ {
-								if phrase[j] == w {
-									c++
-								}
-							}
-							p *= (float64(nKV[kk][w]+dl.kv[kk][w]) + cfg.Beta + float64(c)) /
-								(float64(nK[kk]+dl.k[kk]) + vb + float64(i))
-						}
-						probs[kk] = p
-						total += p
-					}
-					r := rng.Float64() * total
-					k = kTotal - 1
-					for kk := 0; kk < kTotal; kk++ {
-						r -= probs[kk]
-						if r <= 0 {
-							k = kk
-							break
-						}
-					}
-					zP[di][pi] = k
-					nDK[di][k] += len(phrase)
-					for _, w := range phrase {
-						dl.add(k, w, 1)
-					}
-				}
-			})
-		if err != nil {
-			return nil, err
-		}
+	if cfg.Sampler.resolve() == SamplerSparse {
+		err = runPhrasesSparse(o, cfg, docs, v, d, sc, alpha, nDK, nKV, nK, zP)
+	} else {
+		err = runPhrasesDense(o, cfg, docs, v, d, kTotal, sc, alpha, nDK, nKV, nK, zP)
+	}
+	if err != nil {
+		return nil, err
 	}
 
 	// Expand phrase assignments to token assignments for the summary.
@@ -117,4 +102,112 @@ func RunPhrases(docs []PhraseDoc, v int, cfg Config) (*Model, error) {
 	m := summarize(flat, v, kTotal, cfg, nDK, nKV, nK, zTok)
 	m.PhraseZ = zP
 	return m, nil
+}
+
+// samplePhrase draws a topic for one (already-removed) phrase from the
+// dense product conditional, reading effective counts (global + own-chunk
+// delta) by direct indexing — this is the innermost loop of both phrase
+// cores, shared so the dense/sparse A/B can never desynchronize on the
+// phrase math (the in-phrase duplicate-word correction c and the
+// position-shifted denominator). Consumes exactly one PRNG step.
+func samplePhrase(phrase []int, nDK, nK []int, nKV [][]int, dl *delta,
+	alpha []float64, beta, vb float64, probs []float64, rng *stream) int {
+	kTotal := len(alpha)
+	total := 0.0
+	for kk := 0; kk < kTotal; kk++ {
+		p := float64(nDK[kk]) + alpha[kk]
+		for i, w := range phrase {
+			// c counts earlier in-phrase occurrences of w.
+			c := 0
+			for j := 0; j < i; j++ {
+				if phrase[j] == w {
+					c++
+				}
+			}
+			p *= (float64(nKV[kk][w]+dl.kv[kk][w]) + beta + float64(c)) /
+				(float64(nK[kk]+dl.k[kk]) + vb + float64(i))
+		}
+		probs[kk] = p
+		total += p
+	}
+	r := rng.Float64() * total
+	for kk := 0; kk < kTotal; kk++ {
+		r -= probs[kk]
+		if r <= 0 {
+			return kk
+		}
+	}
+	return kTotal - 1
+}
+
+func runPhrasesDense(o par.Opts, cfg Config, docs []PhraseDoc, v, d, kTotal int, sc *sweepScratch,
+	alpha []float64, nDK [][]int, nKV [][]int, nK []int, zP [][]int) error {
+	vb := float64(v) * cfg.Beta
+	for it := 0; it < cfg.Iters; it++ {
+		err := gibbsPass(o, cfg.Seed, uint64(it+1), d, sc, nKV, nK, nil,
+			func(_, di int, rng *stream, dl *delta, probs []float64) {
+				doc := docs[di]
+				for pi, phrase := range doc {
+					k := zP[di][pi]
+					nDK[di][k] -= len(phrase)
+					for _, w := range phrase {
+						dl.add(k, w, -1)
+					}
+					k = samplePhrase(phrase, nDK[di], nK, nKV, dl, alpha, cfg.Beta, vb, probs, rng)
+					zP[di][pi] = k
+					nDK[di][k] += len(phrase)
+					for _, w := range phrase {
+						dl.add(k, w, 1)
+					}
+				}
+			})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runPhrasesSparse(o par.Opts, cfg Config, docs []PhraseDoc, v, d int, sc *sweepScratch,
+	alpha []float64, nDK [][]int, nKV [][]int, nK []int, zP [][]int) error {
+	if d == 0 {
+		// Every pass is a no-op; skip the per-sweep O(K·V) alias rebuilds.
+		return o.Err()
+	}
+	qa := newQAlias(v)
+	sc.enableSparse(alpha, cfg.Beta, v, nKV, nK, qa)
+	for it := 0; it < cfg.Iters; it++ {
+		if err := qa.rebuild(o, alpha, cfg.Beta, nKV, nK); err != nil {
+			return err
+		}
+		err := gibbsPass(o, cfg.Seed, uint64(it+1), d, sc, nKV, nK,
+			func(c int) { sc.sparse[c].beginPass() },
+			func(c, di int, rng *stream, _ *delta, probs []float64) {
+				ch := sc.sparse[c]
+				ch.beginDoc(nDK[di])
+				doc := docs[di]
+				for pi, phrase := range doc {
+					k := zP[di][pi]
+					for _, w := range phrase {
+						ch.adjust(k, w, -1)
+					}
+					if len(phrase) == 1 {
+						k = ch.sampleToken(phrase[0], rng)
+					} else {
+						// Multi-word phrases keep the dense product — the
+						// bucket split does not factor across a product
+						// of word likelihoods.
+						k = samplePhrase(phrase, ch.nDK, nK, nKV, ch.dl, alpha, ch.beta, ch.vb, probs, rng)
+					}
+					zP[di][pi] = k
+					for _, w := range phrase {
+						ch.adjust(k, w, 1)
+					}
+				}
+			})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }

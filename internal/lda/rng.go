@@ -1,53 +1,16 @@
 package lda
 
-// Counter-based PRNG streams for the parallel Gibbs samplers.
-//
-// Each document gets an independent stream per sweep, keyed by
-// (seed, doc, sweep) through the SplitMix64 finalizer. Because a stream's
-// output depends only on that key — never on which worker runs the
-// document or how many other documents were sampled first — the sampled
-// trajectory is a pure function of the seed at any parallelism level.
+import "lesm/internal/rng"
 
-// mix64 is the SplitMix64 finalizer (Steele et al., "Fast splittable
-// pseudorandom number generators"), a strong 64-bit avalanche function.
-func mix64(z uint64) uint64 {
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return z ^ (z >> 31)
-}
+// The samplers' counter-based PRNG streams live in internal/rng (shared
+// with internal/tng since the TNG sampler went parallel); these aliases
+// keep the package-local names the sampler code reads naturally.
 
 // stream is a SplitMix64 generator positioned by a (seed, doc, sweep) key.
-type stream struct {
-	s uint64
-}
-
-const (
-	golden    = 0x9e3779b97f4a7c15 // 2^64 / phi, the SplitMix64 increment
-	sweepSalt = 0xd1b54a32d192ed03
-)
+type stream = rng.Stream
 
 // newStream derives the stream of document doc at sweep number sweep.
 // Sweep 0 is the initialization pass; Gibbs sweeps count from 1.
 func newStream(seed int64, doc, sweep uint64) stream {
-	s := mix64(uint64(seed) + golden)
-	s = mix64(s ^ (doc+1)*golden)
-	s = mix64(s ^ (sweep+1)*sweepSalt)
-	return stream{s}
-}
-
-// next advances the stream one step.
-func (st *stream) next() uint64 {
-	st.s += golden
-	return mix64(st.s)
-}
-
-// Float64 returns a uniform float64 in [0, 1).
-func (st *stream) Float64() float64 {
-	return float64(st.next()>>11) / (1 << 53)
-}
-
-// Intn returns a uniform int in [0, n). The modulo bias is < n/2^64 —
-// irrelevant for topic-count-sized n.
-func (st *stream) Intn(n int) int {
-	return int(st.next() % uint64(n))
+	return rng.NewStream(seed, doc, sweep)
 }

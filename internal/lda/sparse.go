@@ -1,0 +1,302 @@
+package lda
+
+import (
+	"lesm/internal/linalg"
+	"lesm/internal/par"
+)
+
+// The sparse sampling core: a bucket decomposition of the collapsed Gibbs
+// conditional plus per-sweep Walker alias tables, cutting the per-token
+// cost from O(K) to O(K_d) amortized (K_d = topics the document actually
+// uses). The decomposition expands the conditional's numerator
+//
+//	p(k) ∝ (n_dk + α_k)(n_kw + β) / (n_k + Vβ)
+//	     = [ n_dk·n_kw  +  n_dk·β  +  α_k·n_kw  +  α_k·β ] / (n_k + Vβ)
+//	         t bucket      r bucket    q bucket     s bucket
+//
+// following SparseLDA's s/r/q split (Yao, Mimno & McCallum, KDD 2009) with
+// the doc-dependent part of q peeled off into t, so that q becomes fully
+// document-independent and can be served by an alias table per word
+// (AliasLDA / LightLDA, Li et al., KDD 2014):
+//
+//   - t: sparse in the document's topics — computed fresh per token by
+//     walking the per-document topic list (O(K_d)); uses exact
+//     global+delta counts.
+//   - r: sparse in the document's topics — maintained incrementally as
+//     counts change (O(1) per change), recomputed at doc start.
+//   - s: dense but tiny (α·β terms) — maintained incrementally, walked
+//     only on the rare draws that land in it.
+//   - q: dense over the word's topics — served by a Walker alias table
+//     built once per sweep from the *frozen* global nKV/nK. This is the
+//     same one-pass-stale kind of approximation the AD-LDA chunk design
+//     already makes — the globals are frozen for the pass either way — but
+//     it is strictly more of it: the dense core folds the own-chunk delta
+//     into every term (and is exact collapsed Gibbs on single-chunk runs),
+//     while the sparse q bucket ignores within-pass count movement, with
+//     no Metropolis-Hastings correction. The t/r/s buckets stay exact
+//     against global + own-chunk delta; the perplexity-parity gate below
+//     bounds the consequence empirically.
+//
+// Chunk boundaries and per-document PRNG streams are untouched, so the
+// sparse sampler is bit-identical at any Config.P — but it consumes the
+// per-document streams differently than the dense sampler, so it is a
+// *different* deterministic trajectory (same stationary behaviour; see
+// TestSparseDensePerplexityParity). The dense path remains available
+// behind Config.Sampler for A/B validation.
+
+// qAlias is the per-sweep alias machinery for the q bucket: one Walker
+// table per vocabulary word over the topics whose frozen global count is
+// nonzero, all backed by shared CSC-style arrays reused across sweeps.
+type qAlias struct {
+	v int
+	// mass[w] is word w's total q-bucket mass Σ_k α_k·nKV[k][w]/(nK[k]+Vβ).
+	mass []float64
+	tab  []linalg.Alias
+	// CSC buffers over the nonzeros of the frozen nKV. cnt/off are int,
+	// not int32: nnz is bounded by the corpus token count, and a
+	// production-scale fit can push that past 2^31 — an int32 offset
+	// accumulator would wrap and index the shared arrays negatively.
+	invDen  []float64
+	cnt     []int
+	off     []int
+	topics  []int32
+	weights []float64
+	prob    []float64
+	alias   []int32
+}
+
+func newQAlias(v int) *qAlias {
+	return &qAlias{
+		v:    v,
+		mass: make([]float64, v),
+		tab:  make([]linalg.Alias, v),
+		cnt:  make([]int, v),
+		off:  make([]int, v+1),
+	}
+}
+
+// rebuild reconstructs every word's alias table from the frozen global
+// tables at the start of a sweep. Two row-major O(K·V) scans gather the
+// nonzeros into CSC layout (cache-friendly; the column-major alternative
+// walks the table V-strided), then the per-word table builds run on the
+// shared pool — each word's build is independent, so parallelism cannot
+// change the result. Cost is O(K·V + nnz) per sweep, amortized over the
+// corpus's tokens.
+func (q *qAlias) rebuild(o par.Opts, alpha []float64, beta float64, nKV [][]int, nK []int) error {
+	kTotal := len(nKV)
+	vb := float64(q.v) * beta
+	if cap(q.invDen) < kTotal {
+		q.invDen = make([]float64, kTotal)
+	}
+	invDen := q.invDen[:kTotal]
+	for k, n := range nK {
+		invDen[k] = 1 / (float64(n) + vb)
+	}
+	cnt := q.cnt
+	for w := range cnt {
+		cnt[w] = 0
+	}
+	for _, row := range nKV {
+		for w, c := range row {
+			if c > 0 {
+				cnt[w]++
+			}
+		}
+	}
+	off := q.off
+	off[0] = 0
+	for w := 0; w < q.v; w++ {
+		off[w+1] = off[w] + cnt[w]
+		cnt[w] = 0 // reuse as fill cursor
+	}
+	nnz := off[q.v]
+	if cap(q.topics) < nnz {
+		q.topics = make([]int32, nnz)
+		q.weights = make([]float64, nnz)
+		q.prob = make([]float64, nnz)
+		q.alias = make([]int32, nnz)
+	}
+	topics := q.topics[:nnz]
+	weights := q.weights[:nnz]
+	prob := q.prob[:nnz]
+	aliasArr := q.alias[:nnz]
+	for k, row := range nKV {
+		ak := alpha[k] * invDen[k]
+		for w, c := range row {
+			if c > 0 {
+				i := off[w] + cnt[w]
+				cnt[w]++
+				topics[i] = int32(k)
+				weights[i] = ak * float64(c)
+			}
+		}
+	}
+	return par.For(o, q.v, func(lo, hi int) {
+		var b linalg.AliasBuilder
+		for w := lo; w < hi; w++ {
+			s, e := off[w], off[w+1]
+			if s == e {
+				q.tab[w] = linalg.Alias{}
+				q.mass[w] = 0
+				continue
+			}
+			q.tab[w] = b.Build(topics[s:e], weights[s:e], prob[s:e], aliasArr[s:e])
+			q.mass[w] = q.tab[w].Total
+		}
+	})
+}
+
+// sparseChunk is one chunk's incremental bucket state. It owns no counts:
+// nKV/nK are the frozen globals, dl is the chunk's delta (shared with the
+// dense merge machinery), nDK is the current document's dense topic
+// counts. The chunk keeps the derived quantities — inverse denominators,
+// s/r masses, the document's topic support — in sync as adjust is called.
+type sparseChunk struct {
+	alpha    []float64
+	beta, vb float64
+	nKV      [][]int
+	nK       []int
+	dl       *delta
+	qa       *qAlias
+
+	// invDen[k] = 1/(nK[k]+dl.k[k]+Vβ), the chunk's current denominator.
+	invDen []float64
+	// sMass = Σ_k α_k·β·invDen[k], updated incrementally.
+	sMass float64
+
+	// Per-document state, valid between beginDoc calls.
+	nDK    []int
+	docSet *linalg.IndexSet
+	// rMass = Σ_{k ∈ docSet} nDK[k]·β·invDen[k], updated incrementally.
+	rMass float64
+	// tvals[j] is the t-bucket value of docSet.Indices()[j] for the token
+	// being sampled (filled by sampleToken, reused for the bucket walk).
+	tvals []float64
+}
+
+func newSparseChunk(alpha []float64, beta float64, v int, nKV [][]int, nK []int, dl *delta, qa *qAlias) *sparseChunk {
+	kTotal := len(alpha)
+	return &sparseChunk{
+		alpha: alpha, beta: beta, vb: float64(v) * beta,
+		nKV: nKV, nK: nK, dl: dl, qa: qa,
+		invDen: make([]float64, kTotal),
+		docSet: linalg.NewIndexSet(kTotal),
+		tvals:  make([]float64, kTotal),
+	}
+}
+
+// enableSparse attaches sparse bucket state to every chunk of the scratch.
+func (sc *sweepScratch) enableSparse(alpha []float64, beta float64, v int, nKV [][]int, nK []int, qa *qAlias) {
+	sc.sparse = make([]*sparseChunk, len(sc.deltas))
+	for c := range sc.sparse {
+		sc.sparse[c] = newSparseChunk(alpha, beta, v, nKV, nK, sc.deltas[c], qa)
+	}
+}
+
+// effKV and effK are the chunk's current effective counts: frozen global
+// plus own-chunk delta (never negative — the chunk only removes tokens it
+// owns, and those were merged into the globals by the previous pass).
+func (s *sparseChunk) effKV(k, w int) int { return s.nKV[k][w] + s.dl.kv[k][w] }
+func (s *sparseChunk) effK(k int) int     { return s.nK[k] + s.dl.k[k] }
+
+// beginPass refreshes the denominators and s mass from the sweep-start
+// globals (the chunk delta is empty here: applyTo reset it). O(K), once
+// per chunk per sweep.
+func (s *sparseChunk) beginPass() {
+	sm := 0.0
+	for k := range s.invDen {
+		inv := 1 / (float64(s.nK[k]) + s.vb)
+		s.invDen[k] = inv
+		sm += s.alpha[k] * s.beta * inv
+	}
+	s.sMass = sm
+}
+
+// beginDoc points the chunk at document state nDK and rebuilds the
+// document's topic support and r mass. O(K) — amortized over the
+// document's tokens, and the incremental updates keep it O(1) thereafter.
+func (s *sparseChunk) beginDoc(nDK []int) {
+	s.nDK = nDK
+	s.docSet.Clear()
+	rm := 0.0
+	for k, c := range nDK {
+		if c > 0 {
+			s.docSet.Add(k)
+			rm += float64(c) * s.beta * s.invDen[k]
+		}
+	}
+	s.rMass = rm
+}
+
+// adjust moves c tokens of word w into (+) or out of (−) topic k,
+// updating the delta table, the document counts, the denominators and the
+// incremental bucket masses together. O(1).
+func (s *sparseChunk) adjust(k, w, c int) {
+	old := s.invDen[k]
+	s.sMass -= s.alpha[k] * s.beta * old
+	s.rMass -= float64(s.nDK[k]) * s.beta * old
+	s.dl.add(k, w, c)
+	s.nDK[k] += c
+	inv := 1 / (float64(s.effK(k)) + s.vb)
+	s.invDen[k] = inv
+	s.sMass += s.alpha[k] * s.beta * inv
+	if s.nDK[k] > 0 {
+		s.docSet.Add(k)
+		s.rMass += float64(s.nDK[k]) * s.beta * inv
+	} else {
+		s.docSet.Remove(k)
+	}
+}
+
+// sampleToken draws a topic for one token of word w from the current
+// conditional via the bucket decomposition. The t bucket is computed fresh
+// (O(K_d), exact against global+delta counts); r and s are the maintained
+// masses; q answers from the frozen alias table in O(1). Consumes one PRNG
+// step, plus a second one only for draws landing in the q bucket.
+func (s *sparseChunk) sampleToken(w int, rng *stream) int {
+	nz := s.docSet.Indices()
+	tvals := s.tvals[:len(nz)]
+	tMass := 0.0
+	for j, k32 := range nz {
+		k := int(k32)
+		tv := float64(s.nDK[k]) * float64(s.effKV(k, w)) * s.invDen[k]
+		tvals[j] = tv
+		tMass += tv
+	}
+	qm := s.qa.mass[w]
+	total := tMass + s.rMass + s.sMass + qm
+	u := rng.Float64() * total
+	switch {
+	case u < tMass:
+		for j, tv := range tvals {
+			u -= tv
+			if u <= 0 {
+				return int(nz[j])
+			}
+		}
+		return int(nz[len(nz)-1])
+	case u < tMass+s.rMass:
+		u -= tMass
+		for _, k32 := range nz {
+			k := int(k32)
+			u -= float64(s.nDK[k]) * s.beta * s.invDen[k]
+			if u <= 0 {
+				return k
+			}
+		}
+		return int(nz[len(nz)-1])
+	case u < tMass+s.rMass+s.sMass || qm <= 0:
+		// Incremental masses carry float rounding, so a draw can
+		// overshoot into a zero q bucket; the s walk's clamp absorbs it.
+		u -= tMass + s.rMass
+		for k := range s.alpha {
+			u -= s.alpha[k] * s.beta * s.invDen[k]
+			if u <= 0 {
+				return k
+			}
+		}
+		return len(s.alpha) - 1
+	default:
+		return s.qa.tab[w].Draw(rng.Float64())
+	}
+}

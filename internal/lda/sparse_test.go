@@ -1,0 +1,275 @@
+// Sparse-sampler invariants: the bucket+alias core must honor the same
+// determinism contract as the dense core (bit-identical models at any
+// Config.P), match the dense core statistically (held-out perplexity
+// parity on a fixed-seed synthetic corpus), and the new input validation
+// must reject malformed configs instead of panicking mid-sweep.
+package lda
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestSparseRunDeterministicAcrossP(t *testing.T) {
+	docs := bigSynthCorpus(160, 61)
+	run := func(p int) *Model {
+		return Must(Run(docs, 10, Config{K: 3, Iters: 30, Seed: 62, Background: true, P: p, Sampler: SamplerSparse}))
+	}
+	want := run(1)
+	for _, p := range []int{2, 8} {
+		if got := run(p); !reflect.DeepEqual(want, got) {
+			t.Fatalf("sparse P=%d model differs from P=1 model", p)
+		}
+	}
+}
+
+func TestSparseRunPhrasesDeterministicAcrossP(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	docs := make([]PhraseDoc, 160)
+	for d := range docs {
+		top := d % 2
+		var doc PhraseDoc
+		for p := 0; p < 8; p++ {
+			// Mix unigram phrases (sparse fast path) with bigrams (dense
+			// product fallback) so both arms sample in one run.
+			doc = append(doc, []int{top*6 + rng.Intn(3)})
+			doc = append(doc, []int{top*6 + rng.Intn(3), top*6 + 3 + rng.Intn(3)})
+		}
+		docs[d] = doc
+	}
+	run := func(p int) *Model {
+		return Must(RunPhrases(docs, 12, Config{K: 2, Iters: 30, Seed: 64, P: p, Sampler: SamplerSparse}))
+	}
+	want := run(1)
+	for _, p := range []int{2, 8} {
+		if got := run(p); !reflect.DeepEqual(want, got) {
+			t.Fatalf("sparse P=%d phrase model differs from P=1 model", p)
+		}
+	}
+}
+
+func TestSparseFoldInDeterministicAcrossP(t *testing.T) {
+	m := foldInFixture(t)
+	fm := FoldInModelFromCounts(m.NKV, m.NK, DefaultFoldInAlpha, m.Beta)
+	docs := make([][]int, 97)
+	for i := range docs {
+		docs[i] = []int{i % 10, (i + 3) % 10, (2 * i) % 10, (i * i) % 10}
+	}
+	base, err := FoldIn(fm, docs, FoldInConfig{Seed: 5, P: 1, Sampler: SamplerSparse})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{2, 8} {
+		got, err := FoldIn(fm, docs, FoldInConfig{Seed: 5, P: p, Sampler: SamplerSparse})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(base, got) {
+			t.Fatalf("sparse fold-in differs at P=%d", p)
+		}
+	}
+}
+
+// TestSparseSamplerSeparatesTopics is the sparse twin of
+// TestRunSeparatesTopics: the core must actually converge, not just run.
+func TestSparseSamplerSeparatesTopics(t *testing.T) {
+	docs, labels := synthCorpus(100, 20, 1)
+	m := Must(Run(docs, 10, Config{K: 2, Iters: 100, Seed: 2, Sampler: SamplerSparse}))
+	argmax := func(x []float64) int {
+		best := 0
+		for i := range x {
+			if x[i] > x[best] {
+				best = i
+			}
+		}
+		return best
+	}
+	agree := map[int]map[int]int{0: {}, 1: {}}
+	for d := range docs {
+		agree[labels[d]][argmax(m.Theta[d])]++
+	}
+	sep := 0
+	for lbl := range agree {
+		bestC := 0
+		for _, c := range agree[lbl] {
+			if c > bestC {
+				bestC = c
+			}
+		}
+		sep += bestC
+	}
+	if acc := float64(sep) / 100; acc < 0.9 {
+		t.Fatalf("sparse sampler separation accuracy = %v, want >= 0.9", acc)
+	}
+}
+
+// heldOutPerplexity evaluates a fitted model on unseen documents: theta
+// comes from (dense, to keep the evaluator fixed) fold-in, the likelihood
+// from the model's smoothed topic-word distributions.
+func heldOutPerplexity(t *testing.T, m *Model, held [][]int) float64 {
+	t.Helper()
+	fm := FoldInModelFromCounts(m.NKV, m.NK, DefaultFoldInAlpha, m.Beta)
+	theta, err := FoldIn(fm, held, FoldInConfig{Seed: 9, Sampler: SamplerDense})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ll, n := 0.0, 0
+	for di, doc := range held {
+		for _, w := range doc {
+			p := 0.0
+			for k := range fm.PhiLike {
+				p += theta[di][k] * fm.PhiLike[k][w]
+			}
+			ll += math.Log(p)
+			n++
+		}
+	}
+	return math.Exp(-ll / float64(n))
+}
+
+// TestSparseDensePerplexityParity is the acceptance gate for the sparse
+// core: on a fixed-seed synthetic corpus with topic structure plus shared
+// noise, the sparse-fit model's held-out perplexity must land within 2% of
+// the dense-fit model's. (The two trajectories differ; their stationary
+// quality must not.)
+func TestSparseDensePerplexityParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	mk := func(n int) [][]int {
+		docs := make([][]int, n)
+		for d := range docs {
+			top := rng.Intn(4)
+			doc := make([]int, 48)
+			for i := range doc {
+				if rng.Float64() < 0.2 {
+					doc[i] = 40 + rng.Intn(20) // shared noise block
+				} else {
+					doc[i] = top*10 + rng.Intn(10)
+				}
+			}
+			docs[d] = doc
+		}
+		return docs
+	}
+	train, held := mk(400), mk(64)
+	dense := Must(Run(train, 60, Config{K: 8, Iters: 100, Seed: 7, Sampler: SamplerDense}))
+	sparse := Must(Run(train, 60, Config{K: 8, Iters: 100, Seed: 7, Sampler: SamplerSparse}))
+	pd := heldOutPerplexity(t, dense, held)
+	ps := heldOutPerplexity(t, sparse, held)
+	if rel := math.Abs(ps-pd) / pd; rel > 0.02 {
+		t.Fatalf("sparse ppl %.4f vs dense ppl %.4f: relative gap %.4f > 0.02", ps, pd, rel)
+	}
+}
+
+// TestSparseFoldInMatchesDenseQuality pins that the sparse fold-in (exact
+// same conditional, different trajectory) recovers topics as decisively as
+// the dense one.
+func TestSparseFoldInMatchesDenseQuality(t *testing.T) {
+	m := foldInFixture(t)
+	fm := FoldInModelFromCounts(m.NKV, m.NK, 0.1, m.Beta)
+	docs := [][]int{{0, 1, 2, 0, 1, 3}, {5, 6, 7, 5, 8, 9}}
+	theta, err := FoldIn(fm, docs, FoldInConfig{Seed: 11, Sampler: SamplerSparse})
+	if err != nil {
+		t.Fatal(err)
+	}
+	topicA := 0
+	if m.Phi[1][0] > m.Phi[0][0] {
+		topicA = 1
+	}
+	if theta[0][topicA] < 0.7 {
+		t.Fatalf("sparse fold-in: doc of topic-A words got theta %v", theta[0])
+	}
+	if theta[1][topicA] > 0.3 {
+		t.Fatalf("sparse fold-in: doc of topic-B words got theta %v", theta[1])
+	}
+}
+
+// --- validation regressions (each previously a panic deep in the sampler) ---
+
+func TestRunValidatesConfig(t *testing.T) {
+	docs := [][]int{{0, 1}, {1, 0}}
+	cases := []struct {
+		name string
+		v    int
+		cfg  Config
+		want string
+	}{
+		{"zero K", 2, Config{K: 0, Iters: 1}, "Config.K"},
+		{"negative K", 2, Config{K: -3, Iters: 1}, "Config.K"},
+		{"zero vocab", 0, Config{K: 2, Iters: 1}, "vocabulary"},
+		{"negative alpha", 2, Config{K: 2, Iters: 1, Alpha: -1}, "Alpha"},
+		{"NaN alpha", 2, Config{K: 2, Iters: 1, Alpha: math.NaN()}, "Alpha"},
+		{"negative beta", 2, Config{K: 2, Iters: 1, Beta: -0.5}, "Beta"},
+		{"NaN beta", 2, Config{K: 2, Iters: 1, Beta: math.NaN()}, "Beta"},
+		{"NaN bgweight", 2, Config{K: 2, Iters: 1, Background: true, BGWeight: math.NaN()}, "BGWeight"},
+		{"negative iters", 2, Config{K: 2, Iters: -1}, "Iters"},
+		{"negative bgweight", 2, Config{K: 2, Iters: 1, Background: true, BGWeight: -2}, "BGWeight"},
+		{"unknown sampler", 2, Config{K: 2, Iters: 1, Sampler: "turbo"}, "sampler"},
+	}
+	for _, tc := range cases {
+		m, err := Run(docs, tc.v, tc.cfg)
+		if err == nil || m != nil {
+			t.Fatalf("%s: model=%v err=%v, want validation error", tc.name, m, err)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+		pm, err := RunPhrases([]PhraseDoc{{{0}, {1}}}, tc.v, tc.cfg)
+		if err == nil || pm != nil {
+			t.Fatalf("%s: RunPhrases model=%v err=%v, want validation error", tc.name, pm, err)
+		}
+	}
+}
+
+func TestRunValidatesTokenRange(t *testing.T) {
+	if _, err := Run([][]int{{0, 5}}, 5, Config{K: 2, Iters: 1}); err == nil || !strings.Contains(err.Error(), "word id 5") {
+		t.Fatalf("out-of-range token: err=%v, want word-id error", err)
+	}
+	if _, err := Run([][]int{{-1}}, 5, Config{K: 2, Iters: 1}); err == nil {
+		t.Fatal("negative token id accepted")
+	}
+	if _, err := RunPhrases([]PhraseDoc{{{0}, {2, 9}}}, 5, Config{K: 2, Iters: 1}); err == nil || !strings.Contains(err.Error(), "word id 9") {
+		t.Fatalf("out-of-range phrase token: err=%v, want word-id error", err)
+	}
+}
+
+func TestFoldInValidatesModel(t *testing.T) {
+	// Ragged likelihood rows.
+	fm := &FoldInModel{PhiLike: [][]float64{{0.5, 0.5}, {1}}, Alpha: []float64{1, 1}}
+	if _, err := FoldIn(fm, [][]int{{0}}, FoldInConfig{}); err == nil || !strings.Contains(err.Error(), "row 1") {
+		t.Fatalf("ragged PhiLike: err=%v", err)
+	}
+	// Alpha length mismatch.
+	fm = &FoldInModel{PhiLike: [][]float64{{0.5, 0.5}, {0.5, 0.5}}, Alpha: []float64{1}}
+	if _, err := FoldIn(fm, [][]int{{0}}, FoldInConfig{}); err == nil || !strings.Contains(err.Error(), "Alpha") {
+		t.Fatalf("alpha mismatch: err=%v", err)
+	}
+	// Negative prior.
+	fm = &FoldInModel{PhiLike: [][]float64{{0.5, 0.5}, {0.5, 0.5}}, Alpha: []float64{1, -1}}
+	if _, err := FoldIn(fm, [][]int{{0}}, FoldInConfig{}); err == nil || !strings.Contains(err.Error(), "Alpha[1]") {
+		t.Fatalf("negative alpha: err=%v", err)
+	}
+	// Unknown sampler.
+	fm = &FoldInModel{PhiLike: [][]float64{{0.5, 0.5}}, Alpha: []float64{1}}
+	if _, err := FoldIn(fm, [][]int{{0}}, FoldInConfig{Sampler: "mh"}); err == nil || !strings.Contains(err.Error(), "sampler") {
+		t.Fatalf("unknown fold-in sampler: err=%v", err)
+	}
+}
+
+// TestDenseSamplerStillAvailable pins the A/B escape hatch: explicitly
+// requesting the dense core must produce the same model as before the
+// sparse core became the default (self-consistency at both P values).
+func TestDenseSamplerStillAvailable(t *testing.T) {
+	docs := bigSynthCorpus(96, 65)
+	a := Must(Run(docs, 10, Config{K: 2, Iters: 10, Seed: 66, Sampler: SamplerDense, P: 1}))
+	b := Must(Run(docs, 10, Config{K: 2, Iters: 10, Seed: 66, Sampler: SamplerDense, P: 8}))
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("dense sampler no longer deterministic across P")
+	}
+	s := Must(Run(docs, 10, Config{K: 2, Iters: 10, Seed: 66, Sampler: SamplerSparse}))
+	if reflect.DeepEqual(a.Z, s.Z) {
+		t.Fatal("dense and sparse trajectories are identical; expected distinct deterministic trajectories")
+	}
+}

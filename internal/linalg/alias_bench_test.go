@@ -1,0 +1,45 @@
+package linalg
+
+import "testing"
+
+// Alias-table microbenchmarks: the Gibbs samplers rebuild one table per
+// vocabulary word per sweep (Build, amortized over the corpus's tokens)
+// and consume one Draw per token landing in the q bucket.
+
+func BenchmarkAliasBuild256(b *testing.B) {
+	weights := make([]float64, 256)
+	for i := range weights {
+		weights[i] = 1 / float64(i+1)
+	}
+	out := make([]int32, 256)
+	for i := range out {
+		out[i] = int32(i)
+	}
+	prob := make([]float64, 256)
+	alias := make([]int32, 256)
+	var bl AliasBuilder
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bl.Build(out, weights, prob, alias)
+	}
+}
+
+func BenchmarkAliasDraw(b *testing.B) {
+	weights := make([]float64, 256)
+	for i := range weights {
+		weights[i] = 1 / float64(i+1)
+	}
+	a := NewAlias(weights)
+	s := uint64(1)
+	b.ResetTimer()
+	acc := 0
+	for i := 0; i < b.N; i++ {
+		s += 0x9e3779b97f4a7c15
+		z := s
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		u := float64((z^(z>>31))>>11) / (1 << 53)
+		acc += a.Draw(u)
+	}
+	_ = acc
+}

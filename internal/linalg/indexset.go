@@ -1,0 +1,66 @@
+package linalg
+
+// IndexSet tracks the set of nonzero positions of an external counter
+// vector with O(1) add and remove — the sparse count-list primitive behind
+// the Gibbs samplers' per-document topic lists. The sampler keeps its
+// dense counts (nDK) as the source of truth and mirrors the support here,
+// so bucket walks touch only the K_d topics a document actually uses
+// instead of all K.
+//
+// Membership changes use swap-delete, so Indices() order depends on the
+// exact operation history — which the samplers make a pure function of
+// (seed, corpus), preserving the determinism contract.
+type IndexSet struct {
+	nz  []int32
+	pos []int32 // pos[i] = index of i in nz, or -1 when absent
+}
+
+// NewIndexSet returns an empty set over the universe [0, n).
+func NewIndexSet(n int) *IndexSet {
+	s := &IndexSet{nz: make([]int32, 0, n), pos: make([]int32, n)}
+	for i := range s.pos {
+		s.pos[i] = -1
+	}
+	return s
+}
+
+// Len returns the number of members.
+func (s *IndexSet) Len() int { return len(s.nz) }
+
+// Indices returns the members in internal order. The slice is owned by the
+// set and invalidated by the next Add/Remove/Clear.
+func (s *IndexSet) Indices() []int32 { return s.nz }
+
+// Has reports membership of i.
+func (s *IndexSet) Has(i int) bool { return s.pos[i] >= 0 }
+
+// Add inserts i; a no-op if already present.
+func (s *IndexSet) Add(i int) {
+	if s.pos[i] >= 0 {
+		return
+	}
+	s.pos[i] = int32(len(s.nz))
+	s.nz = append(s.nz, int32(i))
+}
+
+// Remove deletes i by swapping the last member into its slot; a no-op if
+// absent.
+func (s *IndexSet) Remove(i int) {
+	p := s.pos[i]
+	if p < 0 {
+		return
+	}
+	last := s.nz[len(s.nz)-1]
+	s.nz[p] = last
+	s.pos[last] = p
+	s.nz = s.nz[:len(s.nz)-1]
+	s.pos[i] = -1
+}
+
+// Clear empties the set in O(members).
+func (s *IndexSet) Clear() {
+	for _, i := range s.nz {
+		s.pos[i] = -1
+	}
+	s.nz = s.nz[:0]
+}

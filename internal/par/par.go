@@ -94,6 +94,52 @@ func NumChunksCapped(n, max int) int {
 	return nc
 }
 
+// The collapsed-Gibbs sampler chunk policy, shared by internal/lda and
+// internal/tng: clamp(n/SamplerMinItems, 1, SamplerMaxChunks), lowered
+// further until the per-chunk accumulators fit SamplerCellBudget.
+// Deliberately coarser than the default policy, for two reasons.
+// Statistically, counts are stale across chunks within a sweep (the
+// AD-LDA trade), so fewer/bigger chunks keep a sampler closer to fully
+// collapsed Gibbs — and the small corpora where staleness hurts most are
+// exactly the ones that get few chunks. In memory, each chunk carries
+// count-delta tables of O(cells) ints, so the chunk ceiling bounds the
+// live table count while still exposing 64-way parallelism for corpora of
+// 2048+ documents, and the cell budget (~0.5 GB of ints when saturated)
+// makes a huge vocabulary shed parallelism instead of multiplying the
+// serial sampler's memory.
+const (
+	// SamplerMinItems is the target documents per sampler chunk.
+	SamplerMinItems = 32
+	// SamplerMaxChunks caps the sampler chunk count (and with it the
+	// number of live delta tables).
+	SamplerMaxChunks = 64
+	// SamplerCellBudget caps the total delta-table cells across chunks.
+	SamplerCellBudget = 1 << 26
+)
+
+// SamplerChunks returns the sampler policy's chunk count for n documents
+// whose per-chunk accumulators hold cells cells each. Like NumChunks it is
+// a pure function of the problem shape, never of P — the determinism
+// contract's requirement. Pair it with ForChunksN.
+func SamplerChunks(n, cells int) int {
+	nc := n / SamplerMinItems
+	if nc < 1 {
+		nc = 1
+	}
+	if nc > SamplerMaxChunks {
+		nc = SamplerMaxChunks
+	}
+	if cells > 0 {
+		if byMem := SamplerCellBudget / cells; nc > byMem {
+			nc = byMem
+			if nc < 1 {
+				nc = 1
+			}
+		}
+	}
+	return nc
+}
+
 // ChunkBounds returns the half-open item range [lo, hi) of chunk c of n
 // items under the default NumChunks policy. Chunks differ in size by at
 // most one item.

@@ -1,0 +1,12 @@
+// Package rng provides the counter-based PRNG streams behind the
+// deterministic parallel samplers (the (Phrase)LDA Gibbs samplers in
+// internal/lda and the TNG sampler in internal/tng).
+//
+// Each work item (document) gets an independent SplitMix64 stream per
+// round (sweep), keyed by (seed, item, round) through the SplitMix64
+// finalizer. Because a stream's output depends only on that key — never on
+// which worker runs the item or how many other items were sampled first —
+// a sampled trajectory is a pure function of the seed at any parallelism
+// level. This is mechanism 3 of the determinism contract in
+// docs/ARCHITECTURE.md.
+package rng

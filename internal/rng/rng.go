@@ -1,0 +1,46 @@
+package rng
+
+// Mix64 is the SplitMix64 finalizer (Steele et al., "Fast splittable
+// pseudorandom number generators"), a strong 64-bit avalanche function.
+func Mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Stream is a SplitMix64 generator positioned by a (seed, item, round) key.
+type Stream struct {
+	s uint64
+}
+
+const (
+	golden    = 0x9e3779b97f4a7c15 // 2^64 / phi, the SplitMix64 increment
+	roundSalt = 0xd1b54a32d192ed03
+)
+
+// NewStream derives the stream of item `item` at round number `round`
+// (the Gibbs samplers key by (seed, document, sweep); round 0 is the
+// initialization pass, sweeps count from 1).
+func NewStream(seed int64, item, round uint64) Stream {
+	s := Mix64(uint64(seed) + golden)
+	s = Mix64(s ^ (item+1)*golden)
+	s = Mix64(s ^ (round+1)*roundSalt)
+	return Stream{s}
+}
+
+// Next advances the stream one step.
+func (st *Stream) Next() uint64 {
+	st.s += golden
+	return Mix64(st.s)
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (st *Stream) Float64() float64 {
+	return float64(st.Next()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n). The modulo bias is < n/2^64 —
+// irrelevant for topic-count-sized n.
+func (st *Stream) Intn(n int) int {
+	return int(st.Next() % uint64(n))
+}

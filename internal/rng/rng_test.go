@@ -1,0 +1,38 @@
+package rng
+
+import "testing"
+
+// TestStreamKeying pins the properties the samplers lean on: a stream is a
+// pure function of its (seed, item, round) key, distinct keys give
+// distinct streams, and draws land in their documented ranges.
+func TestStreamKeying(t *testing.T) {
+	a := NewStream(1, 2, 3)
+	b := NewStream(1, 2, 3)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same key produced different streams")
+		}
+	}
+	keys := [][3]uint64{{1, 2, 3}, {2, 2, 3}, {1, 3, 3}, {1, 2, 4}}
+	first := map[uint64][3]uint64{}
+	for _, k := range keys {
+		s := NewStream(int64(k[0]), k[1], k[2])
+		v := s.Next()
+		if prev, dup := first[v]; dup {
+			t.Fatalf("keys %v and %v collide on first draw", prev, k)
+		}
+		first[v] = k
+	}
+}
+
+func TestStreamRanges(t *testing.T) {
+	s := NewStream(7, 0, 0)
+	for i := 0; i < 10000; i++ {
+		if f := s.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v outside [0, 1)", f)
+		}
+		if n := s.Intn(7); n < 0 || n >= 7 {
+			t.Fatalf("Intn(7) = %d", n)
+		}
+	}
+}

@@ -436,3 +436,45 @@ func TestMissingSections(t *testing.T) {
 		t.Fatal("nil snapshot accepted")
 	}
 }
+
+// TestInferSamplerOptions pins the fold-in sampler plumbing: both cores
+// serve /infer, each is deterministic per (seed, docs), they follow
+// distinct trajectories over the same conditional, and an unknown sampler
+// name is rejected at startup rather than per request.
+func TestInferSamplerOptions(t *testing.T) {
+	body := map[string]any{"seed": 4, "ids": [][]int{{0, 1, 2, 0, 3}, {5, 6, 7, 8}}}
+	thetaOf := func(opt Options) [][]any {
+		ts := newTestServer(t, opt)
+		out := postJSON(t, ts.URL+"/infer", body, http.StatusOK)
+		rows := out["theta"].([]any)
+		got := make([][]any, len(rows))
+		for i, r := range rows {
+			got[i] = r.([]any)
+		}
+		return got
+	}
+	sparse := thetaOf(Options{Sampler: lda.SamplerSparse})
+	auto := thetaOf(Options{})
+	dense := thetaOf(Options{Sampler: lda.SamplerDense})
+	if !reflect.DeepEqual(sparse, auto) {
+		t.Fatal("default sampler is not the sparse core")
+	}
+	// Same conditional, different trajectories: both must put doc 0 on the
+	// database topic and doc 1 on the learning topic.
+	argmax := func(row []any) int {
+		best := 0
+		for i := range row {
+			if row[i].(float64) > row[best].(float64) {
+				best = i
+			}
+		}
+		return best
+	}
+	if argmax(sparse[0]) != argmax(dense[0]) || argmax(sparse[1]) != argmax(dense[1]) {
+		t.Fatalf("cores disagree on topic assignment: sparse %v dense %v", sparse, dense)
+	}
+
+	if _, err := New(testSnapshot(t), Options{Sampler: "metropolis"}); err == nil {
+		t.Fatal("unknown sampler accepted at startup")
+	}
+}

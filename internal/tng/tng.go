@@ -1,10 +1,13 @@
 package tng
 
 import (
-	"math/rand"
+	"context"
+	"fmt"
 	"sort"
 
 	"lesm/internal/core"
+	"lesm/internal/par"
+	"lesm/internal/rng"
 	"lesm/internal/textkit"
 )
 
@@ -23,6 +26,12 @@ type Config struct {
 	// ExtraWork multiplies inner-loop work to emulate PD-LDA's CRP
 	// bookkeeping cost (PYNgram only; 0 = none).
 	ExtraWork int
+	// P bounds the worker count of the parallel sweeps (0 = GOMAXPROCS).
+	// The fitted model is bit-identical at any P.
+	P int
+	// Ctx cancels sampling between work chunks (nil = background); a
+	// cancelled run returns the context error and no model.
+	Ctx context.Context
 }
 
 func (c Config) withDefaults() Config {
@@ -59,10 +68,161 @@ type bigramKey struct {
 	topic, prev int
 }
 
+// trigramKey addresses one bigram-table cell (topic, prev word, word) —
+// the flat key the chunk deltas use so a delta is a single map instead of
+// a map of maps.
+type trigramKey struct {
+	topic, prev, word int
+}
+
+// tngDelta is one chunk's private diff against the sweep-start global
+// tables: dense tables with a dirty list for the topic-word counts (merge
+// cost O(cells touched)), dense merges for the small arrays, and flat maps
+// for the sparse bigram tables (integer adds, so the map iteration order
+// of the merge cannot change the result). The delta also holds read-only
+// references to the frozen globals so the eff* accessors can answer
+// "global + own-chunk delta" without per-document closures in the hot
+// loop (the pattern internal/lda's sparseChunk uses).
+type tngDelta struct {
+	v       int
+	kv      [][]int // [k][v]
+	k       []int   // [k]
+	touched []bool  // [k*v]
+	dirty   []int
+	n0, n1  []int // [v]
+	big     map[trigramKey]int
+	bigTot  map[bigramKey]int
+	probs   []float64 // [2k] sampling scratch, reused across the chunk's docs
+
+	// Frozen sweep-start globals (read-only during a pass).
+	gKV     [][]int
+	gK      []int
+	gN0     []int
+	gN1     []int
+	gBig    map[bigramKey]map[int]int
+	gBigTot map[bigramKey]int
+}
+
+func newTngDelta(k, v int, gKV [][]int, gK, gN0, gN1 []int, gBig map[bigramKey]map[int]int, gBigTot map[bigramKey]int) *tngDelta {
+	kv := make([][]int, k)
+	for i := range kv {
+		kv[i] = make([]int, v)
+	}
+	return &tngDelta{
+		v: v, kv: kv, k: make([]int, k),
+		touched: make([]bool, k*v),
+		n0:      make([]int, v), n1: make([]int, v),
+		big:    map[trigramKey]int{},
+		bigTot: map[bigramKey]int{},
+		probs:  make([]float64, 2*k),
+		gKV:    gKV, gK: gK, gN0: gN0, gN1: gN1, gBig: gBig, gBigTot: gBigTot,
+	}
+}
+
+// Effective counts: sweep-start global + own-chunk delta.
+func (d *tngDelta) effKV(k, w int) int { return d.gKV[k][w] + d.kv[k][w] }
+func (d *tngDelta) effK(k int) int     { return d.gK[k] + d.k[k] }
+func (d *tngDelta) effN0(w int) int    { return d.gN0[w] + d.n0[w] }
+func (d *tngDelta) effN1(w int) int    { return d.gN1[w] + d.n1[w] }
+func (d *tngDelta) effBig(key bigramKey, w int) int {
+	c := d.big[trigramKey{key.topic, key.prev, w}]
+	if m := d.gBig[key]; m != nil {
+		c += m[w]
+	}
+	return c
+}
+func (d *tngDelta) effBigTot(key bigramKey) int { return d.gBigTot[key] + d.bigTot[key] }
+
+func (d *tngDelta) addKV(k, w, c int) {
+	idx := k*d.v + w
+	if !d.touched[idx] {
+		d.touched[idx] = true
+		d.dirty = append(d.dirty, idx)
+	}
+	d.kv[k][w] += c
+	d.k[k] += c
+}
+
+func (d *tngDelta) addBig(key bigramKey, w, c int) {
+	d.big[trigramKey{key.topic, key.prev, w}] += c
+	d.bigTot[key] += c
+}
+
+// applyTo folds the delta into the global tables and resets it.
+func (d *tngDelta) applyTo(nKV [][]int, nK []int, n0, n1 []int, big map[bigramKey]map[int]int, bigTot map[bigramKey]int) {
+	for _, idx := range d.dirty {
+		k, w := idx/d.v, idx%d.v
+		if c := d.kv[k][w]; c != 0 {
+			nKV[k][w] += c
+			d.kv[k][w] = 0
+		}
+		d.touched[idx] = false
+	}
+	d.dirty = d.dirty[:0]
+	for k, c := range d.k {
+		nK[k] += c
+		d.k[k] = 0
+	}
+	for w, c := range d.n0 {
+		if c != 0 {
+			n0[w] += c
+			d.n0[w] = 0
+		}
+	}
+	for w, c := range d.n1 {
+		if c != 0 {
+			n1[w] += c
+			d.n1[w] = 0
+		}
+	}
+	for tk, c := range d.big {
+		if c == 0 {
+			continue
+		}
+		key := bigramKey{tk.topic, tk.prev}
+		m := big[key]
+		if m == nil {
+			m = map[int]int{}
+			big[key] = m
+		}
+		m[tk.word] += c
+	}
+	for key, c := range d.bigTot {
+		if c != 0 {
+			bigTot[key] += c
+		}
+	}
+	clear(d.big)
+	clear(d.bigTot)
+}
+
 // Run fits the model to id-encoded documents.
-func Run(docs [][]int, v int, cfg Config) *Model {
+//
+// Like the internal/lda samplers, sweeps execute as chunked passes over
+// the documents on the shared parallel runtime: the global count tables
+// (topic-word, bigram, and status tables alike) are frozen for the pass,
+// each chunk records its changes in a private delta and samples against
+// global + own-chunk delta, and deltas merge in chunk order afterwards.
+// Every document draws from its own (Seed, doc, sweep) SplitMix64 stream,
+// so the fitted model is bit-identical at any Config.P. Run returns an
+// error when the config or a token id is invalid, or when Config.Ctx is
+// cancelled.
+func Run(docs [][]int, v int, cfg Config) (*Model, error) {
+	if cfg.K <= 0 {
+		return nil, fmt.Errorf("tng: Config.K = %d, need at least 1 topic", cfg.K)
+	}
+	if v <= 0 {
+		return nil, fmt.Errorf("tng: vocabulary size %d, need at least 1", v)
+	}
+	for di, doc := range docs {
+		for i, w := range doc {
+			if w < 0 || w >= v {
+				return nil, fmt.Errorf("tng: doc %d token %d: word id %d outside vocabulary [0, %d)", di, i, w, v)
+			}
+		}
+	}
 	cfg = cfg.withDefaults()
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	o := par.Opts{P: cfg.P, Ctx: cfg.Ctx}
 	k := cfg.K
 	d := len(docs)
 
@@ -81,62 +241,88 @@ func Run(docs [][]int, v int, cfg Config) *Model {
 
 	z := make([][]int, d)
 	x := make([][]int, d)
-	for di, doc := range docs {
+
+	// Chunk policy shared with internal/lda's samplers (par.SamplerChunks);
+	// the per-chunk dense delta tables hold k*v cells each.
+	nc := par.SamplerChunks(d, k*v)
+	deltas := make([]*tngDelta, nc)
+	for c := range deltas {
+		deltas[c] = newTngDelta(k, v, nKV, nK, n0, n1, big, bigTot)
+	}
+
+	// pass runs one chunked pass and merges the deltas in chunk order.
+	pass := func(sweep uint64, visit func(di int, st *rng.Stream, dl *tngDelta)) error {
+		if d == 0 {
+			return o.Err()
+		}
+		err := par.ForChunksN(o, d, nc, func(c, lo, hi int) {
+			dl := deltas[c]
+			for di := lo; di < hi; di++ {
+				st := rng.NewStream(cfg.Seed, uint64(di), sweep)
+				visit(di, &st, dl)
+			}
+		})
+		if err != nil {
+			return err
+		}
+		for _, dl := range deltas {
+			dl.applyTo(nKV, nK, n0, n1, big, bigTot)
+		}
+		return nil
+	}
+
+	err := pass(0, func(di int, st *rng.Stream, dl *tngDelta) {
+		doc := docs[di]
 		z[di] = make([]int, len(doc))
 		x[di] = make([]int, len(doc))
 		nDK[di] = make([]int, k)
 		for i, w := range doc {
-			zi := rng.Intn(k)
+			zi := st.Intn(k)
 			xi := 0
-			if i > 0 && rng.Float64() < 0.2 {
+			if i > 0 && st.Float64() < 0.2 {
 				xi = 1
 				zi = z[di][i-1]
 			}
 			z[di][i], x[di][i] = zi, xi
 			nDK[di][zi]++
 			if xi == 0 {
-				nKV[zi][w]++
-				nK[zi]++
+				dl.addKV(zi, w, 1)
 			} else {
-				key := bigramKey{zi, doc[i-1]}
-				if big[key] == nil {
-					big[key] = map[int]int{}
-				}
-				big[key][w]++
-				bigTot[key]++
+				dl.addBig(bigramKey{zi, doc[i-1]}, w, 1)
 			}
 			if i > 0 {
 				if xi == 1 {
-					n1[doc[i-1]]++
+					dl.n1[doc[i-1]]++
 				} else {
-					n0[doc[i-1]]++
+					dl.n0[doc[i-1]]++
 				}
 			}
 		}
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	vb := float64(v) * cfg.Beta
 	vd := float64(v) * cfg.Delta
-	probs := make([]float64, 2*k)
 	for it := 0; it < cfg.Iters; it++ {
-		for di, doc := range docs {
+		err := pass(uint64(it+1), func(di int, st *rng.Stream, dl *tngDelta) {
+			doc := docs[di]
+			probs := dl.probs
 			for i, w := range doc {
 				zi, xi := z[di][i], x[di][i]
 				// Remove token.
 				nDK[di][zi]--
 				if xi == 0 {
-					nKV[zi][w]--
-					nK[zi]--
+					dl.addKV(zi, w, -1)
 				} else {
-					key := bigramKey{zi, doc[i-1]}
-					big[key][w]--
-					bigTot[key]--
+					dl.addBig(bigramKey{zi, doc[i-1]}, w, -1)
 				}
 				if i > 0 {
 					if xi == 1 {
-						n1[doc[i-1]]--
+						dl.n1[doc[i-1]]--
 					} else {
-						n0[doc[i-1]]--
+						dl.n0[doc[i-1]]--
 					}
 				}
 				// Joint sample of (x, z). x=1 allowed only mid-document
@@ -144,9 +330,9 @@ func Run(docs [][]int, v int, cfg Config) *Model {
 				total := 0.0
 				for kk := 0; kk < k; kk++ {
 					p := (float64(nDK[di][kk]) + cfg.Alpha) *
-						(float64(nKV[kk][w]) + cfg.Beta) / (float64(nK[kk]) + vb)
+						(float64(dl.effKV(kk, w)) + cfg.Beta) / (float64(dl.effK(kk)) + vb)
 					if i > 0 {
-						p *= float64(n0[doc[i-1]]) + cfg.Gamma
+						p *= float64(dl.effN0(doc[i-1])) + cfg.Gamma
 					}
 					probs[kk] = p
 					total += p
@@ -154,10 +340,7 @@ func Run(docs [][]int, v int, cfg Config) *Model {
 				if i > 0 {
 					prevZ := z[di][i-1]
 					key := bigramKey{prevZ, doc[i-1]}
-					cnt := 0.0
-					if m := big[key]; m != nil {
-						cnt = float64(m[w])
-					}
+					cnt := float64(dl.effBig(key, w))
 					if cnt < 0 {
 						cnt = 0
 					}
@@ -167,8 +350,8 @@ func Run(docs [][]int, v int, cfg Config) *Model {
 						bw = 0
 					}
 					p := (float64(nDK[di][prevZ]) + cfg.Alpha) *
-						(bw + cfg.Delta) / (float64(bigTot[key]) + vd) *
-						(float64(n1[doc[i-1]]) + cfg.Gamma)
+						(bw + cfg.Delta) / (float64(dl.effBigTot(key)) + vd) *
+						(float64(dl.effN1(doc[i-1])) + cfg.Gamma)
 					probs[k+prevZ] = p
 					total += p
 					for kk := 0; kk < k; kk++ {
@@ -191,7 +374,7 @@ func Run(docs [][]int, v int, cfg Config) *Model {
 					}
 					_ = s
 				}
-				r := rng.Float64() * total
+				r := st.Float64() * total
 				pick := 0
 				for idx := 0; idx < 2*k; idx++ {
 					r -= probs[idx]
@@ -208,24 +391,21 @@ func Run(docs [][]int, v int, cfg Config) *Model {
 				z[di][i], x[di][i] = zi, xi
 				nDK[di][zi]++
 				if xi == 0 {
-					nKV[zi][w]++
-					nK[zi]++
+					dl.addKV(zi, w, 1)
 				} else {
-					key := bigramKey{zi, doc[i-1]}
-					if big[key] == nil {
-						big[key] = map[int]int{}
-					}
-					big[key][w]++
-					bigTot[key]++
+					dl.addBig(bigramKey{zi, doc[i-1]}, w, 1)
 				}
 				if i > 0 {
 					if xi == 1 {
-						n1[doc[i-1]]++
+						dl.n1[doc[i-1]]++
 					} else {
-						n0[doc[i-1]]++
+						dl.n0[doc[i-1]]++
 					}
 				}
 			}
+		})
+		if err != nil {
+			return nil, err
 		}
 	}
 
@@ -247,7 +427,7 @@ func Run(docs [][]int, v int, cfg Config) *Model {
 			m.Rho[kk] = 1 / float64(k)
 		}
 	}
-	return m
+	return m, nil
 }
 
 // TopicalPhrases extracts the maximal status-1 runs as phrases and ranks

@@ -102,12 +102,34 @@ const (
 	EngineSTROD
 )
 
+// Sampler selects the collapsed-Gibbs sampling core for Gibbs-backed
+// entry points (InferTopicsGibbs, Artifact.Infer/InferText). Both cores
+// are deterministic at any parallelism level; they follow different
+// trajectories.
+type Sampler = lda.Sampler
+
+const (
+	// SamplerAuto resolves to SamplerSparse, the default.
+	SamplerAuto = lda.SamplerAuto
+	// SamplerSparse is the bucket-decomposed sparse core with Walker alias
+	// tables: O(K_d) amortized per token instead of O(K).
+	SamplerSparse = lda.SamplerSparse
+	// SamplerDense is the classic O(K)-per-token core, kept for A/B
+	// validation of the sparse one.
+	SamplerDense = lda.SamplerDense
+)
+
 // RunOptions carries the execution-policy knobs of the shared parallel
 // runtime for entry points without a richer options struct.
 type RunOptions struct {
 	// Parallelism bounds the worker count of the engines' parallel hot
 	// loops (0 = GOMAXPROCS). Results are bit-identical at any setting.
 	Parallelism int
+	// Sampler selects the Gibbs sampling core for Gibbs-backed entry
+	// points — InferTopicsGibbs, Artifact.Infer/InferText, and the
+	// PhraseLDA stage of TopicalPhrases; engines without a Gibbs stage
+	// ignore it. Empty = sparse; unknown values are a validation error.
+	Sampler Sampler
 	// Ctx cancels the computation between work chunks (nil = background).
 	Ctx context.Context
 }
@@ -272,7 +294,7 @@ func TopicalPhrases(corpus *Corpus, k int, seed int64, opts ...RunOptions) ([][]
 	}
 	ro := firstRunOptions(opts)
 	res, err := topmine.Run(corpus, topmine.Config{P: ro.Parallelism, Ctx: ro.Ctx},
-		lda.Config{K: k, Seed: seed, Background: true}, topmine.RankConfig{})
+		lda.Config{K: k, Seed: seed, Background: true, Sampler: ro.Sampler}, topmine.RankConfig{})
 	if err != nil {
 		return nil, err
 	}
@@ -473,7 +495,7 @@ func InferTopicsGibbs(corpus *Corpus, k int, seed int64, opts ...RunOptions) (*T
 		docs[i] = d.Tokens
 	}
 	m, err := lda.Run(docs, corpus.Vocab.Size(), lda.Config{
-		K: k, Seed: seed, P: ro.Parallelism, Ctx: ro.Ctx,
+		K: k, Seed: seed, P: ro.Parallelism, Sampler: ro.Sampler, Ctx: ro.Ctx,
 	})
 	if err != nil {
 		return nil, err
@@ -564,7 +586,7 @@ func (a *Artifact) Infer(docs [][]int, seed int64, opts ...RunOptions) ([][]floa
 	}
 	ro := firstRunOptions(opts)
 	return lda.FoldIn(fm, docs, lda.FoldInConfig{
-		Seed: seed, P: ro.Parallelism, Ctx: ro.Ctx,
+		Seed: seed, P: ro.Parallelism, Sampler: ro.Sampler, Ctx: ro.Ctx,
 	})
 }
 
