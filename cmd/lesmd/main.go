@@ -7,15 +7,31 @@
 //	lesm -save model.lesm -topics 4 corpus.txt   # fit & persist
 //	lesmd -snapshot model.lesm -addr :8471       # serve
 //
+// Serving v2 knobs (see docs/ARCHITECTURE.md "Serving v2"):
+//
+//	-mmap                zero-copy decode: big sections serve straight
+//	                     from the page cache instead of heap copies
+//	-reload-poll 10s     hot reload: poll the snapshot file and swap a
+//	                     refit in atomically, zero downtime
+//	-batch-window 2ms    coalesce /infer requests arriving within the
+//	                     window into one fold-in batch (bit-identical
+//	                     per-request results)
+//	-batch-docs 64       max documents per coalesced batch
+//
+// A refit goes live with either the poller or an explicit
+//
+//	curl -X POST host:8471/admin/reload
+//
 // Endpoints:
 //
-//	GET  /healthz                     liveness + loaded sections
+//	GET  /healthz                     liveness, sections, generation, batch counters
 //	GET  /topics                      topic list with weights
 //	GET  /topics/{k}/top-words?n=10   topic k's top words
 //	GET  /hierarchy/node/{id}         hierarchy node by path (o/1/2 or o.1.2)
 //	GET  /phrases/search?q=&limit=    ranked phrase search
 //	GET  /advisor/{author}            advisor ranking for an author
 //	POST /infer                       fold-in inference for new documents
+//	POST /admin/reload                force an immediate snapshot reload
 package main
 
 import (
@@ -31,7 +47,6 @@ import (
 
 	"lesm/internal/lda"
 	"lesm/internal/serve"
-	"lesm/internal/store"
 )
 
 func main() {
@@ -42,25 +57,37 @@ func main() {
 	sweeps := flag.Int("sweeps", 30, "default fold-in Gibbs sweeps")
 	alpha := flag.Float64("alpha", 0, "fold-in document prior (0 = 0.1; the fitted 50/K prior swamps short documents — pass it explicitly for posterior-mean behavior)")
 	sampler := flag.String("sampler", "", "fold-in sampling core: empty or 'sparse' for the bucket+alias core, 'dense' for the O(K)-per-token core (A/B validation)")
+	mmap := flag.Bool("mmap", false, "decode snapshots zero-copy over a read-only memory map (large models: page tables instead of heap)")
+	reloadPoll := flag.Duration("reload-poll", 0, "poll the snapshot file at this interval and hot-reload on change (0 = admin-reload only)")
+	batchWindow := flag.Duration("batch-window", 0, "coalesce /infer requests arriving within this window into one fold-in batch (0 = off)")
+	batchDocs := flag.Int("batch-docs", 64, "max documents per coalesced /infer batch")
 	flag.Parse()
 
 	if *snapshot == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	snap, err := store.Read(*snapshot)
+	// The same load routine hot reloads use, so generation 1 and every
+	// later generation decode identically.
+	snap, closer, err := serve.LoadSnapshot(*snapshot, *mmap)
 	if err != nil {
 		log.Fatalf("lesmd: load %s: %v", *snapshot, err)
 	}
 	srv, err := serve.New(snap, serve.Options{
 		P: *p, MaxInFlight: *inflight, Sweeps: *sweeps, Alpha: *alpha,
-		Sampler: lda.Sampler(*sampler),
+		Sampler:      lda.Sampler(*sampler),
+		SnapshotPath: *snapshot,
+		ReloadPoll:   *reloadPoll,
+		MMap:         *mmap,
+		BatchWindow:  *batchWindow,
+		MaxBatchDocs: *batchDocs,
 	})
 	if err != nil {
 		log.Fatalf("lesmd: %v", err)
 	}
-	log.Printf("lesmd: loaded %s (sections: %s), listening on %s",
-		*snapshot, strings.Join(snap.Sections(), ", "), *addr)
+	srv.AdoptCloser(closer)
+	log.Printf("lesmd: loaded %s (sections: %s; mmap=%v reload-poll=%s batch-window=%s), listening on %s",
+		*snapshot, strings.Join(snap.Sections(), ", "), *mmap, *reloadPoll, *batchWindow, *addr)
 
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
 	sig := make(chan os.Signal, 1)
@@ -80,4 +107,9 @@ func main() {
 		log.Fatalf("lesmd: %v", err)
 	}
 	<-drained
+	// With the HTTP side drained, stop the coalescer and reload poller and
+	// release the snapshot mappings.
+	if err := srv.Close(); err != nil {
+		log.Printf("lesmd: close: %v", err)
+	}
 }

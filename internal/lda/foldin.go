@@ -187,37 +187,15 @@ func (c FoldInConfig) withDefaults() FoldInConfig {
 // cfg.P, and identical for a given (Seed, doc index, tokens) regardless of
 // what else is in the batch.
 func FoldIn(fm *FoldInModel, docs [][]int, cfg FoldInConfig) ([][]float64, error) {
-	if err := fm.validate(); err != nil {
+	w, err := newFoldInWorkload(fm, cfg)
+	if err != nil {
 		return nil, err
 	}
-	if !cfg.Sampler.Valid() {
-		return nil, cfg.Sampler.errUnknown()
-	}
-	cfg = cfg.withDefaults()
-	k := fm.K()
-	v := fm.V()
-	sparse := cfg.Sampler.resolve() == SamplerSparse
-	if sparse {
-		fm.ensureSparse()
-	}
-	alphaSum := 0.0
-	for _, a := range fm.Alpha {
-		alphaSum += a
-	}
 	theta := make([][]float64, len(docs))
-	err := par.For(par.Opts{P: cfg.P, Ctx: cfg.Ctx}, len(docs), func(lo, hi int) {
-		nDK := make([]int, k)
-		scratch := make([]float64, k)
-		var docSet *linalg.IndexSet
-		if sparse {
-			docSet = linalg.NewIndexSet(k)
-		}
+	err = par.For(par.Opts{P: cfg.P, Ctx: cfg.Ctx}, len(docs), func(lo, hi int) {
+		sc := w.newScratch()
 		for di := lo; di < hi; di++ {
-			if sparse {
-				theta[di] = foldInDocSparse(fm, docs[di], cfg, uint64(di), nDK, docSet, scratch, alphaSum, v)
-			} else {
-				theta[di] = foldInDoc(fm, docs[di], cfg, uint64(di), nDK, scratch, alphaSum, v)
-			}
+			theta[di] = w.doc(sc, docs[di], w.cfg.Seed, uint64(di), w.cfg.Sweeps)
 		}
 	})
 	if err != nil {
@@ -226,9 +204,111 @@ func FoldIn(fm *FoldInModel, docs [][]int, cfg FoldInConfig) ([][]float64, error
 	return theta, nil
 }
 
+// BatchDoc is one document of a heterogeneous fold-in batch. Its sampling
+// trajectory is keyed by its own (Seed, Index) pair — not by its position
+// in the batch — so a coalescing server can merge documents from
+// independent requests into one sweep batch without changing any
+// request's result.
+type BatchDoc struct {
+	// Tokens are the document's vocabulary ids; ids outside [0, V) are
+	// skipped exactly as in FoldIn.
+	Tokens []int
+	// Seed and Index key the document's PRNG streams: the document draws
+	// from the (Seed, Index, sweep) streams, making its theta identical to
+	// document Index of a FoldIn batch run with FoldInConfig.Seed = Seed.
+	Seed  int64
+	Index uint64
+	// Sweeps overrides cfg.Sweeps for this document when > 0, so requests
+	// with different sweep counts can share a batch.
+	Sweeps int
+}
+
+// FoldInBatch is FoldIn over documents that do not share one (seed,
+// position) keying — the request-coalescing entry point the serving layer
+// uses to merge concurrent /infer requests into a single batch on the
+// shared pool. theta[i] is bit-identical to what FoldIn would return for
+// docs[i].Tokens at index docs[i].Index under seed docs[i].Seed, at any
+// cfg.P and regardless of batch composition.
+func FoldInBatch(fm *FoldInModel, docs []BatchDoc, cfg FoldInConfig) ([][]float64, error) {
+	w, err := newFoldInWorkload(fm, cfg)
+	if err != nil {
+		return nil, err
+	}
+	theta := make([][]float64, len(docs))
+	err = par.For(par.Opts{P: cfg.P, Ctx: cfg.Ctx}, len(docs), func(lo, hi int) {
+		sc := w.newScratch()
+		for di := lo; di < hi; di++ {
+			d := docs[di]
+			sweeps := d.Sweeps
+			if sweeps <= 0 {
+				sweeps = w.cfg.Sweeps
+			}
+			theta[di] = w.doc(sc, d.Tokens, d.Seed, d.Index, sweeps)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return theta, nil
+}
+
+// foldInWorkload is the validated, core-resolved state one fold-in batch
+// shares across its workers; foldInScratch is the per-worker part.
+type foldInWorkload struct {
+	fm       *FoldInModel
+	cfg      FoldInConfig
+	sparse   bool
+	alphaSum float64
+	k, v     int
+}
+
+type foldInScratch struct {
+	nDK    []int
+	vals   []float64
+	docSet *linalg.IndexSet
+}
+
+func newFoldInWorkload(fm *FoldInModel, cfg FoldInConfig) (*foldInWorkload, error) {
+	if err := fm.validate(); err != nil {
+		return nil, err
+	}
+	if !cfg.Sampler.Valid() {
+		return nil, cfg.Sampler.errUnknown()
+	}
+	cfg = cfg.withDefaults()
+	w := &foldInWorkload{
+		fm: fm, cfg: cfg, k: fm.K(), v: fm.V(),
+		sparse: cfg.Sampler.resolve() == SamplerSparse,
+	}
+	if w.sparse {
+		fm.ensureSparse()
+	}
+	for _, a := range fm.Alpha {
+		w.alphaSum += a
+	}
+	return w, nil
+}
+
+func (w *foldInWorkload) newScratch() *foldInScratch {
+	sc := &foldInScratch{nDK: make([]int, w.k), vals: make([]float64, w.k)}
+	if w.sparse {
+		sc.docSet = linalg.NewIndexSet(w.k)
+	}
+	return sc
+}
+
+// doc samples one document through the workload's core. The (seed, index,
+// sweeps) triple fully determines the trajectory.
+func (w *foldInWorkload) doc(sc *foldInScratch, doc []int, seed int64, index uint64, sweeps int) []float64 {
+	if w.sparse {
+		return foldInDocSparse(w.fm, doc, seed, index, sweeps, sc.nDK, sc.docSet, sc.vals, w.alphaSum, w.v)
+	}
+	return foldInDoc(w.fm, doc, seed, index, sweeps, sc.nDK, sc.vals, w.alphaSum, w.v)
+}
+
 // foldInDoc runs the dense per-document sampler. nDK and probs are
 // caller-owned scratch of length K; nDK is re-zeroed here before use.
-func foldInDoc(fm *FoldInModel, doc []int, cfg FoldInConfig, di uint64, nDK []int, probs []float64, alphaSum float64, v int) []float64 {
+func foldInDoc(fm *FoldInModel, doc []int, seed int64, di uint64, sweeps int, nDK []int, probs []float64, alphaSum float64, v int) []float64 {
 	k := len(nDK)
 	for t := range nDK {
 		nDK[t] = 0
@@ -243,7 +323,7 @@ func foldInDoc(fm *FoldInModel, doc []int, cfg FoldInConfig, di uint64, nDK []in
 	z := make([]int, len(toks))
 
 	// Initialization pass (sweep 0): sample from alpha * phi.
-	rng := newStream(cfg.Seed, di, 0)
+	rng := newStream(seed, di, 0)
 	for i, w := range toks {
 		total := 0.0
 		for t := 0; t < k; t++ {
@@ -255,8 +335,8 @@ func foldInDoc(fm *FoldInModel, doc []int, cfg FoldInConfig, di uint64, nDK []in
 		nDK[z[i]]++
 	}
 
-	for sweep := 1; sweep <= cfg.Sweeps; sweep++ {
-		rng := newStream(cfg.Seed, di, uint64(sweep))
+	for sweep := 1; sweep <= sweeps; sweep++ {
+		rng := newStream(seed, di, uint64(sweep))
 		for i, w := range toks {
 			nDK[z[i]]--
 			total := 0.0
@@ -279,7 +359,7 @@ func foldInDoc(fm *FoldInModel, doc []int, cfg FoldInConfig, di uint64, nDK []in
 // support in O(K_d). Same conditional as foldInDoc, different trajectory.
 // nDK, docSet and tvals are caller-owned scratch of length K; nDK and
 // docSet are reset here before use.
-func foldInDocSparse(fm *FoldInModel, doc []int, cfg FoldInConfig, di uint64, nDK []int, docSet *linalg.IndexSet, tvals []float64, alphaSum float64, v int) []float64 {
+func foldInDocSparse(fm *FoldInModel, doc []int, seed int64, di uint64, sweeps int, nDK []int, docSet *linalg.IndexSet, tvals []float64, alphaSum float64, v int) []float64 {
 	k := len(nDK)
 	for t := range nDK {
 		nDK[t] = 0
@@ -295,7 +375,7 @@ func foldInDocSparse(fm *FoldInModel, doc []int, cfg FoldInConfig, di uint64, nD
 
 	// Initialization pass (sweep 0): the conditional is exactly the prior
 	// part α_k·φ_kw — a pure alias draw.
-	rng := newStream(cfg.Seed, di, 0)
+	rng := newStream(seed, di, 0)
 	for i, w := range toks {
 		var t int
 		if fm.qMass[w] > 0 {
@@ -308,8 +388,8 @@ func foldInDocSparse(fm *FoldInModel, doc []int, cfg FoldInConfig, di uint64, nD
 		docSet.Add(t)
 	}
 
-	for sweep := 1; sweep <= cfg.Sweeps; sweep++ {
-		rng := newStream(cfg.Seed, di, uint64(sweep))
+	for sweep := 1; sweep <= sweeps; sweep++ {
+		rng := newStream(seed, di, uint64(sweep))
 		for i, w := range toks {
 			told := z[i]
 			nDK[told]--

@@ -6,7 +6,10 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"runtime"
+	"sort"
+	"sync"
 	"testing"
+	"time"
 )
 
 // benchInfer measures /infer requests per second end to end (HTTP decode,
@@ -39,3 +42,70 @@ func benchInfer(b *testing.B, p int) {
 
 func BenchmarkInferP1(b *testing.B)      { benchInfer(b, 1) }
 func BenchmarkInferPNumCPU(b *testing.B) { benchInfer(b, runtime.GOMAXPROCS(0)) }
+
+// benchInferConcurrent measures /infer under concurrent single-document
+// clients — the workload request coalescing exists for — and reports p50
+// and p99 request latency alongside the standard throughput numbers.
+func benchInferConcurrent(b *testing.B, opt Options) {
+	s, err := New(testSnapshot(b), opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	body, _ := json.Marshal(map[string]any{"seed": 7, "ids": [][]int{{0, 1, 2, 3, 5, 6, 7, 8}}, "sweeps": 20})
+	var mu sync.Mutex
+	var lats []time.Duration
+	// 8 client goroutines per GOMAXPROCS: the coalescer only has work to
+	// merge when requests actually overlap, including on 1-CPU runners.
+	b.SetParallelism(8)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			t0 := time.Now()
+			resp, err := http.Post(ts.URL+"/infer", "application/json", bytes.NewReader(body))
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				b.Errorf("status %d", resp.StatusCode)
+			}
+			resp.Body.Close()
+			d := time.Since(t0)
+			mu.Lock()
+			lats = append(lats, d)
+			mu.Unlock()
+		}
+	})
+	b.StopTimer()
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		b.ReportMetric(float64(lats[len(lats)/2])/1e6, "p50-ms")
+		b.ReportMetric(float64(lats[len(lats)*99/100])/1e6, "p99-ms")
+	}
+}
+
+// BenchmarkInferConcurrentDirect is the un-coalesced baseline: every
+// request is its own fold-in batch.
+func BenchmarkInferConcurrentDirect(b *testing.B) {
+	benchInferConcurrent(b, Options{MaxInFlight: 8})
+}
+
+// BenchmarkInferConcurrentCoalesced merges the same request stream into
+// windowed batches.
+func BenchmarkInferConcurrentCoalesced(b *testing.B) {
+	benchInferConcurrent(b, Options{MaxInFlight: 8, BatchWindow: time.Millisecond, MaxBatchDocs: 256})
+}
+
+// The saturated pair: a single in-flight slot models a pool with no head
+// room. Direct serialization pays one batch per request through the one
+// slot; the coalescer folds the same concurrent stream into a few batches.
+func BenchmarkInferSaturatedDirect(b *testing.B) {
+	benchInferConcurrent(b, Options{MaxInFlight: 1})
+}
+
+func BenchmarkInferSaturatedCoalesced(b *testing.B) {
+	benchInferConcurrent(b, Options{MaxInFlight: 1, BatchWindow: time.Millisecond, MaxBatchDocs: 256})
+}

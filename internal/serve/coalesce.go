@@ -1,0 +1,247 @@
+package serve
+
+// Request coalescing for /infer.
+//
+// Concurrent fold-in requests individually under-fill the shared pool:
+// each one pays scheduler wake-ups, chunk bookkeeping and (for tiny
+// batches) poor cache locality on the alias tables. The coalescer merges
+// requests into a single lda.FoldInBatch call with group-commit timing: a
+// batch forms only while every in-flight slot is busy, and dispatches on
+// the earliest of slot-free / MaxBatchDocs reached / BatchWindow expired.
+//
+// The merge is invisible in the results: every document samples from the
+// (request seed, its index within its own request, sweep) PRNG streams, so
+// a coalesced request's theta is bit-identical to what the direct path
+// returns (TestCoalescedMatchesDirect). Cancellation is per request — a
+// member whose context dies before its batch runs is dropped from the
+// batch and answered 503, and a member that disconnects mid-batch just has
+// its buffered reply discarded; neither perturbs its batchmates, because
+// the batch itself runs under the server's lifecycle context, not any one
+// request's.
+//
+// Artifact pinning: a batch resolves vocabulary tokens and samples against
+// the artifact current at dispatch time, and every member's response
+// reports that artifact's generation — so responses are deterministic per
+// generation even when a hot reload lands mid-window.
+
+import (
+	"context"
+	"net/http"
+	"time"
+
+	"lesm/internal/lda"
+)
+
+// inferJob is one /infer request queued for coalescing.
+type inferJob struct {
+	req    *inferRequest
+	sweeps int
+	ctx    context.Context
+	// done receives exactly one result; buffered so a batch can reply to
+	// an already-departed client without blocking.
+	done chan inferResult
+}
+
+// inferResult is a batch's answer to one member request.
+type inferResult struct {
+	status int
+	errmsg string      // non-empty for error replies
+	theta  [][]float64 // per-document topic distributions
+	topics int
+	gen    uint64
+}
+
+func (j *inferJob) docCount() int { return len(j.req.Docs) + len(j.req.IDs) }
+
+func (j *inferJob) reply(res inferResult) { j.done <- res }
+
+// inferCoalesced enqueues the request on the coalescer and waits for its
+// batch to answer.
+func (s *Server) inferCoalesced(w http.ResponseWriter, r *http.Request, req *inferRequest, sweeps int) {
+	job := &inferJob{req: req, sweeps: sweeps, ctx: r.Context(), done: make(chan inferResult, 1)}
+	select {
+	case s.jobs <- job:
+	case <-r.Context().Done():
+		writeErr(w, http.StatusServiceUnavailable, "request cancelled while waiting for a batch window")
+		return
+	case <-s.ctx.Done():
+		writeErr(w, http.StatusServiceUnavailable, "server shutting down")
+		return
+	}
+	select {
+	case res := <-job.done:
+		if res.errmsg != "" {
+			writeErr(w, res.status, "%s", res.errmsg)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"topics": res.topics, "seed": req.Seed, "sweeps": sweeps,
+			"generation": res.gen, "theta": res.theta,
+		})
+	case <-r.Context().Done():
+		// The batch will still compute this job's documents (it cannot be
+		// unpicked mid-sweep) and its reply lands in the buffered channel;
+		// only the response is abandoned.
+		writeErr(w, http.StatusServiceUnavailable, "request cancelled while its batch was running")
+	}
+}
+
+// collect is the coalescer's collector goroutine: it opens a batch on the
+// first arriving job, extends it while jobs keep arriving, and dispatches
+// on the earliest of three triggers (group commit):
+//
+//   - a pool slot is free — an unsaturated server dispatches immediately,
+//     so coalescing adds ~zero latency at low load (the batch-of-1 fast
+//     path) and batches only form while every slot is busy;
+//   - the batch reaches MaxBatchDocs;
+//   - BatchWindow expires — the cap on formation time, bounding the extra
+//     latency the first member of a batch can absorb under overload.
+//
+// A job that would overflow the cap closes the current batch and spills
+// whole into the next one — it is never split across batches, so its
+// per-request determinism key stays intact.
+func (s *Server) collect() {
+	defer s.bg.Done()
+	window := s.opt.BatchWindow
+	maxDocs := s.opt.MaxBatchDocs
+	for {
+		var first *inferJob
+		select {
+		case first = <-s.jobs:
+		case <-s.ctx.Done():
+			return
+		}
+		batch := []*inferJob{first}
+		n := first.docCount()
+		owned := false // true when the collector already holds a pool slot
+		// Latency fast-path: a request that alone fills the cap dispatches
+		// immediately, skipping the window wait.
+		if n < maxDocs {
+			// A fresh Timer per window (and per spill) sidesteps Reset's
+			// stop-and-drain pitfalls; a handful of garbage timers per
+			// batch is noise next to the sampling work.
+			timer := time.NewTimer(window)
+		collecting:
+			for {
+				select {
+				case j := <-s.jobs:
+					jn := j.docCount()
+					if n+jn > maxDocs {
+						// Overflow: dispatch what we have; j spills into
+						// the next window.
+						s.dispatch(batch, false)
+						batch = []*inferJob{j}
+						n = jn
+						if n >= maxDocs {
+							break collecting
+						}
+						timer.Stop()
+						timer = time.NewTimer(window)
+						continue
+					}
+					batch = append(batch, j)
+					n += jn
+					if n >= maxDocs {
+						break collecting
+					}
+				case s.inferSem <- struct{}{}:
+					// Group commit: capacity is free, so waiting longer
+					// would only idle the pool. The slot's ownership moves
+					// to the batch runner.
+					owned = true
+					break collecting
+				case <-timer.C:
+					break collecting
+				case <-s.ctx.Done():
+					timer.Stop()
+					s.failBatch(batch, "server shutting down")
+					return
+				}
+			}
+			timer.Stop()
+		}
+		s.dispatch(batch, owned)
+	}
+}
+
+// dispatch hands a collected batch to a runner goroutine, so the collector
+// can immediately open the next window while the batch samples. owned
+// marks a batch whose pool slot the collector already acquired.
+func (s *Server) dispatch(batch []*inferJob, owned bool) {
+	s.inferBatches.Add(1)
+	s.batchWG.Add(1)
+	go s.runBatch(batch, owned)
+}
+
+func (s *Server) failBatch(batch []*inferJob, msg string) {
+	for _, j := range batch {
+		j.reply(inferResult{status: http.StatusServiceUnavailable, errmsg: msg})
+	}
+}
+
+// runBatch runs one coalesced batch: acquire an in-flight slot, pin the
+// current artifact, flatten the members' documents into lda.BatchDocs
+// keyed by each request's own (seed, local index, sweeps), sample once on
+// the shared pool, and scatter the slices back to the members.
+func (s *Server) runBatch(batch []*inferJob, owned bool) {
+	defer s.batchWG.Done()
+	if !owned {
+		select {
+		case s.inferSem <- struct{}{}:
+		case <-s.ctx.Done():
+			s.failBatch(batch, "server shutting down")
+			return
+		}
+	}
+	defer func() { <-s.inferSem }()
+	a := s.cur.Load()
+	if a.foldIn == nil {
+		s.failBatch(batch, "snapshot has no topics section (fold-in unavailable)")
+		return
+	}
+
+	var flat []lda.BatchDoc
+	type span struct{ lo, hi int }
+	live := make([]*inferJob, 0, len(batch))
+	spans := make([]span, 0, len(batch))
+	for _, j := range batch {
+		if j.ctx.Err() != nil {
+			// Dropping a cancelled member before sampling leaves its
+			// batchmates' documents keyed exactly as before — no other
+			// member's trajectory shifts.
+			j.reply(inferResult{status: http.StatusServiceUnavailable,
+				errmsg: "request cancelled before its batch ran"})
+			continue
+		}
+		docs, errmsg := resolveDocs(a, j.req)
+		if errmsg != "" {
+			j.reply(inferResult{status: http.StatusBadRequest, errmsg: errmsg})
+			continue
+		}
+		lo := len(flat)
+		for i, d := range docs {
+			flat = append(flat, lda.BatchDoc{Tokens: d, Seed: j.req.Seed, Index: uint64(i), Sweeps: j.sweeps})
+		}
+		live = append(live, j)
+		spans = append(spans, span{lo, len(flat)})
+	}
+	if len(live) == 0 {
+		return
+	}
+	s.inferRequests.Add(uint64(len(live)))
+	theta, err := lda.FoldInBatch(a.foldIn, flat, lda.FoldInConfig{
+		P: s.opt.P, Sampler: s.opt.Sampler, Sweeps: s.opt.Sweeps, Ctx: s.ctx,
+	})
+	if err != nil {
+		s.failBatch(live, "inference aborted: "+err.Error())
+		return
+	}
+	for i, j := range live {
+		sp := spans[i]
+		res := inferResult{status: http.StatusOK, theta: theta[sp.lo:sp.hi], topics: a.foldIn.K(), gen: a.gen}
+		if res.theta == nil {
+			res.theta = [][]float64{} // a zero-document request still gets a JSON array
+		}
+		j.reply(res)
+	}
+}

@@ -1,0 +1,356 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"lesm/internal/store"
+)
+
+// inferBody builds a canonical /infer request body.
+func inferBody(t testing.TB, seed int64, ids [][]int, sweeps int) []byte {
+	t.Helper()
+	m := map[string]any{"seed": seed, "ids": ids}
+	if sweeps > 0 {
+		m["sweeps"] = sweeps
+	}
+	b, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// postInfer posts an /infer body and returns (status, decoded response).
+func postInfer(t testing.TB, url string, body []byte) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url+"/infer", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	return resp.StatusCode, out
+}
+
+// thetaJSON canonicalizes a response's theta for bit-identity comparison.
+func thetaJSON(t testing.TB, out map[string]any) string {
+	t.Helper()
+	b, err := json.Marshal(out["theta"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestCoalescedMatchesDirect is the coalescer's headline contract: merging
+// concurrent /infer requests into one fold-in batch must return every
+// request exactly the bytes the un-coalesced path returns, at P=1 and
+// P=8, for heterogeneous seeds and sweep counts.
+func TestCoalescedMatchesDirect(t *testing.T) {
+	reqs := [][]byte{
+		inferBody(t, 7, [][]int{{0, 1, 2, 3}, {5, 7, 8}}, 0),
+		inferBody(t, 99, [][]int{{9, 9, 9}, {}}, 5),
+		inferBody(t, 7, [][]int{{4, 4, 1, 6}}, 12),
+		inferBody(t, 1, [][]int{{0, 42, 3}}, 0),
+	}
+	for _, p := range []int{1, 8} {
+		direct := newTestServer(t, Options{P: p})
+		want := make([]string, len(reqs))
+		for i, b := range reqs {
+			status, out := postInfer(t, direct.URL, b)
+			if status != http.StatusOK {
+				t.Fatalf("direct request %d: status %d", i, status)
+			}
+			want[i] = thetaJSON(t, out)
+		}
+
+		// MaxInFlight 1 plus a held slot forces every request into one
+		// merged batch — the group-commit path the test exists for.
+		co, cs := newTestServerPair(t, Options{P: p, BatchWindow: time.Second, MaxBatchDocs: 64, MaxInFlight: 1})
+		cs.inferSem <- struct{}{}
+		got := make([]string, len(reqs))
+		var wg sync.WaitGroup
+		for i, b := range reqs {
+			wg.Add(1)
+			go func(i int, b []byte) {
+				defer wg.Done()
+				status, out := postInfer(t, co.URL, b)
+				if status != http.StatusOK {
+					t.Errorf("coalesced request %d: status %d (%v)", i, status, out)
+					return
+				}
+				got[i] = thetaJSON(t, out)
+			}(i, b)
+		}
+		time.Sleep(100 * time.Millisecond) // let all four park in the forming batch
+		<-cs.inferSem                      // free the slot: the batch group-commits
+		wg.Wait()
+		if batches := cs.inferBatches.Load(); batches != 1 {
+			t.Fatalf("P=%d: %d batches for 4 requests parked behind one slot, want 1 merged batch", p, batches)
+		}
+		for i := range reqs {
+			if got[i] != want[i] {
+				t.Fatalf("P=%d request %d: coalesced theta differs from direct:\n%s\n%s", p, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestCoalescerBatchOfOne: a lone request in its window still completes,
+// bit-identical to the direct path, and counts as one batch.
+func TestCoalescerBatchOfOne(t *testing.T) {
+	body := inferBody(t, 11, [][]int{{0, 1, 2}}, 0)
+	direct := newTestServer(t, Options{})
+	_, dout := postInfer(t, direct.URL, body)
+
+	ts, _ := newTestServerPair(t, Options{BatchWindow: 20 * time.Millisecond})
+	status, out := postInfer(t, ts.URL, body)
+	if status != http.StatusOK {
+		t.Fatalf("status %d", status)
+	}
+	if thetaJSON(t, out) != thetaJSON(t, dout) {
+		t.Fatal("batch-of-1 theta differs from direct path")
+	}
+	h := getJSON(t, ts.URL+"/healthz", http.StatusOK)
+	if int(h["infer_batches"].(float64)) != 1 || int(h["infer_requests"].(float64)) != 1 {
+		t.Fatalf("counters = %v / %v", h["infer_batches"], h["infer_requests"])
+	}
+}
+
+// TestCoalescerFullRequestSkipsWindow: a request that alone fills
+// MaxBatchDocs must close its batch immediately even when no pool slot is
+// free — with a prohibitive 30s window, only the cap trigger can have
+// dispatched it.
+func TestCoalescerFullRequestSkipsWindow(t *testing.T) {
+	ts, s := newTestServerPair(t, Options{BatchWindow: 30 * time.Second, MaxBatchDocs: 2, MaxInFlight: 1})
+	s.inferSem <- struct{}{} // no slot free: group commit cannot trigger
+	done := make(chan string, 1)
+	go func() {
+		status, out := postInfer(t, ts.URL, inferBody(t, 3, [][]int{{0, 1}, {5, 6}}, 4))
+		done <- fmt.Sprintf("%d %v", status, out["generation"])
+	}()
+	// The cap-filling request must be dispatched (queued on the slot)
+	// without waiting out the window.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.inferBatches.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if s.inferBatches.Load() == 0 {
+		t.Fatal("cap-filling request waited for the window instead of dispatching")
+	}
+	<-s.inferSem // free the slot so the parked batch can run
+	select {
+	case got := <-done:
+		if !strings.HasPrefix(got, "200 ") {
+			t.Fatalf("full request answered %s", got)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("dispatched batch never answered")
+	}
+}
+
+// TestCoalescerOverflowSpills: requests that jointly exceed MaxBatchDocs
+// split across batches at a request boundary — never inside a request —
+// and every response stays correct.
+func TestCoalescerOverflowSpills(t *testing.T) {
+	body := [][]byte{
+		inferBody(t, 5, [][]int{{0, 1}, {2, 3}}, 6),
+		inferBody(t, 6, [][]int{{5, 6}, {7, 8}}, 6),
+		inferBody(t, 7, [][]int{{0, 9}, {4, 4}}, 6),
+	}
+	direct := newTestServer(t, Options{})
+	want := make([]string, len(body))
+	for i, b := range body {
+		_, out := postInfer(t, direct.URL, b)
+		want[i] = thetaJSON(t, out)
+	}
+
+	// Cap of 4 docs behind a held slot: three 2-doc requests merge until
+	// 2+2 fills the first batch; the third would overflow it and must
+	// spill whole into a second batch.
+	ts, s := newTestServerPair(t, Options{BatchWindow: 30 * time.Second, MaxBatchDocs: 4, MaxInFlight: 1})
+	s.inferSem <- struct{}{}
+	var wg sync.WaitGroup
+	got := make([]string, len(body))
+	for i, b := range body {
+		wg.Add(1)
+		go func(i int, b []byte) {
+			defer wg.Done()
+			status, out := postInfer(t, ts.URL, b)
+			if status != http.StatusOK {
+				t.Errorf("request %d: status %d", i, status)
+				return
+			}
+			got[i] = thetaJSON(t, out)
+		}(i, b)
+	}
+	// Both batches exist before any sampling ran (the slot is held): the
+	// full one dispatched on the cap, the spilled one is still forming.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.inferBatches.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	<-s.inferSem
+	wg.Wait()
+	for i := range body {
+		if got[i] != want[i] {
+			t.Fatalf("request %d: spilled batch theta differs from direct", i)
+		}
+	}
+	if batches := s.inferBatches.Load(); batches != 2 {
+		t.Fatalf("overflow did not spill: %d batches for 6 docs at cap 4", batches)
+	}
+}
+
+// TestCoalescerCancelledMemberLeavesBatchmates: cancelling one member of a
+// forming batch must not perturb the others — they still answer 200 with
+// the exact direct-path theta.
+func TestCoalescerCancelledMemberLeavesBatchmates(t *testing.T) {
+	keep := inferBody(t, 21, [][]int{{0, 1, 3}, {5, 7}}, 8)
+	direct := newTestServer(t, Options{})
+	_, dout := postInfer(t, direct.URL, keep)
+	want := thetaJSON(t, dout)
+
+	// A held slot parks both members in the same forming batch; the doomed
+	// one is cancelled before the batch can run.
+	ts, s := newTestServerPair(t, Options{BatchWindow: 30 * time.Second, MaxBatchDocs: 64, MaxInFlight: 1})
+	s.inferSem <- struct{}{}
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(2)
+	cancelled := make(chan error, 1)
+	surviving := make(chan string, 1)
+	go func() {
+		defer wg.Done()
+		req, _ := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/infer",
+			bytes.NewReader(inferBody(t, 22, [][]int{{6, 8, 9}}, 8)))
+		req.Header.Set("Content-Type", "application/json")
+		_, err := http.DefaultClient.Do(req)
+		cancelled <- err
+	}()
+	go func() {
+		defer wg.Done()
+		time.Sleep(50 * time.Millisecond) // after the doomed member parked
+		status, out := postInfer(t, ts.URL, keep)
+		if status != http.StatusOK {
+			t.Errorf("surviving member: status %d (%v)", status, out)
+			return
+		}
+		surviving <- thetaJSON(t, out)
+	}()
+	time.Sleep(150 * time.Millisecond) // both members are in the batch
+	cancel()
+	if err := <-cancelled; err == nil {
+		t.Fatal("cancelled member's client saw a response")
+	}
+	<-s.inferSem // release the slot: the batch runs without the doomed member
+	wg.Wait()
+	select {
+	case got := <-surviving:
+		if got != want {
+			t.Error("surviving member's theta perturbed by cancelled batchmate")
+		}
+	default:
+		// surviving goroutine already reported its error
+	}
+}
+
+// TestCoalescerShutdownDrains: jobs parked in an open window are failed
+// with 503 (not leaked, not left hanging) when the server shuts down, and
+// Close returns with all background goroutines gone.
+func TestCoalescerShutdownDrains(t *testing.T) {
+	s, err := New(testSnapshot(t), Options{BatchWindow: 30 * time.Second, MaxInFlight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.inferSem <- struct{}{} // hold the slot so the job stays parked in its window
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	got := make(chan int, 1)
+	go func() {
+		status, _ := postInfer(t, ts.URL, inferBody(t, 1, [][]int{{0, 1}}, 3))
+		got <- status
+	}()
+	// Let the job get parked in the collector's (long) window, then close.
+	time.Sleep(150 * time.Millisecond)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case status := <-got:
+		if status != http.StatusServiceUnavailable {
+			t.Fatalf("parked job answered %d on shutdown, want 503", status)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("parked job still hanging after Close")
+	}
+}
+
+// TestCloseReleasesGoroutines is the stdlib goroutine leak check for the
+// whole background machinery: coalescer collector, batch runners and the
+// reload poller must all exit on ctx cancel / Close.
+func TestCloseReleasesGoroutines(t *testing.T) {
+	// Settle and measure the baseline.
+	runtime.GC()
+	time.Sleep(50 * time.Millisecond)
+	baseline := runtime.NumGoroutine()
+
+	path := t.TempDir() + "/model.lesm"
+	if err := store.Write(path, testSnapshot(t)); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s, err := New(testSnapshot(t), Options{
+		BatchWindow:  2 * time.Millisecond,
+		SnapshotPath: path,
+		ReloadPoll:   2 * time.Millisecond,
+		Ctx:          ctx,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drive coalesced inference and reloads through the live machinery
+	// without any network goroutines.
+	for i := 0; i < 3; i++ {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodPost, "/infer", bytes.NewReader(inferBody(t, int64(i), [][]int{{0, 1, 2}}, 3)))
+		s.Handler().ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, rec.Code)
+		}
+	}
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/admin/reload", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("admin reload: status %d (%s)", rec.Code, rec.Body.String())
+	}
+
+	// Satellite contract: ctx cancel alone must drain the coalescer and
+	// poller (Close additionally releases mappings).
+	cancel()
+	deadline := time.Now().Add(3 * time.Second)
+	for runtime.NumGoroutine() > baseline && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > baseline {
+		buf := make([]byte, 1<<16)
+		t.Fatalf("goroutines leaked after ctx cancel: %d > baseline %d\n%s",
+			n, baseline, buf[:runtime.Stack(buf, true)])
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

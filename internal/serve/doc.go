@@ -1,17 +1,29 @@
 // Package serve is the read side of the framework: an HTTP/JSON query
-// server over a loaded model snapshot (internal/store). It answers
-// structure lookups (topic top-words, hierarchy nodes, phrase search,
-// advisor rankings) from immutable in-memory state, and runs fold-in Gibbs
+// server over model snapshots (internal/store). It answers structure
+// lookups (topic top-words, hierarchy nodes, phrase search, advisor
+// rankings) from immutable in-memory state, and runs fold-in Gibbs
 // inference (internal/lda.FoldIn) for unseen documents on the shared
 // parallel runtime.
 //
-// Concurrency model: everything the handlers read is built once in New and
-// never mutated afterwards, so query handlers run lock-free; the only
-// guarded resource is the bounded in-flight semaphore that caps concurrent
-// /infer batches. Inference is deterministic per request — identical
-// (seed, doc index, tokens) give identical distributions at any server
-// parallelism — because each document samples from its own counter-based
-// PRNG stream against the frozen topic-word statistics.
+// Concurrency model: everything the handlers read hangs off one immutable
+// artifact value behind an atomic pointer. Handlers load the pointer once
+// per request and run lock-free; a snapshot hot reload (mtime polling of
+// the snapshot path, or POST /admin/reload) builds and validates the next
+// artifact off to the side and swaps the pointer, so a refit goes live
+// with zero downtime while in-flight requests finish on the artifact they
+// started with. Every /infer response names the artifact generation it was
+// answered from; identical requests against one generation are
+// bit-identical.
+//
+// /infer runs behind a bounded in-flight semaphore, optionally through the
+// request coalescer: with Options.BatchWindow set, requests merge into one
+// fold-in batch with group-commit timing (dispatch on slot-free,
+// batch-full or window-expiry, whichever is first — see coalesce.go).
+// Because every document samples from its own request's (seed, index,
+// sweep) PRNG streams, coalescing never changes a response. Snapshots can
+// be served straight from a read-only memory mapping (Options.MMap /
+// store.OpenMapped); replaced generations' mappings are retired until
+// Close so a request racing a reload never touches unmapped memory.
 //
 // cmd/lesmd wraps this package as a standalone daemon.
 package serve

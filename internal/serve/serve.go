@@ -1,13 +1,18 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"lesm/internal/core"
 	"lesm/internal/lda"
@@ -21,8 +26,9 @@ import (
 type Options struct {
 	// P bounds the fold-in worker count per /infer batch (0 = GOMAXPROCS).
 	P int
-	// MaxInFlight caps concurrent /infer batches; further requests wait
-	// until a slot frees or their context is cancelled (default 4).
+	// MaxInFlight caps concurrent /infer fold-in batches (direct or
+	// coalesced); further requests wait until a slot frees or their
+	// context is cancelled (default 4).
 	MaxInFlight int
 	// Sweeps is the fold-in sweep count (default 30).
 	Sweeps int
@@ -38,6 +44,39 @@ type Options struct {
 	// different deterministic trajectory and precomputes per-word alias
 	// tables at startup (~2 extra words of memory per topic-word cell).
 	Sampler lda.Sampler
+
+	// SnapshotPath is the on-disk snapshot backing hot reload: POST
+	// /admin/reload (and the ReloadPoll poller) re-reads it and swaps the
+	// serving artifact atomically. Empty disables path-driven reload;
+	// Reload with an explicit snapshot still works.
+	SnapshotPath string
+	// ReloadPoll, when > 0 and SnapshotPath is set, polls the snapshot
+	// file's (size, mtime) stamp at this interval and hot-reloads on
+	// change. Zero disables polling.
+	ReloadPoll time.Duration
+	// MMap routes path-driven (re)loads through store.OpenMapped: the big
+	// sections serve zero-copy from the mapping, and replaced mappings are
+	// retired (kept mapped) until Close so in-flight requests never fault.
+	MMap bool
+	// BatchWindow enables /infer request coalescing with group-commit
+	// semantics: while every in-flight slot is busy, arriving requests
+	// merge into one forming fold-in batch; the batch dispatches as soon
+	// as a slot frees, the batch reaches MaxBatchDocs, or the window
+	// expires — whichever comes first. An unsaturated server therefore
+	// dispatches immediately (no added latency), and the window only
+	// bounds how long a request can wait for batchmates under overload.
+	// Zero disables coalescing entirely. Per-request results are
+	// bit-identical either way.
+	BatchWindow time.Duration
+	// MaxBatchDocs caps the documents of one coalesced batch (default 64).
+	// A request that would overflow the cap closes the current batch and
+	// spills into the next window.
+	MaxBatchDocs int
+	// Ctx, when cancelled, shuts down the server's background machinery
+	// (coalescer, reload poller, in-flight coalesced batches) exactly like
+	// Close (nil = background). Mapped snapshots are only released by an
+	// explicit Close, which must come after the HTTP server has drained.
+	Ctx context.Context
 }
 
 // withDefaults fills defaults and clamps nonsensical negatives (a negative
@@ -56,6 +95,15 @@ func (o Options) withDefaults() Options {
 	if o.Alpha <= 0 {
 		o.Alpha = lda.DefaultFoldInAlpha
 	}
+	if o.BatchWindow < 0 {
+		o.BatchWindow = 0
+	}
+	if o.MaxBatchDocs <= 0 {
+		o.MaxBatchDocs = 64
+	}
+	if o.ReloadPoll < 0 {
+		o.ReloadPoll = 0
+	}
 	return o
 }
 
@@ -67,29 +115,34 @@ type phraseHit struct {
 	lower   string
 }
 
-// Server answers read-only queries over one immutable snapshot. All fields
-// are initialized in New and never written afterwards; handlers therefore
-// need no locking.
-type Server struct {
+// artifact is everything derived from one snapshot: the immutable unit a
+// hot reload swaps. Handlers load the current artifact exactly once per
+// request and use only it afterwards, so a swap never mixes generations
+// within a response and in-flight requests finish on the artifact they
+// started with. All fields are initialized in buildArtifact and never
+// written afterwards; reads need no locking.
+type artifact struct {
+	gen     uint64
 	snap    *store.Snapshot
-	opt     Options
 	vocab   *textkit.Vocabulary
 	foldIn  *lda.FoldInModel
 	nodes   map[string]*core.TopicNode
 	paths   []string // hierarchy pre-order
 	phrases []phraseHit
 	advisor *tpfg.Result
-	// predicted[i] is advisor.Predict()[i], computed once at startup so
+	// predicted[i] is advisor.Predict()[i], computed once at build so
 	// /advisor lookups don't re-run the all-authors argmax per request.
 	predicted []int
-	inferSem  chan struct{}
-	mux       *http.ServeMux
+	// closer releases the snapshot's backing mapping (store.Mapped); nil
+	// for heap-decoded snapshots. Closed by Server.Close, never on swap —
+	// an in-flight request may still read the old mapping.
+	closer io.Closer
 }
 
-// New builds a server over the snapshot. The snapshot must carry at least
-// one section; endpoints whose section is absent answer 404 with an
-// explanatory error.
-func New(snap *store.Snapshot, opt Options) (*Server, error) {
+// buildArtifact validates a snapshot and precomputes the serving state for
+// it. The snapshot must carry at least one section; endpoints whose
+// section is absent answer 404 with an explanatory error.
+func buildArtifact(snap *store.Snapshot, opt Options, gen uint64, closer io.Closer) (*artifact, error) {
 	if snap == nil {
 		return nil, errors.New("serve: nil snapshot")
 	}
@@ -102,33 +155,28 @@ func New(snap *store.Snapshot, opt Options) (*Server, error) {
 	if err := snap.Validate(); err != nil {
 		return nil, fmt.Errorf("serve: invalid snapshot: %w", err)
 	}
-	if !opt.Sampler.Valid() {
-		return nil, fmt.Errorf("serve: unknown fold-in sampler %q (want %q or %q)",
-			opt.Sampler, lda.SamplerSparse, lda.SamplerDense)
-	}
-	opt = opt.withDefaults()
-	s := &Server{snap: snap, opt: opt, inferSem: make(chan struct{}, opt.MaxInFlight)}
+	a := &artifact{gen: gen, snap: snap, closer: closer}
 
 	if snap.Vocab != nil {
-		s.vocab = textkit.VocabularyFromWords(snap.Vocab)
+		a.vocab = textkit.VocabularyFromWords(snap.Vocab)
 	}
 	if t := snap.Topics; t != nil {
 		if t.NKV != nil && t.NK != nil {
-			s.foldIn = lda.FoldInModelFromCounts(t.NKV, t.NK, opt.Alpha, t.Beta)
+			a.foldIn = lda.FoldInModelFromCounts(t.NKV, t.NK, opt.Alpha, t.Beta)
 		} else if t.Phi != nil {
-			s.foldIn = lda.NewFoldInModel(t.Phi, opt.Alpha)
+			a.foldIn = lda.NewFoldInModel(t.Phi, opt.Alpha)
 		}
-		if s.foldIn != nil && opt.Sampler != lda.SamplerDense {
-			// Pay the sparse core's O(K·V) alias build at startup, not on
-			// the first /infer request.
-			s.foldIn.PrecomputeSparse()
+		if a.foldIn != nil && opt.Sampler != lda.SamplerDense {
+			// Pay the sparse core's O(K·V) alias build at load, not on the
+			// first /infer request against this artifact.
+			a.foldIn.PrecomputeSparse()
 		}
 	}
 	if h := snap.Hierarchy; h != nil {
-		s.nodes = map[string]*core.TopicNode{}
+		a.nodes = map[string]*core.TopicNode{}
 		h.Root.Walk(func(n *core.TopicNode) {
-			s.paths = append(s.paths, n.Path)
-			s.nodes[n.Path] = n
+			a.paths = append(a.paths, n.Path)
+			a.nodes[n.Path] = n
 		})
 	}
 	// Phrase search index: the roles section when present (the analyzer's
@@ -136,19 +184,93 @@ func New(snap *store.Snapshot, opt Options) (*Server, error) {
 	if snap.RolePhrases != nil {
 		for _, tp := range snap.RolePhrases {
 			for _, p := range tp.Phrases {
-				s.phrases = append(s.phrases, phraseHit{Path: tp.Path, Display: p.Display, Score: p.Score, lower: strings.ToLower(p.Display)})
+				a.phrases = append(a.phrases, phraseHit{Path: tp.Path, Display: p.Display, Score: p.Score, lower: strings.ToLower(p.Display)})
 			}
 		}
 	} else if snap.Hierarchy != nil {
-		for _, path := range s.paths {
-			for _, p := range s.nodes[path].Phrases {
-				s.phrases = append(s.phrases, phraseHit{Path: path, Display: p.Display, Score: p.Score, lower: strings.ToLower(p.Display)})
+		for _, path := range a.paths {
+			for _, p := range a.nodes[path].Phrases {
+				a.phrases = append(a.phrases, phraseHit{Path: path, Display: p.Display, Score: p.Score, lower: strings.ToLower(p.Display)})
 			}
 		}
 	}
-	if a := snap.Advisor; a != nil {
-		s.advisor = &tpfg.Result{Net: a.Net, Rank: a.Rank}
-		s.predicted = s.advisor.Predict()
+	if adv := snap.Advisor; adv != nil {
+		a.advisor = &tpfg.Result{Net: adv.Net, Rank: adv.Rank}
+		a.predicted = a.advisor.Predict()
+	}
+	return a, nil
+}
+
+// Server answers queries over the current snapshot artifact. Structure
+// lookups are lock-free reads of the atomically-swapped artifact pointer;
+// /infer runs on the shared pool behind a bounded in-flight semaphore,
+// optionally through the request coalescer.
+type Server struct {
+	opt      Options
+	cur      atomic.Pointer[artifact]
+	inferSem chan struct{}
+	mux      *http.ServeMux
+
+	// Background machinery lifecycle: ctx is cancelled by Close (or by
+	// Options.Ctx); bg tracks the coalescer collector and reload poller,
+	// batchWG the in-flight coalesced batches.
+	ctx     context.Context
+	cancel  context.CancelFunc
+	bg      sync.WaitGroup
+	batchWG sync.WaitGroup
+
+	// jobs feeds the coalescer collector; nil when coalescing is off.
+	jobs chan *inferJob
+
+	// reloadMu serializes artifact swaps; lastStamp is the stamp of the
+	// last snapshot loaded from SnapshotPath.
+	reloadMu  sync.Mutex
+	nextGen   uint64
+	lastStamp fileStamp
+	reloadErr atomic.Value // string: last path-reload failure ("" = none)
+
+	// retired holds closers of replaced artifacts until Close: an
+	// in-flight request may still be reading the old mapping, so swaps
+	// must never unmap. (The cost is address space, not resident memory —
+	// clean file-backed pages are evictable.)
+	mu      sync.Mutex
+	retired []io.Closer
+	closed  bool
+
+	// Serving metrics, surfaced on /healthz.
+	inferBatches  atomic.Uint64 // fold-in batches dispatched (direct or coalesced)
+	inferRequests atomic.Uint64 // /infer requests accepted into a batch
+}
+
+// New builds a server over the snapshot and starts its background
+// machinery (request coalescer when BatchWindow > 0, reload poller when
+// SnapshotPath + ReloadPoll are set). Callers must Close the server when
+// done serving; cancelling Options.Ctx stops the background goroutines
+// early but releases no mappings.
+func New(snap *store.Snapshot, opt Options) (*Server, error) {
+	if !opt.Sampler.Valid() {
+		return nil, fmt.Errorf("serve: unknown fold-in sampler %q (want %q or %q)",
+			opt.Sampler, lda.SamplerSparse, lda.SamplerDense)
+	}
+	opt = opt.withDefaults()
+	a, err := buildArtifact(snap, opt, 1, nil)
+	if err != nil {
+		return nil, err
+	}
+	base := opt.Ctx
+	if base == nil {
+		base = context.Background()
+	}
+	s := &Server{opt: opt, inferSem: make(chan struct{}, opt.MaxInFlight), nextGen: 1}
+	s.ctx, s.cancel = context.WithCancel(base)
+	s.cur.Store(a)
+	s.reloadErr.Store("")
+	if opt.SnapshotPath != "" {
+		// Best-effort initial stamp, so a poller doesn't reload a file
+		// that hasn't changed since the snapshot we were handed.
+		if st, err := stampPath(opt.SnapshotPath); err == nil {
+			s.lastStamp = st
+		}
 	}
 
 	mux := http.NewServeMux()
@@ -159,12 +281,67 @@ func New(snap *store.Snapshot, opt Options) (*Server, error) {
 	mux.HandleFunc("/phrases/search", s.handlePhraseSearch)
 	mux.HandleFunc("/advisor/", s.handleAdvisor)
 	mux.HandleFunc("/infer", s.handleInfer)
+	mux.HandleFunc("/admin/reload", s.handleAdminReload)
 	s.mux = mux
+
+	if opt.BatchWindow > 0 {
+		s.jobs = make(chan *inferJob)
+		s.bg.Add(1)
+		go s.collect()
+	}
+	if opt.SnapshotPath != "" && opt.ReloadPoll > 0 {
+		s.bg.Add(1)
+		go s.pollReload()
+	}
 	return s, nil
 }
 
 // Handler returns the HTTP handler serving all endpoints.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// AdoptCloser attaches the initial snapshot's backing resource (typically
+// a store.Mapped) to the server, releasing it on Close like the mappings
+// of reloaded generations. Call it right after New, before serving.
+func (s *Server) AdoptCloser(c io.Closer) {
+	if c == nil {
+		return
+	}
+	s.mu.Lock()
+	s.retired = append(s.retired, c)
+	s.mu.Unlock()
+}
+
+// Generation returns the current artifact generation (1 for the snapshot
+// New was given; +1 per successful reload).
+func (s *Server) Generation() uint64 { return s.cur.Load().gen }
+
+// Close shuts the server down: it stops the coalescer and reload poller,
+// fails queued /infer jobs, waits for in-flight coalesced batches, and
+// releases every snapshot mapping (current and retired). Call it after the
+// HTTP server wrapping Handler has drained — handlers must not run
+// concurrently with the unmapping. Idempotent.
+func (s *Server) Close() error {
+	s.cancel()
+	s.bg.Wait()      // collector + poller exited; queued jobs failed
+	s.batchWG.Wait() // coalesced batches finished replying
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var first error
+	if c := s.cur.Load().closer; c != nil {
+		first = c.Close()
+	}
+	for _, c := range s.retired {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	s.retired = nil
+	return first
+}
 
 // --- helpers ---
 
@@ -207,18 +384,32 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if !requireGet(w, r) {
 		return
 	}
+	a := s.cur.Load()
 	resp := map[string]any{
-		"status":   "ok",
-		"sections": s.snap.Sections(),
+		"status":         "ok",
+		"sections":       a.snap.Sections(),
+		"generation":     a.gen,
+		"infer_batches":  s.inferBatches.Load(),
+		"infer_requests": s.inferRequests.Load(),
 	}
-	if s.snap.Topics != nil {
-		resp["topics"] = s.snap.Topics.K
+	if a.snap.Topics != nil {
+		resp["topics"] = a.snap.Topics.K
 	}
-	if s.vocab != nil {
-		resp["vocab"] = s.vocab.Size()
+	if a.vocab != nil {
+		resp["vocab"] = a.vocab.Size()
 	}
-	if s.snap.Hierarchy != nil {
-		resp["hierarchy_nodes"] = len(s.paths)
+	if a.snap.Hierarchy != nil {
+		resp["hierarchy_nodes"] = len(a.paths)
+	}
+	if s.opt.SnapshotPath != "" {
+		resp["snapshot_path"] = s.opt.SnapshotPath
+		if msg := s.reloadErr.Load().(string); msg != "" {
+			resp["reload_error"] = msg
+		}
+	}
+	if s.opt.BatchWindow > 0 {
+		resp["batch_window_ms"] = float64(s.opt.BatchWindow) / float64(time.Millisecond)
+		resp["max_batch_docs"] = s.opt.MaxBatchDocs
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -229,7 +420,8 @@ func (s *Server) handleTopics(w http.ResponseWriter, r *http.Request) {
 	if !requireGet(w, r) {
 		return
 	}
-	t := s.snap.Topics
+	a := s.cur.Load()
+	t := a.snap.Topics
 	if t == nil {
 		writeErr(w, http.StatusNotFound, "snapshot has no topics section")
 		return
@@ -253,7 +445,8 @@ func (s *Server) handleTopicTopWords(w http.ResponseWriter, r *http.Request) {
 	if !requireGet(w, r) {
 		return
 	}
-	t := s.snap.Topics
+	a := s.cur.Load()
+	t := a.snap.Topics
 	if t == nil {
 		writeErr(w, http.StatusNotFound, "snapshot has no topics section")
 		return
@@ -289,8 +482,8 @@ func (s *Server) handleTopicTopWords(w http.ResponseWriter, r *http.Request) {
 	words := make([]wordInfo, 0, n)
 	for _, id := range linalg.TopK(phi, n) {
 		wi := wordInfo{ID: id, P: phi[id]}
-		if s.vocab != nil && id < s.vocab.Size() {
-			wi.Word = s.vocab.Word(id)
+		if a.vocab != nil && id < a.vocab.Size() {
+			wi.Word = a.vocab.Word(id)
 		}
 		words = append(words, wi)
 	}
@@ -303,7 +496,8 @@ func (s *Server) handleHierarchyNode(w http.ResponseWriter, r *http.Request) {
 	if !requireGet(w, r) {
 		return
 	}
-	if s.nodes == nil {
+	a := s.cur.Load()
+	if a.nodes == nil {
 		writeErr(w, http.StatusNotFound, "snapshot has no hierarchy section")
 		return
 	}
@@ -311,7 +505,7 @@ func (s *Server) handleHierarchyNode(w http.ResponseWriter, r *http.Request) {
 	// separators too ("o.1.2") for clients that keep slashes out of ids.
 	id := strings.TrimPrefix(r.URL.Path, "/hierarchy/node/")
 	path := strings.ReplaceAll(id, ".", "/")
-	n := s.nodes[path]
+	n := a.nodes[path]
 	if n == nil {
 		writeErr(w, http.StatusNotFound, "no hierarchy node %q", id)
 		return
@@ -345,7 +539,7 @@ func (s *Server) handleHierarchyNode(w http.ResponseWriter, r *http.Request) {
 	}
 	sort.Slice(typeIDs, func(a, b int) bool { return typeIDs[a] < typeIDs[b] })
 	for _, x := range typeIDs {
-		g := entityGroup{Type: int(x), Name: s.snap.Hierarchy.TypeNames[x]}
+		g := entityGroup{Type: int(x), Name: a.snap.Hierarchy.TypeNames[x]}
 		for _, e := range n.Entities[x] {
 			g.Entities = append(g.Entities, entityInfo{e.ID, e.Display, e.Score})
 		}
@@ -368,7 +562,8 @@ func (s *Server) handlePhraseSearch(w http.ResponseWriter, r *http.Request) {
 	if !requireGet(w, r) {
 		return
 	}
-	if s.phrases == nil {
+	a := s.cur.Load()
+	if a.phrases == nil {
 		writeErr(w, http.StatusNotFound, "snapshot has no phrases (roles or hierarchy section required)")
 		return
 	}
@@ -386,7 +581,7 @@ func (s *Server) handlePhraseSearch(w http.ResponseWriter, r *http.Request) {
 		limit = 20 // a non-positive limit is not "unlimited"
 	}
 	var hits []phraseHit
-	for _, p := range s.phrases {
+	for _, p := range a.phrases {
 		if strings.Contains(p.lower, q) {
 			hits = append(hits, p)
 		}
@@ -415,14 +610,15 @@ func (s *Server) handleAdvisor(w http.ResponseWriter, r *http.Request) {
 	if !requireGet(w, r) {
 		return
 	}
-	if s.advisor == nil {
+	a := s.cur.Load()
+	if a.advisor == nil {
 		writeErr(w, http.StatusNotFound, "snapshot has no advisor section")
 		return
 	}
 	raw := strings.TrimPrefix(r.URL.Path, "/advisor/")
 	author, err := strconv.Atoi(raw)
-	if err != nil || author < 0 || author >= s.advisor.Net.NumAuthors {
-		writeErr(w, http.StatusNotFound, "author %q out of range [0, %d)", raw, s.advisor.Net.NumAuthors)
+	if err != nil || author < 0 || author >= a.advisor.Net.NumAuthors {
+		writeErr(w, http.StatusNotFound, "author %q out of range [0, %d)", raw, a.advisor.Net.NumAuthors)
 		return
 	}
 	type candInfo struct {
@@ -431,11 +627,11 @@ func (s *Server) handleAdvisor(w http.ResponseWriter, r *http.Request) {
 		Start   int     `json:"start"`
 		End     int     `json:"end"`
 	}
-	best := s.predicted[author]
-	bestScore := s.advisor.Rank[author][0]
-	cands := make([]candInfo, 0, len(s.advisor.Net.Cands[author]))
-	for v, c := range s.advisor.Net.Cands[author] {
-		rank := s.advisor.Rank[author][v+1]
+	best := a.predicted[author]
+	bestScore := a.advisor.Rank[author][0]
+	cands := make([]candInfo, 0, len(a.advisor.Net.Cands[author]))
+	for v, c := range a.advisor.Net.Cands[author] {
+		rank := a.advisor.Rank[author][v+1]
 		cands = append(cands, candInfo{c.Advisor, rank, c.Start, c.End})
 		if c.Advisor == best {
 			bestScore = rank
@@ -462,12 +658,35 @@ type inferRequest struct {
 	Sweeps int        `json:"sweeps,omitempty"`
 }
 
+// resolveDocs turns a request's documents into vocabulary-id batches
+// against one artifact's vocabulary. The error string is a client error
+// (400) when non-empty.
+func resolveDocs(a *artifact, req *inferRequest) ([][]int, string) {
+	if req.IDs != nil {
+		return req.IDs, ""
+	}
+	if a.vocab == nil {
+		return nil, "snapshot has no vocab section; send ids instead of docs"
+	}
+	batch := make([][]int, len(req.Docs))
+	for i, doc := range req.Docs {
+		ids := make([]int, 0, len(doc))
+		for _, tok := range doc {
+			if id, ok := a.vocab.ID(tok); ok {
+				ids = append(ids, id)
+			}
+		}
+		batch[i] = ids
+	}
+	return batch, ""
+}
+
 func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeErr(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
-	if s.foldIn == nil {
+	if s.cur.Load().foldIn == nil {
 		writeErr(w, http.StatusNotFound, "snapshot has no topics section (fold-in unavailable)")
 		return
 	}
@@ -480,24 +699,30 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "exactly one of docs (token strings) or ids (vocabulary ids) required")
 		return
 	}
-	var batch [][]int
-	if req.IDs != nil {
-		batch = req.IDs
-	} else {
-		if s.vocab == nil {
-			writeErr(w, http.StatusBadRequest, "snapshot has no vocab section; send ids instead of docs")
-			return
-		}
-		batch = make([][]int, len(req.Docs))
-		for i, doc := range req.Docs {
-			ids := make([]int, 0, len(doc))
-			for _, tok := range doc {
-				if id, ok := s.vocab.ID(tok); ok {
-					ids = append(ids, id)
-				}
-			}
-			batch[i] = ids
-		}
+	sweeps := req.Sweeps
+	if sweeps <= 0 {
+		sweeps = s.opt.Sweeps
+	}
+	if sweeps > maxInferSweeps {
+		sweeps = maxInferSweeps
+	}
+
+	if s.jobs != nil {
+		s.inferCoalesced(w, r, &req, sweeps)
+		return
+	}
+
+	// Direct path (coalescing off): this request is its own batch. The
+	// artifact is pinned once, so a hot reload mid-request is invisible.
+	a := s.cur.Load()
+	if a.foldIn == nil {
+		writeErr(w, http.StatusNotFound, "snapshot has no topics section (fold-in unavailable)")
+		return
+	}
+	batch, errmsg := resolveDocs(a, &req)
+	if errmsg != "" {
+		writeErr(w, http.StatusBadRequest, "%s", errmsg)
+		return
 	}
 
 	// Bounded in-flight batching: at most MaxInFlight fold-in batches run
@@ -510,14 +735,9 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	sweeps := req.Sweeps
-	if sweeps <= 0 {
-		sweeps = s.opt.Sweeps
-	}
-	if sweeps > maxInferSweeps {
-		sweeps = maxInferSweeps
-	}
-	theta, err := lda.FoldIn(s.foldIn, batch, lda.FoldInConfig{
+	s.inferBatches.Add(1)
+	s.inferRequests.Add(1)
+	theta, err := lda.FoldIn(a.foldIn, batch, lda.FoldInConfig{
 		Seed: req.Seed, Sweeps: sweeps, P: s.opt.P, Sampler: s.opt.Sampler, Ctx: r.Context(),
 	})
 	if err != nil {
@@ -525,6 +745,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"topics": s.foldIn.K(), "seed": req.Seed, "sweeps": sweeps, "theta": theta,
+		"topics": a.foldIn.K(), "seed": req.Seed, "sweeps": sweeps,
+		"generation": a.gen, "theta": theta,
 	})
 }

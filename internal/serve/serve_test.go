@@ -83,13 +83,25 @@ func testSnapshot(t testing.TB) *store.Snapshot {
 
 func newTestServer(t testing.TB, opt Options) *httptest.Server {
 	t.Helper()
+	ts, _ := newTestServerPair(t, opt)
+	return ts
+}
+
+// newTestServerPair also returns the Server for tests that drive reloads
+// or read internals. The HTTP listener is closed before the Server so no
+// handler runs concurrently with Close.
+func newTestServerPair(t testing.TB, opt Options) (*httptest.Server, *Server) {
+	t.Helper()
 	s, err := New(testSnapshot(t), opt)
 	if err != nil {
 		t.Fatal(err)
 	}
 	ts := httptest.NewServer(s.Handler())
-	t.Cleanup(ts.Close)
-	return ts
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return ts, s
 }
 
 func getJSON(t testing.TB, url string, wantStatus int) map[string]any {

@@ -60,3 +60,47 @@ func BenchmarkDecode(b *testing.B) {
 		}
 	}
 }
+
+// benchBigFile writes a big-section snapshot (the K x V topics tables
+// dominate) and returns its path — the fixture the decode-allocation
+// comparison runs over.
+func benchBigFile(b *testing.B, k, v int) string {
+	b.Helper()
+	path := b.TempDir() + "/bench.lesm"
+	if err := Write(path, benchSnapshot(k, v)); err != nil {
+		b.Fatal(err)
+	}
+	return path
+}
+
+// BenchmarkReadBigSections is the heap baseline: read + copying decode.
+// Compare allocs/op and B/op against BenchmarkOpenMappedBigSections.
+func BenchmarkReadBigSections(b *testing.B) {
+	path := benchBigFile(b, 20, 20000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Read(path); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOpenMappedBigSections is the zero-copy path: the topic tables
+// are served straight from mapped bytes, so per-row backing arrays never
+// hit the heap.
+func BenchmarkOpenMappedBigSections(b *testing.B) {
+	path := benchBigFile(b, 20, 20000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := OpenMapped(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if m.Snapshot().Topics.NKV[3][7] < 0 {
+			b.Fatal("bogus decode")
+		}
+		m.Close()
+	}
+}

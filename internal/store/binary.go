@@ -4,7 +4,24 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"strconv"
+	"unsafe"
 )
+
+// nativeZeroCopy reports whether []int / []float64 views can alias the
+// little-endian encoded bytes directly: the platform must be little-endian
+// and int must be 64 bits wide (the i64 wire format is then exactly int's
+// in-memory layout). On other platforms the zero-copy decoder silently
+// degrades to the copying path.
+var nativeZeroCopy = strconv.IntSize == 64 && func() bool {
+	x := uint16(1)
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// pad8 returns the zero padding that rounds n up to a multiple of 8.
+func pad8(n int) int { return (8 - n%8) % 8 }
+
+var zeros [8]byte
 
 // enc is an append-only little-endian encoder. All writes are infallible;
 // the resulting bytes are a pure function of the written values.
@@ -27,7 +44,21 @@ func (e *enc) i64(v int64) { e.u64(uint64(v)) }
 // (including negative zero and NaN payloads).
 func (e *enc) f64(v float64) { e.u64(math.Float64bits(v)) }
 
+// str writes a length-prefixed string padded with zero bytes to the next
+// 8-byte boundary. Keeping every payload primitive a multiple of 8 bytes
+// wide means an 8-aligned section payload stays 8-aligned at every ints /
+// floats array inside it — the invariant the zero-copy decoder relies on.
+// The header's section names use rawStr instead (the header is parsed
+// field-by-field and never zero-copied).
 func (e *enc) str(s string) {
+	e.u32(uint32(len(s)))
+	e.buf = append(e.buf, s...)
+	e.buf = append(e.buf, zeros[:pad8(4+len(s))]...)
+}
+
+// rawStr is the unpadded v1-style string encoding, used only in the file
+// header.
+func (e *enc) rawStr(s string) {
 	e.u32(uint32(len(s)))
 	e.buf = append(e.buf, s...)
 }
@@ -49,10 +80,17 @@ func (e *enc) floats(v []float64) {
 // dec is the bounds-checked reader for enc's output. The first out-of-range
 // read latches err and turns every later read into a zero-value no-op, so
 // decoders can run straight-line and check err once at the end.
+//
+// With zc set, ints and floats return views that alias buf instead of heap
+// copies whenever the platform allows it (nativeZeroCopy) and the array
+// happens to sit 8-aligned in memory; otherwise they fall back to copying.
+// Callers that set zc own the aliasing consequences: the decoded snapshot
+// must be treated as strictly read-only, and buf must outlive it.
 type dec struct {
 	buf []byte
 	off int
 	err error
+	zc  bool
 }
 
 func (d *dec) fail(what string) {
@@ -97,6 +135,19 @@ func (d *dec) f64(what string) float64 { return math.Float64frombits(d.u64(what)
 func (d *dec) str(what string) string {
 	n := d.u32(what)
 	b := d.take(int(n), what)
+	d.take(pad8(4+int(n)), what) // skip alignment padding
+	if d.zc && len(b) > 0 {
+		// Strings are immutable and need no alignment, so a zero-copy view
+		// over the (read-only) buffer is always safe while it lives.
+		return unsafe.String(&b[0], len(b))
+	}
+	return string(b)
+}
+
+// rawStr reads the unpadded header string encoding.
+func (d *dec) rawStr(what string) string {
+	n := d.u32(what)
+	b := d.take(int(n), what)
 	return string(b)
 }
 
@@ -123,6 +174,9 @@ func (d *dec) ints(what string) []int {
 	if n == 0 {
 		return nil
 	}
+	if b := d.zcTake(n, what); b != nil {
+		return unsafe.Slice((*int)(unsafe.Pointer(&b[0])), n)
+	}
 	out := make([]int, n)
 	for i := range out {
 		out[i] = int(d.i64(what))
@@ -135,9 +189,26 @@ func (d *dec) floats(what string) []float64 {
 	if n == 0 {
 		return nil
 	}
+	if b := d.zcTake(n, what); b != nil {
+		return unsafe.Slice((*float64)(unsafe.Pointer(&b[0])), n)
+	}
 	out := make([]float64, n)
 	for i := range out {
 		out[i] = d.f64(what)
 	}
 	return out
+}
+
+// zcTake consumes n 8-byte elements and returns their backing bytes when a
+// zero-copy view is possible: zc decoding enabled, platform compatible,
+// and the data 8-aligned in memory. A nil return means "use the copying
+// path" (which also covers the latched-error case via take).
+func (d *dec) zcTake(n int, what string) []byte {
+	if !d.zc || !nativeZeroCopy || d.err != nil {
+		return nil
+	}
+	if d.off >= len(d.buf) || uintptr(unsafe.Pointer(&d.buf[d.off]))%8 != 0 {
+		return nil
+	}
+	return d.take(n*8, what)
 }

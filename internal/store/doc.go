@@ -15,10 +15,23 @@
 //	magic "LESMSNAP" | version u32 | section count u32
 //	section table: per section, name (u32 len + bytes) | offset u64 |
 //	               length u64 | CRC32 (IEEE) u32
-//	section payloads, concatenated in table order
+//	zero padding to an 8-byte boundary
+//	section payloads, concatenated in table order, each starting 8-aligned
 //
 // Sections appear in a fixed canonical order ("vocab", "corpus", "topics",
 // "hier", "roles", "advisor") and only when present. Every section's CRC is
 // verified on load; unknown section names are skipped, so newer writers
 // stay readable by older readers.
+//
+// Since format version 2 every payload primitive is 8 bytes wide (strings
+// are zero-padded), so the numeric arrays sit 8-aligned in the file. That
+// enables the zero-copy read path: OpenMapped memory-maps a snapshot
+// read-only and decodes it with []int/[]float64/string views aliasing the
+// mapped bytes — opening a huge model costs page tables instead of heap,
+// pages fault in lazily, and the per-section CRCs are still verified at
+// open. Decode the ordinary way (Read/Decode) when the caller needs a
+// mutable, mapping-independent snapshot; the zero-copy decoder also falls
+// back to copying per array when alignment or the platform (big-endian,
+// 32-bit int) rules aliasing out. FuzzDecode drives both paths and pins
+// their agreement.
 package store

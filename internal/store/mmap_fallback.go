@@ -1,0 +1,17 @@
+//go:build !unix
+
+package store
+
+import "os"
+
+// mapFile on platforms without a usable mmap reads the file into the heap.
+// The zero-copy decoder still aliases the heap buffer (large allocations
+// are 8-aligned), so callers keep the no-per-row-allocation behavior; only
+// the lazy-paging property is lost.
+func mapFile(path string) ([]byte, func([]byte) error, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return b, nil, nil
+}

@@ -1,0 +1,211 @@
+package store
+
+import (
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+	"unsafe"
+)
+
+// TestOpenMappedRoundTrip: the mapped decode must agree value-for-value
+// with the heap decode on a full snapshot.
+func TestOpenMappedRoundTrip(t *testing.T) {
+	path := t.TempDir() + "/model.lesm"
+	s := sampleSnapshot()
+	if err := Write(path, s); err != nil {
+		t.Fatal(err)
+	}
+	m, err := OpenMapped(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	got := m.Snapshot()
+	if !reflect.DeepEqual(got.Topics, s.Topics) {
+		t.Fatalf("mapped topics mismatch: %+v", got.Topics)
+	}
+	if !reflect.DeepEqual(got.Vocab, s.Vocab) || !reflect.DeepEqual(got.Corpus, s.Corpus) {
+		t.Fatal("mapped vocab/corpus mismatch")
+	}
+	if !reflect.DeepEqual(got.Advisor, s.Advisor) {
+		t.Fatal("mapped advisor mismatch")
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Re-encoding the mapped view must reproduce the file bytes — the
+	// zero-copy views carry exactly the decoded values.
+	b1, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := Encode(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b2) {
+		t.Fatal("mapped snapshot re-encodes differently")
+	}
+}
+
+// TestZeroCopyAliasesBuffer pins the point of the exercise: on a 64-bit
+// little-endian platform, the big numeric arrays of an aligned buffer must
+// alias it, not copy it.
+func TestZeroCopyAliasesBuffer(t *testing.T) {
+	if !nativeZeroCopy {
+		t.Skip("platform cannot zero-copy")
+	}
+	b, err := Encode(sampleSnapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uintptr(unsafe.Pointer(&b[0]))%8 != 0 {
+		t.Skip("test buffer landed unaligned") // make() of a large slice is 8-aligned in practice
+	}
+	s, err := decode(b, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo := uintptr(unsafe.Pointer(&b[0]))
+	hi := lo + uintptr(len(b))
+	inBuf := func(p unsafe.Pointer) bool { return uintptr(p) >= lo && uintptr(p) < hi }
+	if !inBuf(unsafe.Pointer(&s.Topics.NKV[0][0])) {
+		t.Error("NKV row copied, want aliased")
+	}
+	if !inBuf(unsafe.Pointer(&s.Topics.NK[0])) {
+		t.Error("NK copied, want aliased")
+	}
+	if !inBuf(unsafe.Pointer(&s.Topics.Phi[0][0])) {
+		t.Error("Phi row copied, want aliased")
+	}
+	if !inBuf(unsafe.Pointer(&s.Corpus.WordCounts[0])) {
+		t.Error("corpus word counts copied, want aliased")
+	}
+	if !inBuf(unsafe.Pointer(&s.Hierarchy.Root.Phi[0][0])) {
+		t.Error("hierarchy phi row copied, want aliased")
+	}
+	if !inBuf(unsafe.Pointer(&s.Advisor.Rank[2][0])) {
+		t.Error("advisor rank row copied, want aliased")
+	}
+	// The heap decode of the same bytes must NOT alias.
+	s2, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inBuf(unsafe.Pointer(&s2.Topics.NKV[0][0])) {
+		t.Error("plain Decode aliased the input buffer")
+	}
+}
+
+// TestZeroCopyUnalignedFallsBack: the same bytes at a misaligned base
+// must still decode correctly through the copying fallback.
+func TestZeroCopyUnalignedFallsBack(t *testing.T) {
+	b, err := Encode(sampleSnapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	shifted := make([]byte, len(b)+1)
+	copy(shifted[1:], b)
+	mis := shifted[1:]
+	if uintptr(unsafe.Pointer(&mis[0]))%8 == 0 {
+		t.Skip("shifted buffer still aligned")
+	}
+	s, err := decode(mis, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s.Topics, want.Topics) || !reflect.DeepEqual(s.Advisor, want.Advisor) {
+		t.Fatal("unaligned zero-copy decode disagrees with plain decode")
+	}
+}
+
+// TestOpenMappedRejectsCorruption: the CRC gate is retained on the mmap
+// path — a flipped payload byte is an open error, not a silent bad model.
+func TestOpenMappedRejectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/model.lesm"
+	if err := Write(path, sampleSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)-5] ^= 0xff
+	bad := dir + "/bad.lesm"
+	if err := os.WriteFile(bad, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenMapped(bad); err == nil || !strings.Contains(err.Error(), "CRC mismatch") {
+		t.Fatalf("corrupted mapped snapshot accepted: err = %v", err)
+	}
+	if _, err := OpenMapped(dir + "/missing.lesm"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if err := os.WriteFile(dir+"/empty.lesm", nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenMapped(dir + "/empty.lesm"); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("empty file accepted: err = %v", err)
+	}
+}
+
+// TestMappedCloseIdempotent: double Close must be safe (the serving layer
+// retires and closes mappings from more than one shutdown path).
+func TestMappedCloseIdempotent(t *testing.T) {
+	path := t.TempDir() + "/model.lesm"
+	if err := Write(path, sampleSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	m, err := OpenMapped(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Size() == 0 {
+		t.Fatal("mapped size = 0")
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMappedSurvivesAtomicReplace: replacing the file through store.Write
+// while a mapping is open must leave the old mapping readable (it pins the
+// old inode) — the property hot reload relies on.
+func TestMappedSurvivesAtomicReplace(t *testing.T) {
+	path := t.TempDir() + "/model.lesm"
+	s1 := sampleSnapshot()
+	if err := Write(path, s1); err != nil {
+		t.Fatal(err)
+	}
+	m, err := OpenMapped(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	s2 := sampleSnapshot()
+	s2.Topics.NKV[0][0] = 999
+	s2.Topics.NK[0] += 989
+	if err := Write(path, s2); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Snapshot().Topics.NKV[0][0]; got != s1.Topics.NKV[0][0] {
+		t.Fatalf("old mapping changed under replace: NKV[0][0] = %d", got)
+	}
+	m2, err := OpenMapped(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	if got := m2.Snapshot().Topics.NKV[0][0]; got != 999 {
+		t.Fatalf("new mapping reads old data: NKV[0][0] = %d", got)
+	}
+}

@@ -1,0 +1,38 @@
+//go:build unix
+
+package store
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"syscall"
+)
+
+// mapFile maps path read-only. The returned cleanup unmaps; it is nil when
+// there is nothing to release (empty file).
+func mapFile(path string) ([]byte, func([]byte) error, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close() // the mapping survives the fd
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := fi.Size()
+	if size == 0 {
+		// mmap rejects zero-length maps; an empty file is simply not a
+		// snapshot, which decode reports as a bad magic.
+		return nil, nil, nil
+	}
+	if size < 0 || size > math.MaxInt {
+		return nil, nil, fmt.Errorf("store: %s: size %d not mappable", path, size)
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: mmap %s: %w", path, err)
+	}
+	return b, syscall.Munmap, nil
+}

@@ -17,7 +17,17 @@ const Magic = "LESMSNAP"
 
 // Version is the current format version. Decode accepts exactly this
 // version; the header keeps older readers from misparsing newer files.
-const Version = 1
+//
+// Version history:
+//
+//	1: magic + section table + CRC32 payloads (PR 3).
+//	2: alignment for zero-copy decode — section payloads start 8-aligned
+//	   and payload strings are zero-padded to 8-byte boundaries, so every
+//	   ints/floats array sits 8-aligned in the file and OpenMapped can
+//	   serve it straight from mapped bytes. v1 files are rejected (refit
+//	   and re-save); v2 files remain offset-driven, so the padding is
+//	   invisible to the section table.
+const Version = 2
 
 // Section names, in the canonical file order.
 const (
@@ -143,27 +153,43 @@ func Encode(s *Snapshot) ([]byte, error) {
 	for _, name := range names {
 		headerSize += 4 + len(name) + 8 + 8 + 4
 	}
+	// Section payloads start 8-aligned (relative to the file start, which
+	// both the heap read path and mmap leave page-aligned), so the arrays
+	// inside them are zero-copy servable. Padding lives between the header
+	// and the first payload, and between payloads; the offset-driven
+	// decoder never reads it.
 	var e enc
 	e.buf = append(e.buf, Magic...)
 	e.u32(Version)
 	e.u32(uint32(len(names)))
-	offset := uint64(headerSize)
+	offset := uint64(headerSize + pad8(headerSize))
 	for i, name := range names {
-		e.str(name)
+		e.rawStr(name)
 		e.u64(offset)
 		e.u64(uint64(len(payloads[i])))
 		e.u32(crc32.ChecksumIEEE(payloads[i]))
-		offset += uint64(len(payloads[i]))
+		offset += uint64(len(payloads[i]) + pad8(len(payloads[i])))
 	}
+	e.buf = append(e.buf, zeros[:pad8(len(e.buf))]...)
 	for _, p := range payloads {
 		e.buf = append(e.buf, p...)
+		e.buf = append(e.buf, zeros[:pad8(len(p))]...)
 	}
 	return e.buf, nil
 }
 
 // Decode parses and CRC-verifies a snapshot. Sections with unknown names
-// are skipped so the format can grow without breaking old readers.
+// are skipped so the format can grow without breaking old readers. Every
+// decoded value is heap-owned; for the aliasing fast path see OpenMapped.
 func Decode(b []byte) (*Snapshot, error) {
+	return decode(b, false)
+}
+
+// decode is the shared decoder. With zeroCopy set, the big numeric arrays
+// of the snapshot ([]int / []float64 payloads) alias b wherever alignment
+// and platform allow, so the caller must keep b alive and unmodified for
+// the snapshot's lifetime and must treat the snapshot as read-only.
+func decode(b []byte, zeroCopy bool) (*Snapshot, error) {
 	if len(b) < len(Magic)+8 || string(b[:len(Magic)]) != Magic {
 		return nil, errors.New("store: not a lesm snapshot (bad magic)")
 	}
@@ -186,7 +212,7 @@ func Decode(b []byte) (*Snapshot, error) {
 	entries := make([]entry, 0, count)
 	for i := uint32(0); i < count; i++ {
 		var en entry
-		en.name = d.str("section name")
+		en.name = d.rawStr("section name")
 		en.off = d.u64("section offset")
 		en.length = d.u64("section length")
 		en.crc = d.u32("section crc")
@@ -204,7 +230,7 @@ func Decode(b []byte) (*Snapshot, error) {
 		if got := crc32.ChecksumIEEE(payload); got != en.crc {
 			return nil, fmt.Errorf("store: section %q CRC mismatch (file %08x, computed %08x)", en.name, en.crc, got)
 		}
-		pd := &dec{buf: payload}
+		pd := &dec{buf: payload, zc: zeroCopy}
 		switch en.name {
 		case SecVocab:
 			s.Vocab = decodeVocab(pd)

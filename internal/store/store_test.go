@@ -272,7 +272,7 @@ func TestDeepHierarchyChainRejected(t *testing.T) {
 	e.buf = append(e.buf, Magic...)
 	e.u32(Version)
 	e.u32(1)
-	e.str(SecHier)
+	e.rawStr(SecHier)
 	headerSize := len(Magic) + 4 + 4 + (4 + len(SecHier) + 8 + 8 + 4)
 	e.u64(uint64(headerSize))
 	e.u64(uint64(len(p.buf)))

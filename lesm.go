@@ -22,6 +22,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"sync"
 
 	"lesm/internal/cathy"
@@ -699,4 +700,28 @@ func Load(path string) (*Artifact, error) {
 		return nil, err
 	}
 	return artifactFromSnapshot(s), nil
+}
+
+// LoadMapped is Load through the zero-copy mmap decode path: the big
+// numeric sections (topic count tables, phi rows, ranks) alias a
+// read-only mapping of the file instead of being copied to the heap, so
+// opening a large model costs page tables rather than resident memory and
+// pages fault in lazily as queries touch them. Checksums and shape
+// invariants are verified exactly as in Load.
+//
+// The returned closer releases the mapping. It must stay open for as long
+// as any part of the artifact is in use, and the artifact must be treated
+// as strictly read-only — writing through an aliased slice faults. Use
+// Load when you need a mutable or mapping-independent artifact.
+func LoadMapped(path string) (*Artifact, io.Closer, error) {
+	m, err := store.OpenMapped(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	s := m.Snapshot()
+	if err := s.Validate(); err != nil {
+		m.Close()
+		return nil, nil, err
+	}
+	return artifactFromSnapshot(s), m, nil
 }

@@ -356,3 +356,54 @@ func TestLoadRejectsCorruptFile(t *testing.T) {
 		t.Fatal("corrupted snapshot accepted")
 	}
 }
+
+// TestLoadMappedMatchesLoad: the zero-copy mmap load must answer the same
+// queries as the heap load and produce identical fold-in results; the
+// mapping stays usable until the closer is released.
+func TestLoadMappedMatchesLoad(t *testing.T) {
+	a := fullArtifact(t)
+	path := t.TempDir() + "/m.lesm"
+	if err := Save(path, a); err != nil {
+		t.Fatal(err)
+	}
+	heap, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapped, closer, err := LoadMapped(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closer.Close()
+	if !reflect.DeepEqual(mapped.Topics, heap.Topics) {
+		t.Fatal("mapped topic model differs from heap load")
+	}
+	if mapped.Vocab.Size() != heap.Vocab.Size() || mapped.Hierarchy.Root.Size() != heap.Hierarchy.Root.Size() {
+		t.Fatal("mapped structure differs from heap load")
+	}
+	docs := [][]int{{0, 1, 2, 3}, {4, 5}}
+	want, err := heap.Infer(docs, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := mapped.Infer(docs, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("mapped fold-in differs from heap fold-in")
+	}
+	// Corruption is caught at open, exactly like Load.
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)-3] ^= 0x55
+	bad := t.TempDir() + "/bad.lesm"
+	if err := os.WriteFile(bad, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadMapped(bad); err == nil {
+		t.Fatal("corrupted snapshot accepted by LoadMapped")
+	}
+}
