@@ -31,13 +31,17 @@ func main() {
 	par := flag.Int("p", 0, "parallel workers for the mining engines (0 = GOMAXPROCS)")
 	save := flag.String("save", "", "persist the fitted artifacts as a snapshot at this path (see cmd/lesmd)")
 	topics := flag.Int("topics", 0, "with -save: also fit a flat Gibbs topic model with this many topics for /infer")
-	sampler := flag.String("sampler", "", "Gibbs sampling core for the -topics flat model: empty or 'sparse' for the bucket+alias core, 'dense' for the O(K)-per-token core")
+	sampler := flag.String("sampler", "", "Gibbs sampling core for the -topics flat model: empty for auto (resolved per workload), 'mh' for the Metropolis-Hastings alias core, 'sparse' for the bucket+alias core, 'dense' for the O(K)-per-token core")
+	aliasRefresh := flag.Int("alias-refresh", 0, "mh sampler: rebuild the alias proposal tables every this many sweeps (0 = default)")
 	flag.Parse()
 
 	// Reject a bad -sampler up front, even when -topics is 0 and the flag
 	// would otherwise be silently unused.
 	if !lesm.Sampler(*sampler).Valid() {
-		log.Fatalf("lesm: unknown -sampler %q (want 'sparse' or 'dense')", *sampler)
+		log.Fatalf("lesm: unknown -sampler %q (want 'mh', 'sparse' or 'dense')", *sampler)
+	}
+	if *aliasRefresh < 0 {
+		log.Fatalf("lesm: -alias-refresh %d, need >= 0", *aliasRefresh)
 	}
 
 	var in io.Reader = os.Stdin
@@ -85,8 +89,10 @@ func main() {
 			RolePhrases: lesm.RolePhrasesOf(h),
 		}
 		if *topics > 0 {
+			resolved := lesm.Sampler(*sampler).ResolveFor(*topics, corpus.Vocab.Size())
+			fmt.Printf("fitting %d flat topics with the %s sampler\n", *topics, resolved)
 			tm, err := lesm.InferTopicsGibbs(corpus, *topics, *seed,
-				lesm.RunOptions{Parallelism: *par, Sampler: lesm.Sampler(*sampler)})
+				lesm.RunOptions{Parallelism: *par, Sampler: lesm.Sampler(*sampler), AliasRefresh: *aliasRefresh})
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -56,7 +56,7 @@ func main() {
 	inflight := flag.Int("max-inflight", 4, "max concurrent /infer batches")
 	sweeps := flag.Int("sweeps", 30, "default fold-in Gibbs sweeps")
 	alpha := flag.Float64("alpha", 0, "fold-in document prior (0 = 0.1; the fitted 50/K prior swamps short documents — pass it explicitly for posterior-mean behavior)")
-	sampler := flag.String("sampler", "", "fold-in sampling core: empty or 'sparse' for the bucket+alias core, 'dense' for the O(K)-per-token core (A/B validation)")
+	sampler := flag.String("sampler", "", "fold-in sampling core: empty for auto (resolved per model), 'mh' for Metropolis-Hastings alias proposals, 'sparse' for the bucket+alias core, 'dense' for the O(K)-per-token core (A/B validation)")
 	mmap := flag.Bool("mmap", false, "decode snapshots zero-copy over a read-only memory map (large models: page tables instead of heap)")
 	reloadPoll := flag.Duration("reload-poll", 0, "poll the snapshot file at this interval and hot-reload on change (0 = admin-reload only)")
 	batchWindow := flag.Duration("batch-window", 0, "coalesce /infer requests arriving within this window into one fold-in batch (0 = off)")
@@ -88,6 +88,23 @@ func main() {
 	srv.AdoptCloser(closer)
 	log.Printf("lesmd: loaded %s (sections: %s; mmap=%v reload-poll=%s batch-window=%s), listening on %s",
 		*snapshot, strings.Join(snap.Sections(), ", "), *mmap, *reloadPoll, *batchWindow, *addr)
+	if t := snap.Topics; t != nil {
+		k, v := 0, 0
+		switch {
+		case t.NKV != nil:
+			k = len(t.NKV)
+			if k > 0 {
+				v = len(t.NKV[0])
+			}
+		case t.Phi != nil:
+			k = len(t.Phi)
+			if k > 0 {
+				v = len(t.Phi[0])
+			}
+		}
+		log.Printf("lesmd: /infer fold-in resolved to the %s sampler (K=%d, V=%d)",
+			lda.Sampler(*sampler).ResolveFor(k, v), k, v)
+	}
 
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
 	sig := make(chan os.Signal, 1)

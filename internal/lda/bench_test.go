@@ -1,12 +1,14 @@
-// Gibbs-sampler benchmarks: dense vs sparse core at Parallelism 1 and
-// NumCPU over fixed-seed workloads, reporting tokens/sec so the perf
+// Gibbs-sampler benchmarks: dense vs sparse vs MH core at Parallelism 1
+// and NumCPU over fixed-seed workloads, reporting tokens/sec so the perf
 // trajectory stays comparable across BENCH_*.json files regardless of
 // workload shape. `go test -bench 'LDA|FoldIn' -run '^$' ./internal/lda`
-// regenerates the numbers recorded in BENCH_pr4.json. The determinism
-// guarantee means every variant of one core produces identical models at
-// any P, so P1-vs-PN comparisons are pure wall clock; dense-vs-sparse
-// compares two different (equally valid) trajectories over the same
-// workload — see TestSparseDensePerplexityParity for the quality gate.
+// regenerates the numbers recorded in BENCH_pr4.json / BENCH_pr6.json.
+// The determinism guarantee means every variant of one core produces
+// identical models at any P, so P1-vs-PN comparisons are pure wall clock;
+// cross-core comparisons are over different (equally valid) trajectories
+// of the same workload — see TestSparseDensePerplexityParity for the
+// quality gate. The K200 benches additionally report rebuilds/sweep, the
+// amortization the MH core buys (sparse pays 1; MH 1/AliasRefresh).
 package lda
 
 import (
@@ -59,13 +61,17 @@ func wideCorpus(nDocs, docLen int, seed int64) [][]int {
 func benchLDAK200(b *testing.B, sampler Sampler) {
 	docs := wideCorpus(512, 64, 75)
 	cfg := Config{K: 200, Alpha: 0.25, Iters: 20, Seed: 76, Sampler: sampler}
+	rebuilds := 0
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Run(docs, 1000, cfg); err != nil {
+		m, err := Run(docs, 1000, cfg)
+		if err != nil {
 			b.Fatal(err)
 		}
+		rebuilds = m.AliasRebuilds
 	}
 	reportTokensPerSec(b, 512*64*cfg.Iters)
+	b.ReportMetric(float64(rebuilds)/float64(cfg.Iters), "rebuilds/sweep")
 }
 
 func benchPhraseLDA(b *testing.B, p int, sampler Sampler) {
@@ -118,14 +124,20 @@ func BenchmarkLDA_Dense_P1(b *testing.B)  { benchLDA(b, 1, SamplerDense) }
 func BenchmarkLDA_Dense_PN(b *testing.B)  { benchLDA(b, runtime.NumCPU(), SamplerDense) }
 func BenchmarkLDA_Sparse_P1(b *testing.B) { benchLDA(b, 1, SamplerSparse) }
 func BenchmarkLDA_Sparse_PN(b *testing.B) { benchLDA(b, runtime.NumCPU(), SamplerSparse) }
+func BenchmarkLDA_MH_P1(b *testing.B)     { benchLDA(b, 1, SamplerMH) }
+func BenchmarkLDA_MH_PN(b *testing.B)     { benchLDA(b, runtime.NumCPU(), SamplerMH) }
 
 func BenchmarkLDA_K200_Dense(b *testing.B)  { benchLDAK200(b, SamplerDense) }
 func BenchmarkLDA_K200_Sparse(b *testing.B) { benchLDAK200(b, SamplerSparse) }
+func BenchmarkLDA_K200_MH(b *testing.B)     { benchLDAK200(b, SamplerMH) }
 
 func BenchmarkPhraseLDA_Dense_P1(b *testing.B)  { benchPhraseLDA(b, 1, SamplerDense) }
 func BenchmarkPhraseLDA_Dense_PN(b *testing.B)  { benchPhraseLDA(b, runtime.NumCPU(), SamplerDense) }
 func BenchmarkPhraseLDA_Sparse_P1(b *testing.B) { benchPhraseLDA(b, 1, SamplerSparse) }
 func BenchmarkPhraseLDA_Sparse_PN(b *testing.B) { benchPhraseLDA(b, runtime.NumCPU(), SamplerSparse) }
+func BenchmarkPhraseLDA_MH_P1(b *testing.B)     { benchPhraseLDA(b, 1, SamplerMH) }
+func BenchmarkPhraseLDA_MH_PN(b *testing.B)     { benchPhraseLDA(b, runtime.NumCPU(), SamplerMH) }
 
 func BenchmarkFoldIn_Dense(b *testing.B)  { benchFoldIn(b, SamplerDense) }
 func BenchmarkFoldIn_Sparse(b *testing.B) { benchFoldIn(b, SamplerSparse) }
+func BenchmarkFoldIn_MH(b *testing.B)     { benchFoldIn(b, SamplerMH) }

@@ -49,13 +49,15 @@ type FoldInModel struct {
 	// kept per-topic so a background topic's inflated prior survives).
 	Alpha []float64
 
-	// Lazily-built sparse machinery: per-word alias tables over the prior
-	// part α_k·φ_kw of the conditional, plus their masses. ~2 extra words
-	// of memory per (topic, word) cell, paid only when the sparse core is
+	// Lazily-built sparse/MH machinery: per-word alias tables over the
+	// prior part α_k·φ_kw of the conditional, plus their masses, plus one
+	// table over α alone (the MH doc proposal's prior arm). ~2 extra words
+	// of memory per (topic, word) cell, paid only when a non-dense core is
 	// first used.
 	sparseOnce sync.Once
 	qMass      []float64
 	qTab       []linalg.Alias
+	alphaTab   *linalg.Alias
 }
 
 // NewFoldInModel freezes explicit topic-word distributions (e.g. a STROD
@@ -146,6 +148,7 @@ func (fm *FoldInModel) ensureSparse() {
 			fm.qTab[w] = b.Build(nil, weights, prob[w*k:(w+1)*k], alias[w*k:(w+1)*k])
 			fm.qMass[w] = fm.qTab[w].Total
 		}
+		fm.alphaTab = linalg.NewAlias(fm.Alpha)
 	})
 }
 
@@ -166,8 +169,12 @@ type FoldInConfig struct {
 	Seed int64
 	// P bounds the worker count (0 = GOMAXPROCS).
 	P int
-	// Sampler selects the sampling core (SamplerAuto = sparse). Both cores
-	// sample the same per-token conditional; their trajectories differ.
+	// Sampler selects the sampling core. SamplerAuto resolves per workload
+	// exactly as in fitting (dense below the K/V thresholds, MH above; see
+	// Sampler.ResolveFor). All cores sample the same per-token conditional
+	// — the fold-in model is frozen, so even the MH core's proposal tables
+	// are exact and acceptance only reshapes the trajectory, never the
+	// stationary distribution.
 	Sampler Sampler
 	// Ctx cancels the batch between document chunks (nil = background).
 	Ctx context.Context
@@ -257,7 +264,7 @@ func FoldInBatch(fm *FoldInModel, docs []BatchDoc, cfg FoldInConfig) ([][]float6
 type foldInWorkload struct {
 	fm       *FoldInModel
 	cfg      FoldInConfig
-	sparse   bool
+	core     Sampler
 	alphaSum float64
 	k, v     int
 }
@@ -278,9 +285,9 @@ func newFoldInWorkload(fm *FoldInModel, cfg FoldInConfig) (*foldInWorkload, erro
 	cfg = cfg.withDefaults()
 	w := &foldInWorkload{
 		fm: fm, cfg: cfg, k: fm.K(), v: fm.V(),
-		sparse: cfg.Sampler.resolve() == SamplerSparse,
+		core: cfg.Sampler.ResolveFor(fm.K(), fm.V()),
 	}
-	if w.sparse {
+	if w.core != SamplerDense {
 		fm.ensureSparse()
 	}
 	for _, a := range fm.Alpha {
@@ -291,7 +298,7 @@ func newFoldInWorkload(fm *FoldInModel, cfg FoldInConfig) (*foldInWorkload, erro
 
 func (w *foldInWorkload) newScratch() *foldInScratch {
 	sc := &foldInScratch{nDK: make([]int, w.k), vals: make([]float64, w.k)}
-	if w.sparse {
+	if w.core == SamplerSparse {
 		sc.docSet = linalg.NewIndexSet(w.k)
 	}
 	return sc
@@ -300,10 +307,14 @@ func (w *foldInWorkload) newScratch() *foldInScratch {
 // doc samples one document through the workload's core. The (seed, index,
 // sweeps) triple fully determines the trajectory.
 func (w *foldInWorkload) doc(sc *foldInScratch, doc []int, seed int64, index uint64, sweeps int) []float64 {
-	if w.sparse {
+	switch w.core {
+	case SamplerSparse:
 		return foldInDocSparse(w.fm, doc, seed, index, sweeps, sc.nDK, sc.docSet, sc.vals, w.alphaSum, w.v)
+	case SamplerMH:
+		return foldInDocMH(w.fm, doc, seed, index, sweeps, sc.nDK, w.alphaSum, w.v)
+	default:
+		return foldInDoc(w.fm, doc, seed, index, sweeps, sc.nDK, sc.vals, w.alphaSum, w.v)
 	}
-	return foldInDoc(w.fm, doc, seed, index, sweeps, sc.nDK, sc.vals, w.alphaSum, w.v)
 }
 
 // foldInDoc runs the dense per-document sampler. nDK and probs are
@@ -432,6 +443,104 @@ func foldInDocSparse(fm *FoldInModel, doc []int, seed int64, di uint64, sweeps i
 			z[i] = t
 			nDK[t]++
 			docSet.Add(t)
+		}
+	}
+
+	return foldInTheta(fm, nDK, len(toks), alphaSum)
+}
+
+// foldInDocMH runs the per-document sampler through the MH kernel: per
+// token one word proposal from the model's cached α·φ alias tables and one
+// doc proposal over the document's own assignment slots + α, each accepted
+// against the current conditional p(k) ∝ (n_dk + α_k)·φ_kw. Because the
+// model is frozen, the word proposal is *exact* — q_w(k) ∝ α_k·φ_kw — so
+// φ cancels from its acceptance ratio:
+//
+//	π = [(n_dt + α_t)·α_k] / [(n_dk + α_k)·α_t]
+//
+// leaving pure O(1) arithmetic per step (fitting-side MH pays an O(log K_w)
+// stale-density lookup here). Same stationary conditional as the other
+// cores, different trajectory. nDK is caller-owned scratch of length K.
+func foldInDocMH(fm *FoldInModel, doc []int, seed int64, di uint64, sweeps int, nDK []int, alphaSum float64, v int) []float64 {
+	k := len(nDK)
+	for t := range nDK {
+		nDK[t] = 0
+	}
+	toks := make([]int, 0, len(doc))
+	for _, w := range doc {
+		if w >= 0 && w < v {
+			toks = append(toks, w)
+		}
+	}
+	z := make([]int, len(toks))
+
+	// Initialization pass (sweep 0): the conditional is exactly the prior
+	// part α_k·φ_kw — a pure alias draw, identical to the sparse init.
+	rng := newStream(seed, di, 0)
+	for i, w := range toks {
+		var t int
+		if fm.qMass[w] > 0 {
+			t = fm.qTab[w].Draw(rng.Float64())
+		} else {
+			t = rng.Intn(k) // every topic scores zero: uniform fallback
+		}
+		z[i] = t
+		nDK[t]++
+	}
+
+	slotMass := float64(len(toks))
+	for sweep := 1; sweep <= sweeps; sweep++ {
+		rng := newStream(seed, di, uint64(sweep))
+		for i, w := range toks {
+			kCur := z[i]
+			nDK[kCur]--
+
+			// Word proposal. Exact (q ∝ α·φ), so φ cancels; a word whose
+			// prior mass is all zero falls back to a uniform proposal, whose
+			// acceptance keeps the full φ ratio.
+			exact := fm.qMass[w] > 0
+			var t int
+			if exact {
+				t = fm.qTab[w].Draw(rng.Float64())
+			} else {
+				t = rng.Intn(k)
+			}
+			if t != kCur {
+				var num, den float64
+				if exact {
+					num = (float64(nDK[t]) + fm.Alpha[t]) * fm.Alpha[kCur]
+					den = (float64(nDK[kCur]) + fm.Alpha[kCur]) * fm.Alpha[t]
+				} else {
+					num = (float64(nDK[t]) + fm.Alpha[t]) * fm.PhiLike[t][w]
+					den = (float64(nDK[kCur]) + fm.Alpha[kCur]) * fm.PhiLike[kCur][w]
+				}
+				if rng.Float64()*den < num {
+					kCur = t
+					z[i] = kCur
+				}
+			}
+
+			// Doc proposal over the document's slots + α. Slot i holds the
+			// incumbent, so for t ≠ kCur both the forward and the reverse
+			// (destination-state) density indicators vanish — see
+			// mhChunk.sampleToken for the detailed-balance argument.
+			u := rng.Float64() * (slotMass + alphaSum)
+			if u < slotMass {
+				t = z[int(u)]
+			} else {
+				t = fm.alphaTab.Draw(rng.Float64())
+			}
+			if t != kCur {
+				// q_d(y) ∝ n_dy + α_y is exactly the doc part of the
+				// target, so the acceptance collapses to the word-
+				// likelihood ratio φ_tw/φ_kw.
+				if rng.Float64()*fm.PhiLike[kCur][w] < fm.PhiLike[t][w] {
+					kCur = t
+					z[i] = kCur
+				}
+			}
+
+			nDK[kCur]++
 		}
 	}
 

@@ -98,6 +98,9 @@ type sweepScratch struct {
 	// sparse[c] is chunk c's incremental bucket state; nil for dense runs
 	// (see enableSparse / sparse.go).
 	sparse []*sparseChunk
+	// mh[c] is chunk c's Metropolis–Hastings state; nil unless the MH core
+	// runs (see enableMH / mh.go).
+	mh []*mhChunk
 }
 
 func newSweepScratch(nc, kTotal, v int) *sweepScratch {
@@ -112,15 +115,19 @@ func newSweepScratch(nc, kTotal, v int) *sweepScratch {
 // gibbsPass runs one chunked pass (initialization or a Gibbs sweep) over d
 // documents, using the chunk count the scratch was sized for. begin, when
 // non-nil, runs once at the start of each chunk (the sparse sampler
-// refreshes its per-chunk bucket masses there). visit samples document di
-// of chunk c with its own counter-based PRNG stream derived from
-// (seed, di, sweep), records count changes in the chunk's delta dl, and
-// may use probs (len kTotal) as scratch. On success the chunk deltas are
-// merged into nKV/nK in chunk order and reset; on cancellation the global
-// tables are left unchanged and the context error is returned. A pass over
-// zero documents is a no-op.
+// refreshes its per-chunk bucket masses there). end, when non-nil, runs
+// once after every chunk finishes but *before* the deltas merge into the
+// global tables — the MH core joins its background alias rebuild there,
+// while the globals the rebuild reads are still frozen; an end error
+// aborts the pass without merging. visit samples document di of chunk c
+// with its own counter-based PRNG stream derived from (seed, di, sweep),
+// records count changes in the chunk's delta dl, and may use probs (len
+// kTotal) as scratch. On success the chunk deltas are merged into nKV/nK
+// in chunk order and reset; on cancellation the global tables are left
+// unchanged and the context error is returned. A pass over zero documents
+// is a no-op.
 func gibbsPass(o par.Opts, seed int64, sweep uint64, d int, sc *sweepScratch,
-	nKV [][]int, nK []int, begin func(c int),
+	nKV [][]int, nK []int, begin func(c int), end func() error,
 	visit func(c, di int, rng *stream, dl *delta, probs []float64)) error {
 	if d <= 0 {
 		return o.Err()
@@ -139,6 +146,11 @@ func gibbsPass(o par.Opts, seed int64, sweep uint64, d int, sc *sweepScratch,
 	})
 	if err != nil {
 		return err
+	}
+	if end != nil {
+		if err := end(); err != nil {
+			return err
+		}
 	}
 	// ForChunksN clamps nc to d, so trailing deltas may be untouched;
 	// applying an empty delta is O(topics), harmless.

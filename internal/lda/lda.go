@@ -16,22 +16,49 @@ import (
 type Sampler string
 
 const (
-	// SamplerAuto resolves to SamplerSparse, the default.
+	// SamplerAuto resolves per workload: SamplerDense below the topic/
+	// vocabulary threshold where the decomposed cores' bookkeeping costs
+	// more than the O(K) scan it avoids, SamplerMH above it. See
+	// Sampler.ResolveFor.
 	SamplerAuto Sampler = ""
 	// SamplerSparse is the bucket-decomposed sparse core with per-sweep
 	// Walker alias tables (SparseLDA / AliasLDA hybrid): O(K_d) amortized
 	// per token instead of O(K). See sparse.go.
 	SamplerSparse Sampler = "sparse"
 	// SamplerDense is the classic O(K)-per-token collapsed sampler, kept
-	// for A/B validation of the sparse core.
+	// for A/B validation of the decomposed cores.
 	SamplerDense Sampler = "dense"
+	// SamplerMH is the Metropolis–Hastings core: alias proposals from
+	// *stale* tables rebuilt every Config.AliasRefresh sweeps, with the
+	// accept/reject step restoring exactness — O(1) proposals per token
+	// and an amortized rebuild instead of the sparse core's per-sweep
+	// O(K·V). See mh.go.
+	SamplerMH Sampler = "mh"
 )
 
-func (s Sampler) resolve() Sampler {
-	if s == SamplerAuto {
-		return SamplerSparse
+// SamplerAuto's workload thresholds: below either bound the dense core's
+// O(K) scan is cheap enough that the decomposed cores' bucket/proposal
+// bookkeeping is pure overhead (BENCH_pr4.json measured sparse at ~0.8x
+// dense on the K=6, V=10 workload, 8.4x at K=200, V=1000).
+const (
+	autoMinTopics = 32
+	autoMinVocab  = 64
+)
+
+// ResolveFor resolves SamplerAuto for a workload of kTotal topics (content
+// topics plus the background topic when present) over a v-word vocabulary:
+// the dense core below the small-K/small-V threshold, the MH core above
+// it. Explicit sampler names resolve to themselves. Run, RunPhrases and
+// FoldIn resolve through this and record the choice on Model.Sampler (the
+// CLIs log it).
+func (s Sampler) ResolveFor(kTotal, v int) Sampler {
+	if s != SamplerAuto {
+		return s
 	}
-	return s
+	if kTotal < autoMinTopics || v < autoMinVocab {
+		return SamplerDense
+	}
+	return SamplerMH
 }
 
 // Valid reports whether s names a known sampling core. Consumers that
@@ -39,7 +66,7 @@ func (s Sampler) resolve() Sampler {
 // the CLIs) share this check so a new core only has to be registered here.
 func (s Sampler) Valid() bool {
 	switch s {
-	case SamplerAuto, SamplerSparse, SamplerDense:
+	case SamplerAuto, SamplerSparse, SamplerDense, SamplerMH:
 		return true
 	}
 	return false
@@ -47,7 +74,7 @@ func (s Sampler) Valid() bool {
 
 // errUnknown is the shared rejection message for unknown sampler names.
 func (s Sampler) errUnknown() error {
-	return fmt.Errorf("lda: unknown sampler %q (want %q or %q)", s, SamplerSparse, SamplerDense)
+	return fmt.Errorf("lda: unknown sampler %q (want %q, %q or %q)", s, SamplerSparse, SamplerDense, SamplerMH)
 }
 
 // Config parameterizes a Gibbs run.
@@ -71,11 +98,20 @@ type Config struct {
 	// P bounds the worker count of the parallel sweeps (0 = GOMAXPROCS).
 	// Models are bit-identical at any P.
 	P int
-	// Sampler selects the sampling core: SamplerAuto/SamplerSparse is the
-	// sparse bucket+alias core, SamplerDense the classic O(K)-per-token
-	// sampler for A/B validation. The two produce different (both
-	// deterministic) trajectories.
+	// Sampler selects the sampling core: SamplerSparse (bucket+alias),
+	// SamplerMH (Metropolis–Hastings alias proposals with amortized
+	// rebuilds) or SamplerDense (classic O(K) per token). SamplerAuto
+	// picks per workload — see Sampler.ResolveFor. All cores are
+	// deterministic at any P; each follows its own trajectory.
 	Sampler Sampler
+	// AliasRefresh is the MH core's alias-table rebuild cadence in sweeps
+	// (0 = DefaultAliasRefresh; negative is a validation error): the
+	// word-proposal tables rebuild from the global counts every
+	// AliasRefresh sweeps, double-buffered so sweeps never block on the
+	// build. Larger values amortize the O(K·V) rebuild further at the
+	// price of staler proposals (lower acceptance, never bias). Other
+	// cores ignore it.
+	AliasRefresh int
 	// Ctx cancels sampling between work chunks (nil = background); a
 	// cancelled run returns the context error and no model.
 	Ctx context.Context
@@ -111,6 +147,9 @@ func (c Config) validate(v int) error {
 	if !c.Sampler.Valid() {
 		return c.Sampler.errUnknown()
 	}
+	if c.AliasRefresh < 0 {
+		return fmt.Errorf("lda: Config.AliasRefresh = %d, need >= 0 (0 = default %d)", c.AliasRefresh, DefaultAliasRefresh)
+	}
 	return nil
 }
 
@@ -139,6 +178,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BGWeight == 0 {
 		c.BGWeight = 3
+	}
+	if c.AliasRefresh == 0 {
+		c.AliasRefresh = DefaultAliasRefresh
 	}
 	return c
 }
@@ -170,6 +212,14 @@ type Model struct {
 	// Alpha and Beta echo the fit's effective hyperparameters so a
 	// persisted model can be folded into with the same smoothing.
 	Alpha, Beta float64
+	// Sampler is the core the fit actually ran — the resolved value of
+	// Config.Sampler (SamplerAuto resolves per workload; see
+	// Sampler.ResolveFor).
+	Sampler Sampler
+	// AliasRebuilds counts the word-proposal alias-table builds the fit
+	// performed: Iters for the sparse core (one per sweep), 1 +
+	// ⌊(Iters−1)/AliasRefresh⌋ for the MH core (amortized), 0 for dense.
+	AliasRebuilds int
 }
 
 // Run fits LDA to id-encoded documents over a vocabulary of size V.
@@ -205,9 +255,9 @@ func Run(docs [][]int, v int, cfg Config) (*Model, error) {
 	alpha := alphaVec(cfg, kTotal)
 	sc := newSweepScratch(samplerChunks(d, kTotal, v), kTotal, v)
 
-	// Initialization pass (uniform assignments), shared by both cores so a
-	// dense/sparse A/B comparison starts from the same state.
-	err := gibbsPass(o, cfg.Seed, 0, d, sc, nKV, nK, nil,
+	// Initialization pass (uniform assignments), shared by all cores so an
+	// A/B comparison starts from the same state.
+	err := gibbsPass(o, cfg.Seed, 0, d, sc, nKV, nK, nil, nil,
 		func(_, di int, rng *stream, dl *delta, _ []float64) {
 			doc := docs[di]
 			nDK[di] = make([]int, kTotal)
@@ -223,15 +273,25 @@ func Run(docs [][]int, v int, cfg Config) (*Model, error) {
 		return nil, err
 	}
 
-	if cfg.Sampler.resolve() == SamplerSparse {
+	core := cfg.Sampler.ResolveFor(kTotal, v)
+	rebuilds := 0
+	switch core {
+	case SamplerSparse:
 		err = runSparse(o, cfg, docs, v, d, sc, alpha, nDK, nKV, nK, z)
-	} else {
+		if d > 0 {
+			rebuilds = cfg.Iters
+		}
+	case SamplerMH:
+		rebuilds, err = runMH(o, cfg, docs, v, d, sc, alpha, nDK, nKV, nK, z)
+	default:
 		err = runDense(o, cfg, docs, v, d, kTotal, sc, alpha, nDK, nKV, nK, z)
 	}
 	if err != nil {
 		return nil, err
 	}
-	return summarize(docs, v, kTotal, cfg, nDK, nKV, nK, z), nil
+	m := summarize(docs, v, kTotal, cfg, nDK, nKV, nK, z)
+	m.Sampler, m.AliasRebuilds = core, rebuilds
+	return m, nil
 }
 
 // runDense is the classic collapsed sampler: every token scores all kTotal
@@ -240,7 +300,7 @@ func runDense(o par.Opts, cfg Config, docs [][]int, v, d, kTotal int, sc *sweepS
 	alpha []float64, nDK [][]int, nKV [][]int, nK []int, z [][]int) error {
 	vb := float64(v) * cfg.Beta
 	for it := 0; it < cfg.Iters; it++ {
-		err := gibbsPass(o, cfg.Seed, uint64(it+1), d, sc, nKV, nK, nil,
+		err := gibbsPass(o, cfg.Seed, uint64(it+1), d, sc, nKV, nK, nil, nil,
 			func(_, di int, rng *stream, dl *delta, probs []float64) {
 				doc := docs[di]
 				for i, w := range doc {
@@ -293,7 +353,7 @@ func runSparse(o par.Opts, cfg Config, docs [][]int, v, d int, sc *sweepScratch,
 			return err
 		}
 		err := gibbsPass(o, cfg.Seed, uint64(it+1), d, sc, nKV, nK,
-			func(c int) { sc.sparse[c].beginPass() },
+			func(c int) { sc.sparse[c].beginPass() }, nil,
 			func(c, di int, rng *stream, _ *delta, _ []float64) {
 				ch := sc.sparse[c]
 				ch.beginDoc(nDK[di])

@@ -1,0 +1,489 @@
+package lda
+
+import (
+	"lesm/internal/linalg"
+	"lesm/internal/par"
+)
+
+// The Metropolis–Hastings sampling core (Config.Sampler "mh"): LightLDA-
+// style alias proposals (Yuan et al., WWW 2015; AliasLDA, Li et al., KDD
+// 2014) over the same bucket-decomposed conditional the sparse core
+// samples exactly,
+//
+//	p(k) ∝ (n_dk + α_k)(n_kw + β) / (n_k + Vβ).
+//
+// Where the sparse core pays an O(K·V) alias rebuild every sweep to keep
+// its q bucket only one pass stale, the MH core draws each token's topic
+// from cheap proposal distributions and corrects with an accept/reject
+// step, so the per-word alias tables can go *several* sweeps stale without
+// biasing the stationary distribution. Per token it alternates two
+// proposals, each O(1):
+//
+//   - word proposal: q_w(k) ∝ n̂_kw + β over the *stale* global topic-word
+//     counts n̂ frozen at the last alias rebuild — an alias draw from the
+//     word's table (mass Σ_k n̂_kw) mixed with a uniform draw for the Kβ
+//     smoothing mass;
+//   - doc proposal: q_d(k) ∝ n_dk + α_k over the document's *current*
+//     assignments — a uniform draw over the document's token slots (the z
+//     array is the alias table, no build needed) mixed with an α draw from
+//     a static table.
+//
+// Each proposal t is accepted over the incumbent k with the standard MH
+// probability min(1, [p(t)·q(k)] / [p(k)·q(t)]) where p uses the *current*
+// counts (global + own-chunk delta, exactly what the other cores sample
+// from) and q the proposal's own distribution — the stale tables appear
+// only inside q, so detailed balance holds against the current conditional
+// and the chain's stationary distribution is the exact collapsed Gibbs
+// conditional no matter how stale the tables are (staleness only lowers
+// the acceptance rate). See TestMHKernelMatchesExactConditional for the
+// chi-square check against deliberately stale tables.
+//
+// Alias tables rebuild every Config.AliasRefresh sweeps on the shared pool
+// — double-buffered: the rebuild reads the sweep-start globals (frozen for
+// the duration of the pass) and fills the inactive buffer concurrently
+// with the sweep, swapping in at the pass boundary before the chunk deltas
+// merge. A fit therefore performs 1 + ⌊(Iters−1)/AliasRefresh⌋ builds
+// (Model.AliasRebuilds) instead of the sparse core's one per sweep.
+//
+// Determinism: chunk boundaries, per-document (Seed, doc, sweep) streams
+// and the rebuild schedule are all P-independent, so MH models are
+// bit-identical at any Config.P — the extra proposal/acceptance draws are
+// consumed from the same per-document stream, making MH a third
+// deterministic trajectory next to dense and sparse.
+
+// DefaultAliasRefresh is the default MH alias-table rebuild cadence in
+// sweeps (Config.AliasRefresh = 0). Eight sweeps keeps the amortized
+// rebuild cost under an eighth of the sparse core's while the acceptance
+// step absorbs the added staleness.
+const DefaultAliasRefresh = 8
+
+// mhProposal is the double-buffered word-proposal state: two AliasSets
+// over the global topic-word counts, one active for sampling while the
+// other absorbs a background rebuild. Only the pass boundary calls swap,
+// so sampling always reads a complete, immutable buffer.
+type mhProposal struct {
+	v, kTotal int
+	beta      float64
+	// betaMass is the uniform smoothing mass Kβ every word's proposal
+	// carries next to its alias mass.
+	betaMass float64
+	bufs     [2]linalg.AliasSet
+	active   int
+}
+
+func newMHProposal(v, kTotal int, beta float64) *mhProposal {
+	m := &mhProposal{v: v, kTotal: kTotal, beta: beta, betaMass: float64(kTotal) * beta}
+	m.bufs[0].Reset(v)
+	m.bufs[1].Reset(v)
+	return m
+}
+
+func (m *mhProposal) cur() *linalg.AliasSet { return &m.bufs[m.active] }
+
+// swap activates the most recently built buffer. Must not run while a
+// pass is sampling.
+func (m *mhProposal) swap() { m.active = 1 - m.active }
+
+// buildInactive rebuilds the inactive buffer from the current global
+// topic-word counts: CSC gather over the nonzeros (weights are the raw
+// counts n̂_kw; the β smoothing mass is handled by the uniform arm of the
+// draw) and per-word table builds on the pool. The caller must guarantee
+// nKV is not mutated until the build completes — during a sweep the
+// globals are frozen, which is exactly that guarantee.
+func (m *mhProposal) buildInactive(o par.Opts, nKV [][]int) error {
+	s := &m.bufs[1-m.active]
+	s.Reset(m.v)
+	for _, row := range nKV {
+		for w, c := range row {
+			if c > 0 {
+				s.Count(w)
+			}
+		}
+	}
+	s.Layout()
+	for k, row := range nKV {
+		for w, c := range row {
+			if c > 0 {
+				s.Put(w, int32(k), float64(c))
+			}
+		}
+	}
+	return s.Build(o)
+}
+
+// buildAsync runs buildInactive on its own goroutine, overlapping the
+// rebuild with the sweep that still samples from the active buffer. The
+// caller must receive from the channel before merging chunk deltas into
+// nKV (the build reads it) and before calling swap.
+func (m *mhProposal) buildAsync(o par.Opts, nKV [][]int) chan error {
+	done := make(chan error, 1)
+	go func() { done <- m.buildInactive(o, nKV) }()
+	return done
+}
+
+// propose draws one topic from the word proposal q_w(k) ∝ n̂_kw + β: the
+// stale alias table with probability mass/(mass+Kβ), the uniform arm
+// otherwise. One uniform variate drives both the arm choice and the draw
+// inside the arm.
+func (m *mhProposal) propose(w int, u float64) int {
+	s := m.cur()
+	mass := s.Mass[w]
+	u *= mass + m.betaMass
+	if u < mass {
+		return s.Tab[w].Draw(u / mass)
+	}
+	t := int((u - mass) / m.beta)
+	if t >= m.kTotal {
+		t = m.kTotal - 1
+	}
+	return t
+}
+
+// density returns the word proposal's unnormalized density n̂_kw + β at
+// topic k — the factor the acceptance ratio needs at the incumbent and
+// proposed topics. O(log K_w) via the stale CSC column.
+func (m *mhProposal) density(w, k int) float64 {
+	return m.cur().Weight(w, int32(k)) + m.beta
+}
+
+// mhChunk is one chunk's MH sampling state. Unlike sparseChunk it keeps no
+// incremental bucket masses — acceptance ratios read the handful of counts
+// they need directly — so adjust is two array updates plus the delta
+// bookkeeping.
+type mhChunk struct {
+	alpha    []float64
+	alphaSum float64
+	beta, vb float64
+	nKV      [][]int
+	nK       []int
+	dl       *delta
+	prop     *mhProposal
+	// alphaTab serves the α arm of the doc proposal; static per run.
+	alphaTab *linalg.Alias
+
+	// den caches the per-topic conditional denominators
+	// float64(nK[k]+dl.k[k]) + Vβ, the hottest loads in the acceptance
+	// ratio. Rebuilt at sweep start (refreshDen) and maintained by adjust;
+	// counts are far below 2^52, so every cached value is the exactly
+	// rounded float of the integer sum.
+	den []float64
+
+	// Per-document state, valid between beginDoc calls.
+	nDK []int
+	// pDK[k] counts document phrases assigned topic k — the doc-proposal
+	// density for RunPhrases, whose position draw is over phrase slots
+	// rather than token slots. nil for token documents.
+	pDK []int
+}
+
+func newMHChunk(alpha []float64, beta float64, v int, nKV [][]int, nK []int, dl *delta,
+	prop *mhProposal, alphaTab *linalg.Alias, phrases bool) *mhChunk {
+	c := &mhChunk{
+		alpha: alpha, beta: beta, vb: float64(v) * beta,
+		nKV: nKV, nK: nK, dl: dl, prop: prop, alphaTab: alphaTab,
+	}
+	for _, a := range alpha {
+		c.alphaSum += a
+	}
+	if phrases {
+		c.pDK = make([]int, len(alpha))
+	}
+	c.den = make([]float64, len(alpha))
+	c.refreshDen()
+	return c
+}
+
+// refreshDen recomputes the cached denominators from the chunk's current
+// view of the topic totals. The run loops call it at every sweep start,
+// after the previous sweep's deltas merged into nK.
+func (s *mhChunk) refreshDen() {
+	for k := range s.den {
+		s.den[k] = float64(s.nK[k]+s.dl.k[k]) + s.vb
+	}
+}
+
+// enableMH attaches MH sampling state to every chunk of the scratch.
+func (sc *sweepScratch) enableMH(alpha []float64, beta float64, v int, nKV [][]int, nK []int,
+	prop *mhProposal, alphaTab *linalg.Alias, phrases bool) {
+	sc.mh = make([]*mhChunk, len(sc.deltas))
+	for c := range sc.mh {
+		sc.mh[c] = newMHChunk(alpha, beta, v, nKV, nK, sc.deltas[c], prop, alphaTab, phrases)
+	}
+}
+
+func (s *mhChunk) effKV(k, w int) int { return s.nKV[k][w] + s.dl.kv[k][w] }
+
+// beginDoc points the chunk at document state nDK; for phrase documents it
+// also tallies the per-topic phrase counts from zDoc.
+func (s *mhChunk) beginDoc(nDK []int, zDoc []int) {
+	s.nDK = nDK
+	if s.pDK != nil {
+		for k := range s.pDK {
+			s.pDK[k] = 0
+		}
+		for _, k := range zDoc {
+			s.pDK[k]++
+		}
+	}
+}
+
+// adjust moves c tokens of word w into (+) or out of (−) topic k. O(1).
+func (s *mhChunk) adjust(k, w, c int) {
+	s.dl.add(k, w, c)
+	s.nDK[k] += c
+	s.den[k] += float64(c)
+}
+
+// target is the unnormalized collapsed conditional at topic x for word w
+// with the token under resampling *virtually* removed: the counts still
+// include it at topic kOld, so the three counts drop by 1 exactly when
+// x == kOld. Virtual removal keeps the hot loop free of delta updates for
+// the (majority of) tokens whose topic does not change — the caller only
+// moves real counts on a change. Split into numerator and denominator so
+// acceptance tests stay division-free.
+func (s *mhChunk) target(x, w, kOld int) (num, den float64) {
+	d := 0
+	if x == kOld {
+		d = 1
+	}
+	return (float64(s.nDK[x]-d) + s.alpha[x]) * (float64(s.effKV(x, w)-d) + s.beta),
+		s.den[x] - float64(d)
+}
+
+// sampleToken draws a topic for one token of word w through the MH kernel:
+// one word-proposal step then one doc-proposal step, each accepted against
+// the current-count conditional with the token virtually removed (counts
+// still include it at kOld = zDoc[i] on entry; target and the densities
+// below carry the correction). zDoc[i] is updated in place after each
+// sub-step so the doc proposal's slot draw is consistent with the
+// incumbent; the caller moves the real counts only when the returned topic
+// differs from kOld. posCnt is the per-topic tally of zDoc's slots
+// *including* slot i at kOld (nDK for token documents, pDK for phrase
+// documents).
+//
+// Doc-proposal densities: the slot draw includes slot i at the incumbent
+// k, so q_d(y | k) ∝ cnt¬i(y) + 1{y=k} + α_y (cnt¬i = slot tally without
+// slot i) and the reverse density is evaluated at the *destination* t,
+// q_d(k | t) ∝ cnt¬i(k) + 1{k=t} + α_k. The acceptance branch only runs
+// for t ≠ k, where both indicators vanish — evaluating the reverse density
+// at the current state instead (the LightLDA paper's extra +1 on the
+// incumbent) breaks detailed balance and measurably biases the chain (see
+// the chi-square kernel test).
+func (s *mhChunk) sampleToken(w int, zDoc []int, posCnt []int, i int, rng *stream) int {
+	kOld := zDoc[i]
+	k := kOld
+	// Virtual removal freezes the counts for the token's duration, so the
+	// incumbent's target factors are computed once and carried across both
+	// proposal steps (updated only when a proposal is accepted).
+	kn, kd := s.target(k, w, kOld)
+
+	// Word proposal from the stale alias tables. q_w does not depend on
+	// the incumbent, so this is plain independence MH.
+	if t := s.prop.propose(w, rng.Float64()); t != k {
+		tn, td := s.target(t, w, kOld)
+		// π = [p(t)·q_w(k)] / [p(k)·q_w(t)]; accept iff u·den < num.
+		num := tn * kd * s.prop.density(w, k)
+		den := kn * td * s.prop.density(w, t)
+		if rng.Float64()*den < num {
+			k = t
+			kn, kd = tn, td
+			zDoc[i] = k
+		}
+	}
+
+	// Doc proposal from the document's own assignment slots + α. One
+	// variate picks the arm and, in the slot arm, the slot.
+	u := rng.Float64() * (float64(len(zDoc)) + s.alphaSum)
+	var t int
+	if u < float64(len(zDoc)) {
+		t = zDoc[int(u)]
+	} else {
+		t = s.alphaTab.Draw(rng.Float64())
+	}
+	if t != k {
+		dk, dt := 0, 0
+		if k == kOld {
+			dk = 1
+		} else if t == kOld {
+			dt = 1
+		}
+		qk := float64(posCnt[k]-dk) + s.alpha[k]
+		qt := float64(posCnt[t]-dt) + s.alpha[t]
+		tn, td := s.target(t, w, kOld)
+		num := tn * kd * qk
+		den := kn * td * qt
+		if rng.Float64()*den < num {
+			k = t
+			zDoc[i] = k
+		}
+	}
+	return k
+}
+
+// mhRebuildSchedule owns the amortized, double-buffered rebuild loop both
+// MH run paths share: kick an async rebuild when the active tables are
+// AliasRefresh sweeps stale, join it at the pass boundary (before the
+// sweep's deltas merge into the globals the rebuild is reading), swap.
+type mhRebuildSchedule struct {
+	prop    *mhProposal
+	refresh int
+	stale   int
+	pending chan error
+	// Rebuilds counts completed builds, including the initial one.
+	Rebuilds int
+}
+
+// start performs the initial synchronous build from the post-init counts.
+func (r *mhRebuildSchedule) start(o par.Opts, nKV [][]int) error {
+	if err := r.prop.buildInactive(o, nKV); err != nil {
+		return err
+	}
+	r.prop.swap()
+	r.Rebuilds = 1
+	return nil
+}
+
+// beginSweep kicks a background rebuild when the tables are stale enough.
+func (r *mhRebuildSchedule) beginSweep(o par.Opts, nKV [][]int) {
+	if r.stale >= r.refresh && r.pending == nil {
+		r.pending = r.prop.buildAsync(o, nKV)
+	}
+}
+
+// endPass joins a pending rebuild and swaps the fresh tables in; gibbsPass
+// calls it after the chunks finish and before the deltas merge.
+func (r *mhRebuildSchedule) endPass() error {
+	if r.pending == nil {
+		return nil
+	}
+	err := <-r.pending
+	r.pending = nil
+	if err != nil {
+		return err
+	}
+	r.prop.swap()
+	r.Rebuilds++
+	r.stale = 0
+	return nil
+}
+
+// endSweep ages the active tables by one sweep.
+func (r *mhRebuildSchedule) endSweep() { r.stale++ }
+
+// drain joins a pending rebuild on an error exit so the goroutine (which
+// reads the count tables) cannot outlive the run.
+func (r *mhRebuildSchedule) drain() {
+	if r.pending != nil {
+		<-r.pending
+		r.pending = nil
+	}
+}
+
+// runMH is the MH fitting loop behind Run. Returns the number of alias
+// rebuilds performed, for Model.AliasRebuilds.
+func runMH(o par.Opts, cfg Config, docs [][]int, v, d int, sc *sweepScratch,
+	alpha []float64, nDK [][]int, nKV [][]int, nK []int, z [][]int) (int, error) {
+	if d == 0 {
+		return 0, o.Err()
+	}
+	prop := newMHProposal(v, len(alpha), cfg.Beta)
+	sched := &mhRebuildSchedule{prop: prop, refresh: cfg.AliasRefresh}
+	if err := sched.start(o, nKV); err != nil {
+		return sched.Rebuilds, err
+	}
+	alphaTab := linalg.NewAlias(alpha)
+	sc.enableMH(alpha, cfg.Beta, v, nKV, nK, prop, alphaTab, false)
+	for it := 0; it < cfg.Iters; it++ {
+		for _, ch := range sc.mh {
+			ch.refreshDen()
+		}
+		sched.beginSweep(o, nKV)
+		err := gibbsPass(o, cfg.Seed, uint64(it+1), d, sc, nKV, nK, nil, sched.endPass,
+			func(c, di int, rng *stream, _ *delta, _ []float64) {
+				ch := sc.mh[c]
+				zd := z[di]
+				ch.beginDoc(nDK[di], zd)
+				doc := docs[di]
+				for i, w := range doc {
+					kOld := zd[i]
+					// sampleToken removes the token virtually and writes
+					// zd[i]; counts move only on an actual topic change.
+					if k := ch.sampleToken(w, zd, ch.nDK, i, rng); k != kOld {
+						ch.adjust(kOld, w, -1)
+						ch.adjust(k, w, 1)
+					}
+				}
+			})
+		if err != nil {
+			sched.drain()
+			return sched.Rebuilds, err
+		}
+		sched.endSweep()
+	}
+	return sched.Rebuilds, nil
+}
+
+// runPhrasesMH is the MH loop behind RunPhrases. Unigram phrases — the
+// dominant case in segmented corpora — go through the MH kernel with the
+// doc proposal drawing over phrase slots (density pDK + α); multi-word
+// phrases keep the dense product conditional, exactly as in the sparse
+// core, reading counts through the same chunk state.
+func runPhrasesMH(o par.Opts, cfg Config, docs []PhraseDoc, v, d int, sc *sweepScratch,
+	alpha []float64, nDK [][]int, nKV [][]int, nK []int, zP [][]int) (int, error) {
+	if d == 0 {
+		return 0, o.Err()
+	}
+	prop := newMHProposal(v, len(alpha), cfg.Beta)
+	sched := &mhRebuildSchedule{prop: prop, refresh: cfg.AliasRefresh}
+	if err := sched.start(o, nKV); err != nil {
+		return sched.Rebuilds, err
+	}
+	alphaTab := linalg.NewAlias(alpha)
+	sc.enableMH(alpha, cfg.Beta, v, nKV, nK, prop, alphaTab, true)
+	for it := 0; it < cfg.Iters; it++ {
+		for _, ch := range sc.mh {
+			ch.refreshDen()
+		}
+		sched.beginSweep(o, nKV)
+		err := gibbsPass(o, cfg.Seed, uint64(it+1), d, sc, nKV, nK, nil, sched.endPass,
+			func(c, di int, rng *stream, _ *delta, probs []float64) {
+				ch := sc.mh[c]
+				zPd := zP[di]
+				ch.beginDoc(nDK[di], zPd)
+				doc := docs[di]
+				for pi, phrase := range doc {
+					k := zPd[pi]
+					if len(phrase) == 1 {
+						// Unigram fast path: virtual removal, counts move
+						// only on an actual topic change.
+						w := phrase[0]
+						if kNew := ch.sampleToken(w, zPd, ch.pDK, pi, rng); kNew != k {
+							ch.adjust(k, w, -1)
+							ch.adjust(kNew, w, 1)
+							ch.pDK[k]--
+							ch.pDK[kNew]++
+						}
+						continue
+					}
+					// Multi-word phrases keep the dense product over
+					// really-removed counts, exactly as in the sparse core.
+					for _, w := range phrase {
+						ch.adjust(k, w, -1)
+					}
+					ch.pDK[k]--
+					k = samplePhrase(phrase, ch.nDK, nK, nKV, ch.dl, alpha, ch.beta, ch.vb, probs, rng)
+					zPd[pi] = k
+					ch.pDK[k]++
+					for _, w := range phrase {
+						ch.adjust(k, w, 1)
+					}
+				}
+			})
+		if err != nil {
+			sched.drain()
+			return sched.Rebuilds, err
+		}
+		sched.endSweep()
+	}
+	return sched.Rebuilds, nil
+}

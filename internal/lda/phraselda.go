@@ -61,7 +61,7 @@ func RunPhrases(docs []PhraseDoc, v int, cfg Config) (*Model, error) {
 	alpha := alphaVec(cfg, kTotal)
 	sc := newSweepScratch(samplerChunks(d, kTotal, v), kTotal, v)
 
-	err := gibbsPass(o, cfg.Seed, 0, d, sc, nKV, nK, nil,
+	err := gibbsPass(o, cfg.Seed, 0, d, sc, nKV, nK, nil, nil,
 		func(_, di int, rng *stream, dl *delta, _ []float64) {
 			doc := docs[di]
 			nDK[di] = make([]int, kTotal)
@@ -79,9 +79,17 @@ func RunPhrases(docs []PhraseDoc, v int, cfg Config) (*Model, error) {
 		return nil, err
 	}
 
-	if cfg.Sampler.resolve() == SamplerSparse {
+	core := cfg.Sampler.ResolveFor(kTotal, v)
+	rebuilds := 0
+	switch core {
+	case SamplerSparse:
 		err = runPhrasesSparse(o, cfg, docs, v, d, sc, alpha, nDK, nKV, nK, zP)
-	} else {
+		if d > 0 {
+			rebuilds = cfg.Iters
+		}
+	case SamplerMH:
+		rebuilds, err = runPhrasesMH(o, cfg, docs, v, d, sc, alpha, nDK, nKV, nK, zP)
+	default:
 		err = runPhrasesDense(o, cfg, docs, v, d, kTotal, sc, alpha, nDK, nKV, nK, zP)
 	}
 	if err != nil {
@@ -100,6 +108,7 @@ func RunPhrases(docs []PhraseDoc, v int, cfg Config) (*Model, error) {
 		}
 	}
 	m := summarize(flat, v, kTotal, cfg, nDK, nKV, nK, zTok)
+	m.Sampler, m.AliasRebuilds = core, rebuilds
 	m.PhraseZ = zP
 	return m, nil
 }
@@ -144,7 +153,7 @@ func runPhrasesDense(o par.Opts, cfg Config, docs []PhraseDoc, v, d, kTotal int,
 	alpha []float64, nDK [][]int, nKV [][]int, nK []int, zP [][]int) error {
 	vb := float64(v) * cfg.Beta
 	for it := 0; it < cfg.Iters; it++ {
-		err := gibbsPass(o, cfg.Seed, uint64(it+1), d, sc, nKV, nK, nil,
+		err := gibbsPass(o, cfg.Seed, uint64(it+1), d, sc, nKV, nK, nil, nil,
 			func(_, di int, rng *stream, dl *delta, probs []float64) {
 				doc := docs[di]
 				for pi, phrase := range doc {
@@ -181,7 +190,7 @@ func runPhrasesSparse(o par.Opts, cfg Config, docs []PhraseDoc, v, d int, sc *sw
 			return err
 		}
 		err := gibbsPass(o, cfg.Seed, uint64(it+1), d, sc, nKV, nK,
-			func(c int) { sc.sparse[c].beginPass() },
+			func(c int) { sc.sparse[c].beginPass() }, nil,
 			func(c, di int, rng *stream, _ *delta, probs []float64) {
 				ch := sc.sparse[c]
 				ch.beginDoc(nDK[di])

@@ -46,42 +46,30 @@ import (
 
 // qAlias is the per-sweep alias machinery for the q bucket: one Walker
 // table per vocabulary word over the topics whose frozen global count is
-// nonzero, all backed by shared CSC-style arrays reused across sweeps.
+// nonzero, held in a linalg.AliasSet whose backing storage is reused
+// across sweeps.
 type qAlias struct {
-	v int
-	// mass[w] is word w's total q-bucket mass Σ_k α_k·nKV[k][w]/(nK[k]+Vβ).
-	mass []float64
-	tab  []linalg.Alias
-	// CSC buffers over the nonzeros of the frozen nKV. cnt/off are int,
-	// not int32: nnz is bounded by the corpus token count, and a
-	// production-scale fit can push that past 2^31 — an int32 offset
-	// accumulator would wrap and index the shared arrays negatively.
-	invDen  []float64
-	cnt     []int
-	off     []int
-	topics  []int32
-	weights []float64
-	prob    []float64
-	alias   []int32
+	v      int
+	set    linalg.AliasSet
+	invDen []float64
 }
 
 func newQAlias(v int) *qAlias {
-	return &qAlias{
-		v:    v,
-		mass: make([]float64, v),
-		tab:  make([]linalg.Alias, v),
-		cnt:  make([]int, v),
-		off:  make([]int, v+1),
-	}
+	q := &qAlias{v: v}
+	q.set.Reset(v)
+	return q
 }
+
+func (q *qAlias) mass(w int) float64      { return q.set.Mass[w] }
+func (q *qAlias) tab(w int) *linalg.Alias { return &q.set.Tab[w] }
 
 // rebuild reconstructs every word's alias table from the frozen global
 // tables at the start of a sweep. Two row-major O(K·V) scans gather the
-// nonzeros into CSC layout (cache-friendly; the column-major alternative
-// walks the table V-strided), then the per-word table builds run on the
-// shared pool — each word's build is independent, so parallelism cannot
-// change the result. Cost is O(K·V + nnz) per sweep, amortized over the
-// corpus's tokens.
+// nonzeros into the set's CSC layout (cache-friendly; the column-major
+// alternative walks the table V-strided), then the per-word table builds
+// run on the shared pool — each word's build is independent, so
+// parallelism cannot change the result. Cost is O(K·V + nnz) per sweep,
+// amortized over the corpus's tokens.
 func (q *qAlias) rebuild(o par.Opts, alpha []float64, beta float64, nKV [][]int, nK []int) error {
 	kTotal := len(nKV)
 	vb := float64(q.v) * beta
@@ -92,58 +80,25 @@ func (q *qAlias) rebuild(o par.Opts, alpha []float64, beta float64, nKV [][]int,
 	for k, n := range nK {
 		invDen[k] = 1 / (float64(n) + vb)
 	}
-	cnt := q.cnt
-	for w := range cnt {
-		cnt[w] = 0
-	}
+	s := &q.set
+	s.Reset(q.v)
 	for _, row := range nKV {
 		for w, c := range row {
 			if c > 0 {
-				cnt[w]++
+				s.Count(w)
 			}
 		}
 	}
-	off := q.off
-	off[0] = 0
-	for w := 0; w < q.v; w++ {
-		off[w+1] = off[w] + cnt[w]
-		cnt[w] = 0 // reuse as fill cursor
-	}
-	nnz := off[q.v]
-	if cap(q.topics) < nnz {
-		q.topics = make([]int32, nnz)
-		q.weights = make([]float64, nnz)
-		q.prob = make([]float64, nnz)
-		q.alias = make([]int32, nnz)
-	}
-	topics := q.topics[:nnz]
-	weights := q.weights[:nnz]
-	prob := q.prob[:nnz]
-	aliasArr := q.alias[:nnz]
+	s.Layout()
 	for k, row := range nKV {
 		ak := alpha[k] * invDen[k]
 		for w, c := range row {
 			if c > 0 {
-				i := off[w] + cnt[w]
-				cnt[w]++
-				topics[i] = int32(k)
-				weights[i] = ak * float64(c)
+				s.Put(w, int32(k), ak*float64(c))
 			}
 		}
 	}
-	return par.For(o, q.v, func(lo, hi int) {
-		var b linalg.AliasBuilder
-		for w := lo; w < hi; w++ {
-			s, e := off[w], off[w+1]
-			if s == e {
-				q.tab[w] = linalg.Alias{}
-				q.mass[w] = 0
-				continue
-			}
-			q.tab[w] = b.Build(topics[s:e], weights[s:e], prob[s:e], aliasArr[s:e])
-			q.mass[w] = q.tab[w].Total
-		}
-	})
+	return s.Build(o)
 }
 
 // sparseChunk is one chunk's incremental bucket state. It owns no counts:
@@ -263,7 +218,7 @@ func (s *sparseChunk) sampleToken(w int, rng *stream) int {
 		tvals[j] = tv
 		tMass += tv
 	}
-	qm := s.qa.mass[w]
+	qm := s.qa.mass(w)
 	total := tMass + s.rMass + s.sMass + qm
 	u := rng.Float64() * total
 	switch {
@@ -297,6 +252,6 @@ func (s *sparseChunk) sampleToken(w int, rng *stream) int {
 		}
 		return len(s.alpha) - 1
 	default:
-		return s.qa.tab[w].Draw(rng.Float64())
+		return s.qa.tab(w).Draw(rng.Float64())
 	}
 }

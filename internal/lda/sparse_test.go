@@ -131,10 +131,11 @@ func heldOutPerplexity(t *testing.T, m *Model, held [][]int) float64 {
 }
 
 // TestSparseDensePerplexityParity is the acceptance gate for the sparse
-// core: on a fixed-seed synthetic corpus with topic structure plus shared
-// noise, the sparse-fit model's held-out perplexity must land within 2% of
-// the dense-fit model's. (The two trajectories differ; their stationary
-// quality must not.)
+// and MH cores: on a fixed-seed synthetic corpus with topic structure plus
+// shared noise, each core's held-out perplexity must land within 2% of the
+// dense-fit model's. (The trajectories differ; their stationary quality
+// must not — for MH this also exercises the stale-table acceptance
+// correction over a full fit at the default AliasRefresh.)
 func TestSparseDensePerplexityParity(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	mk := func(n int) [][]int {
@@ -155,11 +156,13 @@ func TestSparseDensePerplexityParity(t *testing.T) {
 	}
 	train, held := mk(400), mk(64)
 	dense := Must(Run(train, 60, Config{K: 8, Iters: 100, Seed: 7, Sampler: SamplerDense}))
-	sparse := Must(Run(train, 60, Config{K: 8, Iters: 100, Seed: 7, Sampler: SamplerSparse}))
 	pd := heldOutPerplexity(t, dense, held)
-	ps := heldOutPerplexity(t, sparse, held)
-	if rel := math.Abs(ps-pd) / pd; rel > 0.02 {
-		t.Fatalf("sparse ppl %.4f vs dense ppl %.4f: relative gap %.4f > 0.02", ps, pd, rel)
+	for _, s := range []Sampler{SamplerSparse, SamplerMH} {
+		m := Must(Run(train, 60, Config{K: 8, Iters: 100, Seed: 7, Sampler: s}))
+		ps := heldOutPerplexity(t, m, held)
+		if rel := math.Abs(ps-pd) / pd; rel > 0.02 {
+			t.Fatalf("%s ppl %.4f vs dense ppl %.4f: relative gap %.4f > 0.02", s, ps, pd, rel)
+		}
 	}
 }
 
@@ -253,7 +256,7 @@ func TestFoldInValidatesModel(t *testing.T) {
 	}
 	// Unknown sampler.
 	fm = &FoldInModel{PhiLike: [][]float64{{0.5, 0.5}}, Alpha: []float64{1}}
-	if _, err := FoldIn(fm, [][]int{{0}}, FoldInConfig{Sampler: "mh"}); err == nil || !strings.Contains(err.Error(), "sampler") {
+	if _, err := FoldIn(fm, [][]int{{0}}, FoldInConfig{Sampler: "turbo"}); err == nil || !strings.Contains(err.Error(), "sampler") {
 		t.Fatalf("unknown fold-in sampler: err=%v", err)
 	}
 }

@@ -38,11 +38,13 @@ type Options struct {
 	// whole training documents and bounds a short query document's theta
 	// to near-uniform; pass it explicitly to get posterior-mean behavior.
 	Alpha float64
-	// Sampler selects the fold-in sampling core ("" = sparse, the
-	// bucket+alias core; "dense" = the O(K)-per-token core for A/B
-	// validation). The sparse core samples the same conditional through a
-	// different deterministic trajectory and precomputes per-word alias
-	// tables at startup (~2 extra words of memory per topic-word cell).
+	// Sampler selects the fold-in sampling core ("" = auto, resolved per
+	// workload as in lda.Sampler.ResolveFor; "mh" = Metropolis–Hastings
+	// alias proposals; "sparse" = the bucket+alias core; "dense" = the
+	// O(K)-per-token core for A/B validation). All cores sample the same
+	// conditional through different deterministic trajectories; the
+	// non-dense ones precompute per-word alias tables at startup (~2
+	// extra words of memory per topic-word cell).
 	Sampler lda.Sampler
 
 	// SnapshotPath is the on-disk snapshot backing hot reload: POST
@@ -166,9 +168,9 @@ func buildArtifact(snap *store.Snapshot, opt Options, gen uint64, closer io.Clos
 		} else if t.Phi != nil {
 			a.foldIn = lda.NewFoldInModel(t.Phi, opt.Alpha)
 		}
-		if a.foldIn != nil && opt.Sampler != lda.SamplerDense {
-			// Pay the sparse core's O(K·V) alias build at load, not on the
-			// first /infer request against this artifact.
+		if a.foldIn != nil && opt.Sampler.ResolveFor(a.foldIn.K(), a.foldIn.V()) != lda.SamplerDense {
+			// Pay the alias-table O(K·V) build at load, not on the first
+			// /infer request against this artifact.
 			a.foldIn.PrecomputeSparse()
 		}
 	}
@@ -249,8 +251,8 @@ type Server struct {
 // early but releases no mappings.
 func New(snap *store.Snapshot, opt Options) (*Server, error) {
 	if !opt.Sampler.Valid() {
-		return nil, fmt.Errorf("serve: unknown fold-in sampler %q (want %q or %q)",
-			opt.Sampler, lda.SamplerSparse, lda.SamplerDense)
+		return nil, fmt.Errorf("serve: unknown fold-in sampler %q (want %q, %q or %q)",
+			opt.Sampler, lda.SamplerMH, lda.SamplerSparse, lda.SamplerDense)
 	}
 	opt = opt.withDefaults()
 	a, err := buildArtifact(snap, opt, 1, nil)

@@ -104,19 +104,26 @@ const (
 )
 
 // Sampler selects the collapsed-Gibbs sampling core for Gibbs-backed
-// entry points (InferTopicsGibbs, Artifact.Infer/InferText). Both cores
+// entry points (InferTopicsGibbs, Artifact.Infer/InferText). All cores
 // are deterministic at any parallelism level; they follow different
 // trajectories.
 type Sampler = lda.Sampler
 
 const (
-	// SamplerAuto resolves to SamplerSparse, the default.
+	// SamplerAuto (the default) resolves per workload: dense below the
+	// topic/vocabulary thresholds where the constant factors dominate, MH
+	// above them. The resolved core is recorded on the fitted model.
 	SamplerAuto = lda.SamplerAuto
 	// SamplerSparse is the bucket-decomposed sparse core with Walker alias
-	// tables: O(K_d) amortized per token instead of O(K).
+	// tables: O(K_d) amortized per token instead of O(K), at an O(K·V)
+	// table rebuild every sweep.
 	SamplerSparse = lda.SamplerSparse
+	// SamplerMH is the Metropolis–Hastings core: LightLDA-style alias
+	// proposals from stale tables with an exact acceptance correction,
+	// amortizing the O(K·V) rebuild over RunOptions.AliasRefresh sweeps.
+	SamplerMH = lda.SamplerMH
 	// SamplerDense is the classic O(K)-per-token core, kept for A/B
-	// validation of the sparse one.
+	// validation of the others.
 	SamplerDense = lda.SamplerDense
 )
 
@@ -129,8 +136,12 @@ type RunOptions struct {
 	// Sampler selects the Gibbs sampling core for Gibbs-backed entry
 	// points — InferTopicsGibbs, Artifact.Infer/InferText, and the
 	// PhraseLDA stage of TopicalPhrases; engines without a Gibbs stage
-	// ignore it. Empty = sparse; unknown values are a validation error.
+	// ignore it. Empty = auto (resolved per workload); unknown values are
+	// a validation error.
 	Sampler Sampler
+	// AliasRefresh is the MH core's alias-table rebuild cadence in sweeps
+	// (0 = default; ignored by the other cores).
+	AliasRefresh int
 	// Ctx cancels the computation between work chunks (nil = background).
 	Ctx context.Context
 }
@@ -295,7 +306,7 @@ func TopicalPhrases(corpus *Corpus, k int, seed int64, opts ...RunOptions) ([][]
 	}
 	ro := firstRunOptions(opts)
 	res, err := topmine.Run(corpus, topmine.Config{P: ro.Parallelism, Ctx: ro.Ctx},
-		lda.Config{K: k, Seed: seed, Background: true, Sampler: ro.Sampler}, topmine.RankConfig{})
+		lda.Config{K: k, Seed: seed, Background: true, Sampler: ro.Sampler, AliasRefresh: ro.AliasRefresh}, topmine.RankConfig{})
 	if err != nil {
 		return nil, err
 	}
@@ -496,7 +507,8 @@ func InferTopicsGibbs(corpus *Corpus, k int, seed int64, opts ...RunOptions) (*T
 		docs[i] = d.Tokens
 	}
 	m, err := lda.Run(docs, corpus.Vocab.Size(), lda.Config{
-		K: k, Seed: seed, P: ro.Parallelism, Sampler: ro.Sampler, Ctx: ro.Ctx,
+		K: k, Seed: seed, P: ro.Parallelism, Sampler: ro.Sampler,
+		AliasRefresh: ro.AliasRefresh, Ctx: ro.Ctx,
 	})
 	if err != nil {
 		return nil, err
