@@ -18,6 +18,25 @@
 //	                     per-request results)
 //	-batch-docs 64       max documents per coalesced batch
 //
+// Serving v3 traffic hardening (docs/ARCHITECTURE.md "Serving v3"):
+//
+//	-max-queue 64        admission control: /infer requests beyond
+//	                     max-inflight+max-queue in the system are shed
+//	                     with 503 + Retry-After instead of queueing
+//	                     without bound
+//	-route-timeout 2s    per-request timeout on every route; cancels the
+//	                     request context (queued work drops out, running
+//	                     fold-in aborts)
+//	-adaptive-window     derive the effective coalescing window from an
+//	                     EWMA of observed inter-arrival times, bounded
+//	                     above by -batch-window
+//
+// Observability: GET /metrics serves Prometheus text format (per-route
+// request/error counters and latency histograms, coalescer batch-size
+// histogram, queue/in-flight gauges, reload generation) with no external
+// dependencies; structure routes carry ETag = snapshot generation and
+// honor If-None-Match with 304s.
+//
 // A refit goes live with either the poller or an explicit
 //
 //	curl -X POST host:8471/admin/reload
@@ -25,6 +44,7 @@
 // Endpoints:
 //
 //	GET  /healthz                     liveness, sections, generation, batch counters
+//	GET  /metrics                     Prometheus text-format metrics
 //	GET  /topics                      topic list with weights
 //	GET  /topics/{k}/top-words?n=10   topic k's top words
 //	GET  /hierarchy/node/{id}         hierarchy node by path (o/1/2 or o.1.2)
@@ -61,6 +81,9 @@ func main() {
 	reloadPoll := flag.Duration("reload-poll", 0, "poll the snapshot file at this interval and hot-reload on change (0 = admin-reload only)")
 	batchWindow := flag.Duration("batch-window", 0, "coalesce /infer requests arriving within this window into one fold-in batch (0 = off)")
 	batchDocs := flag.Int("batch-docs", 64, "max documents per coalesced /infer batch")
+	adaptiveWindow := flag.Bool("adaptive-window", false, "derive the effective coalescing window from an EWMA of observed /infer inter-arrival times, bounded above by -batch-window")
+	maxQueue := flag.Int("max-queue", 64, "max /infer requests waiting behind the in-flight slots before load shedding (503 + Retry-After)")
+	routeTimeout := flag.Duration("route-timeout", 0, "per-request timeout on every route; cancels the request context (0 = none)")
 	flag.Parse()
 
 	if *snapshot == "" {
@@ -75,19 +98,22 @@ func main() {
 	}
 	srv, err := serve.New(snap, serve.Options{
 		P: *p, MaxInFlight: *inflight, Sweeps: *sweeps, Alpha: *alpha,
-		Sampler:      lda.Sampler(*sampler),
-		SnapshotPath: *snapshot,
-		ReloadPoll:   *reloadPoll,
-		MMap:         *mmap,
-		BatchWindow:  *batchWindow,
-		MaxBatchDocs: *batchDocs,
+		Sampler:        lda.Sampler(*sampler),
+		SnapshotPath:   *snapshot,
+		ReloadPoll:     *reloadPoll,
+		MMap:           *mmap,
+		BatchWindow:    *batchWindow,
+		MaxBatchDocs:   *batchDocs,
+		AdaptiveWindow: *adaptiveWindow,
+		MaxQueue:       *maxQueue,
+		RouteTimeout:   *routeTimeout,
 	})
 	if err != nil {
 		log.Fatalf("lesmd: %v", err)
 	}
 	srv.AdoptCloser(closer)
-	log.Printf("lesmd: loaded %s (sections: %s; mmap=%v reload-poll=%s batch-window=%s), listening on %s",
-		*snapshot, strings.Join(snap.Sections(), ", "), *mmap, *reloadPoll, *batchWindow, *addr)
+	log.Printf("lesmd: loaded %s (sections: %s; mmap=%v reload-poll=%s batch-window=%s adaptive=%v max-queue=%d route-timeout=%s), listening on %s",
+		*snapshot, strings.Join(snap.Sections(), ", "), *mmap, *reloadPoll, *batchWindow, *adaptiveWindow, *maxQueue, *routeTimeout, *addr)
 	if t := snap.Topics; t != nil {
 		k, v := 0, 0
 		switch {

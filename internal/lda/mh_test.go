@@ -350,3 +350,36 @@ func TestConfigValidatesAliasRefresh(t *testing.T) {
 		}
 	}
 }
+
+// TestSamplerResolveForBoundary walks the auto-resolution thresholds cell
+// by cell: the MH core requires BOTH kTotal >= autoMinTopics (32) AND
+// v >= autoMinVocab (64); one dimension short of either threshold stays
+// dense no matter how large the other grows.
+func TestSamplerResolveForBoundary(t *testing.T) {
+	cases := []struct {
+		kTotal, v int
+		want      Sampler
+	}{
+		{31, 63, SamplerDense},     // both one short
+		{31, 64, SamplerDense},     // topics one short, vocab at threshold
+		{32, 63, SamplerDense},     // vocab one short, topics at threshold
+		{32, 64, SamplerMH},        // exactly at both thresholds
+		{33, 64, SamplerMH},        // just past topics threshold
+		{32, 65, SamplerMH},        // just past vocab threshold
+		{31, 100000, SamplerDense}, // huge vocab cannot compensate topics
+		{100000, 63, SamplerDense}, // huge K cannot compensate vocab
+		{0, 0, SamplerDense},       // degenerate workload
+	}
+	for _, tc := range cases {
+		if got := SamplerAuto.ResolveFor(tc.kTotal, tc.v); got != tc.want {
+			t.Errorf("ResolveFor(%d, %d) = %q, want %q", tc.kTotal, tc.v, got, tc.want)
+		}
+	}
+	// The thresholds the table above encodes are the exported contract of
+	// the constants; if someone retunes them, this test must be retuned
+	// consciously too.
+	if autoMinTopics != 32 || autoMinVocab != 64 {
+		t.Fatalf("auto thresholds moved (topics=%d vocab=%d): retune TestSamplerResolveForBoundary",
+			autoMinTopics, autoMinVocab)
+	}
+}

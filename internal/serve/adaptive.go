@@ -1,0 +1,146 @@
+package serve
+
+// Adaptive coalescing window.
+//
+// A fixed -batch-window is a worst-case guess: sized for burst traffic it
+// makes the first member of every batch absorb the full window under
+// merely-moderate load; sized for moderate load it fails to merge bursts.
+// With Options.AdaptiveWindow the flag becomes an upper bound and the
+// effective window tracks the traffic itself: an EWMA of observed /infer
+// inter-arrival gaps, with the window set to a few expected arrivals
+//
+//	window = clamp(windowFactor * ewma, floor, BatchWindow)
+//
+// so a saturated burst (tiny gaps) waits just long enough to catch its
+// batchmates, while sparse traffic degrades to the configured bound —
+// which is harmless, because the group-commit fast path dispatches
+// immediately whenever an in-flight slot is free and the window only ever
+// runs while every slot is busy.
+//
+// The estimate is updated lock-cheap on every job arrival by the
+// coalescer's collector. A background decay ticker (one goroutine, joined
+// by Close — leak-tested) relaxes the estimate back toward the bound
+// across idle periods, so a burst-era window does not linger into the
+// next traffic regime. Without the ticker a single stale tiny window
+// would persist indefinitely, because no arrivals means no updates.
+
+import (
+	"sync"
+	"time"
+)
+
+const (
+	// ewmaAlpha is the smoothing weight of the newest inter-arrival gap.
+	ewmaAlpha = 0.2
+	// windowFactor sizes the window in units of expected arrivals.
+	windowFactor = 4.0
+	// windowFloorDiv bounds how far below the configured window the
+	// adaptive one may shrink (BatchWindow/64, floored at 50µs so the
+	// timer stays meaningfully above scheduler granularity).
+	windowFloorDiv = 64
+	// decayFactor relaxes the estimate per idle tick; the ticker fires
+	// every decayEvery(bound).
+	decayFactor = 2.0
+)
+
+// decayEvery is the decay ticker period for a given window bound: slow
+// enough to be free, fast enough that a stale estimate clears within a
+// few seconds.
+func decayEvery(bound time.Duration) time.Duration {
+	if d := 10 * bound; d > 100*time.Millisecond {
+		return d
+	}
+	return 100 * time.Millisecond
+}
+
+// ewmaWindow is the adaptive-window state. All methods are safe for
+// concurrent use (collector arrivals vs decay ticker vs metric scrapes).
+type ewmaWindow struct {
+	bound time.Duration // Options.BatchWindow: the upper bound
+	floor time.Duration
+
+	mu   sync.Mutex
+	last time.Time // previous arrival; zero before the first
+	ewma float64   // smoothed inter-arrival gap, seconds
+	idle bool      // no arrivals since the previous decay tick
+}
+
+func newEwmaWindow(bound time.Duration) *ewmaWindow {
+	floor := bound / windowFloorDiv
+	if floor < 50*time.Microsecond {
+		floor = 50 * time.Microsecond
+	}
+	if floor > bound {
+		floor = bound
+	}
+	// Starting at the bound preserves the fixed-flag semantics until the
+	// traffic has taught us a better estimate.
+	return &ewmaWindow{bound: bound, floor: floor, ewma: bound.Seconds()}
+}
+
+// observe folds one job arrival into the estimate.
+func (e *ewmaWindow) observe(now time.Time) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.idle = false
+	if !e.last.IsZero() {
+		gap := now.Sub(e.last).Seconds()
+		// An idle stretch is not a huge inter-arrival sample — gaps
+		// saturate at the bound so one quiet minute can't blow the EWMA
+		// past what the clamp would discard anyway.
+		if max := e.bound.Seconds(); gap > max {
+			gap = max
+		}
+		if gap < 0 {
+			gap = 0
+		}
+		e.ewma = (1-ewmaAlpha)*e.ewma + ewmaAlpha*gap
+	}
+	e.last = now
+}
+
+// current returns the effective window.
+func (e *ewmaWindow) current() time.Duration {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	w := time.Duration(windowFactor * e.ewma * float64(time.Second))
+	if w < e.floor {
+		w = e.floor
+	}
+	if w > e.bound {
+		w = e.bound
+	}
+	return w
+}
+
+// decay is one ticker step: the first tick after traffic only marks the
+// stream idle; each consecutive idle tick relaxes the estimate toward the
+// bound multiplicatively.
+func (e *ewmaWindow) decay() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.idle {
+		e.idle = true
+		return
+	}
+	e.ewma *= decayFactor
+	if max := e.bound.Seconds(); e.ewma > max {
+		e.ewma = max
+	}
+}
+
+// tickWindow is the adaptive-window decay ticker goroutine; it exits when
+// the server's lifecycle context dies.
+func (s *Server) tickWindow() {
+	defer s.bg.Done()
+	t := time.NewTicker(decayEvery(s.window.bound))
+	defer t.Stop()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case <-t.C:
+			s.window.decay()
+		}
+	}
+}

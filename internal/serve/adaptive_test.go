@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"net/http"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestEwmaWindowTracksArrivals: unit contract of the adaptive window. It
+// starts at the configured bound (fixed-flag semantics until traffic
+// arrives), shrinks toward windowFactor× the observed inter-arrival gap
+// under fast traffic, clamps at the floor, and decays back to the bound
+// across idle ticks.
+func TestEwmaWindowTracksArrivals(t *testing.T) {
+	const bound = 64 * time.Millisecond
+	e := newEwmaWindow(bound)
+	if w := e.current(); w != bound {
+		t.Fatalf("fresh window = %s, want the bound %s", w, bound)
+	}
+
+	// A steady 1ms-gap stream: the EWMA converges to ~1ms, so the window
+	// settles near 4ms — well under the bound, at least the floor.
+	now := time.Unix(0, 0)
+	for i := 0; i < 200; i++ {
+		now = now.Add(time.Millisecond)
+		e.observe(now)
+	}
+	w := e.current()
+	if w >= bound/2 {
+		t.Fatalf("window did not adapt down: %s (bound %s)", w, bound)
+	}
+	if w < e.floor {
+		t.Fatalf("window %s below floor %s", w, e.floor)
+	}
+
+	// A zero-gap burst drives the estimate to the floor, never below.
+	for i := 0; i < 200; i++ {
+		e.observe(now)
+	}
+	if w := e.current(); w != e.floor {
+		t.Fatalf("burst window = %s, want the floor %s", w, e.floor)
+	}
+
+	// Idle decay: the first tick only marks the stream idle; consecutive
+	// ticks relax the estimate multiplicatively back to the bound.
+	e.decay()
+	if w := e.current(); w != e.floor {
+		t.Fatalf("first idle tick already decayed: %s", w)
+	}
+	// The zero-gap burst drove the estimate many orders of magnitude below
+	// the floor; doubling per tick needs a few hundred ticks to climb all
+	// the way back.
+	for i := 0; i < 300; i++ {
+		e.decay()
+	}
+	if w := e.current(); w != bound {
+		t.Fatalf("decayed window = %s, want back at the bound %s", w, bound)
+	}
+
+	// An arrival resets idleness: the next single tick must not decay.
+	e.observe(now.Add(time.Millisecond))
+	e.decay()
+	post := e.current()
+	e.decay()
+	if w := e.current(); w < post {
+		t.Fatalf("window decayed below its pre-tick value: %s < %s", w, post)
+	}
+
+	// Gaps saturate at the bound: one quiet hour must not blow the EWMA
+	// past what the clamp discards — a few fast arrivals right after still
+	// pull the window down quickly.
+	e2 := newEwmaWindow(bound)
+	e2.observe(now)
+	e2.observe(now.Add(time.Hour))
+	if w := e2.current(); w != bound {
+		t.Fatalf("idle-gap window = %s, want clamped to bound %s", w, bound)
+	}
+}
+
+// TestAdaptiveWindowServesAndConverges: end-to-end over the wire — with
+// AdaptiveWindow on, coalesced /infer traffic serves correctly and the
+// effective window (surfaced as a gauge on /metrics) tightens below the
+// configured bound after a fast request stream.
+func TestAdaptiveWindowServesAndConverges(t *testing.T) {
+	const bound = time.Second
+	ts, _ := newTestServerPair(t, Options{
+		BatchWindow: bound, AdaptiveWindow: true, MaxBatchDocs: 64,
+	})
+	for i := 0; i < 30; i++ {
+		status, _ := postInfer(t, ts.URL, inferBody(t, int64(i), [][]int{{0, 1, 2}}, 2))
+		if status != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, status)
+		}
+	}
+	got := scrape(t, ts.URL)
+	w := got[`lesmd_infer_batch_window_seconds`]
+	if w <= 0 || w >= bound.Seconds() {
+		t.Fatalf("effective window = %gs after a fast stream, want in (0, %gs)", w, bound.Seconds())
+	}
+}
+
+// TestCloseStopsAdaptiveAndMetricsCollectors is the satellite goroutine
+// lifecycle check: the EWMA decay ticker and the runtime-metrics collector
+// both ride Server.Close — no goroutine survives it.
+func TestCloseStopsAdaptiveAndMetricsCollectors(t *testing.T) {
+	runtime.GC()
+	time.Sleep(50 * time.Millisecond)
+	baseline := runtime.NumGoroutine()
+
+	s, err := New(testSnapshot(t), Options{
+		BatchWindow: 2 * time.Millisecond, AdaptiveWindow: true,
+		RouteTimeout: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drive the live machinery (collector observes arrivals, ticker runs,
+	// metrics collector runs) without any network goroutines.
+	for i := 0; i < 3; i++ {
+		rec := s.serveOnce(t, http.MethodPost, "/infer", inferBody(t, int64(i), [][]int{{0, 1, 2}}, 3))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, rec.Code)
+		}
+	}
+	if rec := s.serveOnce(t, http.MethodGet, "/metrics", nil); rec.Code != http.StatusOK {
+		t.Fatalf("metrics: status %d", rec.Code)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for runtime.NumGoroutine() > baseline && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > baseline {
+		buf := make([]byte, 1<<16)
+		t.Fatalf("goroutines leaked after Close: %d > baseline %d\n%s",
+			n, baseline, buf[:runtime.Stack(buf, true)])
+	}
+}

@@ -102,8 +102,21 @@ func (s *Server) inferCoalesced(w http.ResponseWriter, r *http.Request, req *inf
 // per-request determinism key stays intact.
 func (s *Server) collect() {
 	defer s.bg.Done()
-	window := s.opt.BatchWindow
 	maxDocs := s.opt.MaxBatchDocs
+	// window is the formation-time cap: the fixed BatchWindow, or the
+	// EWMA-adapted one (bounded above by BatchWindow) when AdaptiveWindow
+	// is on. Each arrival feeds the inter-arrival estimate.
+	window := func() time.Duration {
+		if s.window != nil {
+			return s.window.current()
+		}
+		return s.opt.BatchWindow
+	}
+	observe := func() {
+		if s.window != nil {
+			s.window.observe(time.Now())
+		}
+	}
 	for {
 		var first *inferJob
 		select {
@@ -111,6 +124,7 @@ func (s *Server) collect() {
 		case <-s.ctx.Done():
 			return
 		}
+		observe()
 		batch := []*inferJob{first}
 		n := first.docCount()
 		owned := false // true when the collector already holds a pool slot
@@ -120,11 +134,12 @@ func (s *Server) collect() {
 			// A fresh Timer per window (and per spill) sidesteps Reset's
 			// stop-and-drain pitfalls; a handful of garbage timers per
 			// batch is noise next to the sampling work.
-			timer := time.NewTimer(window)
+			timer := time.NewTimer(window())
 		collecting:
 			for {
 				select {
 				case j := <-s.jobs:
+					observe()
 					jn := j.docCount()
 					if n+jn > maxDocs {
 						// Overflow: dispatch what we have; j spills into
@@ -136,7 +151,7 @@ func (s *Server) collect() {
 							break collecting
 						}
 						timer.Stop()
-						timer = time.NewTimer(window)
+						timer = time.NewTimer(window())
 						continue
 					}
 					batch = append(batch, j)
@@ -229,6 +244,7 @@ func (s *Server) runBatch(batch []*inferJob, owned bool) {
 		return
 	}
 	s.inferRequests.Add(uint64(len(live)))
+	s.metrics.batchDocs.Observe(float64(len(flat)))
 	theta, err := lda.FoldInBatch(a.foldIn, flat, lda.FoldInConfig{
 		P: s.opt.P, Sampler: s.opt.Sampler, Sweeps: s.opt.Sweeps, Ctx: s.ctx,
 	})

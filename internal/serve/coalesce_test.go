@@ -314,10 +314,12 @@ func TestCloseReleasesGoroutines(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s, err := New(testSnapshot(t), Options{
-		BatchWindow:  2 * time.Millisecond,
-		SnapshotPath: path,
-		ReloadPoll:   2 * time.Millisecond,
-		Ctx:          ctx,
+		BatchWindow:    2 * time.Millisecond,
+		AdaptiveWindow: true, // its decay ticker must ride the same lifecycle
+		RouteTimeout:   time.Second,
+		SnapshotPath:   path,
+		ReloadPoll:     2 * time.Millisecond,
+		Ctx:            ctx,
 	})
 	if err != nil {
 		t.Fatal(err)

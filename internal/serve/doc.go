@@ -25,5 +25,18 @@
 // store.OpenMapped); replaced generations' mappings are retired until
 // Close so a request racing a reload never touches unmapped memory.
 //
+// Traffic envelope and observability (serving v3): admission control
+// bounds /infer at MaxInFlight running plus MaxQueue waiting — excess
+// requests are shed before body decode with 503 + Retry-After.
+// Options.RouteTimeout deadlines every route, reaching queued, coalesced
+// and mid-sampling work (fold-in aborts between par chunks).
+// Options.AdaptiveWindow lets an EWMA of inter-arrival gaps shrink the
+// coalescing window under fast traffic (BatchWindow becomes a ceiling;
+// see adaptive.go). GET /metrics renders Prometheus text format 0.0.4
+// with no client library (metrics.go); structure routes carry a strong
+// "gen-N" ETag and honor If-None-Match, revalidating across hot-reload
+// generation bumps. All of it is locked in under -race by the saturation,
+// ETag, timeout and scrape-lint suites in this package's tests.
+//
 // cmd/lesmd wraps this package as a standalone daemon.
 package serve

@@ -10,9 +10,11 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -265,7 +267,8 @@ func TestServingEndToEnd(t *testing.T) {
 	go func() { // structure reader
 		defer wg.Done()
 		urls := []string{ts.URL + "/healthz", ts.URL + "/topics", ts.URL + "/topics/1/top-words?n=3",
-			ts.URL + "/hierarchy/node/o", ts.URL + "/phrases/search?q=e", ts.URL + "/advisor/1"}
+			ts.URL + "/hierarchy/node/o", ts.URL + "/phrases/search?q=e", ts.URL + "/advisor/1",
+			ts.URL + "/metrics"}
 		for i := 0; i < 60; i++ {
 			resp, err := http.Get(urls[i%len(urls)])
 			if err != nil {
@@ -288,5 +291,73 @@ func TestServingEndToEnd(t *testing.T) {
 	h = mustGet(t, ts.URL+"/healthz")
 	if got := uint64(h["generation"].(float64)); got != 2+reloads {
 		t.Fatalf("final generation = %d, want %d", got, 2+reloads)
+	}
+
+	// --- observability over the public surface ---
+	// /metrics serves Prometheus text format and survived the storm with
+	// the generation gauge tracking the final swap.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("metrics content type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		`lesmd_http_requests_total{route="infer"}`,
+		"lesmd_http_request_duration_seconds_bucket",
+		fmt.Sprintf("lesmd_reload_generation %d", 2+reloads),
+		fmt.Sprintf("lesmd_reloads_total %d", 1+reloads),
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics exposition lacks %q", want)
+		}
+	}
+
+	// Conditional GET over the public surface: the current generation's
+	// tag revalidates to a 304; any earlier one gets a full 200 with the
+	// current tag.
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/topics", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	tag := resp.Header.Get("ETag")
+	if want := fmt.Sprintf(`"gen-%d"`, 2+reloads); tag != want {
+		t.Fatalf("post-race ETag = %q, want %q", tag, want)
+	}
+	req.Header.Set("If-None-Match", tag)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("current-tag revalidation: status %d, want 304", resp.StatusCode)
+	}
+	req.Header.Set("If-None-Match", `"gen-1"`)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("ETag") != tag {
+		t.Fatalf("stale-tag revalidation: status %d etag %q", resp.StatusCode, resp.Header.Get("ETag"))
 	}
 }

@@ -1,0 +1,333 @@
+package serve
+
+// Observability: a dependency-free /metrics endpoint in the Prometheus
+// text exposition format (version 0.0.4).
+//
+// Everything on the hot path is an atomic counter or a fixed-bucket
+// histogram of atomics — no locks are taken while a request is being
+// served except the per-code error map, which is touched only on error
+// responses. The scrape handler renders the whole registry into one
+// buffer and writes it; gauges that mirror live server state (generation,
+// semaphore occupancy, admission queue depth, effective coalescing
+// window) are sampled at scrape time rather than maintained, so they can
+// never drift from the structures they describe.
+//
+// The exported families:
+//
+//	lesmd_http_requests_total{route}            counter, every handled request
+//	lesmd_http_errors_total{route,code}         counter, responses with status >= 400
+//	lesmd_http_request_duration_seconds{route}  histogram, wall time per request
+//	lesmd_infer_batches_total                   counter, fold-in batches dispatched
+//	lesmd_infer_requests_total                  counter, /infer requests accepted into a batch
+//	lesmd_infer_shed_total                      counter, /infer requests shed by admission control
+//	lesmd_infer_batch_docs                      histogram, documents per dispatched batch
+//	lesmd_infer_admitted                        gauge, /infer requests in the system (waiting + running)
+//	lesmd_infer_in_flight                       gauge, busy in-flight slots
+//	lesmd_infer_queue_depth                     gauge, admitted minus in-flight (the wait queue)
+//	lesmd_infer_batch_window_seconds            gauge, effective coalescing window (EWMA-adapted when on)
+//	lesmd_reload_generation                     gauge, current artifact generation
+//	lesmd_reloads_total                         counter, successful snapshot swaps
+//	lesmd_reload_failures_total                 counter, failed reload attempts
+//	lesmd_goroutines                            gauge, runtime.NumGoroutine (collector-refreshed)
+//
+// A scrape does not observe itself: the instrumentation wrapper records a
+// request after its handler returns, so the Nth scrape reports N-1
+// requests for route="metrics". The test suite's promtool-style lint
+// (metrics_test.go) validates the rendered text against the format rules.
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"net/http"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// metricsCollectEvery is the cadence of the background runtime-stats
+// collector goroutine. Scrapes also refresh the same gauges, so the
+// collector only matters for keeping them warm between scrapes; its real
+// contract is lifecycle: it must exit on Close (leak-tested).
+const metricsCollectEvery = 2 * time.Second
+
+// latencyBuckets are the request-duration histogram bounds in seconds,
+// spanning sub-millisecond structure lookups to multi-second saturated
+// fold-in batches.
+var latencyBuckets = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5}
+
+// batchDocBuckets are the coalescer batch-size histogram bounds
+// (documents per dispatched fold-in batch).
+var batchDocBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
+
+// routeNames is the fixed route-label universe, in render order. Every
+// mux registration instruments itself under exactly one of these.
+var routeNames = []string{
+	"healthz", "topics", "top_words", "hierarchy_node", "phrases_search",
+	"advisor", "infer", "admin_reload", "metrics",
+}
+
+// atomicFloat64 is a CAS-loop float accumulator (histogram sums).
+type atomicFloat64 struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat64) Add(v float64) {
+	for {
+		old := f.bits.Load()
+		if f.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat64) Load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// histogram is a fixed-bucket Prometheus histogram: buckets[i] counts
+// observations in (bounds[i-1], bounds[i]] and the extra last slot is the
+// +Inf bucket. Counts are per-bucket; the cumulative le-series is formed
+// at render time.
+type histogram struct {
+	bounds  []float64
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sum     atomicFloat64
+}
+
+func newHistogram(bounds []float64) *histogram {
+	return &histogram{bounds: bounds, buckets: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+func (h *histogram) Observe(v float64) {
+	// First bound >= v is the bucket (le is an inclusive upper bound);
+	// past every bound lands in +Inf.
+	h.buckets[sort.SearchFloat64s(h.bounds, v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// routeStat is one route's counters.
+type routeStat struct {
+	requests atomic.Uint64
+	latency  *histogram
+
+	mu     sync.Mutex
+	errors map[int]uint64 // by exact status code, >= 400 only
+}
+
+// metrics is the server's metric registry. All fields are created once in
+// newMetrics and never replaced; hot-path updates are atomic.
+type metrics struct {
+	routes    map[string]*routeStat
+	batchDocs *histogram
+
+	shed           atomic.Uint64
+	reloads        atomic.Uint64
+	reloadFailures atomic.Uint64
+	goroutines     atomic.Int64
+}
+
+func newMetrics() *metrics {
+	m := &metrics{routes: make(map[string]*routeStat, len(routeNames)), batchDocs: newHistogram(batchDocBuckets)}
+	for _, r := range routeNames {
+		m.routes[r] = &routeStat{latency: newHistogram(latencyBuckets), errors: map[int]uint64{}}
+	}
+	return m
+}
+
+// statusWriter captures the response status for the instrumentation
+// wrapper. A handler that never calls WriteHeader implies 200.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// instrument wraps a handler with the per-route observability and traffic
+// hardening that every endpoint gets: the request/error counters and
+// latency histogram, and the per-route timeout (Options.RouteTimeout)
+// which cancels the request's context — fold-in work in flight aborts at
+// its next cancellation check and waiters drop out of their queues.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	st := s.metrics.routes[route]
+	return func(w http.ResponseWriter, r *http.Request) {
+		if t := s.opt.RouteTimeout; t > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), t)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		h(sw, r)
+		code := sw.status
+		if code == 0 {
+			code = http.StatusOK // replied with neither header nor body
+		}
+		st.requests.Add(1)
+		st.latency.Observe(time.Since(start).Seconds())
+		if code >= 400 {
+			st.mu.Lock()
+			st.errors[code]++
+			st.mu.Unlock()
+		}
+	}
+}
+
+// collectRuntime is the background metrics collector: it refreshes the
+// runtime gauges between scrapes and exits when the server's lifecycle
+// context dies (leak-tested under Server.Close).
+func (s *Server) collectRuntime() {
+	defer s.bg.Done()
+	t := time.NewTicker(metricsCollectEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case <-t.C:
+			s.metrics.goroutines.Store(int64(runtime.NumGoroutine()))
+		}
+	}
+}
+
+// --- rendering ---
+
+func fmtFloat(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+type promWriter struct {
+	b []byte
+}
+
+func (p *promWriter) family(name, help, typ string) {
+	p.b = append(p.b, "# HELP "+name+" "+help+"\n"...)
+	p.b = append(p.b, "# TYPE "+name+" "+typ+"\n"...)
+}
+
+func (p *promWriter) sample(name, labels string, v float64) {
+	if labels != "" {
+		name += "{" + labels + "}"
+	}
+	p.b = append(p.b, name+" "+fmtFloat(v)+"\n"...)
+}
+
+// hist renders one histogram under an already-declared family, with
+// labels (may be empty) merged before the le label.
+func (p *promWriter) hist(name, labels string, h *histogram) {
+	cum := uint64(0)
+	le := func(bound string) string {
+		if labels == "" {
+			return `le="` + bound + `"`
+		}
+		return labels + `,le="` + bound + `"`
+	}
+	for i, b := range h.bounds {
+		cum += h.buckets[i].Load()
+		p.sample(name+"_bucket", le(fmtFloat(b)), float64(cum))
+	}
+	cum += h.buckets[len(h.bounds)].Load()
+	p.sample(name+"_bucket", le("+Inf"), float64(cum))
+	p.sample(name+"_sum", labels, h.sum.Load())
+	p.sample(name+"_count", labels, float64(cum))
+}
+
+// renderMetrics builds the full exposition. Live-state gauges are sampled
+// here so the scrape is always consistent with the serving structures.
+func (s *Server) renderMetrics() []byte {
+	m := s.metrics
+	m.goroutines.Store(int64(runtime.NumGoroutine()))
+	p := &promWriter{b: make([]byte, 0, 8<<10)}
+
+	p.family("lesmd_http_requests_total", "Requests handled, by route.", "counter")
+	for _, r := range routeNames {
+		p.sample("lesmd_http_requests_total", `route="`+r+`"`, float64(m.routes[r].requests.Load()))
+	}
+
+	p.family("lesmd_http_errors_total", "Responses with status >= 400, by route and status code.", "counter")
+	for _, r := range routeNames {
+		st := m.routes[r]
+		st.mu.Lock()
+		codes := make([]int, 0, len(st.errors))
+		for c := range st.errors {
+			codes = append(codes, c)
+		}
+		sort.Ints(codes)
+		for _, c := range codes {
+			p.sample("lesmd_http_errors_total", fmt.Sprintf(`route=%q,code="%d"`, r, c), float64(st.errors[c]))
+		}
+		st.mu.Unlock()
+	}
+
+	p.family("lesmd_http_request_duration_seconds", "Request wall time, by route.", "histogram")
+	for _, r := range routeNames {
+		p.hist("lesmd_http_request_duration_seconds", `route="`+r+`"`, m.routes[r].latency)
+	}
+
+	p.family("lesmd_infer_batches_total", "Fold-in batches dispatched (direct or coalesced).", "counter")
+	p.sample("lesmd_infer_batches_total", "", float64(s.inferBatches.Load()))
+	p.family("lesmd_infer_requests_total", "/infer requests accepted into a batch.", "counter")
+	p.sample("lesmd_infer_requests_total", "", float64(s.inferRequests.Load()))
+	p.family("lesmd_infer_shed_total", "/infer requests shed by admission control (503 + Retry-After).", "counter")
+	p.sample("lesmd_infer_shed_total", "", float64(m.shed.Load()))
+
+	p.family("lesmd_infer_batch_docs", "Documents per dispatched fold-in batch.", "histogram")
+	p.hist("lesmd_infer_batch_docs", "", m.batchDocs)
+
+	admitted := s.admitted.Load()
+	inflight := int64(len(s.inferSem))
+	queue := admitted - inflight
+	if queue < 0 {
+		queue = 0
+	}
+	p.family("lesmd_infer_admitted", "/infer requests in the system (waiting or running).", "gauge")
+	p.sample("lesmd_infer_admitted", "", float64(admitted))
+	p.family("lesmd_infer_in_flight", "Busy in-flight fold-in slots (of max-inflight).", "gauge")
+	p.sample("lesmd_infer_in_flight", "", float64(inflight))
+	p.family("lesmd_infer_queue_depth", "/infer requests waiting for an in-flight slot.", "gauge")
+	p.sample("lesmd_infer_queue_depth", "", float64(queue))
+
+	window := s.opt.BatchWindow
+	if s.window != nil {
+		window = s.window.current()
+	}
+	p.family("lesmd_infer_batch_window_seconds", "Effective /infer coalescing window (EWMA-adapted when adaptive).", "gauge")
+	p.sample("lesmd_infer_batch_window_seconds", "", window.Seconds())
+
+	p.family("lesmd_reload_generation", "Current snapshot artifact generation.", "gauge")
+	p.sample("lesmd_reload_generation", "", float64(s.cur.Load().gen))
+	p.family("lesmd_reloads_total", "Successful snapshot hot reloads.", "counter")
+	p.sample("lesmd_reloads_total", "", float64(m.reloads.Load()))
+	p.family("lesmd_reload_failures_total", "Failed snapshot reload attempts.", "counter")
+	p.sample("lesmd_reload_failures_total", "", float64(m.reloadFailures.Load()))
+
+	p.family("lesmd_goroutines", "runtime.NumGoroutine at collection time.", "gauge")
+	p.sample("lesmd_goroutines", "", float64(m.goroutines.Load()))
+	return p.b
+}
+
+// handleMetrics is GET /metrics.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write(s.renderMetrics())
+}

@@ -60,6 +60,12 @@ func (s *Server) reloadLocked(snap *store.Snapshot, closer io.Closer) error {
 		return err
 	}
 	s.nextGen++
+	// A successful swap clears any standing reload_error, whatever path
+	// set it — the poller, /admin/reload, or a direct Reload call. This
+	// is the ONE place the error is cleared: a reload that did not happen
+	// (poller no-op tick) must not wipe an operator-visible failure.
+	s.reloadErr.Store("")
+	s.metrics.reloads.Add(1)
 	old := s.cur.Swap(a)
 	// Retire the replaced artifact's mapping instead of closing it: an
 	// in-flight request that loaded the old pointer may still be reading
@@ -137,10 +143,13 @@ func (s *Server) pollReload() {
 		case <-s.ctx.Done():
 			return
 		case <-t.C:
+			// Success (including the did-nothing kind) does not touch
+			// reloadErr here — only an actual swap clears it, in
+			// reloadLocked, so a standing failure stays visible on
+			// /healthz until a reload really lands.
 			if _, err := s.ReloadFromPath(false); err != nil {
 				s.reloadErr.Store(err.Error())
-			} else {
-				s.reloadErr.Store("")
+				s.metrics.reloadFailures.Add(1)
 			}
 		}
 	}
@@ -162,10 +171,10 @@ func (s *Server) handleAdminReload(w http.ResponseWriter, r *http.Request) {
 	reloaded, err := s.ReloadFromPath(true)
 	if err != nil {
 		s.reloadErr.Store(err.Error())
+		s.metrics.reloadFailures.Add(1)
 		writeErr(w, http.StatusInternalServerError, "reload failed (still serving generation %d): %v", s.Generation(), err)
 		return
 	}
-	s.reloadErr.Store("")
 	writeJSON(w, http.StatusOK, map[string]any{
 		"reloaded": reloaded, "generation": s.Generation(),
 	})

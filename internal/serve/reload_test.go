@@ -235,3 +235,65 @@ func TestMMapReloadServesAndCloses(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestReloadErrorClearsOnSuccess is the regression test for the stale
+// reload_error bug: a failed reload surfaced the error on /healthz, but a
+// later successful reload through the direct Reload path never cleared
+// it, so /healthz kept reporting a failure that had long been fixed. The
+// clear now lives in reloadLocked — the ONE place a swap actually lands —
+// so every reload path (admin, poller, direct) clears it, and no-op
+// poller ticks cannot.
+func TestReloadErrorClearsOnSuccess(t *testing.T) {
+	path := t.TempDir() + "/model.lesm"
+	if err := store.Write(path, testSnapshot(t)); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(testSnapshot(t), Options{SnapshotPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Fail a reload: /healthz must surface the error.
+	if err := writeCorrupt(path); err != nil {
+		t.Fatal(err)
+	}
+	if rec := s.serveOnce(t, http.MethodPost, "/admin/reload", nil); rec.Code != http.StatusInternalServerError {
+		t.Fatalf("corrupt reload: %d", rec.Code)
+	}
+	rec := s.serveOnce(t, http.MethodGet, "/healthz", nil)
+	if !strings.Contains(rec.Body.String(), "reload_error") {
+		t.Fatalf("failed reload not surfaced: %s", rec.Body.String())
+	}
+
+	// A successful reload through the DIRECT path (the one that never
+	// cleared before the fix) must wipe the standing error.
+	if err := s.Reload(altSnapshot(t), nil); err != nil {
+		t.Fatal(err)
+	}
+	rec = s.serveOnce(t, http.MethodGet, "/healthz", nil)
+	if strings.Contains(rec.Body.String(), "reload_error") {
+		t.Fatalf("reload_error outlived a successful reload: %s", rec.Body.String())
+	}
+	if g := s.Generation(); g != 2 {
+		t.Fatalf("generation = %d, want 2", g)
+	}
+
+	// And back again: the error is re-set by the next failure (not stuck
+	// cleared), then cleared by a successful path-driven reload.
+	if rec := s.serveOnce(t, http.MethodPost, "/admin/reload", nil); rec.Code != http.StatusInternalServerError {
+		t.Fatalf("second corrupt reload: %d", rec.Code)
+	}
+	if rec := s.serveOnce(t, http.MethodGet, "/healthz", nil); !strings.Contains(rec.Body.String(), "reload_error") {
+		t.Fatalf("second failure not surfaced: %s", rec.Body.String())
+	}
+	if err := store.Write(path, testSnapshot(t)); err != nil {
+		t.Fatal(err)
+	}
+	if rec := s.serveOnce(t, http.MethodPost, "/admin/reload", nil); rec.Code != http.StatusOK {
+		t.Fatalf("repaired reload: %d %s", rec.Code, rec.Body.String())
+	}
+	if rec := s.serveOnce(t, http.MethodGet, "/healthz", nil); strings.Contains(rec.Body.String(), "reload_error") {
+		t.Fatalf("reload_error outlived the repaired admin reload: %s", rec.Body.String())
+	}
+}

@@ -74,6 +74,22 @@ type Options struct {
 	// A request that would overflow the cap closes the current batch and
 	// spills into the next window.
 	MaxBatchDocs int
+	// AdaptiveWindow derives the effective coalescing window from an EWMA
+	// of observed /infer inter-arrival times, bounded above by BatchWindow
+	// (which must be > 0 for coalescing to be on at all) — see adaptive.go.
+	// Off, the window is the fixed BatchWindow.
+	AdaptiveWindow bool
+	// MaxQueue bounds the /infer admission queue: at most
+	// MaxInFlight+MaxQueue requests may be in the system (running or
+	// waiting for a slot / parked in a forming batch); beyond that,
+	// requests are shed immediately with 503 + Retry-After instead of
+	// queueing without bound (default 64).
+	MaxQueue int
+	// RouteTimeout, when > 0, cancels any request's context after this
+	// long, on every route: a queued /infer drops out of its queue, a
+	// running fold-in aborts at its next cancellation check, and the
+	// client gets a 503. Zero disables.
+	RouteTimeout time.Duration
 	// Ctx, when cancelled, shuts down the server's background machinery
 	// (coalescer, reload poller, in-flight coalesced batches) exactly like
 	// Close (nil = background). Mapped snapshots are only released by an
@@ -105,6 +121,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.ReloadPoll < 0 {
 		o.ReloadPoll = 0
+	}
+	if o.MaxQueue <= 0 {
+		o.MaxQueue = 64
+	}
+	if o.RouteTimeout < 0 {
+		o.RouteTimeout = 0
 	}
 	return o
 }
@@ -239,9 +261,17 @@ type Server struct {
 	retired []io.Closer
 	closed  bool
 
-	// Serving metrics, surfaced on /healthz.
+	// Serving metrics, surfaced on /healthz and /metrics.
 	inferBatches  atomic.Uint64 // fold-in batches dispatched (direct or coalesced)
 	inferRequests atomic.Uint64 // /infer requests accepted into a batch
+
+	// metrics is the /metrics registry (metrics.go); admitted is the
+	// admission-control gauge: /infer requests in the system, bounded by
+	// MaxInFlight+MaxQueue. window is the adaptive coalescing window
+	// state (nil unless AdaptiveWindow with coalescing on).
+	metrics  *metrics
+	admitted atomic.Int64
+	window   *ewmaWindow
 }
 
 // New builds a server over the snapshot and starts its background
@@ -263,7 +293,7 @@ func New(snap *store.Snapshot, opt Options) (*Server, error) {
 	if base == nil {
 		base = context.Background()
 	}
-	s := &Server{opt: opt, inferSem: make(chan struct{}, opt.MaxInFlight), nextGen: 1}
+	s := &Server{opt: opt, inferSem: make(chan struct{}, opt.MaxInFlight), nextGen: 1, metrics: newMetrics()}
 	s.ctx, s.cancel = context.WithCancel(base)
 	s.cur.Store(a)
 	s.reloadErr.Store("")
@@ -275,19 +305,27 @@ func New(snap *store.Snapshot, opt Options) (*Server, error) {
 		}
 	}
 
+	// Every route is registered through instrument (metrics.go): per-route
+	// request/error counters, latency histogram, per-route timeout.
 	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", s.handleHealth)
-	mux.HandleFunc("/topics", s.handleTopics)
-	mux.HandleFunc("/topics/", s.handleTopicTopWords)
-	mux.HandleFunc("/hierarchy/node/", s.handleHierarchyNode)
-	mux.HandleFunc("/phrases/search", s.handlePhraseSearch)
-	mux.HandleFunc("/advisor/", s.handleAdvisor)
-	mux.HandleFunc("/infer", s.handleInfer)
-	mux.HandleFunc("/admin/reload", s.handleAdminReload)
+	mux.HandleFunc("/healthz", s.instrument("healthz", s.handleHealth))
+	mux.HandleFunc("/topics", s.instrument("topics", s.handleTopics))
+	mux.HandleFunc("/topics/", s.instrument("top_words", s.handleTopicTopWords))
+	mux.HandleFunc("/hierarchy/node/", s.instrument("hierarchy_node", s.handleHierarchyNode))
+	mux.HandleFunc("/phrases/search", s.instrument("phrases_search", s.handlePhraseSearch))
+	mux.HandleFunc("/advisor/", s.instrument("advisor", s.handleAdvisor))
+	mux.HandleFunc("/infer", s.instrument("infer", s.handleInfer))
+	mux.HandleFunc("/admin/reload", s.instrument("admin_reload", s.handleAdminReload))
+	mux.HandleFunc("/metrics", s.instrument("metrics", s.handleMetrics))
 	s.mux = mux
 
 	if opt.BatchWindow > 0 {
 		s.jobs = make(chan *inferJob)
+		if opt.AdaptiveWindow {
+			s.window = newEwmaWindow(opt.BatchWindow)
+			s.bg.Add(1)
+			go s.tickWindow()
+		}
 		s.bg.Add(1)
 		go s.collect()
 	}
@@ -295,6 +333,8 @@ func New(snap *store.Snapshot, opt Options) (*Server, error) {
 		s.bg.Add(1)
 		go s.pollReload()
 	}
+	s.bg.Add(1)
+	go s.collectRuntime()
 	return s, nil
 }
 
@@ -380,6 +420,54 @@ func queryInt(r *http.Request, name string, def int) (int, error) {
 	return v, nil
 }
 
+// --- conditional GET (ETag = snapshot generation) ---
+//
+// Structure routes answer from one immutable artifact, and identical
+// requests against one generation are bit-identical — so the artifact
+// generation IS the entity tag. A client that re-validates with
+// If-None-Match gets a body-free 304 until a hot reload bumps the
+// generation, at which point the tag stops matching and the route serves
+// the new generation's content with its new tag.
+
+// etagOf formats generation gen as a strong ETag.
+func etagOf(gen uint64) string { return `"gen-` + strconv.FormatUint(gen, 10) + `"` }
+
+// clientHasGen reports whether the request's If-None-Match names tag.
+// Weak validators compare equal (`W/"gen-3"` matches `"gen-3"`): equal
+// generations are byte-equal content, which is stronger than weak
+// equivalence requires.
+func clientHasGen(r *http.Request, tag string) bool {
+	inm := r.Header.Get("If-None-Match")
+	if inm == "" {
+		return false
+	}
+	for _, c := range strings.Split(inm, ",") {
+		c = strings.TrimSpace(c)
+		if c == "*" {
+			return true
+		}
+		if strings.TrimPrefix(c, "W/") == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// condGET runs the conditional-GET protocol for a structure route pinned
+// to artifact a: it reports true after writing a 304 (the caller returns
+// immediately), and otherwise stamps the ETag for the 200 the caller is
+// about to write. Handlers call it only once the request has resolved to
+// servable content — error responses carry no ETag.
+func condGET(w http.ResponseWriter, r *http.Request, a *artifact) bool {
+	tag := etagOf(a.gen)
+	w.Header().Set("ETag", tag)
+	if clientHasGen(r, tag) {
+		w.WriteHeader(http.StatusNotModified)
+		return true
+	}
+	return false
+}
+
 // --- /healthz ---
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -428,6 +516,9 @@ func (s *Server) handleTopics(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, "snapshot has no topics section")
 		return
 	}
+	if condGET(w, r, a) {
+		return
+	}
 	type topicInfo struct {
 		Topic  int     `json:"topic"`
 		Weight float64 `json:"weight,omitempty"`
@@ -467,6 +558,9 @@ func (s *Server) handleTopicTopWords(w http.ResponseWriter, r *http.Request) {
 	n, err := queryInt(r, "n", 10)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if condGET(w, r, a) {
 		return
 	}
 	phi := t.Phi[k]
@@ -510,6 +604,9 @@ func (s *Server) handleHierarchyNode(w http.ResponseWriter, r *http.Request) {
 	n := a.nodes[path]
 	if n == nil {
 		writeErr(w, http.StatusNotFound, "no hierarchy node %q", id)
+		return
+	}
+	if condGET(w, r, a) {
 		return
 	}
 	type phraseInfo struct {
@@ -582,6 +679,9 @@ func (s *Server) handlePhraseSearch(w http.ResponseWriter, r *http.Request) {
 	if limit <= 0 {
 		limit = 20 // a non-positive limit is not "unlimited"
 	}
+	if condGET(w, r, a) {
+		return
+	}
 	var hits []phraseHit
 	for _, p := range a.phrases {
 		if strings.Contains(p.lower, q) {
@@ -621,6 +721,9 @@ func (s *Server) handleAdvisor(w http.ResponseWriter, r *http.Request) {
 	author, err := strconv.Atoi(raw)
 	if err != nil || author < 0 || author >= a.advisor.Net.NumAuthors {
 		writeErr(w, http.StatusNotFound, "author %q out of range [0, %d)", raw, a.advisor.Net.NumAuthors)
+		return
+	}
+	if condGET(w, r, a) {
 		return
 	}
 	type candInfo struct {
@@ -692,6 +795,24 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, "snapshot has no topics section (fold-in unavailable)")
 		return
 	}
+	// Admission control: bound the number of /infer requests in the
+	// system — running plus waiting for a slot or parked in a forming
+	// batch — at MaxInFlight+MaxQueue. Beyond that the server is past the
+	// load it can usefully queue for, so shed immediately (503 +
+	// Retry-After) before even reading the body: queue depth stays
+	// bounded, shed requests cost ~nothing, and admitted requests keep
+	// their latency instead of everyone timing out together.
+	limit := int64(s.opt.MaxInFlight + s.opt.MaxQueue)
+	if n := s.admitted.Add(1); n > limit {
+		s.admitted.Add(-1)
+		s.metrics.shed.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusServiceUnavailable,
+			"overloaded: %d /infer requests already in the system (max-inflight %d + max-queue %d)",
+			limit, s.opt.MaxInFlight, s.opt.MaxQueue)
+		return
+	}
+	defer s.admitted.Add(-1)
 	var req inferRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20)).Decode(&req); err != nil {
 		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
@@ -739,6 +860,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 
 	s.inferBatches.Add(1)
 	s.inferRequests.Add(1)
+	s.metrics.batchDocs.Observe(float64(len(batch)))
 	theta, err := lda.FoldIn(a.foldIn, batch, lda.FoldInConfig{
 		Seed: req.Seed, Sweeps: sweeps, P: s.opt.P, Sampler: s.opt.Sampler, Ctx: r.Context(),
 	})

@@ -12,6 +12,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"lesm/internal/core"
 	"lesm/internal/lda"
@@ -302,16 +303,22 @@ func TestInferTokensAndIDs(t *testing.T) {
 func TestOptionsClampNegatives(t *testing.T) {
 	// A negative MaxInFlight must not panic make(chan); negative sweeps
 	// must not silently disable refinement.
-	s, err := New(testSnapshot(t), Options{MaxInFlight: -1, Sweeps: -5})
+	s, err := New(testSnapshot(t), Options{MaxInFlight: -1, Sweeps: -5, MaxQueue: -3, RouteTimeout: -time.Second})
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer s.Close()
 	if cap(s.inferSem) != 4 || s.opt.Sweeps != 30 {
 		t.Fatalf("negative options not clamped: inflight=%d sweeps=%d", cap(s.inferSem), s.opt.Sweeps)
 	}
-	if s, err = New(testSnapshot(t), Options{Sweeps: 99999}); err != nil || s.opt.Sweeps != maxInferSweeps {
-		t.Fatalf("oversized default sweeps not capped: %d, err=%v", s.opt.Sweeps, err)
+	if s.opt.MaxQueue != 64 || s.opt.RouteTimeout != 0 {
+		t.Fatalf("negative traffic options not clamped: queue=%d timeout=%s", s.opt.MaxQueue, s.opt.RouteTimeout)
 	}
+	s2, err := New(testSnapshot(t), Options{Sweeps: 99999})
+	if err != nil || s2.opt.Sweeps != maxInferSweeps {
+		t.Fatalf("oversized default sweeps not capped, err=%v", err)
+	}
+	s2.Close()
 }
 
 func TestInferBadRequests(t *testing.T) {
@@ -432,6 +439,7 @@ func TestMissingSections(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer s.Close()
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	getJSON(t, ts.URL+"/topics", http.StatusNotFound)
