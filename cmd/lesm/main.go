@@ -8,6 +8,15 @@
 //	lesm -k 4 -levels 2 -engine cathy corpus.txt
 //	cat corpus.txt | lesm -engine strod
 //	lesm -k 3 -topics 4 -save model.lesm corpus.txt   # fit & persist
+//
+// Observability (all observational — fitted models are bit-identical
+// with or without them):
+//
+//	-progress            live per-sweep status line on stderr
+//	-trace fit.jsonl     per-sweep sampler statistics and pool telemetry
+//	                     as JSON lines
+//	-probe 10            read-only corpus log-likelihood every 10 Gibbs
+//	                     sweeps (appears in -progress and -trace)
 package main
 
 import (
@@ -33,6 +42,9 @@ func main() {
 	topics := flag.Int("topics", 0, "with -save: also fit a flat Gibbs topic model with this many topics for /infer")
 	sampler := flag.String("sampler", "", "Gibbs sampling core for the -topics flat model: empty for auto (resolved per workload), 'mh' for the Metropolis-Hastings alias core, 'sparse' for the bucket+alias core, 'dense' for the O(K)-per-token core")
 	aliasRefresh := flag.Int("alias-refresh", 0, "mh sampler: rebuild the alias proposal tables every this many sweeps (0 = default)")
+	progress := flag.Bool("progress", false, "paint a live per-sweep status line on stderr (throughput, changed fraction, accept rates, convergence)")
+	trace := flag.String("trace", "", "write per-sweep sampler statistics and pool telemetry as JSON lines to this file")
+	probe := flag.Int("probe", 0, "compute the read-only corpus log-likelihood convergence probe every this many Gibbs sweeps (0 = never; costs O(tokens x K) per evaluation)")
 	flag.Parse()
 
 	// Reject a bad -sampler up front, even when -topics is 0 and the flag
@@ -42,6 +54,44 @@ func main() {
 	}
 	if *aliasRefresh < 0 {
 		log.Fatalf("lesm: -alias-refresh %d, need >= 0", *aliasRefresh)
+	}
+	if *probe < 0 {
+		log.Fatalf("lesm: -probe %d, need >= 0", *probe)
+	}
+
+	// Recording sinks. Both are observational: fitted models are
+	// bit-identical with or without them.
+	var prog *lesm.ProgressRecorder
+	var traceRec *lesm.TraceRecorder
+	var recs []lesm.Recorder
+	if *progress {
+		prog = lesm.NewProgressRecorder(os.Stderr)
+		recs = append(recs, prog)
+	}
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		traceRec = lesm.NewTraceRecorder(f)
+		recs = append(recs, traceRec)
+	}
+	rec := lesm.MultiRecorder(recs...)
+	finishRec := func() {
+		if prog != nil {
+			prog.Done()
+		}
+		if traceRec != nil {
+			if err := traceRec.Close(); err != nil {
+				log.Printf("lesm: trace: %v", err)
+			}
+		}
+	}
+	// fatal closes the sinks first so an aborted fit still leaves a
+	// complete, parseable trace file (log.Fatal skips deferred calls).
+	fatal := func(err error) {
+		finishRec()
+		log.Fatal(err)
 	}
 
 	var in io.Reader = os.Stdin
@@ -68,16 +118,19 @@ func main() {
 		log.Fatal(err)
 	}
 
-	opt := lesm.HierarchyOptions{K: *k, Levels: *levels, Seed: *seed, Parallelism: *par}
+	opt := lesm.HierarchyOptions{K: *k, Levels: *levels, Seed: *seed, Parallelism: *par, Recorder: rec}
 	if *engine == "strod" {
 		opt.Engine = lesm.EngineSTROD
 	}
 	h, err := lesm.BuildTextHierarchy(corpus, opt)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	if _, err := lesm.AttachPhrases(corpus, nil, h, lesm.PhraseOptions{TopN: *top, Parallelism: *par}); err != nil {
-		log.Fatal(err)
+		fatal(err)
+	}
+	if prog != nil {
+		prog.Done() // end the live line before the hierarchy prints
 	}
 	fmt.Print(h.String())
 
@@ -92,15 +145,22 @@ func main() {
 			resolved := lesm.Sampler(*sampler).ResolveFor(*topics, corpus.Vocab.Size())
 			fmt.Printf("fitting %d flat topics with the %s sampler\n", *topics, resolved)
 			tm, err := lesm.InferTopicsGibbs(corpus, *topics, *seed,
-				lesm.RunOptions{Parallelism: *par, Sampler: lesm.Sampler(*sampler), AliasRefresh: *aliasRefresh})
+				lesm.RunOptions{
+					Parallelism: *par, Sampler: lesm.Sampler(*sampler), AliasRefresh: *aliasRefresh,
+					Recorder: rec, ProbeEvery: *probe,
+				})
 			if err != nil {
-				log.Fatal(err)
+				fatal(err)
+			}
+			if prog != nil {
+				prog.Done()
 			}
 			art.Topics = tm
 		}
 		if err := lesm.Save(*save, art); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		fmt.Printf("saved snapshot %s (sections: %v)\n", *save, art.Sections())
 	}
+	finishRec()
 }

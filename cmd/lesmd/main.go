@@ -33,9 +33,12 @@
 //
 // Observability: GET /metrics serves Prometheus text format (per-route
 // request/error counters and latency histograms, coalescer batch-size
-// histogram, queue/in-flight gauges, reload generation) with no external
-// dependencies; structure routes carry ETag = snapshot generation and
-// honor If-None-Match with 304s.
+// histogram, queue/in-flight gauges, reload generation, fold-in sampler
+// telemetry, Go runtime basics) with no external dependencies; structure
+// routes carry ETag = snapshot generation and honor If-None-Match with
+// 304s. -pprof additionally mounts net/http/pprof under /debug/pprof/
+// and expvar at /debug/vars — off by default because those endpoints
+// expose process internals; keep them behind the admin boundary.
 //
 // A refit goes live with either the poller or an explicit
 //
@@ -84,6 +87,7 @@ func main() {
 	adaptiveWindow := flag.Bool("adaptive-window", false, "derive the effective coalescing window from an EWMA of observed /infer inter-arrival times, bounded above by -batch-window")
 	maxQueue := flag.Int("max-queue", 64, "max /infer requests waiting behind the in-flight slots before load shedding (503 + Retry-After)")
 	routeTimeout := flag.Duration("route-timeout", 0, "per-request timeout on every route; cancels the request context (0 = none)")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ and expvar at /debug/vars (admin-scoped: exposes stacks, heap contents, and the command line)")
 	flag.Parse()
 
 	if *snapshot == "" {
@@ -107,6 +111,7 @@ func main() {
 		AdaptiveWindow: *adaptiveWindow,
 		MaxQueue:       *maxQueue,
 		RouteTimeout:   *routeTimeout,
+		Pprof:          *pprofOn,
 	})
 	if err != nil {
 		log.Fatalf("lesmd: %v", err)

@@ -7,6 +7,7 @@ import (
 
 	"lesm/internal/core"
 	"lesm/internal/hin"
+	"lesm/internal/obs"
 	"lesm/internal/par"
 )
 
@@ -58,6 +59,11 @@ type Options struct {
 	P int
 	// Ctx cancels construction between EM sweeps (nil = background).
 	Ctx context.Context
+	// Rec, when non-nil, receives one obs.SweepStats per EM sweep
+	// (Engine "cathy", Label "<path> k=<k> r<restart>", LogLikelihood
+	// filled from the E-step) plus pool telemetry. Observational only:
+	// the fitted hierarchy is bit-identical with or without it.
+	Rec obs.Recorder
 }
 
 func (o Options) withDefaults() Options {
@@ -102,6 +108,9 @@ type Result struct {
 func Build(net *hin.Network, opt Options) (*Result, error) {
 	opt = opt.withDefaults()
 	o := par.Opts{P: opt.P, Ctx: opt.Ctx}
+	if opt.Rec != nil {
+		o.Obs = opt.Rec
+	}
 	rng := rand.New(rand.NewSource(opt.Seed))
 	h := core.NewHierarchy()
 	h.TypeNames = map[core.TypeID]string{}

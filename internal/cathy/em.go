@@ -1,12 +1,15 @@
 package cathy
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"sort"
+	"time"
 
 	"lesm/internal/core"
 	"lesm/internal/hin"
+	"lesm/internal/obs"
 	"lesm/internal/par"
 )
 
@@ -85,7 +88,11 @@ func runBest(g *hin.Network, t *core.TopicNode, k int, opt Options, rng *rand.Ra
 	var best *emState
 	for r := 0; r < opt.Restarts; r++ {
 		st := newEMState(g, t, k, opt, rng)
-		if err := st.run(opt, o); err != nil {
+		label := ""
+		if opt.Rec != nil {
+			label = fmt.Sprintf("%s k=%d r%d", t.Path, k, r)
+		}
+		if err := st.run(opt, o, label); err != nil {
 			return nil, err
 		}
 		if best == nil || st.logL > best.logL {
@@ -205,8 +212,34 @@ func (st *emState) normalizeAlpha() {
 
 // run executes opt.EMIters E/M sweeps, optionally re-estimating the
 // link-type weights, then fills childW and the final log-likelihood.
-func (st *emState) run(opt Options, o par.Opts) error {
+// When opt.Rec is set, each sweep (including the final childW pass)
+// emits one obs.SweepStats carrying the E-step log-likelihood — CATHY's
+// convergence trace comes for free since the E pass computes it anyway.
+func (st *emState) run(opt Options, o par.Opts, label string) error {
+	nLinks := st.linkOff[len(st.pairs)]
+	sweeps := opt.EMIters + 1
+	emit := func(it int, took time.Duration) {
+		if opt.Rec == nil {
+			return
+		}
+		opt.Rec.RecordSweep(obs.SweepStats{
+			Engine: "cathy",
+			Label:  label,
+			Sweep:  it,
+			Sweeps: sweeps,
+			Docs:   nLinks,
+			// Each link is visited in both directions per E pass.
+			Tokens:        2 * int64(nLinks),
+			Chunks:        sweepChunks(nLinks),
+			SweepTime:     took,
+			LogLikelihood: st.logL,
+		})
+	}
+	var t0 time.Time
 	for it := 0; it < opt.EMIters; it++ {
+		if opt.Rec != nil {
+			t0 = time.Now()
+		}
 		if err := st.sweep(false, o); err != nil {
 			return err
 		}
@@ -215,8 +248,16 @@ func (st *emState) run(opt Options, o par.Opts) error {
 				return err
 			}
 		}
+		emit(it+1, time.Since(t0))
 	}
-	return st.sweep(true, o)
+	if opt.Rec != nil {
+		t0 = time.Now()
+	}
+	if err := st.sweep(true, o); err != nil {
+		return err
+	}
+	emit(sweeps, time.Since(t0))
+	return nil
 }
 
 // pairAt returns the index of the pair containing flat link index i.

@@ -6,8 +6,11 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"lesm/internal/linalg"
+	"lesm/internal/obs"
 	"lesm/internal/par"
 )
 
@@ -178,6 +181,13 @@ type FoldInConfig struct {
 	Sampler Sampler
 	// Ctx cancels the batch between document chunks (nil = background).
 	Ctx context.Context
+	// Rec, when non-nil, receives one aggregate obs.SweepStats per
+	// fold-in batch (Engine "foldin": token visits, changed fraction,
+	// MH accept rates, batch wall time) plus pool telemetry. Recording
+	// is observational only — thetas are bit-identical with Rec set or
+	// nil — and must be safe for concurrent use (a serving process
+	// records many batches at once).
+	Rec obs.Recorder
 }
 
 func (c FoldInConfig) withDefaults() FoldInConfig {
@@ -198,16 +208,19 @@ func FoldIn(fm *FoldInModel, docs [][]int, cfg FoldInConfig) ([][]float64, error
 	if err != nil {
 		return nil, err
 	}
+	agg := newFoldInAgg(cfg.Rec)
 	theta := make([][]float64, len(docs))
-	err = par.For(par.Opts{P: cfg.P, Ctx: cfg.Ctx}, len(docs), func(lo, hi int) {
+	err = par.For(w.parOpts(), len(docs), func(lo, hi int) {
 		sc := w.newScratch()
 		for di := lo; di < hi; di++ {
 			theta[di] = w.doc(sc, docs[di], w.cfg.Seed, uint64(di), w.cfg.Sweeps)
 		}
+		agg.absorb(&sc.ctr)
 	})
 	if err != nil {
 		return nil, err
 	}
+	agg.emit(len(docs), w.cfg.Sweeps)
 	return theta, nil
 }
 
@@ -241,8 +254,9 @@ func FoldInBatch(fm *FoldInModel, docs []BatchDoc, cfg FoldInConfig) ([][]float6
 	if err != nil {
 		return nil, err
 	}
+	agg := newFoldInAgg(cfg.Rec)
 	theta := make([][]float64, len(docs))
-	err = par.For(par.Opts{P: cfg.P, Ctx: cfg.Ctx}, len(docs), func(lo, hi int) {
+	err = par.For(w.parOpts(), len(docs), func(lo, hi int) {
 		sc := w.newScratch()
 		for di := lo; di < hi; di++ {
 			d := docs[di]
@@ -252,10 +266,12 @@ func FoldInBatch(fm *FoldInModel, docs []BatchDoc, cfg FoldInConfig) ([][]float6
 			}
 			theta[di] = w.doc(sc, d.Tokens, d.Seed, d.Index, sweeps)
 		}
+		agg.absorb(&sc.ctr)
 	})
 	if err != nil {
 		return nil, err
 	}
+	agg.emit(len(docs), w.cfg.Sweeps)
 	return theta, nil
 }
 
@@ -273,6 +289,66 @@ type foldInScratch struct {
 	nDK    []int
 	vals   []float64
 	docSet *linalg.IndexSet
+	// ctr tallies this worker chunk's sampling events; absorbed into
+	// the batch aggregate (and only read at all) when a Recorder is
+	// attached to the batch.
+	ctr sweepCounters
+}
+
+// parOpts is the batch's runtime policy, with pool telemetry attached
+// when a Recorder is.
+func (w *foldInWorkload) parOpts() par.Opts {
+	o := par.Opts{P: w.cfg.P, Ctx: w.cfg.Ctx}
+	if w.cfg.Rec != nil {
+		o.Obs = w.cfg.Rec
+	}
+	return o
+}
+
+// foldInAgg accumulates a batch's counters across workers and emits the
+// single Engine-"foldin" record. nil (no Recorder) no-ops everywhere.
+type foldInAgg struct {
+	rec   obs.Recorder
+	start time.Time
+
+	tokens, changed                    atomic.Int64
+	wordProp, wordAcc, docProp, docAcc atomic.Int64
+}
+
+func newFoldInAgg(rec obs.Recorder) *foldInAgg {
+	if rec == nil {
+		return nil
+	}
+	return &foldInAgg{rec: rec, start: time.Now()}
+}
+
+func (a *foldInAgg) absorb(c *sweepCounters) {
+	if a == nil {
+		return
+	}
+	a.tokens.Add(c.tokens)
+	a.changed.Add(c.changed)
+	a.wordProp.Add(c.wordProp)
+	a.wordAcc.Add(c.wordAcc)
+	a.docProp.Add(c.docProp)
+	a.docAcc.Add(c.docAcc)
+}
+
+// emit publishes the batch record: Tokens counts token visits across
+// all sweeps including each document's init pass, SweepTime is the
+// batch wall time.
+func (a *foldInAgg) emit(docs, sweeps int) {
+	if a == nil {
+		return
+	}
+	a.rec.RecordSweep(obs.SweepStats{
+		Engine: "foldin", Sweep: sweeps, Sweeps: sweeps, Docs: docs,
+		Tokens: a.tokens.Load(), Changed: a.changed.Load(),
+		WordProposals: a.wordProp.Load(), WordAccepts: a.wordAcc.Load(),
+		DocProposals: a.docProp.Load(), DocAccepts: a.docAcc.Load(),
+		SweepTime:     time.Since(a.start),
+		LogLikelihood: math.NaN(),
+	})
 }
 
 func newFoldInWorkload(fm *FoldInModel, cfg FoldInConfig) (*foldInWorkload, error) {
@@ -309,17 +385,17 @@ func (w *foldInWorkload) newScratch() *foldInScratch {
 func (w *foldInWorkload) doc(sc *foldInScratch, doc []int, seed int64, index uint64, sweeps int) []float64 {
 	switch w.core {
 	case SamplerSparse:
-		return foldInDocSparse(w.fm, doc, seed, index, sweeps, sc.nDK, sc.docSet, sc.vals, w.alphaSum, w.v)
+		return foldInDocSparse(w.fm, doc, seed, index, sweeps, sc.nDK, sc.docSet, sc.vals, w.alphaSum, w.v, &sc.ctr)
 	case SamplerMH:
-		return foldInDocMH(w.fm, doc, seed, index, sweeps, sc.nDK, w.alphaSum, w.v)
+		return foldInDocMH(w.fm, doc, seed, index, sweeps, sc.nDK, w.alphaSum, w.v, &sc.ctr)
 	default:
-		return foldInDoc(w.fm, doc, seed, index, sweeps, sc.nDK, sc.vals, w.alphaSum, w.v)
+		return foldInDoc(w.fm, doc, seed, index, sweeps, sc.nDK, sc.vals, w.alphaSum, w.v, &sc.ctr)
 	}
 }
 
 // foldInDoc runs the dense per-document sampler. nDK and probs are
 // caller-owned scratch of length K; nDK is re-zeroed here before use.
-func foldInDoc(fm *FoldInModel, doc []int, seed int64, di uint64, sweeps int, nDK []int, probs []float64, alphaSum float64, v int) []float64 {
+func foldInDoc(fm *FoldInModel, doc []int, seed int64, di uint64, sweeps int, nDK []int, probs []float64, alphaSum float64, v int, ctr *sweepCounters) []float64 {
 	k := len(nDK)
 	for t := range nDK {
 		nDK[t] = 0
@@ -332,6 +408,7 @@ func foldInDoc(fm *FoldInModel, doc []int, seed int64, di uint64, sweeps int, nD
 		}
 	}
 	z := make([]int, len(toks))
+	ctr.tokens += int64(len(toks)) * int64(sweeps+1)
 
 	// Initialization pass (sweep 0): sample from alpha * phi.
 	rng := newStream(seed, di, 0)
@@ -349,7 +426,8 @@ func foldInDoc(fm *FoldInModel, doc []int, seed int64, di uint64, sweeps int, nD
 	for sweep := 1; sweep <= sweeps; sweep++ {
 		rng := newStream(seed, di, uint64(sweep))
 		for i, w := range toks {
-			nDK[z[i]]--
+			told := z[i]
+			nDK[told]--
 			total := 0.0
 			for t := 0; t < k; t++ {
 				p := (float64(nDK[t]) + fm.Alpha[t]) * fm.PhiLike[t][w]
@@ -357,6 +435,9 @@ func foldInDoc(fm *FoldInModel, doc []int, seed int64, di uint64, sweeps int, nD
 				total += p
 			}
 			z[i] = drawIndex(&rng, probs, total)
+			if z[i] != told {
+				ctr.changed++
+			}
 			nDK[z[i]]++
 		}
 	}
@@ -370,7 +451,7 @@ func foldInDoc(fm *FoldInModel, doc []int, seed int64, di uint64, sweeps int, nD
 // support in O(K_d). Same conditional as foldInDoc, different trajectory.
 // nDK, docSet and tvals are caller-owned scratch of length K; nDK and
 // docSet are reset here before use.
-func foldInDocSparse(fm *FoldInModel, doc []int, seed int64, di uint64, sweeps int, nDK []int, docSet *linalg.IndexSet, tvals []float64, alphaSum float64, v int) []float64 {
+func foldInDocSparse(fm *FoldInModel, doc []int, seed int64, di uint64, sweeps int, nDK []int, docSet *linalg.IndexSet, tvals []float64, alphaSum float64, v int, ctr *sweepCounters) []float64 {
 	k := len(nDK)
 	for t := range nDK {
 		nDK[t] = 0
@@ -383,6 +464,7 @@ func foldInDocSparse(fm *FoldInModel, doc []int, seed int64, di uint64, sweeps i
 		}
 	}
 	z := make([]int, len(toks))
+	ctr.tokens += int64(len(toks)) * int64(sweeps+1)
 
 	// Initialization pass (sweep 0): the conditional is exactly the prior
 	// part α_k·φ_kw — a pure alias draw.
@@ -440,6 +522,9 @@ func foldInDocSparse(fm *FoldInModel, doc []int, seed int64, di uint64, sweeps i
 					t = int(nz[len(nz)-1]) // rounding pushed u past tMass
 				}
 			}
+			if t != told {
+				ctr.changed++
+			}
 			z[i] = t
 			nDK[t]++
 			docSet.Add(t)
@@ -461,7 +546,7 @@ func foldInDocSparse(fm *FoldInModel, doc []int, seed int64, di uint64, sweeps i
 // leaving pure O(1) arithmetic per step (fitting-side MH pays an O(log K_w)
 // stale-density lookup here). Same stationary conditional as the other
 // cores, different trajectory. nDK is caller-owned scratch of length K.
-func foldInDocMH(fm *FoldInModel, doc []int, seed int64, di uint64, sweeps int, nDK []int, alphaSum float64, v int) []float64 {
+func foldInDocMH(fm *FoldInModel, doc []int, seed int64, di uint64, sweeps int, nDK []int, alphaSum float64, v int, ctr *sweepCounters) []float64 {
 	k := len(nDK)
 	for t := range nDK {
 		nDK[t] = 0
@@ -473,6 +558,7 @@ func foldInDocMH(fm *FoldInModel, doc []int, seed int64, di uint64, sweeps int, 
 		}
 	}
 	z := make([]int, len(toks))
+	ctr.tokens += int64(len(toks)) * int64(sweeps+1)
 
 	// Initialization pass (sweep 0): the conditional is exactly the prior
 	// part α_k·φ_kw — a pure alias draw, identical to the sparse init.
@@ -493,6 +579,7 @@ func foldInDocMH(fm *FoldInModel, doc []int, seed int64, di uint64, sweeps int, 
 		rng := newStream(seed, di, uint64(sweep))
 		for i, w := range toks {
 			kCur := z[i]
+			kOld := kCur
 			nDK[kCur]--
 
 			// Word proposal. Exact (q ∝ α·φ), so φ cancels; a word whose
@@ -506,6 +593,7 @@ func foldInDocMH(fm *FoldInModel, doc []int, seed int64, di uint64, sweeps int, 
 				t = rng.Intn(k)
 			}
 			if t != kCur {
+				ctr.wordProp++
 				var num, den float64
 				if exact {
 					num = (float64(nDK[t]) + fm.Alpha[t]) * fm.Alpha[kCur]
@@ -515,6 +603,7 @@ func foldInDocMH(fm *FoldInModel, doc []int, seed int64, di uint64, sweeps int, 
 					den = (float64(nDK[kCur]) + fm.Alpha[kCur]) * fm.PhiLike[kCur][w]
 				}
 				if rng.Float64()*den < num {
+					ctr.wordAcc++
 					kCur = t
 					z[i] = kCur
 				}
@@ -531,15 +620,20 @@ func foldInDocMH(fm *FoldInModel, doc []int, seed int64, di uint64, sweeps int, 
 				t = fm.alphaTab.Draw(rng.Float64())
 			}
 			if t != kCur {
+				ctr.docProp++
 				// q_d(y) ∝ n_dy + α_y is exactly the doc part of the
 				// target, so the acceptance collapses to the word-
 				// likelihood ratio φ_tw/φ_kw.
 				if rng.Float64()*fm.PhiLike[kCur][w] < fm.PhiLike[t][w] {
+					ctr.docAcc++
 					kCur = t
 					z[i] = kCur
 				}
 			}
 
+			if kCur != kOld {
+				ctr.changed++
+			}
 			nDK[kCur]++
 		}
 	}

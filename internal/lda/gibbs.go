@@ -1,6 +1,8 @@
 package lda
 
 import (
+	"time"
+
 	"lesm/internal/par"
 )
 
@@ -40,6 +42,12 @@ type delta struct {
 	k       []int   // [kTotal] topic total changes
 	touched []bool  // [kTotal*v] whether the flat cell is on the dirty list
 	dirty   []int   // flat k*v+w indices with touched == true
+	// ctr tallies sampling events for observability. The cores bump
+	// these unconditionally (plain int adds on chunk-private state, far
+	// cheaper than a branch per token); they are harvested and reset by
+	// runRecorder only when a Recorder is attached, and are never read
+	// by the sampling math, so they cannot perturb the trajectory.
+	ctr sweepCounters
 }
 
 func newDelta(kTotal, v int) *delta {
@@ -95,19 +103,59 @@ func (dl *delta) applyTo(nKV [][]int, nK []int) {
 type sweepScratch struct {
 	deltas []*delta
 	probs  [][]float64
+	// rngs[c] is chunk c's reusable stream slot: per-document streams are
+	// values reseeded in place, so a sweep performs no per-document heap
+	// allocation (the pointer handed to visit would otherwise force each
+	// stream to escape).
+	rngs []stream
 	// sparse[c] is chunk c's incremental bucket state; nil for dense runs
 	// (see enableSparse / sparse.go).
 	sparse []*sparseChunk
 	// mh[c] is chunk c's Metropolis–Hastings state; nil unless the MH core
 	// runs (see enableMH / mh.go).
 	mh []*mhChunk
+	// ps, when non-nil, makes gibbsPass accumulate pass timings and
+	// delta-table sizes (set by newRunRecorder; nil keeps the pass free
+	// of time syscalls on the unrecorded path).
+	ps *passStats
+
+	// pass carries one gibbsPass invocation's parameters to chunkFn, the
+	// chunk closure built once per run — re-binding fields is free, so a
+	// sweep allocates no closure either (TestNilRecorderSweepAllocFree).
+	pass    passArgs
+	chunkFn func(c, lo, hi int)
+}
+
+// passArgs are one gibbsPass call's parameters, held on the scratch so
+// the prebuilt chunk closure can read them.
+type passArgs struct {
+	seed  int64
+	sweep uint64
+	begin func(c int)
+	visit func(c, di int, rng *stream, dl *delta, probs []float64)
 }
 
 func newSweepScratch(nc, kTotal, v int) *sweepScratch {
-	sc := &sweepScratch{deltas: make([]*delta, nc), probs: make([][]float64, nc)}
+	sc := &sweepScratch{
+		deltas: make([]*delta, nc),
+		probs:  make([][]float64, nc),
+		rngs:   make([]stream, nc),
+	}
 	for c := range sc.deltas {
 		sc.deltas[c] = newDelta(kTotal, v)
 		sc.probs[c] = make([]float64, kTotal)
+	}
+	sc.chunkFn = func(c, lo, hi int) {
+		if sc.pass.begin != nil {
+			sc.pass.begin(c)
+		}
+		dl := sc.deltas[c]
+		probs := sc.probs[c]
+		rng := &sc.rngs[c]
+		for di := lo; di < hi; di++ {
+			*rng = newStream(sc.pass.seed, uint64(di), sc.pass.sweep)
+			sc.pass.visit(c, di, rng, dl, probs)
+		}
 	}
 	return sc
 }
@@ -132,18 +180,14 @@ func gibbsPass(o par.Opts, seed int64, sweep uint64, d int, sc *sweepScratch,
 	if d <= 0 {
 		return o.Err()
 	}
+	var start time.Time
+	if sc.ps != nil {
+		start = time.Now()
+	}
 	nc := len(sc.deltas)
-	err := par.ForChunksN(o, d, nc, func(c, lo, hi int) {
-		if begin != nil {
-			begin(c)
-		}
-		dl := sc.deltas[c]
-		probs := sc.probs[c]
-		for di := lo; di < hi; di++ {
-			rng := newStream(seed, uint64(di), sweep)
-			visit(c, di, &rng, dl, probs)
-		}
-	})
+	sc.pass = passArgs{seed: seed, sweep: sweep, begin: begin, visit: visit}
+	err := par.ForChunksN(o, d, nc, sc.chunkFn)
+	sc.pass = passArgs{} // drop the closure references
 	if err != nil {
 		return err
 	}
@@ -154,6 +198,16 @@ func gibbsPass(o par.Opts, seed int64, sweep uint64, d int, sc *sweepScratch,
 	}
 	// ForChunksN clamps nc to d, so trailing deltas may be untouched;
 	// applying an empty delta is O(topics), harmless.
+	if sc.ps != nil {
+		mergeStart := time.Now()
+		for _, dl := range sc.deltas {
+			sc.ps.cells += int64(len(dl.dirty))
+			dl.applyTo(nKV, nK)
+		}
+		sc.ps.merge += time.Since(mergeStart)
+		sc.ps.wall += time.Since(start)
+		return nil
+	}
 	for _, dl := range sc.deltas {
 		dl.applyTo(nKV, nK)
 	}

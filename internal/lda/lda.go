@@ -4,7 +4,9 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"time"
 
+	"lesm/internal/obs"
 	"lesm/internal/par"
 )
 
@@ -115,9 +117,26 @@ type Config struct {
 	// Ctx cancels sampling between work chunks (nil = background); a
 	// cancelled run returns the context error and no model.
 	Ctx context.Context
+	// Rec, when non-nil, receives one obs.SweepStats per sweep (and
+	// pool telemetry via par.Opts.Obs). Recording is observational
+	// only: models are bit-identical with Rec set or nil at any P, and
+	// the nil path is allocation-free.
+	Rec obs.Recorder
+	// ProbeEvery enables the read-only convergence probe: every
+	// ProbeEvery-th sweep (and the last) computes the corpus
+	// log-likelihood under the current point estimates and attaches it
+	// to that sweep's record. 0 disables; requires Rec. The probe only
+	// reads merged counts, so it cannot perturb the trajectory.
+	ProbeEvery int
 }
 
-func (c Config) parOpts() par.Opts { return par.Opts{P: c.P, Ctx: c.Ctx} }
+func (c Config) parOpts() par.Opts {
+	o := par.Opts{P: c.P, Ctx: c.Ctx}
+	if c.Rec != nil {
+		o.Obs = c.Rec
+	}
+	return o
+}
 
 // validate rejects configurations that would otherwise panic deep inside
 // the sampler (K <= 0 divides by zero in withDefaults, an empty vocabulary
@@ -149,6 +168,9 @@ func (c Config) validate(v int) error {
 	}
 	if c.AliasRefresh < 0 {
 		return fmt.Errorf("lda: Config.AliasRefresh = %d, need >= 0 (0 = default %d)", c.AliasRefresh, DefaultAliasRefresh)
+	}
+	if c.ProbeEvery < 0 {
+		return fmt.Errorf("lda: Config.ProbeEvery = %d, need >= 0 (0 = no probe)", c.ProbeEvery)
 	}
 	return nil
 }
@@ -273,18 +295,24 @@ func Run(docs [][]int, v int, cfg Config) (*Model, error) {
 		return nil, err
 	}
 
+	// The recorder attaches after the init pass so sweep 1's timings
+	// cover sweep 1 only; nil (the common case) makes every endSweep a
+	// no-op and keeps gibbsPass untimed.
+	rr := newRunRecorder(cfg, "lda", d, countTokens(docs), sc,
+		tokenProbe(docs, alpha, cfg.Beta, v, nDK, nKV, nK))
+
 	core := cfg.Sampler.ResolveFor(kTotal, v)
 	rebuilds := 0
 	switch core {
 	case SamplerSparse:
-		err = runSparse(o, cfg, docs, v, d, sc, alpha, nDK, nKV, nK, z)
+		err = runSparse(o, cfg, docs, v, d, sc, alpha, nDK, nKV, nK, z, rr)
 		if d > 0 {
 			rebuilds = cfg.Iters
 		}
 	case SamplerMH:
-		rebuilds, err = runMH(o, cfg, docs, v, d, sc, alpha, nDK, nKV, nK, z)
+		rebuilds, err = runMH(o, cfg, docs, v, d, sc, alpha, nDK, nKV, nK, z, rr)
 	default:
-		err = runDense(o, cfg, docs, v, d, kTotal, sc, alpha, nDK, nKV, nK, z)
+		err = runDense(o, cfg, docs, v, d, kTotal, sc, alpha, nDK, nKV, nK, z, rr)
 	}
 	if err != nil {
 		return nil, err
@@ -297,14 +325,15 @@ func Run(docs [][]int, v int, cfg Config) (*Model, error) {
 // runDense is the classic collapsed sampler: every token scores all kTotal
 // topics (O(K) per token) against global + own-chunk delta counts.
 func runDense(o par.Opts, cfg Config, docs [][]int, v, d, kTotal int, sc *sweepScratch,
-	alpha []float64, nDK [][]int, nKV [][]int, nK []int, z [][]int) error {
+	alpha []float64, nDK [][]int, nKV [][]int, nK []int, z [][]int, rr *runRecorder) error {
 	vb := float64(v) * cfg.Beta
 	for it := 0; it < cfg.Iters; it++ {
 		err := gibbsPass(o, cfg.Seed, uint64(it+1), d, sc, nKV, nK, nil, nil,
 			func(_, di int, rng *stream, dl *delta, probs []float64) {
 				doc := docs[di]
 				for i, w := range doc {
-					k := z[di][i]
+					kOld := z[di][i]
+					k := kOld
 					nDK[di][k]--
 					dl.add(k, w, -1)
 					total := 0.0
@@ -324,12 +353,18 @@ func runDense(o par.Opts, cfg Config, docs [][]int, v, d, kTotal int, sc *sweepS
 							break
 						}
 					}
+					if k != kOld {
+						dl.ctr.changed++
+					}
 					z[di][i] = k
 					nDK[di][k]++
 					dl.add(k, w, 1)
 				}
 			})
 		if err != nil {
+			return err
+		}
+		if err := rr.endSweep(o, it+1, 0, 0); err != nil {
 			return err
 		}
 	}
@@ -341,16 +376,24 @@ func runDense(o par.Opts, cfg Config, docs [][]int, v, d, kTotal int, sc *sweepS
 // its documents through the incremental bucket state at O(K_d) amortized
 // per token.
 func runSparse(o par.Opts, cfg Config, docs [][]int, v, d int, sc *sweepScratch,
-	alpha []float64, nDK [][]int, nKV [][]int, nK []int, z [][]int) error {
+	alpha []float64, nDK [][]int, nKV [][]int, nK []int, z [][]int, rr *runRecorder) error {
 	if d == 0 {
 		// Every pass is a no-op; skip the per-sweep O(K·V) alias rebuilds.
 		return o.Err()
 	}
 	qa := newQAlias(v)
 	sc.enableSparse(alpha, cfg.Beta, v, nKV, nK, qa)
+	var rebuildT time.Duration
 	for it := 0; it < cfg.Iters; it++ {
+		var t0 time.Time
+		if rr != nil {
+			t0 = time.Now()
+		}
 		if err := qa.rebuild(o, alpha, cfg.Beta, nKV, nK); err != nil {
 			return err
+		}
+		if rr != nil {
+			rebuildT += time.Since(t0)
 		}
 		err := gibbsPass(o, cfg.Seed, uint64(it+1), d, sc, nKV, nK,
 			func(c int) { sc.sparse[c].beginPass() }, nil,
@@ -360,13 +403,20 @@ func runSparse(o par.Opts, cfg Config, docs [][]int, v, d int, sc *sweepScratch,
 				doc := docs[di]
 				zd := z[di]
 				for i, w := range doc {
-					ch.adjust(zd[i], w, -1)
+					kOld := zd[i]
+					ch.adjust(kOld, w, -1)
 					k := ch.sampleToken(w, rng)
+					if k != kOld {
+						ch.dl.ctr.changed++
+					}
 					zd[i] = k
 					ch.adjust(k, w, 1)
 				}
 			})
 		if err != nil {
+			return err
+		}
+		if err := rr.endSweep(o, it+1, it+1, rebuildT); err != nil {
 			return err
 		}
 	}

@@ -1,6 +1,8 @@
 package lda
 
 import (
+	"time"
+
 	"lesm/internal/linalg"
 	"lesm/internal/par"
 )
@@ -114,10 +116,17 @@ func (m *mhProposal) buildInactive(o par.Opts, nKV [][]int) error {
 // buildAsync runs buildInactive on its own goroutine, overlapping the
 // rebuild with the sweep that still samples from the active buffer. The
 // caller must receive from the channel before merging chunk deltas into
-// nKV (the build reads it) and before calling swap.
-func (m *mhProposal) buildAsync(o par.Opts, nKV [][]int) chan error {
+// nKV (the build reads it) and before calling swap. The build's wall
+// time is written to took before the channel send, so the receive
+// orders the write for the joining goroutine.
+func (m *mhProposal) buildAsync(o par.Opts, nKV [][]int, took *time.Duration) chan error {
 	done := make(chan error, 1)
-	go func() { done <- m.buildInactive(o, nKV) }()
+	go func() {
+		t0 := time.Now()
+		err := m.buildInactive(o, nKV)
+		*took = time.Since(t0)
+		done <- err
+	}()
 	return done
 }
 
@@ -278,13 +287,17 @@ func (s *mhChunk) sampleToken(w int, zDoc []int, posCnt []int, i int, rng *strea
 	kn, kd := s.target(k, w, kOld)
 
 	// Word proposal from the stale alias tables. q_w does not depend on
-	// the incumbent, so this is plain independence MH.
+	// the incumbent, so this is plain independence MH. Only proposals
+	// naming a different topic tick the counters — self-proposals are
+	// no-ops either way and would inflate the recorded accept rate.
 	if t := s.prop.propose(w, rng.Float64()); t != k {
+		s.dl.ctr.wordProp++
 		tn, td := s.target(t, w, kOld)
 		// π = [p(t)·q_w(k)] / [p(k)·q_w(t)]; accept iff u·den < num.
 		num := tn * kd * s.prop.density(w, k)
 		den := kn * td * s.prop.density(w, t)
 		if rng.Float64()*den < num {
+			s.dl.ctr.wordAcc++
 			k = t
 			kn, kd = tn, td
 			zDoc[i] = k
@@ -301,6 +314,7 @@ func (s *mhChunk) sampleToken(w int, zDoc []int, posCnt []int, i int, rng *strea
 		t = s.alphaTab.Draw(rng.Float64())
 	}
 	if t != k {
+		s.dl.ctr.docProp++
 		dk, dt := 0, 0
 		if k == kOld {
 			dk = 1
@@ -313,6 +327,7 @@ func (s *mhChunk) sampleToken(w int, zDoc []int, posCnt []int, i int, rng *strea
 		num := tn * kd * qk
 		den := kn * td * qt
 		if rng.Float64()*den < num {
+			s.dl.ctr.docAcc++
 			k = t
 			zDoc[i] = k
 		}
@@ -331,13 +346,21 @@ type mhRebuildSchedule struct {
 	pending chan error
 	// Rebuilds counts completed builds, including the initial one.
 	Rebuilds int
+	// BuildTime accumulates the wall time of completed builds (the
+	// async builds' concurrent wall time, not kick-to-join). lastBuild
+	// is the in-flight build's landing slot, synchronized by the
+	// pending-channel receive.
+	BuildTime time.Duration
+	lastBuild time.Duration
 }
 
 // start performs the initial synchronous build from the post-init counts.
 func (r *mhRebuildSchedule) start(o par.Opts, nKV [][]int) error {
+	t0 := time.Now()
 	if err := r.prop.buildInactive(o, nKV); err != nil {
 		return err
 	}
+	r.BuildTime += time.Since(t0)
 	r.prop.swap()
 	r.Rebuilds = 1
 	return nil
@@ -346,7 +369,7 @@ func (r *mhRebuildSchedule) start(o par.Opts, nKV [][]int) error {
 // beginSweep kicks a background rebuild when the tables are stale enough.
 func (r *mhRebuildSchedule) beginSweep(o par.Opts, nKV [][]int) {
 	if r.stale >= r.refresh && r.pending == nil {
-		r.pending = r.prop.buildAsync(o, nKV)
+		r.pending = r.prop.buildAsync(o, nKV, &r.lastBuild)
 	}
 }
 
@@ -361,6 +384,7 @@ func (r *mhRebuildSchedule) endPass() error {
 	if err != nil {
 		return err
 	}
+	r.BuildTime += r.lastBuild
 	r.prop.swap()
 	r.Rebuilds++
 	r.stale = 0
@@ -382,7 +406,7 @@ func (r *mhRebuildSchedule) drain() {
 // runMH is the MH fitting loop behind Run. Returns the number of alias
 // rebuilds performed, for Model.AliasRebuilds.
 func runMH(o par.Opts, cfg Config, docs [][]int, v, d int, sc *sweepScratch,
-	alpha []float64, nDK [][]int, nKV [][]int, nK []int, z [][]int) (int, error) {
+	alpha []float64, nDK [][]int, nKV [][]int, nK []int, z [][]int, rr *runRecorder) (int, error) {
 	if d == 0 {
 		return 0, o.Err()
 	}
@@ -409,6 +433,7 @@ func runMH(o par.Opts, cfg Config, docs [][]int, v, d int, sc *sweepScratch,
 					// sampleToken removes the token virtually and writes
 					// zd[i]; counts move only on an actual topic change.
 					if k := ch.sampleToken(w, zd, ch.nDK, i, rng); k != kOld {
+						ch.dl.ctr.changed++
 						ch.adjust(kOld, w, -1)
 						ch.adjust(k, w, 1)
 					}
@@ -419,6 +444,11 @@ func runMH(o par.Opts, cfg Config, docs [][]int, v, d int, sc *sweepScratch,
 			return sched.Rebuilds, err
 		}
 		sched.endSweep()
+		// Diffed against the previous sweep's totals inside endSweep,
+		// so the initial synchronous build lands on sweep 1's record.
+		if err := rr.endSweep(o, it+1, sched.Rebuilds, sched.BuildTime); err != nil {
+			return sched.Rebuilds, err
+		}
 	}
 	return sched.Rebuilds, nil
 }
@@ -429,7 +459,7 @@ func runMH(o par.Opts, cfg Config, docs [][]int, v, d int, sc *sweepScratch,
 // phrases keep the dense product conditional, exactly as in the sparse
 // core, reading counts through the same chunk state.
 func runPhrasesMH(o par.Opts, cfg Config, docs []PhraseDoc, v, d int, sc *sweepScratch,
-	alpha []float64, nDK [][]int, nKV [][]int, nK []int, zP [][]int) (int, error) {
+	alpha []float64, nDK [][]int, nKV [][]int, nK []int, zP [][]int, rr *runRecorder) (int, error) {
 	if d == 0 {
 		return 0, o.Err()
 	}
@@ -458,6 +488,7 @@ func runPhrasesMH(o par.Opts, cfg Config, docs []PhraseDoc, v, d int, sc *sweepS
 						// only on an actual topic change.
 						w := phrase[0]
 						if kNew := ch.sampleToken(w, zPd, ch.pDK, pi, rng); kNew != k {
+							ch.dl.ctr.changed++
 							ch.adjust(k, w, -1)
 							ch.adjust(kNew, w, 1)
 							ch.pDK[k]--
@@ -467,11 +498,17 @@ func runPhrasesMH(o par.Opts, cfg Config, docs []PhraseDoc, v, d int, sc *sweepS
 					}
 					// Multi-word phrases keep the dense product over
 					// really-removed counts, exactly as in the sparse core.
+					kOld := k
 					for _, w := range phrase {
 						ch.adjust(k, w, -1)
 					}
 					ch.pDK[k]--
 					k = samplePhrase(phrase, ch.nDK, nK, nKV, ch.dl, alpha, ch.beta, ch.vb, probs, rng)
+					if k != kOld {
+						// A moved phrase moves all of its tokens, keeping
+						// Changed in token units next to Tokens.
+						ch.dl.ctr.changed += int64(len(phrase))
+					}
 					zPd[pi] = k
 					ch.pDK[k]++
 					for _, w := range phrase {
@@ -484,6 +521,9 @@ func runPhrasesMH(o par.Opts, cfg Config, docs []PhraseDoc, v, d int, sc *sweepS
 			return sched.Rebuilds, err
 		}
 		sched.endSweep()
+		if err := rr.endSweep(o, it+1, sched.Rebuilds, sched.BuildTime); err != nil {
+			return sched.Rebuilds, err
+		}
 	}
 	return sched.Rebuilds, nil
 }

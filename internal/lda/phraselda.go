@@ -2,6 +2,7 @@ package lda
 
 import (
 	"fmt"
+	"time"
 
 	"lesm/internal/par"
 )
@@ -79,18 +80,21 @@ func RunPhrases(docs []PhraseDoc, v int, cfg Config) (*Model, error) {
 		return nil, err
 	}
 
+	rr := newRunRecorder(cfg, "phraselda", d, countPhraseTokens(docs), sc,
+		phraseProbe(docs, alpha, cfg.Beta, v, nDK, nKV, nK))
+
 	core := cfg.Sampler.ResolveFor(kTotal, v)
 	rebuilds := 0
 	switch core {
 	case SamplerSparse:
-		err = runPhrasesSparse(o, cfg, docs, v, d, sc, alpha, nDK, nKV, nK, zP)
+		err = runPhrasesSparse(o, cfg, docs, v, d, sc, alpha, nDK, nKV, nK, zP, rr)
 		if d > 0 {
 			rebuilds = cfg.Iters
 		}
 	case SamplerMH:
-		rebuilds, err = runPhrasesMH(o, cfg, docs, v, d, sc, alpha, nDK, nKV, nK, zP)
+		rebuilds, err = runPhrasesMH(o, cfg, docs, v, d, sc, alpha, nDK, nKV, nK, zP, rr)
 	default:
-		err = runPhrasesDense(o, cfg, docs, v, d, kTotal, sc, alpha, nDK, nKV, nK, zP)
+		err = runPhrasesDense(o, cfg, docs, v, d, kTotal, sc, alpha, nDK, nKV, nK, zP, rr)
 	}
 	if err != nil {
 		return nil, err
@@ -150,19 +154,23 @@ func samplePhrase(phrase []int, nDK, nK []int, nKV [][]int, dl *delta,
 }
 
 func runPhrasesDense(o par.Opts, cfg Config, docs []PhraseDoc, v, d, kTotal int, sc *sweepScratch,
-	alpha []float64, nDK [][]int, nKV [][]int, nK []int, zP [][]int) error {
+	alpha []float64, nDK [][]int, nKV [][]int, nK []int, zP [][]int, rr *runRecorder) error {
 	vb := float64(v) * cfg.Beta
 	for it := 0; it < cfg.Iters; it++ {
 		err := gibbsPass(o, cfg.Seed, uint64(it+1), d, sc, nKV, nK, nil, nil,
 			func(_, di int, rng *stream, dl *delta, probs []float64) {
 				doc := docs[di]
 				for pi, phrase := range doc {
-					k := zP[di][pi]
+					kOld := zP[di][pi]
+					k := kOld
 					nDK[di][k] -= len(phrase)
 					for _, w := range phrase {
 						dl.add(k, w, -1)
 					}
 					k = samplePhrase(phrase, nDK[di], nK, nKV, dl, alpha, cfg.Beta, vb, probs, rng)
+					if k != kOld {
+						dl.ctr.changed += int64(len(phrase))
+					}
 					zP[di][pi] = k
 					nDK[di][k] += len(phrase)
 					for _, w := range phrase {
@@ -173,21 +181,32 @@ func runPhrasesDense(o par.Opts, cfg Config, docs []PhraseDoc, v, d, kTotal int,
 		if err != nil {
 			return err
 		}
+		if err := rr.endSweep(o, it+1, 0, 0); err != nil {
+			return err
+		}
 	}
 	return nil
 }
 
 func runPhrasesSparse(o par.Opts, cfg Config, docs []PhraseDoc, v, d int, sc *sweepScratch,
-	alpha []float64, nDK [][]int, nKV [][]int, nK []int, zP [][]int) error {
+	alpha []float64, nDK [][]int, nKV [][]int, nK []int, zP [][]int, rr *runRecorder) error {
 	if d == 0 {
 		// Every pass is a no-op; skip the per-sweep O(K·V) alias rebuilds.
 		return o.Err()
 	}
 	qa := newQAlias(v)
 	sc.enableSparse(alpha, cfg.Beta, v, nKV, nK, qa)
+	var rebuildT time.Duration
 	for it := 0; it < cfg.Iters; it++ {
+		var t0 time.Time
+		if rr != nil {
+			t0 = time.Now()
+		}
 		if err := qa.rebuild(o, alpha, cfg.Beta, nKV, nK); err != nil {
 			return err
+		}
+		if rr != nil {
+			rebuildT += time.Since(t0)
 		}
 		err := gibbsPass(o, cfg.Seed, uint64(it+1), d, sc, nKV, nK,
 			func(c int) { sc.sparse[c].beginPass() }, nil,
@@ -196,7 +215,8 @@ func runPhrasesSparse(o par.Opts, cfg Config, docs []PhraseDoc, v, d int, sc *sw
 				ch.beginDoc(nDK[di])
 				doc := docs[di]
 				for pi, phrase := range doc {
-					k := zP[di][pi]
+					kOld := zP[di][pi]
+					k := kOld
 					for _, w := range phrase {
 						ch.adjust(k, w, -1)
 					}
@@ -208,6 +228,9 @@ func runPhrasesSparse(o par.Opts, cfg Config, docs []PhraseDoc, v, d int, sc *sw
 						// of word likelihoods.
 						k = samplePhrase(phrase, ch.nDK, nK, nKV, ch.dl, alpha, ch.beta, ch.vb, probs, rng)
 					}
+					if k != kOld {
+						ch.dl.ctr.changed += int64(len(phrase))
+					}
 					zP[di][pi] = k
 					for _, w := range phrase {
 						ch.adjust(k, w, 1)
@@ -215,6 +238,9 @@ func runPhrasesSparse(o par.Opts, cfg Config, docs []PhraseDoc, v, d int, sc *sw
 				}
 			})
 		if err != nil {
+			return err
+		}
+		if err := rr.endSweep(o, it+1, it+1, rebuildT); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,244 @@
+package lda
+
+import (
+	"math"
+	"time"
+
+	"lesm/internal/obs"
+	"lesm/internal/par"
+)
+
+// Fit-side observability plumbing. The contract (test-gated):
+//
+//   - Recording never perturbs the trajectory: recorders see aggregated
+//     copies after the sweep's deltas merged; nothing feeds back into
+//     counts or PRNG streams, so models are bit-identical with a
+//     Recorder attached or nil at any Config.P.
+//   - The nil path is free: the cores bump chunk-local int counters
+//     unconditionally (cheaper than a branch per token), but timing,
+//     aggregation, probes and emission only run when a Recorder is
+//     attached. runRecorder is nil-receiver-safe so the sweep loops
+//     call it unconditionally; the nil path is allocation-free
+//     (TestNilRecorderSweepAllocFree).
+
+// sweepCounters are one chunk's sampling-event tallies, embedded in its
+// delta table so the hot loops reach them through a pointer they
+// already hold. Proposal counters tick only in the MH core and only
+// for proposals naming a topic different from the incumbent
+// (self-proposals are no-ops and would inflate the accept rate).
+type sweepCounters struct {
+	tokens   int64 // token visits (fold-in only; fits derive it once)
+	changed  int64 // visits whose topic changed
+	wordProp int64
+	wordAcc  int64
+	docProp  int64
+	docAcc   int64
+}
+
+func (c *sweepCounters) addFrom(o *sweepCounters) {
+	c.tokens += o.tokens
+	c.changed += o.changed
+	c.wordProp += o.wordProp
+	c.wordAcc += o.wordAcc
+	c.docProp += o.docProp
+	c.docAcc += o.docAcc
+}
+
+// passStats accumulates gibbsPass timings between runRecorder harvests.
+// It hangs off sweepScratch and is nil on the unrecorded path, keeping
+// time syscalls out of unrecorded passes entirely.
+type passStats struct {
+	cells int64 // delta-table cells merged
+	merge time.Duration
+	wall  time.Duration
+}
+
+// runRecorder aggregates one fit's chunk counters and pass timings into
+// per-sweep obs.SweepStats. A nil *runRecorder is the disabled state:
+// every method no-ops, so the sweep loops call it unconditionally.
+type runRecorder struct {
+	rec        obs.Recorder
+	engine     string
+	docs       int
+	tokens     int64 // token visits per full sweep
+	sweeps     int
+	probeEvery int
+	probe      func(par.Opts) (float64, error)
+	sc         *sweepScratch
+
+	// Cumulative rebuild figures already attributed to earlier sweeps;
+	// endSweep diffs the running totals against these.
+	rebuilds int
+	rebuildT time.Duration
+}
+
+// newRunRecorder returns nil (the zero-cost disabled state) unless
+// cfg.Rec is set. When enabled it arms the scratch's passStats so
+// subsequent gibbsPass calls time themselves.
+func newRunRecorder(cfg Config, engine string, docs int, tokens int64, sc *sweepScratch,
+	probe func(par.Opts) (float64, error)) *runRecorder {
+	if cfg.Rec == nil {
+		return nil
+	}
+	sc.ps = &passStats{}
+	return &runRecorder{
+		rec: cfg.Rec, engine: engine, docs: docs, tokens: tokens,
+		sweeps: cfg.Iters, probeEvery: cfg.ProbeEvery, probe: probe, sc: sc,
+	}
+}
+
+// endSweep harvests the chunk counters and pass timings accumulated
+// since the previous call and emits one SweepStats. rebuildsTotal and
+// rebuildTime are the run's *cumulative* alias-rebuild figures; the
+// per-sweep attribution is the diff (so the MH core's initial build
+// lands on sweep 1). The returned error is a cancelled convergence
+// probe's context error.
+func (r *runRecorder) endSweep(o par.Opts, sweep, rebuildsTotal int, rebuildTime time.Duration) error {
+	if r == nil {
+		return nil
+	}
+	var c sweepCounters
+	for _, dl := range r.sc.deltas {
+		c.addFrom(&dl.ctr)
+		dl.ctr = sweepCounters{}
+	}
+	chunks := len(r.sc.deltas)
+	if r.docs < chunks {
+		chunks = r.docs
+	}
+	s := obs.SweepStats{
+		Engine: r.engine, Sweep: sweep, Sweeps: r.sweeps, Docs: r.docs,
+		Tokens: r.tokens, Changed: c.changed,
+		WordProposals: c.wordProp, WordAccepts: c.wordAcc,
+		DocProposals: c.docProp, DocAccepts: c.docAcc,
+		AliasRebuilds: rebuildsTotal - r.rebuilds,
+		RebuildTime:   rebuildTime - r.rebuildT,
+		Chunks:        chunks,
+		DeltaCells:    r.sc.ps.cells,
+		MergeTime:     r.sc.ps.merge,
+		SweepTime:     r.sc.ps.wall,
+		LogLikelihood: math.NaN(),
+	}
+	r.rebuilds, r.rebuildT = rebuildsTotal, rebuildTime
+	*r.sc.ps = passStats{}
+	if r.probe != nil && r.probeEvery > 0 && (sweep%r.probeEvery == 0 || sweep == r.sweeps) {
+		ll, err := r.probe(o)
+		if err != nil {
+			return err
+		}
+		s.LogLikelihood = ll
+	}
+	r.rec.RecordSweep(s)
+	return nil
+}
+
+// tokenProbe builds the read-only convergence probe for token-document
+// fits: the corpus log-likelihood under the current point estimates,
+//
+//	LL = Σ_d Σ_i log Σ_k θ̂_dk · φ̂_kw,  θ̂ and φ̂ the smoothed count
+//	normalizations summarize would produce right now.
+//
+// It only reads the count tables after a sweep's deltas have merged, so
+// it can never perturb the trajectory; the chunk-ordered MapReduce
+// float merge keeps the reported value itself deterministic at any P.
+func tokenProbe(docs [][]int, alpha []float64, beta float64, v int,
+	nDK, nKV [][]int, nK []int) func(par.Opts) (float64, error) {
+	var alphaSum float64
+	for _, a := range alpha {
+		alphaSum += a
+	}
+	vb := float64(v) * beta
+	kTotal := len(alpha)
+	return func(o par.Opts) (float64, error) {
+		acc, err := par.MapReduce(o, len(docs),
+			func() *float64 { return new(float64) },
+			func(acc *float64, _, lo, hi int) {
+				for di := lo; di < hi; di++ {
+					doc := docs[di]
+					denom := float64(len(doc)) + alphaSum
+					s := 0.0
+					for _, w := range doc {
+						p := 0.0
+						for k := 0; k < kTotal; k++ {
+							p += (float64(nDK[di][k]) + alpha[k]) *
+								(float64(nKV[k][w]) + beta) / (float64(nK[k]) + vb)
+						}
+						s += math.Log(p / denom)
+					}
+					*acc += s
+				}
+			},
+			func(dst, src *float64) { *dst += *src },
+		)
+		if err != nil {
+			return 0, err
+		}
+		return *acc, nil
+	}
+}
+
+// phraseProbe is tokenProbe over phrase documents: phrases share a
+// topic, but the probe scores tokens independently under the current
+// point estimates (the same quantity held-out perplexity reports).
+func phraseProbe(docs []PhraseDoc, alpha []float64, beta float64, v int,
+	nDK, nKV [][]int, nK []int) func(par.Opts) (float64, error) {
+	var alphaSum float64
+	for _, a := range alpha {
+		alphaSum += a
+	}
+	vb := float64(v) * beta
+	kTotal := len(alpha)
+	return func(o par.Opts) (float64, error) {
+		acc, err := par.MapReduce(o, len(docs),
+			func() *float64 { return new(float64) },
+			func(acc *float64, _, lo, hi int) {
+				for di := lo; di < hi; di++ {
+					doc := docs[di]
+					n := 0
+					for _, phrase := range doc {
+						n += len(phrase)
+					}
+					denom := float64(n) + alphaSum
+					s := 0.0
+					for _, phrase := range doc {
+						for _, w := range phrase {
+							p := 0.0
+							for k := 0; k < kTotal; k++ {
+								p += (float64(nDK[di][k]) + alpha[k]) *
+									(float64(nKV[k][w]) + beta) / (float64(nK[k]) + vb)
+							}
+							s += math.Log(p / denom)
+						}
+					}
+					*acc += s
+				}
+			},
+			func(dst, src *float64) { *dst += *src },
+		)
+		if err != nil {
+			return 0, err
+		}
+		return *acc, nil
+	}
+}
+
+// countTokens is the per-sweep token-visit total of a token-document
+// corpus (SweepStats.Tokens).
+func countTokens(docs [][]int) int64 {
+	var n int64
+	for _, doc := range docs {
+		n += int64(len(doc))
+	}
+	return n
+}
+
+// countPhraseTokens is countTokens for phrase documents.
+func countPhraseTokens(docs []PhraseDoc) int64 {
+	var n int64
+	for _, doc := range docs {
+		for _, phrase := range doc {
+			n += int64(len(phrase))
+		}
+	}
+	return n
+}

@@ -1,0 +1,21 @@
+// Package obs is the fit-side observability backbone: a Recorder
+// interface the sampler cores and the parallel runtime report into,
+// plus ready-made sinks (JSONL trace, live progress line, fan-out).
+//
+// The package is dependency-free (stdlib only) and is designed around
+// two hard constraints inherited from the sampler contract:
+//
+//   - Recording must never perturb the trajectory. Recorders receive
+//     copies of aggregated per-sweep statistics after the sweep's
+//     deltas have merged; nothing a Recorder does can reach back into
+//     counts or RNG streams, so models are bit-identical with
+//     recording on or off at any parallelism.
+//   - A nil Recorder must cost nothing. Producers keep cheap chunk-
+//     local counters unconditionally and only aggregate/emit when a
+//     recorder is attached; the nil path is allocation-free
+//     (gated by testing.AllocsPerRun in internal/lda).
+//
+// Event model: one SweepStats per completed sweep (per engine), one
+// PoolStats per parallel pass when pool telemetry is enabled via
+// par.Opts.Obs. See docs/ARCHITECTURE.md "Observability".
+package obs

@@ -1,0 +1,241 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sweep(n int) SweepStats {
+	return SweepStats{
+		Engine: "lda", Sweep: n, Sweeps: 10, Docs: 4,
+		Tokens: 100, Changed: 40,
+		WordProposals: 50, WordAccepts: 25,
+		SweepTime:     time.Millisecond,
+		LogLikelihood: math.NaN(),
+	}
+}
+
+func TestSweepStatsDerivedRates(t *testing.T) {
+	s := sweep(1)
+	if got := s.ChangedFrac(); got != 0.4 {
+		t.Fatalf("ChangedFrac = %v, want 0.4", got)
+	}
+	if got := s.WordAcceptRate(); got != 0.5 {
+		t.Fatalf("WordAcceptRate = %v, want 0.5", got)
+	}
+	if !math.IsNaN(s.DocAcceptRate()) {
+		t.Fatalf("DocAcceptRate with no proposals = %v, want NaN", s.DocAcceptRate())
+	}
+	if got := s.TokensPerSec(); got != 100_000 {
+		t.Fatalf("TokensPerSec = %v, want 100000", got)
+	}
+	if !math.IsNaN(s.Perplexity()) {
+		t.Fatalf("Perplexity without a probe = %v, want NaN", s.Perplexity())
+	}
+	s.LogLikelihood = -100
+	want := math.Exp(1) // exp(-(-100)/100)
+	if got := s.Perplexity(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Perplexity = %v, want %v", got, want)
+	}
+}
+
+// TestTraceJSONL: every line parses as JSON, sweep numbers are monotonic,
+// and the NaN log-likelihood is omitted rather than emitted (NaN is not
+// representable in JSON).
+func TestTraceJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTrace(&buf)
+	for i := 1; i <= 5; i++ {
+		s := sweep(i)
+		if i == 4 {
+			s.LogLikelihood = -123.5
+		}
+		tr.RecordSweep(s)
+	}
+	tr.RecordPool(PoolStats{Chunks: 8, Workers: 2, Wait: time.Millisecond, Exec: 2 * time.Millisecond, Wall: 3 * time.Millisecond})
+	if err := tr.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("got %d lines, want 6", len(lines))
+	}
+	lastSweep := 0
+	for i, ln := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(ln), &m); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", i+1, err, ln)
+		}
+		switch m["type"] {
+		case "sweep":
+			n := int(m["sweep"].(float64))
+			if n <= lastSweep {
+				t.Fatalf("sweep numbers not monotonic: %d after %d", n, lastSweep)
+			}
+			lastSweep = n
+			_, hasLL := m["log_likelihood"]
+			if n == 4 && !hasLL {
+				t.Fatalf("probe sweep 4 lost its log_likelihood: %s", ln)
+			}
+			if n != 4 && hasLL {
+				t.Fatalf("sweep %d has log_likelihood but carried no probe: %s", n, ln)
+			}
+		case "pool":
+			if int(m["chunks"].(float64)) != 8 {
+				t.Fatalf("pool chunks = %v, want 8", m["chunks"])
+			}
+		default:
+			t.Fatalf("unknown event type %q", m["type"])
+		}
+	}
+	if lastSweep != 5 {
+		t.Fatalf("last sweep = %d, want 5", lastSweep)
+	}
+}
+
+// TestTraceSurvivesNonFiniteDerived: encoding/json rejects ±Inf, and one
+// rejected event used to poison the whole trace. A log-likelihood big
+// enough to overflow Perplexity to +Inf (CATHY's hierarchy likelihood
+// does this on every sweep) must still serialize its finite fields, an
+// outright ±Inf log-likelihood must be omitted like NaN, and — the real
+// regression — lines recorded *afterwards* must still be written.
+func TestTraceSurvivesNonFiniteDerived(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTrace(&buf)
+
+	s := sweep(1)
+	s.LogLikelihood = -1e9 // exp(1e9/100) = +Inf perplexity
+	tr.RecordSweep(s)
+	s = sweep(2)
+	s.LogLikelihood = math.Inf(-1)
+	tr.RecordSweep(s)
+	tr.RecordSweep(sweep(3))
+	if err := tr.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3: %q", len(lines), buf.String())
+	}
+	for i, ln := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(ln), &m); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", i+1, err, ln)
+		}
+		if _, ok := m["perplexity"]; ok {
+			t.Fatalf("line %d carries a perplexity that should be non-finite or absent: %s", i+1, ln)
+		}
+	}
+	var first map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatal(err)
+	}
+	if ll, ok := first["log_likelihood"].(float64); !ok || ll != -1e9 {
+		t.Fatalf("finite log-likelihood lost: %s", lines[0])
+	}
+	var second map[string]any
+	if err := json.Unmarshal([]byte(lines[1]), &second); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := second["log_likelihood"]; ok {
+		t.Fatalf("-Inf log-likelihood should be omitted: %s", lines[1])
+	}
+}
+
+// closeRecorder wraps a bytes.Buffer and records whether Close ran —
+// Trace.Close must close a closeable underlying writer exactly once.
+type closeRecorder struct {
+	bytes.Buffer
+	closed int
+}
+
+func (c *closeRecorder) Close() error { c.closed++; return nil }
+
+func TestTraceCloseClosesUnderlying(t *testing.T) {
+	cw := &closeRecorder{}
+	tr := NewTrace(cw)
+	tr.RecordSweep(sweep(1))
+	if err := tr.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := tr.Close(); err != nil { // idempotent
+		t.Fatalf("second Close: %v", err)
+	}
+	if cw.closed != 1 {
+		t.Fatalf("underlying writer closed %d times, want 1", cw.closed)
+	}
+	if !strings.Contains(cw.String(), `"type":"sweep"`) {
+		t.Fatalf("flushed output missing sweep line: %q", cw.String())
+	}
+}
+
+type failWriter struct{ err error }
+
+func (f *failWriter) Write(p []byte) (int, error) { return 0, f.err }
+
+func TestTraceErrSurfacesWriteFailure(t *testing.T) {
+	sentinel := errors.New("disk full")
+	tr := NewTrace(&failWriter{err: sentinel})
+	// The bufio layer absorbs small writes; Close flushes and must surface
+	// the failure through Err.
+	tr.RecordSweep(sweep(1))
+	tr.Close()
+	if !errors.Is(tr.Err(), sentinel) {
+		t.Fatalf("Err = %v, want %v", tr.Err(), sentinel)
+	}
+}
+
+type countRecorder struct{ sweeps, pools int }
+
+func (c *countRecorder) RecordSweep(SweepStats) { c.sweeps++ }
+func (c *countRecorder) RecordPool(PoolStats)   { c.pools++ }
+
+func TestMulti(t *testing.T) {
+	if Multi() != nil {
+		t.Fatal("Multi() should be nil")
+	}
+	if Multi(nil, nil) != nil {
+		t.Fatal("Multi(nil, nil) should be nil")
+	}
+	a := &countRecorder{}
+	if got := Multi(nil, a, nil); got != Recorder(a) {
+		t.Fatalf("Multi with one survivor should unwrap it, got %T", got)
+	}
+	b := &countRecorder{}
+	m := Multi(a, b)
+	m.RecordSweep(sweep(1))
+	m.RecordPool(PoolStats{})
+	if a.sweeps != 1 || b.sweeps != 1 || a.pools != 1 || b.pools != 1 {
+		t.Fatalf("fan-out miscounted: a=%+v b=%+v", a, b)
+	}
+}
+
+func TestProgressPaintsAndDone(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf)
+	s := sweep(10) // final sweep always paints, bypassing the rate limit
+	s.LogLikelihood = -50
+	p.RecordSweep(s)
+	p.Done()
+	out := buf.String()
+	for _, want := range []string{"lda sweep 10/10", "tok/s", "changed 40.0%", "acc w 0.50", "ppl"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("progress line missing %q: %q", want, out)
+		}
+	}
+	if !strings.HasSuffix(out, "\n") {
+		t.Fatalf("Done did not terminate the line: %q", out)
+	}
+	buf.Reset()
+	p.Done() // no repaint since: no extra newline
+	if buf.Len() != 0 {
+		t.Fatalf("second Done wrote %q", buf.String())
+	}
+}

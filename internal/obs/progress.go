@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"sync"
+	"time"
+)
+
+// progressRepaint rate-limits terminal repaints; the final sweep of a
+// run always paints so the last line is never stale.
+const progressRepaint = 100 * time.Millisecond
+
+// Progress is a Recorder that maintains a single live status line
+// (carriage-return repaint, no newline until Done). Pool events are
+// ignored — the line summarizes sweeps only.
+type Progress struct {
+	mu    sync.Mutex
+	w     io.Writer
+	last  time.Time
+	width int // widest line painted, for trailing-blank erase
+	wrote bool
+}
+
+// NewProgress returns a progress-line sink writing to w (typically
+// os.Stderr so the line never mixes with piped output).
+func NewProgress(w io.Writer) *Progress {
+	return &Progress{w: w}
+}
+
+// RecordSweep repaints the status line (rate-limited).
+func (p *Progress) RecordSweep(s SweepStats) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	now := time.Now()
+	final := s.Sweeps > 0 && s.Sweep >= s.Sweeps
+	if !final && now.Sub(p.last) < progressRepaint {
+		return
+	}
+	p.last = now
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s", s.Engine)
+	if s.Label != "" {
+		fmt.Fprintf(&b, "[%s]", s.Label)
+	}
+	fmt.Fprintf(&b, " sweep %d", s.Sweep)
+	if s.Sweeps > 0 {
+		fmt.Fprintf(&b, "/%d", s.Sweeps)
+	}
+	if tps := s.TokensPerSec(); tps > 0 {
+		fmt.Fprintf(&b, "  %s tok/s", siFloat(tps))
+	}
+	if s.Tokens > 0 {
+		fmt.Fprintf(&b, "  changed %.1f%%", 100*s.ChangedFrac())
+	}
+	if wr := s.WordAcceptRate(); !math.IsNaN(wr) {
+		fmt.Fprintf(&b, "  acc w %.2f", wr)
+	}
+	if dr := s.DocAcceptRate(); !math.IsNaN(dr) {
+		fmt.Fprintf(&b, " d %.2f", dr)
+	}
+	if s.AliasRebuilds > 0 {
+		fmt.Fprintf(&b, "  rebuilds %d", s.AliasRebuilds)
+	}
+	if !math.IsNaN(s.LogLikelihood) {
+		// Perplexity overflows to +Inf when the log-likelihood is large
+		// relative to the token count (CATHY's hierarchy likelihood);
+		// fall back to the raw value rather than painting "ppl +Inf".
+		if ppl := s.Perplexity(); isFinite(ppl) {
+			fmt.Fprintf(&b, "  ppl %.1f", ppl)
+		} else {
+			fmt.Fprintf(&b, "  ll %.4g", s.LogLikelihood)
+		}
+	}
+	line := b.String()
+	pad := p.width - len(line)
+	if pad < 0 {
+		pad = 0
+		p.width = len(line)
+	}
+	fmt.Fprintf(p.w, "\r%s%s", line, strings.Repeat(" ", pad))
+	p.wrote = true
+}
+
+// RecordPool is a no-op; the progress line tracks sweeps only.
+func (p *Progress) RecordPool(PoolStats) {}
+
+// Done terminates the live line with a newline (if anything painted).
+func (p *Progress) Done() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.wrote {
+		fmt.Fprintln(p.w)
+		p.wrote = false
+	}
+}
+
+// siFloat renders a rate compactly (4.8M, 312k, 87).
+func siFloat(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.1fG", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	}
+	return fmt.Sprintf("%.0f", v)
+}

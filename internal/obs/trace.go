@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"math"
+	"sync"
+)
+
+// traceEvent is the JSONL schema: one object per line, discriminated
+// by "type" ("sweep" or "pool"). Durations are seconds as floats;
+// fields that don't apply are omitted. The probe's log-likelihood is
+// a pointer so a sweep without a probe omits the key entirely instead
+// of emitting NaN (which encoding/json cannot represent).
+type traceEvent struct {
+	Type   string `json:"type"`
+	Engine string `json:"engine,omitempty"`
+	Label  string `json:"label,omitempty"`
+	Sweep  int    `json:"sweep,omitempty"`
+	Sweeps int    `json:"sweeps,omitempty"`
+	Docs   int    `json:"docs,omitempty"`
+
+	Tokens  int64 `json:"tokens,omitempty"`
+	Changed int64 `json:"changed,omitempty"`
+
+	WordProposals int64 `json:"word_proposals,omitempty"`
+	WordAccepts   int64 `json:"word_accepts,omitempty"`
+	DocProposals  int64 `json:"doc_proposals,omitempty"`
+	DocAccepts    int64 `json:"doc_accepts,omitempty"`
+
+	AliasRebuilds  int     `json:"alias_rebuilds,omitempty"`
+	RebuildSeconds float64 `json:"rebuild_seconds,omitempty"`
+
+	Chunks       int     `json:"chunks,omitempty"`
+	DeltaCells   int64   `json:"delta_cells,omitempty"`
+	MergeSeconds float64 `json:"merge_seconds,omitempty"`
+	SweepSeconds float64 `json:"sweep_seconds,omitempty"`
+	TokensPerSec float64 `json:"tokens_per_sec,omitempty"`
+
+	LogLikelihood *float64 `json:"log_likelihood,omitempty"`
+	Perplexity    *float64 `json:"perplexity,omitempty"`
+
+	Workers     int     `json:"workers,omitempty"`
+	WaitSeconds float64 `json:"wait_seconds,omitempty"`
+	ExecSeconds float64 `json:"exec_seconds,omitempty"`
+	WallSeconds float64 `json:"wall_seconds,omitempty"`
+}
+
+// isFinite reports whether f is representable in JSON (not NaN, not ±Inf).
+func isFinite(f float64) bool {
+	return !math.IsNaN(f) && !math.IsInf(f, 0)
+}
+
+// Trace is a Recorder that writes one JSON object per event to a
+// buffered writer. Safe for concurrent use. Close flushes and, when
+// the underlying writer is an io.Closer, closes it — a mid-fit
+// cancellation that unwinds through a deferred Close still leaves a
+// complete, parseable file of everything recorded so far.
+type Trace struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	c   io.Closer
+	err error
+}
+
+// NewTrace wraps w in a trace sink. If w implements io.Closer, Close
+// closes it after flushing.
+func NewTrace(w io.Writer) *Trace {
+	t := &Trace{bw: bufio.NewWriter(w)}
+	if c, ok := w.(io.Closer); ok {
+		t.c = c
+	}
+	return t
+}
+
+// RecordSweep writes one "sweep" line.
+func (t *Trace) RecordSweep(s SweepStats) {
+	e := traceEvent{
+		Type: "sweep", Engine: s.Engine, Label: s.Label,
+		Sweep: s.Sweep, Sweeps: s.Sweeps, Docs: s.Docs,
+		Tokens: s.Tokens, Changed: s.Changed,
+		WordProposals: s.WordProposals, WordAccepts: s.WordAccepts,
+		DocProposals: s.DocProposals, DocAccepts: s.DocAccepts,
+		AliasRebuilds: s.AliasRebuilds, RebuildSeconds: s.RebuildTime.Seconds(),
+		Chunks: s.Chunks, DeltaCells: s.DeltaCells,
+		MergeSeconds: s.MergeTime.Seconds(), SweepSeconds: s.SweepTime.Seconds(),
+	}
+	// encoding/json rejects NaN and ±Inf outright — and one rejected
+	// event would poison the whole trace — so every derived float is
+	// gated on finiteness. Perplexity overflows to +Inf whenever the
+	// log-likelihood is large relative to the token count (CATHY's
+	// hierarchy likelihood, for one); the log-likelihood itself is still
+	// recorded, so nothing is lost.
+	if tps := s.TokensPerSec(); isFinite(tps) {
+		e.TokensPerSec = tps
+	}
+	if isFinite(s.LogLikelihood) {
+		ll := s.LogLikelihood
+		e.LogLikelihood = &ll
+		if p := s.Perplexity(); isFinite(p) {
+			e.Perplexity = &p
+		}
+	}
+	t.write(e)
+}
+
+// RecordPool writes one "pool" line.
+func (t *Trace) RecordPool(p PoolStats) {
+	t.write(traceEvent{
+		Type: "pool", Chunks: p.Chunks, Workers: p.Workers,
+		WaitSeconds: p.Wait.Seconds(), ExecSeconds: p.Exec.Seconds(),
+		WallSeconds: p.Wall.Seconds(),
+	})
+}
+
+func (t *Trace) write(e traceEvent) {
+	b, err := json.Marshal(e)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	if err != nil {
+		t.err = err
+		return
+	}
+	if _, err := t.bw.Write(append(b, '\n')); err != nil {
+		t.err = err
+	}
+}
+
+// Close flushes buffered lines and closes the underlying writer when
+// it is closeable. Safe to call more than once.
+func (t *Trace) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.bw.Flush(); err != nil && t.err == nil {
+		t.err = err
+	}
+	if t.c != nil {
+		if err := t.c.Close(); err != nil && t.err == nil {
+			t.err = err
+		}
+		t.c = nil
+	}
+	return t.err
+}
+
+// Err reports the first write error, if any.
+func (t *Trace) Err() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}

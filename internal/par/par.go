@@ -5,6 +5,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"lesm/internal/obs"
 )
 
 // Opts selects the execution policy an engine call runs under.
@@ -14,6 +17,11 @@ type Opts struct {
 	P int
 	// Ctx cancels work between chunks; nil means context.Background().
 	Ctx context.Context
+	// Obs, when non-nil, receives one PoolStats per parallel pass
+	// (chunk wait/exec latencies, pass wall time). The nil path costs
+	// a single pointer check per pass; timing never influences chunk
+	// boundaries or execution order, so determinism is unaffected.
+	Obs obs.PoolObserver
 }
 
 // Workers resolves P to the effective worker count.
@@ -185,6 +193,47 @@ func ForChunksN(o Opts, n, nc int, fn func(c, lo, hi int)) error {
 	if w > nc {
 		w = nc
 	}
+	// The observed path lives in its own function: forChunksRun's fn must
+	// stay single-assignment, because a variable that is both reassigned and
+	// captured by the worker closures is forced into a heap cell on every
+	// call — charging even the unobserved serial path one allocation per
+	// pass (the Gibbs sweep loops are gated to zero by
+	// TestNilRecorderSweepAllocFree).
+	if o.Obs != nil {
+		return forChunksObserved(o, ctx, n, nc, w, fn)
+	}
+	return forChunksRun(ctx, n, nc, w, fn)
+}
+
+// forChunksObserved wraps fn with per-chunk timing and emits one PoolStats
+// when the pass finishes (including a cancelled pass: the partial timings
+// are still a faithful record of what ran). Wait is the delay from pass
+// start to a chunk's dequeue — on the serial path that degenerates to
+// cumulative position, which is exactly the head-of-line delay a chunk
+// experienced.
+func forChunksObserved(o Opts, ctx context.Context, n, nc, w int, fn func(c, lo, hi int)) error {
+	start := time.Now()
+	var waitNS, execNS atomic.Int64
+	defer func() {
+		o.Obs.RecordPool(obs.PoolStats{
+			Chunks: nc, Workers: w,
+			Wait: time.Duration(waitNS.Load()),
+			Exec: time.Duration(execNS.Load()),
+			Wall: time.Since(start),
+		})
+	}()
+	return forChunksRun(ctx, n, nc, w, func(c, lo, hi int) {
+		t0 := time.Now()
+		waitNS.Add(int64(t0.Sub(start)))
+		fn(c, lo, hi)
+		execNS.Add(int64(time.Since(t0)))
+	})
+}
+
+// forChunksRun executes the pass. fn is deliberately a parameter and never
+// reassigned, so the worker closures capture it by value and the serial
+// path performs no allocation.
+func forChunksRun(ctx context.Context, n, nc, w int, fn func(c, lo, hi int)) error {
 	if w <= 1 {
 		for c := 0; c < nc; c++ {
 			if err := ctx.Err(); err != nil {

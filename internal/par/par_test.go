@@ -6,6 +6,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"lesm/internal/obs"
 )
 
 func TestChunkBoundsCoverRange(t *testing.T) {
@@ -270,5 +272,82 @@ func TestForChunksNEmptyAndTiny(t *testing.T) {
 	}
 	if len(seen) != 3 || seen[0] != 1 || seen[1] != 1 || seen[2] != 1 {
 		t.Fatalf("n<nc visit counts = %v", seen)
+	}
+}
+
+// poolCollector records every PoolStats a pass emits.
+type poolCollector struct {
+	mu    sync.Mutex
+	stats []obs.PoolStats
+}
+
+func (p *poolCollector) RecordPool(s obs.PoolStats) {
+	p.mu.Lock()
+	p.stats = append(p.stats, s)
+	p.mu.Unlock()
+}
+
+// TestForChunksPoolObserver: an attached observer receives exactly one
+// PoolStats per pass, carrying the pass's chunk and worker counts and
+// non-negative latencies, on both the serial and the parallel path — and
+// the observer never changes which chunks run or their boundaries.
+func TestForChunksPoolObserver(t *testing.T) {
+	for _, p := range []int{1, 4} {
+		pc := &poolCollector{}
+		var mu sync.Mutex
+		bounds := map[int][2]int{}
+		if err := ForChunksN(Opts{P: p, Obs: pc}, 100, 8, func(c, lo, hi int) {
+			mu.Lock()
+			bounds[c] = [2]int{lo, hi}
+			mu.Unlock()
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if len(pc.stats) != 1 {
+			t.Fatalf("P=%d: observer got %d PoolStats, want 1", p, len(pc.stats))
+		}
+		s := pc.stats[0]
+		if s.Chunks != 8 {
+			t.Fatalf("P=%d: Chunks = %d, want 8", p, s.Chunks)
+		}
+		wantW := p
+		if s.Workers != wantW {
+			t.Fatalf("P=%d: Workers = %d, want %d", p, s.Workers, wantW)
+		}
+		if s.Wait < 0 || s.Exec < 0 || s.Wall <= 0 {
+			t.Fatalf("P=%d: nonsensical latencies %+v", p, s)
+		}
+		if len(bounds) != 8 {
+			t.Fatalf("P=%d: %d chunks ran, want 8", p, len(bounds))
+		}
+		for c := 0; c < 8; c++ {
+			lo, hi := ChunkBoundsN(100, 8, c)
+			if bounds[c] != [2]int{lo, hi} {
+				t.Fatalf("P=%d chunk %d: bounds %v, want [%d %d]", p, c, bounds[c], lo, hi)
+			}
+		}
+	}
+}
+
+// TestForChunksPoolObserverCancelled: a cancelled pass still emits its
+// PoolStats — the partial timings are a faithful record of what ran.
+func TestForChunksPoolObserverCancelled(t *testing.T) {
+	pc := &poolCollector{}
+	ctx, cancel := context.WithCancel(context.Background())
+	ran := 0
+	err := ForChunksN(Opts{P: 1, Ctx: ctx, Obs: pc}, 100, 8, func(c, lo, hi int) {
+		ran++
+		if c == 2 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran != 3 {
+		t.Fatalf("chunks run before cancellation = %d, want 3", ran)
+	}
+	if len(pc.stats) != 1 {
+		t.Fatalf("cancelled pass emitted %d PoolStats, want 1", len(pc.stats))
 	}
 }

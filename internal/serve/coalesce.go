@@ -247,6 +247,7 @@ func (s *Server) runBatch(batch []*inferJob, owned bool) {
 	s.metrics.batchDocs.Observe(float64(len(flat)))
 	theta, err := lda.FoldInBatch(a.foldIn, flat, lda.FoldInConfig{
 		P: s.opt.P, Sampler: s.opt.Sampler, Sweeps: s.opt.Sweeps, Ctx: s.ctx,
+		Rec: s.metrics,
 	})
 	if err != nil {
 		s.failBatch(live, "inference aborted: "+err.Error())

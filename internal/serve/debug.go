@@ -1,0 +1,26 @@
+package serve
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+)
+
+// registerDebug mounts the Go debug surface on the serving mux:
+// net/http/pprof under /debug/pprof/ and the expvar JSON dump at
+// /debug/vars. Gated behind Options.Pprof because the endpoints expose
+// goroutine stacks, heap contents, and the process command line — they
+// are admin-scoped, not public. With the gate off, nothing registers and
+// the paths 404 like any other unknown route.
+//
+// The handlers are registered explicitly rather than through the
+// packages' init side effects on http.DefaultServeMux, which the server
+// never serves.
+func registerDebug(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+}

@@ -30,6 +30,28 @@ package serve
 //	lesmd_reload_failures_total                 counter, failed reload attempts
 //	lesmd_goroutines                            gauge, runtime.NumGoroutine (collector-refreshed)
 //
+// The registry is also an obs.Recorder: the server attaches itself to
+// every fold-in dispatch, so the sampler's own telemetry (tokens sampled,
+// MH proposal accounting, parallel-pool latencies) lands next to the
+// HTTP-side view:
+//
+//	lesmd_sampler_records_total                 counter, sweep/batch records received
+//	lesmd_sampler_tokens_total                  counter, token-sweep visits sampled
+//	lesmd_sampler_changed_total                 counter, visits that moved topic
+//	lesmd_sampler_proposals_total{proposal}     counter, non-trivial MH proposals (word|doc)
+//	lesmd_sampler_accepts_total{proposal}       counter, accepted MH proposals (word|doc)
+//	lesmd_sampler_alias_rebuilds_total          counter, alias-table rebuilds
+//	lesmd_sampler_alias_rebuild_seconds_total   counter, wall time in rebuilds
+//	lesmd_pool_passes_total                     counter, parallel passes observed
+//	lesmd_pool_wait_seconds_total               counter, sum of chunk dequeue waits
+//	lesmd_pool_exec_seconds_total               counter, sum of chunk body wall time
+//
+// Go runtime basics are sampled at scrape time:
+//
+//	go_goroutines                               gauge, runtime.NumGoroutine
+//	go_gc_pause_seconds_total                   counter, cumulative GC stop-the-world pause
+//	go_heap_bytes                               gauge, bytes of allocated heap objects
+//
 // A scrape does not observe itself: the instrumentation wrapper records a
 // request after its handler returns, so the Nth scrape reports N-1
 // requests for route="metrics". The test suite's promtool-style lint
@@ -46,6 +68,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"lesm/internal/obs"
 )
 
 // metricsCollectEvery is the cadence of the background runtime-stats
@@ -126,6 +150,46 @@ type metrics struct {
 	reloads        atomic.Uint64
 	reloadFailures atomic.Uint64
 	goroutines     atomic.Int64
+
+	// Sampler telemetry, fed through the obs.Recorder interface by the
+	// fold-in engine. Many batches record concurrently; all atomic.
+	samplerRecords atomic.Uint64
+	samplerTokens  atomic.Uint64
+	samplerChanged atomic.Uint64
+	wordProposals  atomic.Uint64
+	wordAccepts    atomic.Uint64
+	docProposals   atomic.Uint64
+	docAccepts     atomic.Uint64
+	aliasRebuilds  atomic.Uint64
+	rebuildSeconds atomicFloat64
+	poolPasses     atomic.Uint64
+	poolWait       atomicFloat64
+	poolExec       atomicFloat64
+}
+
+// RecordSweep implements obs.Recorder: fold-in dispatches run with the
+// registry attached, so each batch folds its sampler counters in here.
+func (m *metrics) RecordSweep(s obs.SweepStats) {
+	m.samplerRecords.Add(1)
+	m.samplerTokens.Add(uint64(s.Tokens))
+	m.samplerChanged.Add(uint64(s.Changed))
+	m.wordProposals.Add(uint64(s.WordProposals))
+	m.wordAccepts.Add(uint64(s.WordAccepts))
+	m.docProposals.Add(uint64(s.DocProposals))
+	m.docAccepts.Add(uint64(s.DocAccepts))
+	if s.AliasRebuilds > 0 {
+		m.aliasRebuilds.Add(uint64(s.AliasRebuilds))
+	}
+	if s.RebuildTime > 0 {
+		m.rebuildSeconds.Add(s.RebuildTime.Seconds())
+	}
+}
+
+// RecordPool implements obs.PoolObserver for parallel-pass telemetry.
+func (m *metrics) RecordPool(p obs.PoolStats) {
+	m.poolPasses.Add(1)
+	m.poolWait.Add(p.Wait.Seconds())
+	m.poolExec.Add(p.Exec.Seconds())
 }
 
 func newMetrics() *metrics {
@@ -320,6 +384,39 @@ func (s *Server) renderMetrics() []byte {
 
 	p.family("lesmd_goroutines", "runtime.NumGoroutine at collection time.", "gauge")
 	p.sample("lesmd_goroutines", "", float64(m.goroutines.Load()))
+
+	p.family("lesmd_sampler_records_total", "Sampler sweep/batch records received from fold-in work.", "counter")
+	p.sample("lesmd_sampler_records_total", "", float64(m.samplerRecords.Load()))
+	p.family("lesmd_sampler_tokens_total", "Token-sweep visits sampled by fold-in work.", "counter")
+	p.sample("lesmd_sampler_tokens_total", "", float64(m.samplerTokens.Load()))
+	p.family("lesmd_sampler_changed_total", "Sampled visits whose topic assignment changed.", "counter")
+	p.sample("lesmd_sampler_changed_total", "", float64(m.samplerChanged.Load()))
+	p.family("lesmd_sampler_proposals_total", "Non-trivial Metropolis-Hastings proposals, by proposal kind.", "counter")
+	p.sample("lesmd_sampler_proposals_total", `proposal="word"`, float64(m.wordProposals.Load()))
+	p.sample("lesmd_sampler_proposals_total", `proposal="doc"`, float64(m.docProposals.Load()))
+	p.family("lesmd_sampler_accepts_total", "Accepted Metropolis-Hastings proposals, by proposal kind.", "counter")
+	p.sample("lesmd_sampler_accepts_total", `proposal="word"`, float64(m.wordAccepts.Load()))
+	p.sample("lesmd_sampler_accepts_total", `proposal="doc"`, float64(m.docAccepts.Load()))
+	p.family("lesmd_sampler_alias_rebuilds_total", "Alias-table rebuilds performed by sampler work.", "counter")
+	p.sample("lesmd_sampler_alias_rebuilds_total", "", float64(m.aliasRebuilds.Load()))
+	p.family("lesmd_sampler_alias_rebuild_seconds_total", "Wall time spent rebuilding alias tables.", "counter")
+	p.sample("lesmd_sampler_alias_rebuild_seconds_total", "", m.rebuildSeconds.Load())
+
+	p.family("lesmd_pool_passes_total", "Parallel worker-pool passes observed.", "counter")
+	p.sample("lesmd_pool_passes_total", "", float64(m.poolPasses.Load()))
+	p.family("lesmd_pool_wait_seconds_total", "Sum over chunks of time from pass start to chunk dequeue.", "counter")
+	p.sample("lesmd_pool_wait_seconds_total", "", m.poolWait.Load())
+	p.family("lesmd_pool_exec_seconds_total", "Sum over chunks of chunk body wall time.", "counter")
+	p.sample("lesmd_pool_exec_seconds_total", "", m.poolExec.Load())
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	p.family("go_goroutines", "Number of goroutines that currently exist.", "gauge")
+	p.sample("go_goroutines", "", float64(runtime.NumGoroutine()))
+	p.family("go_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time.", "counter")
+	p.sample("go_gc_pause_seconds_total", "", float64(ms.PauseTotalNs)/1e9)
+	p.family("go_heap_bytes", "Bytes of allocated heap objects.", "gauge")
+	p.sample("go_heap_bytes", "", float64(ms.HeapAlloc))
 	return p.b
 }
 

@@ -90,6 +90,12 @@ type Options struct {
 	// running fold-in aborts at its next cancellation check, and the
 	// client gets a 503. Zero disables.
 	RouteTimeout time.Duration
+	// Pprof mounts net/http/pprof under /debug/pprof/ and the expvar
+	// handler at /debug/vars on the serving mux. Off by default: the
+	// endpoints expose stacks, heap contents, and command lines, so they
+	// belong behind the same network boundary as /admin. When off the
+	// paths 404 like any unregistered route.
+	Pprof bool
 	// Ctx, when cancelled, shuts down the server's background machinery
 	// (coalescer, reload poller, in-flight coalesced batches) exactly like
 	// Close (nil = background). Mapped snapshots are only released by an
@@ -317,6 +323,12 @@ func New(snap *store.Snapshot, opt Options) (*Server, error) {
 	mux.HandleFunc("/infer", s.instrument("infer", s.handleInfer))
 	mux.HandleFunc("/admin/reload", s.instrument("admin_reload", s.handleAdminReload))
 	mux.HandleFunc("/metrics", s.instrument("metrics", s.handleMetrics))
+	if opt.Pprof {
+		// Deliberately NOT instrumented: the debug routes are outside the
+		// fixed route-label universe, and a long CPU profile would distort
+		// the latency histograms it exists to explain.
+		registerDebug(mux)
+	}
 	s.mux = mux
 
 	if opt.BatchWindow > 0 {
@@ -863,6 +875,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	s.metrics.batchDocs.Observe(float64(len(batch)))
 	theta, err := lda.FoldIn(a.foldIn, batch, lda.FoldInConfig{
 		Seed: req.Seed, Sweeps: sweeps, P: s.opt.P, Sampler: s.opt.Sampler, Ctx: r.Context(),
+		Rec: s.metrics,
 	})
 	if err != nil {
 		writeErr(w, http.StatusServiceUnavailable, "inference aborted: %v", err)

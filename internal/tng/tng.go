@@ -3,9 +3,12 @@ package tng
 import (
 	"context"
 	"fmt"
+	"math"
 	"sort"
+	"time"
 
 	"lesm/internal/core"
+	"lesm/internal/obs"
 	"lesm/internal/par"
 	"lesm/internal/rng"
 	"lesm/internal/textkit"
@@ -32,6 +35,10 @@ type Config struct {
 	// Ctx cancels sampling between work chunks (nil = background); a
 	// cancelled run returns the context error and no model.
 	Ctx context.Context
+	// Rec, when non-nil, receives one obs.SweepStats per sweep (Engine
+	// "tng") plus pool telemetry. Observational only: the fitted model
+	// is bit-identical with Rec set or nil at any P.
+	Rec obs.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -93,6 +100,10 @@ type tngDelta struct {
 	big     map[trigramKey]int
 	bigTot  map[bigramKey]int
 	probs   []float64 // [2k] sampling scratch, reused across the chunk's docs
+	// changed tallies (z, x) assignment changes for observability;
+	// harvested per sweep only when a Recorder is attached and never
+	// read by the sampling math.
+	changed int64
 
 	// Frozen sweep-start globals (read-only during a pass).
 	gKV     [][]int
@@ -223,6 +234,9 @@ func Run(docs [][]int, v int, cfg Config) (*Model, error) {
 	}
 	cfg = cfg.withDefaults()
 	o := par.Opts{P: cfg.P, Ctx: cfg.Ctx}
+	if cfg.Rec != nil {
+		o.Obs = cfg.Rec
+	}
 	k := cfg.K
 	d := len(docs)
 
@@ -305,12 +319,23 @@ func Run(docs [][]int, v int, cfg Config) (*Model, error) {
 
 	vb := float64(v) * cfg.Beta
 	vd := float64(v) * cfg.Delta
+	var totTok int64
+	if cfg.Rec != nil {
+		for _, doc := range docs {
+			totTok += int64(len(doc))
+		}
+	}
 	for it := 0; it < cfg.Iters; it++ {
+		var t0 time.Time
+		if cfg.Rec != nil {
+			t0 = time.Now()
+		}
 		err := pass(uint64(it+1), func(di int, st *rng.Stream, dl *tngDelta) {
 			doc := docs[di]
 			probs := dl.probs
 			for i, w := range doc {
 				zi, xi := z[di][i], x[di][i]
+				zOld, xOld := zi, xi
 				// Remove token.
 				nDK[di][zi]--
 				if xi == 0 {
@@ -388,6 +413,9 @@ func Run(docs [][]int, v int, cfg Config) (*Model, error) {
 				} else {
 					zi, xi = pick-k, 1
 				}
+				if zi != zOld || xi != xOld {
+					dl.changed++
+				}
 				z[di][i], x[di][i] = zi, xi
 				nDK[di][zi]++
 				if xi == 0 {
@@ -406,6 +434,28 @@ func Run(docs [][]int, v int, cfg Config) (*Model, error) {
 		})
 		if err != nil {
 			return nil, err
+		}
+		if cfg.Rec != nil {
+			var changed int64
+			for _, dl := range deltas {
+				changed += dl.changed
+				dl.changed = 0
+			}
+			ch := nc
+			if d < ch {
+				ch = d
+			}
+			cfg.Rec.RecordSweep(obs.SweepStats{
+				Engine:        "tng",
+				Sweep:         it + 1,
+				Sweeps:        cfg.Iters,
+				Docs:          d,
+				Tokens:        totTok,
+				Changed:       changed,
+				Chunks:        ch,
+				SweepTime:     time.Since(t0),
+				LogLikelihood: math.NaN(),
+			})
 		}
 	}
 

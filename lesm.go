@@ -30,6 +30,7 @@ import (
 	"lesm/internal/hin"
 	"lesm/internal/lda"
 	"lesm/internal/linalg"
+	"lesm/internal/obs"
 	"lesm/internal/par"
 	"lesm/internal/relcrf"
 	"lesm/internal/roles"
@@ -127,6 +128,42 @@ const (
 	SamplerDense = lda.SamplerDense
 )
 
+// --- Fit-side observability ---
+
+type (
+	// Recorder receives per-sweep sampler statistics and parallel-pool
+	// telemetry from instrumented entry points (RunOptions.Recorder,
+	// HierarchyOptions.Recorder). Implementations must be safe for
+	// concurrent use. Recording is strictly observational: fitted models
+	// are bit-identical with or without a recorder attached.
+	Recorder = obs.Recorder
+	// SweepStats is one completed sampler sweep (throughput, changed
+	// fraction, MH accept rates, alias rebuilds, merge costs, optional
+	// convergence probe).
+	SweepStats = obs.SweepStats
+	// PoolStats is one parallel pass (chunk wait/exec latencies).
+	PoolStats = obs.PoolStats
+	// TraceRecorder writes one JSON object per event (JSONL).
+	TraceRecorder = obs.Trace
+	// ProgressRecorder maintains a live one-line terminal status.
+	ProgressRecorder = obs.Progress
+)
+
+// NewTraceRecorder returns a Recorder writing JSONL events to w. Close
+// it when the run ends: a mid-fit cancellation unwinding through a
+// deferred Close still leaves a complete, parseable file. If w is an
+// io.Closer, Close closes it after flushing.
+func NewTraceRecorder(w io.Writer) *TraceRecorder { return obs.NewTrace(w) }
+
+// NewProgressRecorder returns a Recorder painting a live status line to
+// w (typically os.Stderr). Call Done when the run ends to terminate the
+// line with a newline.
+func NewProgressRecorder(w io.Writer) *ProgressRecorder { return obs.NewProgress(w) }
+
+// MultiRecorder fans events out to several recorders, skipping nils; it
+// returns nil when none remain, preserving the zero-cost nil path.
+func MultiRecorder(rs ...Recorder) Recorder { return obs.Multi(rs...) }
+
 // RunOptions carries the execution-policy knobs of the shared parallel
 // runtime for entry points without a richer options struct.
 type RunOptions struct {
@@ -142,6 +179,16 @@ type RunOptions struct {
 	// AliasRefresh is the MH core's alias-table rebuild cadence in sweeps
 	// (0 = default; ignored by the other cores).
 	AliasRefresh int
+	// Recorder, when non-nil, receives per-sweep sampler statistics and
+	// pool telemetry from instrumented entry points (see NewTraceRecorder,
+	// NewProgressRecorder). Recording is observational only: results are
+	// bit-identical with or without it, and the nil path costs nothing.
+	Recorder Recorder
+	// ProbeEvery asks Gibbs-backed fits to compute the read-only
+	// corpus log-likelihood convergence probe every N sweeps (0 = never;
+	// the final sweep always probes when recording with N > 0). The
+	// probe is O(corpus tokens x K) per evaluation.
+	ProbeEvery int
 	// Ctx cancels the computation between work chunks (nil = background).
 	Ctx context.Context
 }
@@ -169,6 +216,11 @@ type HierarchyOptions struct {
 	// loops (0 = GOMAXPROCS). Same seed gives bit-identical hierarchies at
 	// any setting.
 	Parallelism int
+	// Recorder, when non-nil, receives one record per CATHY EM sweep
+	// (log-likelihood convergence trace, labeled by topic path and
+	// restart) plus pool telemetry. Observational only. EngineSTROD has
+	// no sweep loop and ignores it.
+	Recorder Recorder
 	// Ctx cancels construction between work chunks (nil = background).
 	Ctx context.Context
 }
@@ -193,7 +245,7 @@ func BuildHierarchy(net *Network, opt HierarchyOptions) (*Hierarchy, error) {
 	res, err := cathy.Build(net, cathy.Options{
 		K: opt.K, Levels: opt.Levels, Seed: opt.Seed,
 		Background: true, Weights: mode,
-		P: opt.Parallelism, Ctx: opt.Ctx,
+		P: opt.Parallelism, Ctx: opt.Ctx, Rec: opt.Recorder,
 	})
 	if err != nil {
 		return nil, err
@@ -228,7 +280,7 @@ func BuildTextHierarchy(corpus *Corpus, opt HierarchyOptions) (*Hierarchy, error
 		net.Names[0] = corpus.Vocab.Words()
 		res, err := cathy.Build(net, cathy.Options{
 			K: opt.K, Levels: opt.Levels, Seed: opt.Seed,
-			P: opt.Parallelism, Ctx: opt.Ctx,
+			P: opt.Parallelism, Ctx: opt.Ctx, Rec: opt.Recorder,
 		})
 		if err != nil {
 			return nil, err
@@ -306,7 +358,10 @@ func TopicalPhrases(corpus *Corpus, k int, seed int64, opts ...RunOptions) ([][]
 	}
 	ro := firstRunOptions(opts)
 	res, err := topmine.Run(corpus, topmine.Config{P: ro.Parallelism, Ctx: ro.Ctx},
-		lda.Config{K: k, Seed: seed, Background: true, Sampler: ro.Sampler, AliasRefresh: ro.AliasRefresh}, topmine.RankConfig{})
+		lda.Config{
+			K: k, Seed: seed, Background: true, Sampler: ro.Sampler,
+			AliasRefresh: ro.AliasRefresh, Rec: ro.Recorder, ProbeEvery: ro.ProbeEvery,
+		}, topmine.RankConfig{})
 	if err != nil {
 		return nil, err
 	}
@@ -509,6 +564,7 @@ func InferTopicsGibbs(corpus *Corpus, k int, seed int64, opts ...RunOptions) (*T
 	m, err := lda.Run(docs, corpus.Vocab.Size(), lda.Config{
 		K: k, Seed: seed, P: ro.Parallelism, Sampler: ro.Sampler,
 		AliasRefresh: ro.AliasRefresh, Ctx: ro.Ctx,
+		Rec: ro.Recorder, ProbeEvery: ro.ProbeEvery,
 	})
 	if err != nil {
 		return nil, err
@@ -599,7 +655,8 @@ func (a *Artifact) Infer(docs [][]int, seed int64, opts ...RunOptions) ([][]floa
 	}
 	ro := firstRunOptions(opts)
 	return lda.FoldIn(fm, docs, lda.FoldInConfig{
-		Seed: seed, P: ro.Parallelism, Sampler: ro.Sampler, Ctx: ro.Ctx,
+		Seed: seed, P: ro.Parallelism, Sampler: ro.Sampler,
+		Rec: ro.Recorder, Ctx: ro.Ctx,
 	})
 }
 
