@@ -16,16 +16,32 @@
 //	-trace fit.jsonl     per-sweep sampler statistics and pool telemetry
 //	                     as JSON lines
 //	-probe 10            read-only corpus log-likelihood every 10 Gibbs
-//	                     sweeps (appears in -progress and -trace)
+//	sweeps (appears in -progress and -trace)
+//
+// Crash-safe fitting (the -topics Gibbs fit only):
+//
+//	-checkpoint fit.ckpt      persist a resumable checkpoint every
+//	                          -checkpoint-every sweeps (atomic replace);
+//	                          SIGINT/SIGTERM stop gracefully at the next
+//	                          sweep boundary after a final checkpoint
+//	-checkpoint-every 10      checkpoint cadence in sweeps
+//	-resume                   continue from the -checkpoint file if it
+//	                          exists; the resumed fit's final model is
+//	                          bit-identical to an uninterrupted run's
 package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"io/fs"
 	"log"
 	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
 
 	"lesm"
 )
@@ -45,6 +61,9 @@ func main() {
 	progress := flag.Bool("progress", false, "paint a live per-sweep status line on stderr (throughput, changed fraction, accept rates, convergence)")
 	trace := flag.String("trace", "", "write per-sweep sampler statistics and pool telemetry as JSON lines to this file")
 	probe := flag.Int("probe", 0, "compute the read-only corpus log-likelihood convergence probe every this many Gibbs sweeps (0 = never; costs O(tokens x K) per evaluation)")
+	ckptPath := flag.String("checkpoint", "", "with -topics: persist a resumable fit checkpoint at this path every -checkpoint-every sweeps, and on SIGINT/SIGTERM")
+	ckptEvery := flag.Int("checkpoint-every", 10, "with -checkpoint: checkpoint cadence in sweeps")
+	resume := flag.Bool("resume", false, "with -checkpoint: continue the fit from the checkpoint file if it exists (fresh start when it does not)")
 	flag.Parse()
 
 	// Reject a bad -sampler up front, even when -topics is 0 and the flag
@@ -57,6 +76,15 @@ func main() {
 	}
 	if *probe < 0 {
 		log.Fatalf("lesm: -probe %d, need >= 0", *probe)
+	}
+	if *ckptPath != "" && *ckptEvery < 1 {
+		log.Fatalf("lesm: -checkpoint-every %d, need >= 1", *ckptEvery)
+	}
+	if *resume && *ckptPath == "" {
+		log.Fatal("lesm: -resume requires -checkpoint (the file to resume from)")
+	}
+	if *ckptPath != "" && *topics == 0 {
+		log.Fatal("lesm: -checkpoint requires -topics (only the flat Gibbs fit checkpoints)")
 	}
 
 	// Recording sinks. Both are observational: fitted models are
@@ -144,11 +172,51 @@ func main() {
 		if *topics > 0 {
 			resolved := lesm.Sampler(*sampler).ResolveFor(*topics, corpus.Vocab.Size())
 			fmt.Printf("fitting %d flat topics with the %s sampler\n", *topics, resolved)
-			tm, err := lesm.InferTopicsGibbs(corpus, *topics, *seed,
-				lesm.RunOptions{
-					Parallelism: *par, Sampler: lesm.Sampler(*sampler), AliasRefresh: *aliasRefresh,
-					Recorder: rec, ProbeEvery: *probe,
-				})
+			ro := lesm.RunOptions{
+				Parallelism: *par, Sampler: lesm.Sampler(*sampler), AliasRefresh: *aliasRefresh,
+				Recorder: rec, ProbeEvery: *probe,
+			}
+			if *ckptPath != "" {
+				ro.CheckpointEvery = *ckptEvery
+				ro.CheckpointFunc = func(cp *lesm.Checkpoint) error {
+					return lesm.SaveCheckpoint(*ckptPath, cp)
+				}
+				// SIGINT/SIGTERM request a graceful stop: the fit finishes
+				// its current sweep, persists a final checkpoint, and
+				// returns ErrStopped. A second signal kills immediately.
+				var stopping atomic.Bool
+				sig := make(chan os.Signal, 2)
+				signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+				go func() {
+					<-sig
+					stopping.Store(true)
+					fmt.Fprintf(os.Stderr, "lesm: stopping at the next sweep boundary (signal again to kill)\n")
+					<-sig
+					os.Exit(1)
+				}()
+				ro.Stop = stopping.Load
+				if *resume {
+					cp, err := lesm.LoadCheckpoint(*ckptPath)
+					switch {
+					case errors.Is(err, fs.ErrNotExist):
+						fmt.Fprintf(os.Stderr, "lesm: no checkpoint at %s, starting fresh\n", *ckptPath)
+					case err != nil:
+						fatal(err)
+					default:
+						fmt.Fprintf(os.Stderr, "lesm: resuming from %s at sweep %d/%d\n", *ckptPath, cp.Sweep, cp.Fingerprint.Iters)
+						ro.Resume = cp
+					}
+				}
+			}
+			tm, err := lesm.InferTopicsGibbs(corpus, *topics, *seed, ro)
+			if errors.Is(err, lesm.ErrStopped) {
+				if prog != nil {
+					prog.Done()
+				}
+				fmt.Fprintf(os.Stderr, "lesm: fit stopped; resume with -resume -checkpoint %s\n", *ckptPath)
+				finishRec()
+				return
+			}
 			if err != nil {
 				fatal(err)
 			}

@@ -128,6 +128,33 @@ type Config struct {
 	// to that sweep's record. 0 disables; requires Rec. The probe only
 	// reads merged counts, so it cannot perturb the trajectory.
 	ProbeEvery int
+	// CheckpointEvery delivers a checkpoint to CheckpointFunc at every
+	// CheckpointEvery-th sweep boundary. 0 means no periodic checkpoints
+	// (a Stop request still produces a final one when CheckpointFunc is
+	// set); negative, or nonzero without CheckpointFunc, is a validation
+	// error.
+	CheckpointEvery int
+	// CheckpointFunc, when non-nil, receives self-contained checkpoints
+	// (deep copies — they may be persisted or inspected from other
+	// goroutines) at sweep boundaries: every CheckpointEvery sweeps and
+	// once more when Stop requests a halt. It runs on the fitting
+	// goroutine between sweeps, so it cannot observe torn state; a
+	// returned error aborts the fit with that error. Checkpointing is
+	// observational: models are bit-identical with or without it.
+	CheckpointFunc func(*Checkpoint) error
+	// Stop, when non-nil, is polled at every sweep boundary; returning
+	// true halts the fit with ErrStopped after delivering a final
+	// checkpoint to CheckpointFunc (when set). Unlike Ctx cancellation —
+	// which can abort mid-sweep and therefore cannot leave resumable
+	// state — Stop always halts at a clean boundary.
+	Stop func() bool
+	// Resume, when non-nil, restores a fit from a checkpoint instead of
+	// initializing: counts and alias state are rebuilt from the
+	// checkpoint and sweeps continue at Sweep+1, reproducing the
+	// uninterrupted run's remaining trajectory bit-identically at any P.
+	// The checkpoint's fingerprint must match this run's config and
+	// corpus exactly; a mismatch is an error.
+	Resume *Checkpoint
 }
 
 func (c Config) parOpts() par.Opts {
@@ -171,6 +198,12 @@ func (c Config) validate(v int) error {
 	}
 	if c.ProbeEvery < 0 {
 		return fmt.Errorf("lda: Config.ProbeEvery = %d, need >= 0 (0 = no probe)", c.ProbeEvery)
+	}
+	if c.CheckpointEvery < 0 {
+		return fmt.Errorf("lda: Config.CheckpointEvery = %d, need >= 0 (0 = stop-triggered checkpoints only)", c.CheckpointEvery)
+	}
+	if c.CheckpointEvery > 0 && c.CheckpointFunc == nil {
+		return fmt.Errorf("lda: Config.CheckpointEvery = %d without Config.CheckpointFunc", c.CheckpointEvery)
 	}
 	return nil
 }
@@ -276,23 +309,50 @@ func Run(docs [][]int, v int, cfg Config) (*Model, error) {
 	z := make([][]int, d)
 	alpha := alphaVec(cfg, kTotal)
 	sc := newSweepScratch(samplerChunks(d, kTotal, v), kTotal, v)
+	core := cfg.Sampler.ResolveFor(kTotal, v)
 
-	// Initialization pass (uniform assignments), shared by all cores so an
-	// A/B comparison starts from the same state.
-	err := gibbsPass(o, cfg.Seed, 0, d, sc, nKV, nK, nil, nil,
-		func(_, di int, rng *stream, dl *delta, _ []float64) {
-			doc := docs[di]
-			nDK[di] = make([]int, kTotal)
-			z[di] = make([]int, len(doc))
-			for i, w := range doc {
-				k := rng.Intn(kTotal)
-				z[di][i] = k
-				nDK[di][k]++
-				dl.add(k, w, 1)
-			}
-		})
-	if err != nil {
-		return nil, err
+	// The fingerprint binds checkpoints to this exact fit; computing it
+	// (one corpus hash) is skipped entirely when the run neither
+	// checkpoints, stops, nor resumes.
+	var fp Fingerprint
+	if cfg.CheckpointFunc != nil || cfg.Stop != nil || cfg.Resume != nil {
+		fp = newFingerprint("lda", core, cfg, v, d, countTokens(docs), hashTokenDocs(docs))
+	}
+
+	// start is the number of already-completed sweeps: 0 for a fresh fit
+	// (whose state comes from the init pass below), the checkpoint's
+	// sweep on resume (whose state is replayed from the stored Z).
+	start := 0
+	if cp := cfg.Resume; cp != nil {
+		docLens := make([]int, d)
+		for di, doc := range docs {
+			docLens[di] = len(doc)
+		}
+		if err := cp.check(fp, kTotal, docLens); err != nil {
+			return nil, err
+		}
+		restoreCounts(cp, kTotal, nDK, nKV, nK, z,
+			func(int, int) int { return 1 },
+			func(di, slot, _ int) int { return docs[di][slot] })
+		start = cp.Sweep
+	} else {
+		// Initialization pass (uniform assignments), shared by all cores
+		// so an A/B comparison starts from the same state.
+		err := gibbsPass(o, cfg.Seed, 0, d, sc, nKV, nK, nil, nil,
+			func(_, di int, rng *stream, dl *delta, _ []float64) {
+				doc := docs[di]
+				nDK[di] = make([]int, kTotal)
+				z[di] = make([]int, len(doc))
+				for i, w := range doc {
+					k := rng.Intn(kTotal)
+					z[di][i] = k
+					nDK[di][k]++
+					dl.add(k, w, 1)
+				}
+			})
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	// The recorder attaches after the init pass so sweep 1's timings
@@ -300,19 +360,23 @@ func Run(docs [][]int, v int, cfg Config) (*Model, error) {
 	// no-op and keeps gibbsPass untimed.
 	rr := newRunRecorder(cfg, "lda", d, countTokens(docs), sc,
 		tokenProbe(docs, alpha, cfg.Beta, v, nDK, nKV, nK))
+	ck := newCkptState(cfg, fp, z)
 
-	core := cfg.Sampler.ResolveFor(kTotal, v)
+	var err error
 	rebuilds := 0
 	switch core {
 	case SamplerSparse:
-		err = runSparse(o, cfg, docs, v, d, sc, alpha, nDK, nKV, nK, z, rr)
+		err = runSparse(o, cfg, docs, v, d, start, sc, alpha, nDK, nKV, nK, z, rr, ck)
 		if d > 0 {
+			// One rebuild per sweep over the whole trajectory — resumed
+			// runs report the uninterrupted fit's figure, not the sweeps
+			// they themselves executed, so the models stay bit-identical.
 			rebuilds = cfg.Iters
 		}
 	case SamplerMH:
-		rebuilds, err = runMH(o, cfg, docs, v, d, sc, alpha, nDK, nKV, nK, z, rr)
+		rebuilds, err = runMH(o, cfg, docs, v, d, start, sc, alpha, nDK, nKV, nK, z, rr, ck)
 	default:
-		err = runDense(o, cfg, docs, v, d, kTotal, sc, alpha, nDK, nKV, nK, z, rr)
+		err = runDense(o, cfg, docs, v, d, kTotal, start, sc, alpha, nDK, nKV, nK, z, rr, ck)
 	}
 	if err != nil {
 		return nil, err
@@ -324,10 +388,10 @@ func Run(docs [][]int, v int, cfg Config) (*Model, error) {
 
 // runDense is the classic collapsed sampler: every token scores all kTotal
 // topics (O(K) per token) against global + own-chunk delta counts.
-func runDense(o par.Opts, cfg Config, docs [][]int, v, d, kTotal int, sc *sweepScratch,
-	alpha []float64, nDK [][]int, nKV [][]int, nK []int, z [][]int, rr *runRecorder) error {
+func runDense(o par.Opts, cfg Config, docs [][]int, v, d, kTotal, start int, sc *sweepScratch,
+	alpha []float64, nDK [][]int, nKV [][]int, nK []int, z [][]int, rr *runRecorder, ck *ckptState) error {
 	vb := float64(v) * cfg.Beta
-	for it := 0; it < cfg.Iters; it++ {
+	for it := start; it < cfg.Iters; it++ {
 		err := gibbsPass(o, cfg.Seed, uint64(it+1), d, sc, nKV, nK, nil, nil,
 			func(_, di int, rng *stream, dl *delta, probs []float64) {
 				doc := docs[di]
@@ -367,6 +431,9 @@ func runDense(o par.Opts, cfg Config, docs [][]int, v, d, kTotal int, sc *sweepS
 		if err := rr.endSweep(o, it+1, 0, 0); err != nil {
 			return err
 		}
+		if err := ck.boundary(it + 1); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -375,16 +442,20 @@ func runDense(o par.Opts, cfg Config, docs [][]int, v, d, kTotal int, sc *sweepS
 // alias tables rebuild from the frozen globals, then every chunk samples
 // its documents through the incremental bucket state at O(K_d) amortized
 // per token.
-func runSparse(o par.Opts, cfg Config, docs [][]int, v, d int, sc *sweepScratch,
-	alpha []float64, nDK [][]int, nKV [][]int, nK []int, z [][]int, rr *runRecorder) error {
+func runSparse(o par.Opts, cfg Config, docs [][]int, v, d, start int, sc *sweepScratch,
+	alpha []float64, nDK [][]int, nKV [][]int, nK []int, z [][]int, rr *runRecorder, ck *ckptState) error {
 	if d == 0 {
 		// Every pass is a no-op; skip the per-sweep O(K·V) alias rebuilds.
 		return o.Err()
 	}
 	qa := newQAlias(v)
 	sc.enableSparse(alpha, cfg.Beta, v, nKV, nK, qa)
+	// On resume the cumulative rebuild totals below count from the
+	// trajectory's start; prime the recorder so the first resumed sweep
+	// is not charged with the skipped sweeps' rebuilds.
+	rr.prime(start, 0)
 	var rebuildT time.Duration
-	for it := 0; it < cfg.Iters; it++ {
+	for it := start; it < cfg.Iters; it++ {
 		var t0 time.Time
 		if rr != nil {
 			t0 = time.Now()
@@ -417,6 +488,9 @@ func runSparse(o par.Opts, cfg Config, docs [][]int, v, d int, sc *sweepScratch,
 			return err
 		}
 		if err := rr.endSweep(o, it+1, it+1, rebuildT); err != nil {
+			return err
+		}
+		if err := ck.boundary(it + 1); err != nil {
 			return err
 		}
 	}

@@ -352,6 +352,20 @@ type mhRebuildSchedule struct {
 	// pending-channel receive.
 	BuildTime time.Duration
 	lastBuild time.Duration
+	// keepSrc makes the schedule retain srcKV, a deep copy of the exact
+	// counts the *active* tables were built from. Checkpoints need it —
+	// at a sweep boundary the active tables are up to refresh sweeps
+	// stale, so their source is not recoverable from the boundary counts
+	// — and restore rebuilds bit-identical tables from it (the alias
+	// build is deterministic in its input). Off unless the run
+	// checkpoints; the copy costs O(K·V) per completed build.
+	keepSrc bool
+	srcKV   [][]int
+	// liveKV remembers the table the in-flight (or initial) build reads,
+	// so endPass can snapshot it after the swap. The globals are frozen
+	// from the build's kick to endPass, so its contents there are
+	// exactly what the build saw.
+	liveKV [][]int
 }
 
 // start performs the initial synchronous build from the post-init counts.
@@ -363,12 +377,36 @@ func (r *mhRebuildSchedule) start(o par.Opts, nKV [][]int) error {
 	r.BuildTime += time.Since(t0)
 	r.prop.swap()
 	r.Rebuilds = 1
+	if r.keepSrc {
+		r.srcKV = copyTable(nKV)
+	}
+	return nil
+}
+
+// restore rebuilds the schedule's state from a checkpoint: the active
+// tables from the checkpoint's source counts (bitwise identical to the
+// tables the uninterrupted run held, since the build is deterministic),
+// the staleness clock and the rebuild counter from the stored values —
+// so every subsequent rebuild fires on the same sweep it would have.
+func (r *mhRebuildSchedule) restore(o par.Opts, cp *Checkpoint) error {
+	t0 := time.Now()
+	if err := r.prop.buildInactive(o, cp.MHSourceKV); err != nil {
+		return err
+	}
+	r.BuildTime += time.Since(t0)
+	r.prop.swap()
+	r.Rebuilds = cp.AliasRebuilds
+	r.stale = cp.MHStale
+	if r.keepSrc {
+		r.srcKV = copyTable(cp.MHSourceKV)
+	}
 	return nil
 }
 
 // beginSweep kicks a background rebuild when the tables are stale enough.
 func (r *mhRebuildSchedule) beginSweep(o par.Opts, nKV [][]int) {
 	if r.stale >= r.refresh && r.pending == nil {
+		r.liveKV = nKV
 		r.pending = r.prop.buildAsync(o, nKV, &r.lastBuild)
 	}
 }
@@ -388,6 +426,11 @@ func (r *mhRebuildSchedule) endPass() error {
 	r.prop.swap()
 	r.Rebuilds++
 	r.stale = 0
+	if r.keepSrc {
+		// Still pre-merge: liveKV holds exactly the counts the joined
+		// build read.
+		r.srcKV = copyTable(r.liveKV)
+	}
 	return nil
 }
 
@@ -405,19 +448,27 @@ func (r *mhRebuildSchedule) drain() {
 
 // runMH is the MH fitting loop behind Run. Returns the number of alias
 // rebuilds performed, for Model.AliasRebuilds.
-func runMH(o par.Opts, cfg Config, docs [][]int, v, d int, sc *sweepScratch,
-	alpha []float64, nDK [][]int, nKV [][]int, nK []int, z [][]int, rr *runRecorder) (int, error) {
+func runMH(o par.Opts, cfg Config, docs [][]int, v, d, start int, sc *sweepScratch,
+	alpha []float64, nDK [][]int, nKV [][]int, nK []int, z [][]int, rr *runRecorder, ck *ckptState) (int, error) {
 	if d == 0 {
 		return 0, o.Err()
 	}
 	prop := newMHProposal(v, len(alpha), cfg.Beta)
-	sched := &mhRebuildSchedule{prop: prop, refresh: cfg.AliasRefresh}
-	if err := sched.start(o, nKV); err != nil {
+	sched := &mhRebuildSchedule{prop: prop, refresh: cfg.AliasRefresh, keepSrc: ck.wantsSnapshots()}
+	if ck != nil {
+		ck.mh = sched
+	}
+	if cp := cfg.Resume; cp != nil {
+		if err := sched.restore(o, cp); err != nil {
+			return sched.Rebuilds, err
+		}
+		rr.prime(sched.Rebuilds, sched.BuildTime)
+	} else if err := sched.start(o, nKV); err != nil {
 		return sched.Rebuilds, err
 	}
 	alphaTab := linalg.NewAlias(alpha)
 	sc.enableMH(alpha, cfg.Beta, v, nKV, nK, prop, alphaTab, false)
-	for it := 0; it < cfg.Iters; it++ {
+	for it := start; it < cfg.Iters; it++ {
 		for _, ch := range sc.mh {
 			ch.refreshDen()
 		}
@@ -449,6 +500,9 @@ func runMH(o par.Opts, cfg Config, docs [][]int, v, d int, sc *sweepScratch,
 		if err := rr.endSweep(o, it+1, sched.Rebuilds, sched.BuildTime); err != nil {
 			return sched.Rebuilds, err
 		}
+		if err := ck.boundary(it + 1); err != nil {
+			return sched.Rebuilds, err
+		}
 	}
 	return sched.Rebuilds, nil
 }
@@ -458,19 +512,27 @@ func runMH(o par.Opts, cfg Config, docs [][]int, v, d int, sc *sweepScratch,
 // doc proposal drawing over phrase slots (density pDK + α); multi-word
 // phrases keep the dense product conditional, exactly as in the sparse
 // core, reading counts through the same chunk state.
-func runPhrasesMH(o par.Opts, cfg Config, docs []PhraseDoc, v, d int, sc *sweepScratch,
-	alpha []float64, nDK [][]int, nKV [][]int, nK []int, zP [][]int, rr *runRecorder) (int, error) {
+func runPhrasesMH(o par.Opts, cfg Config, docs []PhraseDoc, v, d, start int, sc *sweepScratch,
+	alpha []float64, nDK [][]int, nKV [][]int, nK []int, zP [][]int, rr *runRecorder, ck *ckptState) (int, error) {
 	if d == 0 {
 		return 0, o.Err()
 	}
 	prop := newMHProposal(v, len(alpha), cfg.Beta)
-	sched := &mhRebuildSchedule{prop: prop, refresh: cfg.AliasRefresh}
-	if err := sched.start(o, nKV); err != nil {
+	sched := &mhRebuildSchedule{prop: prop, refresh: cfg.AliasRefresh, keepSrc: ck.wantsSnapshots()}
+	if ck != nil {
+		ck.mh = sched
+	}
+	if cp := cfg.Resume; cp != nil {
+		if err := sched.restore(o, cp); err != nil {
+			return sched.Rebuilds, err
+		}
+		rr.prime(sched.Rebuilds, sched.BuildTime)
+	} else if err := sched.start(o, nKV); err != nil {
 		return sched.Rebuilds, err
 	}
 	alphaTab := linalg.NewAlias(alpha)
 	sc.enableMH(alpha, cfg.Beta, v, nKV, nK, prop, alphaTab, true)
-	for it := 0; it < cfg.Iters; it++ {
+	for it := start; it < cfg.Iters; it++ {
 		for _, ch := range sc.mh {
 			ch.refreshDen()
 		}
@@ -522,6 +584,9 @@ func runPhrasesMH(o par.Opts, cfg Config, docs []PhraseDoc, v, d int, sc *sweepS
 		}
 		sched.endSweep()
 		if err := rr.endSweep(o, it+1, sched.Rebuilds, sched.BuildTime); err != nil {
+			return sched.Rebuilds, err
+		}
+		if err := ck.boundary(it + 1); err != nil {
 			return sched.Rebuilds, err
 		}
 	}

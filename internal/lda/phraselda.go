@@ -61,40 +61,62 @@ func RunPhrases(docs []PhraseDoc, v int, cfg Config) (*Model, error) {
 	zP := make([][]int, d)
 	alpha := alphaVec(cfg, kTotal)
 	sc := newSweepScratch(samplerChunks(d, kTotal, v), kTotal, v)
+	core := cfg.Sampler.ResolveFor(kTotal, v)
 
-	err := gibbsPass(o, cfg.Seed, 0, d, sc, nKV, nK, nil, nil,
-		func(_, di int, rng *stream, dl *delta, _ []float64) {
-			doc := docs[di]
-			nDK[di] = make([]int, kTotal)
-			zP[di] = make([]int, len(doc))
-			for pi, phrase := range doc {
-				k := rng.Intn(kTotal)
-				zP[di][pi] = k
-				nDK[di][k] += len(phrase)
-				for _, w := range phrase {
-					dl.add(k, w, 1)
+	var fp Fingerprint
+	if cfg.CheckpointFunc != nil || cfg.Stop != nil || cfg.Resume != nil {
+		fp = newFingerprint("phraselda", core, cfg, v, d, countPhraseTokens(docs), hashPhraseDocs(docs))
+	}
+
+	start := 0
+	if cp := cfg.Resume; cp != nil {
+		docLens := make([]int, d)
+		for di, doc := range docs {
+			docLens[di] = len(doc)
+		}
+		if err := cp.check(fp, kTotal, docLens); err != nil {
+			return nil, err
+		}
+		restoreCounts(cp, kTotal, nDK, nKV, nK, zP,
+			func(di, slot int) int { return len(docs[di][slot]) },
+			func(di, slot, j int) int { return docs[di][slot][j] })
+		start = cp.Sweep
+	} else {
+		err := gibbsPass(o, cfg.Seed, 0, d, sc, nKV, nK, nil, nil,
+			func(_, di int, rng *stream, dl *delta, _ []float64) {
+				doc := docs[di]
+				nDK[di] = make([]int, kTotal)
+				zP[di] = make([]int, len(doc))
+				for pi, phrase := range doc {
+					k := rng.Intn(kTotal)
+					zP[di][pi] = k
+					nDK[di][k] += len(phrase)
+					for _, w := range phrase {
+						dl.add(k, w, 1)
+					}
 				}
-			}
-		})
-	if err != nil {
-		return nil, err
+			})
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	rr := newRunRecorder(cfg, "phraselda", d, countPhraseTokens(docs), sc,
 		phraseProbe(docs, alpha, cfg.Beta, v, nDK, nKV, nK))
+	ck := newCkptState(cfg, fp, zP)
 
-	core := cfg.Sampler.ResolveFor(kTotal, v)
+	var err error
 	rebuilds := 0
 	switch core {
 	case SamplerSparse:
-		err = runPhrasesSparse(o, cfg, docs, v, d, sc, alpha, nDK, nKV, nK, zP, rr)
+		err = runPhrasesSparse(o, cfg, docs, v, d, start, sc, alpha, nDK, nKV, nK, zP, rr, ck)
 		if d > 0 {
 			rebuilds = cfg.Iters
 		}
 	case SamplerMH:
-		rebuilds, err = runPhrasesMH(o, cfg, docs, v, d, sc, alpha, nDK, nKV, nK, zP, rr)
+		rebuilds, err = runPhrasesMH(o, cfg, docs, v, d, start, sc, alpha, nDK, nKV, nK, zP, rr, ck)
 	default:
-		err = runPhrasesDense(o, cfg, docs, v, d, kTotal, sc, alpha, nDK, nKV, nK, zP, rr)
+		err = runPhrasesDense(o, cfg, docs, v, d, kTotal, start, sc, alpha, nDK, nKV, nK, zP, rr, ck)
 	}
 	if err != nil {
 		return nil, err
@@ -153,10 +175,10 @@ func samplePhrase(phrase []int, nDK, nK []int, nKV [][]int, dl *delta,
 	return kTotal - 1
 }
 
-func runPhrasesDense(o par.Opts, cfg Config, docs []PhraseDoc, v, d, kTotal int, sc *sweepScratch,
-	alpha []float64, nDK [][]int, nKV [][]int, nK []int, zP [][]int, rr *runRecorder) error {
+func runPhrasesDense(o par.Opts, cfg Config, docs []PhraseDoc, v, d, kTotal, start int, sc *sweepScratch,
+	alpha []float64, nDK [][]int, nKV [][]int, nK []int, zP [][]int, rr *runRecorder, ck *ckptState) error {
 	vb := float64(v) * cfg.Beta
-	for it := 0; it < cfg.Iters; it++ {
+	for it := start; it < cfg.Iters; it++ {
 		err := gibbsPass(o, cfg.Seed, uint64(it+1), d, sc, nKV, nK, nil, nil,
 			func(_, di int, rng *stream, dl *delta, probs []float64) {
 				doc := docs[di]
@@ -184,20 +206,24 @@ func runPhrasesDense(o par.Opts, cfg Config, docs []PhraseDoc, v, d, kTotal int,
 		if err := rr.endSweep(o, it+1, 0, 0); err != nil {
 			return err
 		}
+		if err := ck.boundary(it + 1); err != nil {
+			return err
+		}
 	}
 	return nil
 }
 
-func runPhrasesSparse(o par.Opts, cfg Config, docs []PhraseDoc, v, d int, sc *sweepScratch,
-	alpha []float64, nDK [][]int, nKV [][]int, nK []int, zP [][]int, rr *runRecorder) error {
+func runPhrasesSparse(o par.Opts, cfg Config, docs []PhraseDoc, v, d, start int, sc *sweepScratch,
+	alpha []float64, nDK [][]int, nKV [][]int, nK []int, zP [][]int, rr *runRecorder, ck *ckptState) error {
 	if d == 0 {
 		// Every pass is a no-op; skip the per-sweep O(K·V) alias rebuilds.
 		return o.Err()
 	}
 	qa := newQAlias(v)
 	sc.enableSparse(alpha, cfg.Beta, v, nKV, nK, qa)
+	rr.prime(start, 0)
 	var rebuildT time.Duration
-	for it := 0; it < cfg.Iters; it++ {
+	for it := start; it < cfg.Iters; it++ {
 		var t0 time.Time
 		if rr != nil {
 			t0 = time.Now()
@@ -241,6 +267,9 @@ func runPhrasesSparse(o par.Opts, cfg Config, docs []PhraseDoc, v, d int, sc *sw
 			return err
 		}
 		if err := rr.endSweep(o, it+1, it+1, rebuildT); err != nil {
+			return err
+		}
+		if err := ck.boundary(it + 1); err != nil {
 			return err
 		}
 	}

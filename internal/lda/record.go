@@ -87,6 +87,17 @@ func newRunRecorder(cfg Config, engine string, docs int, tokens int64, sc *sweep
 	}
 }
 
+// prime seeds the cumulative-rebuild baseline endSweep diffs against.
+// Resumed runs call it with the trajectory's rebuild figures at the
+// resume point so the first resumed sweep is attributed only its own
+// rebuilds, not everything since sweep 1.
+func (r *runRecorder) prime(rebuilds int, rebuildT time.Duration) {
+	if r == nil {
+		return
+	}
+	r.rebuilds, r.rebuildT = rebuilds, rebuildT
+}
+
 // endSweep harvests the chunk counters and pass timings accumulated
 // since the previous call and emits one SweepStats. rebuildsTotal and
 // rebuildTime are the run's *cumulative* alias-rebuild figures; the

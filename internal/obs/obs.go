@@ -115,6 +115,22 @@ type Recorder interface {
 	PoolObserver
 }
 
+// CheckpointStats is one delivered fit checkpoint: which engine's run,
+// the sweep boundary it captured, and how long building and handing it
+// off (typically the durable write) took.
+type CheckpointStats struct {
+	Engine string
+	Sweep  int
+	Took   time.Duration
+}
+
+// CheckpointRecorder is the optional extension a Recorder implements to
+// also receive checkpoint events. The fit cores type-assert for it, so
+// recorders that don't care need no changes.
+type CheckpointRecorder interface {
+	RecordCheckpoint(CheckpointStats)
+}
+
 // multi fans events out to several recorders in order.
 type multi []Recorder
 
@@ -127,6 +143,17 @@ func (m multi) RecordSweep(s SweepStats) {
 func (m multi) RecordPool(p PoolStats) {
 	for _, r := range m {
 		r.RecordPool(p)
+	}
+}
+
+// RecordCheckpoint forwards to the members that implement the optional
+// CheckpointRecorder extension. multi always satisfies it so a combined
+// recorder never hides a member's checkpoint interest.
+func (m multi) RecordCheckpoint(c CheckpointStats) {
+	for _, r := range m {
+		if cr, ok := r.(CheckpointRecorder); ok {
+			cr.RecordCheckpoint(c)
+		}
 	}
 }
 

@@ -9,7 +9,7 @@ import (
 )
 
 // traceEvent is the JSONL schema: one object per line, discriminated
-// by "type" ("sweep" or "pool"). Durations are seconds as floats;
+// by "type" ("sweep", "pool" or "checkpoint"). Durations are seconds as floats;
 // fields that don't apply are omitted. The probe's log-likelihood is
 // a pointer so a sweep without a probe omits the key entirely instead
 // of emitting NaN (which encoding/json cannot represent).
@@ -45,6 +45,8 @@ type traceEvent struct {
 	WaitSeconds float64 `json:"wait_seconds,omitempty"`
 	ExecSeconds float64 `json:"exec_seconds,omitempty"`
 	WallSeconds float64 `json:"wall_seconds,omitempty"`
+
+	CheckpointSeconds float64 `json:"checkpoint_seconds,omitempty"`
 }
 
 // isFinite reports whether f is representable in JSON (not NaN, not ±Inf).
@@ -103,6 +105,14 @@ func (t *Trace) RecordSweep(s SweepStats) {
 		}
 	}
 	t.write(e)
+}
+
+// RecordCheckpoint writes one "checkpoint" line.
+func (t *Trace) RecordCheckpoint(c CheckpointStats) {
+	t.write(traceEvent{
+		Type: "checkpoint", Engine: c.Engine, Sweep: c.Sweep,
+		CheckpointSeconds: c.Took.Seconds(),
+	})
 }
 
 // RecordPool writes one "pool" line.

@@ -1,0 +1,151 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"lesm/internal/store"
+)
+
+// TestPanicRecovery: a panicking handler must answer 500 (JSON error
+// body), bump lesmd_panics_total, record its request exactly once, and
+// leave the server fully serving — one bad request cannot take the
+// daemon down.
+func TestPanicRecovery(t *testing.T) {
+	s, err := New(testSnapshot(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	before := s.metrics.routes["healthz"].requests.Load()
+	h := s.instrument("healthz", func(http.ResponseWriter, *http.Request) {
+		panic("kaboom")
+	})
+	rec := httptest.NewRecorder()
+	h(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("panicking handler answered %d, want 500", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "internal server error") {
+		t.Fatalf("panic response body: %s", rec.Body.String())
+	}
+	if got := s.metrics.panics.Load(); got != 1 {
+		t.Fatalf("panics counter = %d, want 1", got)
+	}
+	if got := s.metrics.routes["healthz"].requests.Load() - before; got != 1 {
+		t.Fatalf("panicking request recorded %d times, want exactly 1", got)
+	}
+
+	// The counter is on /metrics and the server still serves normally.
+	mrec := s.serveOnce(t, http.MethodGet, "/metrics", nil)
+	if !strings.Contains(mrec.Body.String(), "lesmd_panics_total 1") {
+		t.Fatalf("lesmd_panics_total missing from /metrics:\n%s", mrec.Body.String())
+	}
+	if rec := s.serveOnce(t, http.MethodGet, "/topics", nil); rec.Code != http.StatusOK {
+		t.Fatalf("server broken after a recovered panic: %d", rec.Code)
+	}
+
+	// A handler that already wrote its response still gets its panic
+	// recovered, without a second (impossible) status write.
+	h = s.instrument("healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusAccepted)
+		panic("after headers")
+	})
+	rec = httptest.NewRecorder()
+	h(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("status rewritten after headers: %d", rec.Code)
+	}
+	if got := s.metrics.panics.Load(); got != 2 {
+		t.Fatalf("panics counter = %d, want 2", got)
+	}
+
+	// http.ErrAbortHandler is net/http's own silent-abort sentinel: it
+	// must pass through un-recovered and un-counted.
+	h = s.instrument("healthz", func(http.ResponseWriter, *http.Request) {
+		panic(http.ErrAbortHandler)
+	})
+	func() {
+		defer func() {
+			if r := recover(); r != http.ErrAbortHandler {
+				t.Fatalf("recovered %v, want ErrAbortHandler to re-panic", r)
+			}
+		}()
+		h(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	}()
+	if got := s.metrics.panics.Load(); got != 2 {
+		t.Fatalf("ErrAbortHandler counted as a panic: %d", got)
+	}
+}
+
+// TestReloadBackoff: a persistently broken snapshot must not be decoded
+// on every poll tick. With exponential backoff (doubling up to 32x the
+// interval), the failure count over a window stays far below the tick
+// count; a repaired file still gets picked up, and the cadence resets.
+func TestReloadBackoff(t *testing.T) {
+	path := t.TempDir() + "/model.lesm"
+	if err := store.Write(path, testSnapshot(t)); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(testSnapshot(t), Options{SnapshotPath: path, ReloadPoll: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Replace the good file with a corrupt one: its stamp differs from
+	// lastStamp on every tick (a failed reload never updates the stamp),
+	// so each non-skipped tick pays a full decode attempt.
+	if err := writeCorrupt(path); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.metrics.reloadFailures.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if s.metrics.reloadFailures.Load() == 0 {
+		t.Fatal("poller never attempted the corrupt replacement")
+	}
+
+	// ~150 further poll intervals against a file that fails every decode.
+	// Without backoff that is ~150 more failures; with it, attempts land
+	// at exponentially spreading ticks — a dozen at most even when every
+	// tick fires on schedule.
+	base := s.metrics.reloadFailures.Load()
+	time.Sleep(300 * time.Millisecond)
+	fails := s.metrics.reloadFailures.Load() - base
+	if fails > 20 {
+		t.Fatalf("reloadFailures grew by %d over ~150 ticks: backoff not limiting retries", fails)
+	}
+
+	// Repair the file: the poller must still pick it up (the backoff skips
+	// ticks, it never stops) and swap the artifact in.
+	if err := store.Write(path, altSnapshot(t)); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(5 * time.Second)
+	for s.Generation() == 1 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if g := s.Generation(); g != 2 {
+		t.Fatalf("repaired snapshot never loaded: gen = %d", g)
+	}
+
+	// Success reset the cadence: the next breakage is noticed at full poll
+	// speed (well inside the 64ms a still-backed-off poller would wait).
+	fails = s.metrics.reloadFailures.Load()
+	if err := writeCorrupt(path); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(5 * time.Second)
+	for s.metrics.reloadFailures.Load() == fails && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if s.metrics.reloadFailures.Load() == fails {
+		t.Fatal("poller never re-attempted after a successful reload")
+	}
+}

@@ -28,6 +28,7 @@ package serve
 //	lesmd_reload_generation                     gauge, current artifact generation
 //	lesmd_reloads_total                         counter, successful snapshot swaps
 //	lesmd_reload_failures_total                 counter, failed reload attempts
+//	lesmd_panics_total                          counter, handler panics recovered (500 + logged stack)
 //	lesmd_goroutines                            gauge, runtime.NumGoroutine (collector-refreshed)
 //
 // The registry is also an obs.Recorder: the server attaches itself to
@@ -60,9 +61,11 @@ package serve
 import (
 	"context"
 	"fmt"
+	"log"
 	"math"
 	"net/http"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"strconv"
 	"sync"
@@ -149,6 +152,7 @@ type metrics struct {
 	shed           atomic.Uint64
 	reloads        atomic.Uint64
 	reloadFailures atomic.Uint64
+	panics         atomic.Uint64
 	goroutines     atomic.Int64
 
 	// Sampler telemetry, fed through the obs.Recorder interface by the
@@ -222,7 +226,9 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 }
 
 // instrument wraps a handler with the per-route observability and traffic
-// hardening that every endpoint gets: the request/error counters and
+// hardening that every endpoint gets: panic recovery (a panicking handler
+// answers 500 with the stack logged and lesmd_panics_total bumped instead
+// of killing its connection unreported), the request/error counters and
 // latency histogram, and the per-route timeout (Options.RouteTimeout)
 // which cancels the request's context — fold-in work in flight aborts at
 // its next cancellation check and waiters drop out of their queues.
@@ -236,18 +242,38 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 		}
 		sw := &statusWriter{ResponseWriter: w}
 		start := time.Now()
+		// Recording lives in the deferred recovery block so a panicking
+		// handler's request is still counted — exactly once, against the
+		// status the client actually saw.
+		defer func() {
+			if rec := recover(); rec != nil {
+				if rec == http.ErrAbortHandler {
+					// net/http's own abort sentinel: the server handles it
+					// silently by design. Not a failure; re-panic untouched.
+					panic(rec)
+				}
+				s.metrics.panics.Add(1)
+				log.Printf("serve: panic in %s handler: %v\n%s", route, rec, debug.Stack())
+				if sw.status == 0 {
+					// Nothing written yet — the client can still get a
+					// clean 500. Headers already sent mean the response
+					// is torn; net/http closes the connection.
+					writeErr(sw, http.StatusInternalServerError, "internal server error")
+				}
+			}
+			code := sw.status
+			if code == 0 {
+				code = http.StatusOK // replied with neither header nor body
+			}
+			st.requests.Add(1)
+			st.latency.Observe(time.Since(start).Seconds())
+			if code >= 400 {
+				st.mu.Lock()
+				st.errors[code]++
+				st.mu.Unlock()
+			}
+		}()
 		h(sw, r)
-		code := sw.status
-		if code == 0 {
-			code = http.StatusOK // replied with neither header nor body
-		}
-		st.requests.Add(1)
-		st.latency.Observe(time.Since(start).Seconds())
-		if code >= 400 {
-			st.mu.Lock()
-			st.errors[code]++
-			st.mu.Unlock()
-		}
 	}
 }
 
@@ -381,6 +407,8 @@ func (s *Server) renderMetrics() []byte {
 	p.sample("lesmd_reloads_total", "", float64(m.reloads.Load()))
 	p.family("lesmd_reload_failures_total", "Failed snapshot reload attempts.", "counter")
 	p.sample("lesmd_reload_failures_total", "", float64(m.reloadFailures.Load()))
+	p.family("lesmd_panics_total", "Handler panics recovered by the instrumentation wrapper.", "counter")
+	p.sample("lesmd_panics_total", "", float64(m.panics.Load()))
 
 	p.family("lesmd_goroutines", "runtime.NumGoroutine at collection time.", "gauge")
 	p.sample("lesmd_goroutines", "", float64(m.goroutines.Load()))

@@ -134,15 +134,28 @@ func LoadSnapshot(path string, mmap bool) (*store.Snapshot, io.Closer, error) {
 // snapshot path (atomically — store.Write) goes live within one poll
 // interval with no operator action. Errors never stop the poller or the
 // server; the latest one is surfaced on /healthz as reload_error.
+//
+// Failures back off exponentially: a snapshot that stays broken (corrupt
+// file, yanked volume) is retried every 2nd, 4th, ... up to every 32nd
+// tick instead of burning a decode attempt — and an error-log line — per
+// interval. One success resets the cadence. The stamp check makes an
+// unchanged-but-broken file cheap to skip anyway, but a *corrupt* file is
+// re-decoded every non-skipped tick (its stamp never graduates to
+// lastStamp), which is exactly the expensive case the backoff bounds.
 func (s *Server) pollReload() {
 	defer s.bg.Done()
 	t := time.NewTicker(s.opt.ReloadPoll)
 	defer t.Stop()
+	failures, skip := 0, 0
 	for {
 		select {
 		case <-s.ctx.Done():
 			return
 		case <-t.C:
+			if skip > 0 {
+				skip--
+				continue
+			}
 			// Success (including the did-nothing kind) does not touch
 			// reloadErr here — only an actual swap clears it, in
 			// reloadLocked, so a standing failure stays visible on
@@ -150,6 +163,12 @@ func (s *Server) pollReload() {
 			if _, err := s.ReloadFromPath(false); err != nil {
 				s.reloadErr.Store(err.Error())
 				s.metrics.reloadFailures.Add(1)
+				if failures < 5 {
+					failures++
+				}
+				skip = 1<<failures - 1 // 1, 3, 7, 15, then 31 skipped ticks
+			} else {
+				failures = 0
 			}
 		}
 	}

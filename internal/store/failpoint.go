@@ -1,0 +1,155 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// Fault-injection seam for the atomic write path. Production code never
+// sets fault; fault_test.go points it at a faultInjector to prove the
+// crash-safety invariant: no injected failure — short write, ENOSPC,
+// fsync failure, crash between temp write and rename, rename failure,
+// directory-sync failure — ever leaves an accepted-but-corrupt file at
+// the destination. Either the previous file survives byte-for-byte, or
+// the new file landed completely; a load sees one of the two, never a
+// hybrid.
+var fault *faultInjector
+
+// faultInjector selects which step of writeAtomic fails. The zero value
+// injects nothing; every failure mode is an explicit flag so a
+// forgotten field cannot silently arm one.
+type faultInjector struct {
+	// writeErr, when non-nil, fails the temp-file write immediately with
+	// this error (e.g. syscall.ENOSPC) before any byte lands.
+	writeErr error
+	// tornWrite writes only the first tornWriteAt bytes of the payload
+	// and then fails — a mid-write ENOSPC or crash leaving a torn temp
+	// file behind the error.
+	tornWrite   bool
+	tornWriteAt int
+	// failSync fails the temp file's fsync (data possibly still in page
+	// cache, never to be renamed in).
+	failSync bool
+	// crashBeforeRename simulates dying between the durable temp write
+	// and the rename: writeAtomic returns errSimulatedCrash *without*
+	// removing the temp file, exactly the debris a real crash leaves.
+	crashBeforeRename bool
+	// failRename fails the rename itself.
+	failRename bool
+	// failDirSync fails the parent-directory fsync after the rename (the
+	// rename has happened; only its durability is in question).
+	failDirSync bool
+}
+
+var (
+	errSimulatedCrash = errors.New("store: simulated crash before rename")
+	errInjectedSync   = errors.New("store: injected fsync failure")
+	errInjectedRename = errors.New("store: injected rename failure")
+	errInjectedDirOp  = errors.New("store: injected directory fsync failure")
+)
+
+// writeAtomic publishes b at path with the atomic-replace discipline
+// every persisted artifact shares: unique temp file in the destination
+// directory, write, fsync, rename, parent-directory fsync. The fsync
+// before the rename keeps a power loss from persisting the rename ahead
+// of the data (a torn file at the final path, the exact failure the
+// temp-file dance rules out); the directory fsync after it keeps the
+// rename itself from being lost, which would silently resurrect the
+// previous file.
+func writeAtomic(path string, b []byte) error {
+	// A unique temp name (not a fixed path+".tmp") keeps concurrent writers
+	// to the same destination from interleaving into one temp file; the
+	// racing renames then stay last-writer-wins with each candidate intact.
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if err := f.Chmod(0o644); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	werr := injectedWrite(f, b)
+	if werr == nil {
+		werr = injectedSync(f)
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return werr
+	}
+	if fault != nil && fault.crashBeforeRename {
+		// A real crash leaves the temp file on disk; so does the
+		// simulated one. Stray *.tmp* files are inert — nothing loads
+		// them — and the next successful write replaces the destination
+		// regardless.
+		return errSimulatedCrash
+	}
+	if fault != nil && fault.failRename {
+		os.Remove(tmp)
+		return errInjectedRename
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// injectedWrite is the temp-file write with the short-write/ENOSPC
+// failpoints applied.
+func injectedWrite(f *os.File, b []byte) error {
+	if fault != nil {
+		if fault.writeErr != nil {
+			return fault.writeErr
+		}
+		if fault.tornWrite {
+			n := fault.tornWriteAt
+			if n > len(b) {
+				n = len(b)
+			}
+			if _, err := f.Write(b[:n]); err != nil {
+				return err
+			}
+			return syscall.ENOSPC
+		}
+	}
+	_, err := f.Write(b)
+	return err
+}
+
+// injectedSync is the temp-file fsync with its failpoint applied.
+func injectedSync(f *os.File) error {
+	if fault != nil && fault.failSync {
+		return errInjectedSync
+	}
+	return f.Sync()
+}
+
+// syncDir fsyncs a directory, making a completed rename durable. Some
+// filesystems refuse to fsync directory handles (EINVAL/ENOTSUP); that
+// is tolerated — on those systems this is best-effort, and the rename
+// has already happened either way.
+func syncDir(dir string) error {
+	if fault != nil && fault.failDirSync {
+		return errInjectedDirOp
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	if cerr := d.Close(); serr == nil {
+		serr = cerr
+	}
+	if serr != nil && (errors.Is(serr, syscall.EINVAL) || errors.Is(serr, syscall.ENOTSUP)) {
+		return nil
+	}
+	return serr
+}

@@ -1,0 +1,183 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+)
+
+// arm points the write path's failpoint at inj for the duration of the
+// test, and guarantees production behavior is restored afterwards.
+func arm(t *testing.T, inj *faultInjector) {
+	t.Helper()
+	fault = inj
+	t.Cleanup(func() { fault = nil })
+}
+
+// TestWriteFaultsNeverCorrupt is the crash-safety harness. For every
+// injected failure mode of the atomic write path, it proves the
+// invariant the checkpoint/resume and hot-reload machinery lean on:
+// after a FAILED write over an existing good file, that file is still
+// byte-identical and still loads; after a failed write to a fresh path,
+// the path simply does not exist. No failure mode ever yields an
+// accepted-but-corrupt file.
+func TestWriteFaultsNeverCorrupt(t *testing.T) {
+	v1 := sampleCheckpoint(true)
+	v2 := sampleCheckpoint(true)
+	v2.Sweep = 18
+	v2bytes, err := EncodeCheckpoint(v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	modes := []struct {
+		name string
+		inj  faultInjector
+	}{
+		{"write-error", faultInjector{writeErr: syscall.ENOSPC}},
+		{"torn-write-0", faultInjector{tornWrite: true, tornWriteAt: 0}},
+		{"torn-write-mid", faultInjector{tornWrite: true, tornWriteAt: len(v2bytes) / 2}},
+		{"torn-write-last-byte", faultInjector{tornWrite: true, tornWriteAt: len(v2bytes) - 1}},
+		{"fsync-error", faultInjector{failSync: true}},
+		{"crash-before-rename", faultInjector{crashBeforeRename: true}},
+		{"rename-error", faultInjector{failRename: true}},
+	}
+	for _, tc := range modes {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "fit.ckpt")
+			if err := WriteCheckpoint(path, v1); err != nil {
+				t.Fatal(err)
+			}
+			before, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			inj := tc.inj
+			arm(t, &inj)
+			if err := WriteCheckpoint(path, v2); err == nil {
+				t.Fatal("injected failure reported success")
+			}
+
+			after, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(before, after) {
+				t.Fatal("failed write modified the destination file")
+			}
+			got, err := ReadCheckpoint(path)
+			if err != nil {
+				t.Fatalf("previous file no longer loads: %v", err)
+			}
+			if got.Sweep != v1.Sweep {
+				t.Fatalf("loaded sweep %d, want the surviving v1's %d", got.Sweep, v1.Sweep)
+			}
+
+			// Fresh destination: the failed write must leave it absent, not
+			// half-written.
+			freshPath := filepath.Join(dir, "fresh.ckpt")
+			if err := WriteCheckpoint(freshPath, v2); err == nil {
+				t.Fatal("injected failure reported success on a fresh path")
+			}
+			if _, err := os.Stat(freshPath); !errors.Is(err, os.ErrNotExist) {
+				t.Fatalf("fresh path exists after a failed write (stat err = %v)", err)
+			}
+
+			// Disarm: the very next write must land v2 completely.
+			fault = nil
+			if err := WriteCheckpoint(path, v2); err != nil {
+				t.Fatal(err)
+			}
+			if got, err := ReadCheckpoint(path); err != nil || got.Sweep != v2.Sweep {
+				t.Fatalf("recovery write: sweep %v err %v, want %d", got, err, v2.Sweep)
+			}
+		})
+	}
+}
+
+// TestCrashBeforeRenameLeavesInertDebris: the simulated crash leaves the
+// temp file on disk, exactly like a real crash — and that debris is
+// harmless: it does not shadow the destination and a later write
+// succeeds alongside it.
+func TestCrashBeforeRenameLeavesInertDebris(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fit.ckpt")
+	arm(t, &faultInjector{crashBeforeRename: true})
+	if err := WriteCheckpoint(path, sampleCheckpoint(false)); !errors.Is(err, errSimulatedCrash) {
+		t.Fatalf("err = %v, want the simulated crash", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tmps int
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			tmps++
+		}
+	}
+	if tmps != 1 {
+		t.Fatalf("%d temp files after crash, want exactly 1 (the debris)", tmps)
+	}
+	fault = nil
+	if err := WriteCheckpoint(path, sampleCheckpoint(false)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDirSyncFailureAfterRename: the parent-directory fsync failing is
+// the one mode where the new file HAS landed (the rename happened; only
+// its durability promise is broken). The write must still report the
+// error, and the landed file must be complete and loadable.
+func TestDirSyncFailureAfterRename(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fit.ckpt")
+	cp := sampleCheckpoint(true)
+	arm(t, &faultInjector{failDirSync: true})
+	if err := WriteCheckpoint(path, cp); !errors.Is(err, errInjectedDirOp) {
+		t.Fatalf("err = %v, want the injected directory-sync failure", err)
+	}
+	got, err := ReadCheckpoint(path)
+	if err != nil {
+		t.Fatalf("landed file does not load: %v", err)
+	}
+	if got.Sweep != cp.Sweep {
+		t.Fatalf("landed file sweep %d, want %d", got.Sweep, cp.Sweep)
+	}
+}
+
+// TestSnapshotWriteSharesFaultSeam: Write (the snapshot path) goes
+// through the same writeAtomic, so the same crash-safety holds for the
+// serving artifacts the reload poller watches.
+func TestSnapshotWriteSharesFaultSeam(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "model.lesm")
+	if err := Write(path, sampleSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arm(t, &faultInjector{tornWrite: true, tornWriteAt: 40})
+	if err := Write(path, &Snapshot{Vocab: []string{"changed"}}); err == nil {
+		t.Fatal("injected failure reported success")
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatal("failed snapshot write modified the destination")
+	}
+	if _, err := Read(path); err != nil {
+		t.Fatalf("previous snapshot no longer loads: %v", err)
+	}
+}

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"hash/crc32"
 	"os"
-	"path/filepath"
 	"sort"
 
 	"lesm/internal/core"
@@ -254,45 +253,16 @@ func decode(b []byte, zeroCopy bool) (*Snapshot, error) {
 	return s, nil
 }
 
-// Write encodes the snapshot and writes it to path atomically: temp file,
-// fsync, rename. The fsync before the rename matters — without it a power
-// loss can persist the rename ahead of the data and leave a torn snapshot
-// at the final path, the exact failure the temp-file dance is meant to
-// rule out.
+// Write encodes the snapshot and writes it to path atomically: temp
+// file, fsync, rename, parent-directory fsync (see writeAtomic for the
+// durability argument and failpoint.go for the injected-failure proof
+// that no failure leaves a corrupt file at path).
 func Write(path string, s *Snapshot) error {
 	b, err := Encode(s)
 	if err != nil {
 		return err
 	}
-	// A unique temp name (not a fixed path+".tmp") keeps concurrent writers
-	// to the same destination from interleaving into one temp file; the
-	// racing renames then stay last-writer-wins with each candidate intact.
-	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
-	if err != nil {
-		return err
-	}
-	tmp := f.Name()
-	if err := f.Chmod(0o644); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	_, werr := f.Write(b)
-	if werr == nil {
-		werr = f.Sync()
-	}
-	if cerr := f.Close(); werr == nil {
-		werr = cerr
-	}
-	if werr != nil {
-		os.Remove(tmp)
-		return werr
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return nil
+	return writeAtomic(path, b)
 }
 
 // Read loads and decodes the snapshot at path.

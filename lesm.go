@@ -189,6 +189,26 @@ type RunOptions struct {
 	// the final sweep always probes when recording with N > 0). The
 	// probe is O(corpus tokens x K) per evaluation.
 	ProbeEvery int
+	// CheckpointEvery asks Gibbs-backed fits to capture a resumable
+	// checkpoint every N sweeps through CheckpointFunc (0 = never;
+	// requires CheckpointFunc when > 0). Checkpointing is observational:
+	// the fitted model is bit-identical with or without it.
+	CheckpointEvery int
+	// CheckpointFunc receives each captured checkpoint, synchronously at
+	// the sweep boundary. Persist it with SaveCheckpoint; a returned
+	// error aborts the fit.
+	CheckpointFunc func(*Checkpoint) error
+	// Resume continues a fit from a checkpoint (LoadCheckpoint) instead
+	// of initializing fresh. The configuration and corpus must match the
+	// checkpointed run exactly — any mismatch is an error, never a
+	// silently different trajectory — and the resumed fit's final model
+	// is bit-identical to the uninterrupted run's.
+	Resume *Checkpoint
+	// Stop, polled at sweep boundaries, requests a graceful stop: when
+	// it returns true the fit captures a final checkpoint (if
+	// CheckpointFunc is set) and returns ErrStopped. Wire it to a signal
+	// handler for kill-safe long fits.
+	Stop func() bool
 	// Ctx cancels the computation between work chunks (nil = background).
 	Ctx context.Context
 }
@@ -565,6 +585,8 @@ func InferTopicsGibbs(corpus *Corpus, k int, seed int64, opts ...RunOptions) (*T
 		K: k, Seed: seed, P: ro.Parallelism, Sampler: ro.Sampler,
 		AliasRefresh: ro.AliasRefresh, Ctx: ro.Ctx,
 		Rec: ro.Recorder, ProbeEvery: ro.ProbeEvery,
+		CheckpointEvery: ro.CheckpointEvery, CheckpointFunc: ro.CheckpointFunc,
+		Resume: ro.Resume, Stop: ro.Stop,
 	})
 	if err != nil {
 		return nil, err
@@ -573,6 +595,37 @@ func InferTopicsGibbs(corpus *Corpus, k int, seed int64, opts ...RunOptions) (*T
 		Phi: m.Phi, Weight: m.Rho, NKV: m.NKV, NK: m.NK,
 		Alpha: m.Alpha, Beta: m.Beta,
 	}, nil
+}
+
+// --- Crash-safe fitting (checkpoint/resume) ---
+
+// Checkpoint is a resumable snapshot of a Gibbs fit at a sweep boundary:
+// the topic assignments, the run's configuration fingerprint, and — for
+// the MH core — the alias-proposal source counts. Captured through
+// RunOptions.CheckpointFunc, persisted with SaveCheckpoint, and fed back
+// through RunOptions.Resume; resuming reproduces the uninterrupted run's
+// final model bit for bit, at any parallelism level.
+type Checkpoint = lda.Checkpoint
+
+// ErrStopped is returned by Gibbs-backed fits when RunOptions.Stop
+// requested a graceful stop at a sweep boundary. The fit is incomplete
+// but a final checkpoint was captured (when CheckpointFunc is set), so
+// the run can be resumed where it left off.
+var ErrStopped = lda.ErrStopped
+
+// SaveCheckpoint persists a fit checkpoint at path in the versioned
+// LESMCKPT binary format, with the same atomic-replace write discipline
+// as Save: a crash mid-write never corrupts a previously saved
+// checkpoint.
+func SaveCheckpoint(path string, cp *Checkpoint) error {
+	return store.WriteCheckpoint(path, cp)
+}
+
+// LoadCheckpoint reads a checkpoint persisted by SaveCheckpoint,
+// verifying the per-section checksums and the checkpoint's internal
+// shape invariants. Feed the result to RunOptions.Resume.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	return store.ReadCheckpoint(path)
 }
 
 // --- Persistence & serving (the snapshot store) ---
