@@ -51,8 +51,18 @@
 //	GET  /topics                      topic list with weights
 //	GET  /topics/{k}/top-words?n=10   topic k's top words
 //	GET  /hierarchy/node/{id}         hierarchy node by path (o/1/2 or o.1.2)
-//	GET  /phrases/search?q=&limit=    ranked phrase search
-//	GET  /advisor/{author}            advisor ranking for an author
+//	GET  /phrases/search?q=&limit=    ranked phrase search (substring)
+//	GET  /search?q=&limit=            fuzzy entity search over words,
+//	                                  phrases and authors (bounded edit
+//	                                  distance, ranked typed hits)
+//	GET  /entity/{name}               composed entity profile: fuzzy name
+//	                                  resolution, then topic mixture /
+//	                                  hierarchy placements / phrases for a
+//	                                  word, occurrences + constituents for
+//	                                  a phrase, advisor + advisees for an
+//	                                  author
+//	GET  /advisor/{author}            advisor ranking for a numeric
+//	                                  author id
 //	POST /infer                       fold-in inference for new documents
 //	POST /admin/reload                force an immediate snapshot reload
 package main

@@ -1,0 +1,13 @@
+// Package search builds a tokenized inverted index over everything a
+// snapshot knows by name — vocabulary words, phrase displays, and author
+// ids/labels — with edit-distance-tolerant lookup (bounded Levenshtein,
+// the "~2" fuzzy pattern: exact below 3 runes, one edit up to 5, two
+// beyond).
+//
+// An Index is immutable after Build and safe for concurrent lock-free
+// reads, so the serving tier builds one per snapshot generation inside
+// its artifact-build path and swaps it with the rest of the generation
+// behind an atomic.Pointer. Build is deterministic: the same snapshot
+// always yields a bit-identical index (Checksum-gated by tests), keeping
+// the serving tier's reproducibility contract intact.
+package search

@@ -158,6 +158,16 @@ func TestServingEndToEnd(t *testing.T) {
 	if adv := mustGet(t, ts.URL+"/advisor/2"); adv["advisor"] == nil {
 		t.Fatalf("advisor = %v", adv)
 	}
+	// Entity search over the fitted snapshot: a typo'd word resolves
+	// fuzzily, and /entity composes the profile in one response.
+	if hits := mustGet(t, ts.URL+"/search?q=databse")["hits"].([]any); len(hits) == 0 ||
+		hits[0].(map[string]any)["name"] != "database" {
+		t.Fatalf("fuzzy /search over fitted snapshot: %v", hits)
+	}
+	ent := mustGet(t, ts.URL+"/entity/query")
+	if ent["resolved"].(map[string]any)["kind"] != "word" || ent["topic_mixture"] == nil {
+		t.Fatalf("entity profile = %v", ent)
+	}
 	byDocs := mustPost(t, ts.URL+"/infer", []byte(`{"seed":3,"docs":[["query","processing","index"],["gradient","descent"]]}`))
 	theta := byDocs["theta"].([]any)
 	if len(theta) != 2 {
@@ -268,6 +278,7 @@ func TestServingEndToEnd(t *testing.T) {
 		defer wg.Done()
 		urls := []string{ts.URL + "/healthz", ts.URL + "/topics", ts.URL + "/topics/1/top-words?n=3",
 			ts.URL + "/hierarchy/node/o", ts.URL + "/phrases/search?q=e", ts.URL + "/advisor/1",
+			ts.URL + "/search?q=trainng", ts.URL + "/entity/network",
 			ts.URL + "/metrics"}
 		for i := 0; i < 60; i++ {
 			resp, err := http.Get(urls[i%len(urls)])
@@ -359,5 +370,65 @@ func TestServingEndToEnd(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK || resp.Header.Get("ETag") != tag {
 		t.Fatalf("stale-tag revalidation: status %d etag %q", resp.StatusCode, resp.Header.Get("ETag"))
+	}
+}
+
+// TestEntitySearchAcrossHotReload verifies over the public surface that
+// the search index is rebuilt on every snapshot swap: a name only the
+// replacement snapshot carries becomes resolvable exactly when the
+// generation bumps, and the replaced name stops matching.
+func TestEntitySearchAcrossHotReload(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.lesm")
+	if err := lesm.Save(path, fitArtifact(t, 11)); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := store.Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := serve.New(snap, serve.Options{SnapshotPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		s.Close()
+	}()
+
+	ent := mustGet(t, ts.URL+"/entity/training")
+	if ent["resolved"].(map[string]any)["kind"] != "word" || ent["generation"].(float64) != 1 {
+		t.Fatalf("generation 1 entity = %v", ent)
+	}
+
+	// Replace one vocabulary word on disk and hot-reload.
+	snap2, err := store.Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range snap2.Vocab {
+		if w == "training" {
+			snap2.Vocab[i] = "quantum"
+		}
+	}
+	if err := store.Write(path, snap2); err != nil {
+		t.Fatal(err)
+	}
+	if out := mustPost(t, ts.URL+"/admin/reload", nil); out["reloaded"] != true {
+		t.Fatalf("reload = %v", out)
+	}
+
+	ent = mustGet(t, ts.URL+"/entity/quantum")
+	if ent["resolved"].(map[string]any)["name"] != "quantum" || ent["generation"].(float64) != 2 {
+		t.Fatalf("generation 2 entity = %v", ent)
+	}
+	// The replaced word's vocabulary entry left the index with its
+	// generation ("training" can still match phrase displays, which kept
+	// the token — but no word entry may remain).
+	for _, h := range mustGet(t, ts.URL+"/search?q=training")["hits"].([]any) {
+		if m := h.(map[string]any); m["kind"] == "word" {
+			t.Fatalf("replaced vocabulary word still indexed: %v", m)
+		}
 	}
 }

@@ -25,6 +25,9 @@ package serve
 //	lesmd_infer_in_flight                       gauge, busy in-flight slots
 //	lesmd_infer_queue_depth                     gauge, admitted minus in-flight (the wait queue)
 //	lesmd_infer_batch_window_seconds            gauge, effective coalescing window (EWMA-adapted when on)
+//	lesmd_search_index_entries                  gauge, named entries in the current search index
+//	lesmd_search_index_terms                    gauge, distinct tokens in the search index dictionary
+//	lesmd_search_index_postings                 gauge, total postings in the search index
 //	lesmd_reload_generation                     gauge, current artifact generation
 //	lesmd_reloads_total                         counter, successful snapshot swaps
 //	lesmd_reload_failures_total                 counter, failed reload attempts
@@ -94,7 +97,7 @@ var batchDocBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
 // mux registration instruments itself under exactly one of these.
 var routeNames = []string{
 	"healthz", "topics", "top_words", "hierarchy_node", "phrases_search",
-	"advisor", "infer", "admin_reload", "metrics",
+	"search", "entity", "advisor", "infer", "admin_reload", "metrics",
 }
 
 // atomicFloat64 is a CAS-loop float accumulator (histogram sums).
@@ -401,8 +404,19 @@ func (s *Server) renderMetrics() []byte {
 	p.family("lesmd_infer_batch_window_seconds", "Effective /infer coalescing window (EWMA-adapted when adaptive).", "gauge")
 	p.sample("lesmd_infer_batch_window_seconds", "", window.Seconds())
 
+	// Index-size gauges are sampled from the current artifact at scrape
+	// time, so after a hot reload they describe exactly the generation
+	// lesmd_reload_generation names.
+	cur := s.cur.Load()
+	p.family("lesmd_search_index_entries", "Named entries (words, phrases, authors) in the current generation's search index.", "gauge")
+	p.sample("lesmd_search_index_entries", "", float64(cur.index.Entries()))
+	p.family("lesmd_search_index_terms", "Distinct tokens in the current generation's search index dictionary.", "gauge")
+	p.sample("lesmd_search_index_terms", "", float64(cur.index.Terms()))
+	p.family("lesmd_search_index_postings", "Total postings in the current generation's search index.", "gauge")
+	p.sample("lesmd_search_index_postings", "", float64(cur.index.Postings()))
+
 	p.family("lesmd_reload_generation", "Current snapshot artifact generation.", "gauge")
-	p.sample("lesmd_reload_generation", "", float64(s.cur.Load().gen))
+	p.sample("lesmd_reload_generation", "", float64(cur.gen))
 	p.family("lesmd_reloads_total", "Successful snapshot hot reloads.", "counter")
 	p.sample("lesmd_reloads_total", "", float64(m.reloads.Load()))
 	p.family("lesmd_reload_failures_total", "Failed snapshot reload attempts.", "counter")

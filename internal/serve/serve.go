@@ -17,6 +17,7 @@ import (
 	"lesm/internal/core"
 	"lesm/internal/lda"
 	"lesm/internal/linalg"
+	"lesm/internal/search"
 	"lesm/internal/store"
 	"lesm/internal/textkit"
 	"lesm/internal/tpfg"
@@ -137,12 +138,21 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// phraseHit is one prepared entry of the phrase search index.
+// phraseHit is one prepared entry of the phrase search index. folded is
+// the display case-folded through textkit.Fold — the same fold queries go
+// through, so non-ASCII case variants match (strings.ToLower kept e.g.
+// the Greek final sigma distinct from the medial form Tokenize produces).
 type phraseHit struct {
 	Path    string  `json:"path"`
 	Display string  `json:"display"`
 	Score   float64 `json:"score"`
-	lower   string
+	folded  string
+}
+
+// authorNode is one hierarchy placement of an author entity.
+type authorNode struct {
+	Path  string  `json:"path"`
+	Score float64 `json:"score"`
 }
 
 // artifact is everything derived from one snapshot: the immutable unit a
@@ -161,8 +171,25 @@ type artifact struct {
 	phrases []phraseHit
 	advisor *tpfg.Result
 	// predicted[i] is advisor.Predict()[i], computed once at build so
-	// /advisor lookups don't re-run the all-authors argmax per request.
-	predicted []int
+	// /advisor lookups don't re-run the all-authors argmax per request;
+	// predictedScore[i] is the rank mass of that prediction — the argmax
+	// entry of Rank[i] itself, never reconstructed by scanning the
+	// candidate list (duplicate candidates made that scan report the wrong
+	// entry, and a predicted advisor absent from the scan silently fell
+	// back to the no-advisor rank).
+	predicted      []int
+	predictedScore []float64
+	// advisees[v] lists the authors whose predicted advisor is v,
+	// ascending — the reverse edge set of predicted, for entity profiles.
+	advisees map[int][]int
+	// index is the generation's entity search index (always built, possibly
+	// empty); it is immutable and rides the same atomic swap as the rest of
+	// the artifact, so /search and /entity reads are lock-free.
+	index *search.Index
+	// authorNodes[id] lists the hierarchy placements of author id — the
+	// nodes carrying an author-typed entity with that id (search.AuthorTypes
+	// detection), in pre-order with the entity's score.
+	authorNodes map[int][]authorNode
 	// closer releases the snapshot's backing mapping (store.Mapped); nil
 	// for heap-decoded snapshots. Closed by Server.Close, never on swap —
 	// an in-flight request may still read the old mapping.
@@ -214,20 +241,57 @@ func buildArtifact(snap *store.Snapshot, opt Options, gen uint64, closer io.Clos
 	if snap.RolePhrases != nil {
 		for _, tp := range snap.RolePhrases {
 			for _, p := range tp.Phrases {
-				a.phrases = append(a.phrases, phraseHit{Path: tp.Path, Display: p.Display, Score: p.Score, lower: strings.ToLower(p.Display)})
+				a.phrases = append(a.phrases, phraseHit{Path: tp.Path, Display: p.Display, Score: p.Score, folded: textkit.Fold(p.Display)})
 			}
 		}
 	} else if snap.Hierarchy != nil {
 		for _, path := range a.paths {
 			for _, p := range a.nodes[path].Phrases {
-				a.phrases = append(a.phrases, phraseHit{Path: path, Display: p.Display, Score: p.Score, lower: strings.ToLower(p.Display)})
+				a.phrases = append(a.phrases, phraseHit{Path: path, Display: p.Display, Score: p.Score, folded: textkit.Fold(p.Display)})
 			}
 		}
 	}
 	if adv := snap.Advisor; adv != nil {
 		a.advisor = &tpfg.Result{Net: adv.Net, Rank: adv.Rank}
-		a.predicted = a.advisor.Predict()
+		// One pass computes the prediction and its score together,
+		// mirroring Predict()'s strict-> argmax (first max wins): the score
+		// is the argmax rank entry itself, so it stays right when the
+		// candidate list carries duplicates or the prediction is the
+		// virtual no-advisor node.
+		a.predicted = make([]int, adv.Net.NumAuthors)
+		a.predictedScore = make([]float64, adv.Net.NumAuthors)
+		a.advisees = map[int][]int{}
+		for i := range a.predicted {
+			best, bestV := 0, adv.Rank[i][0]
+			for v := 1; v < len(adv.Rank[i]); v++ {
+				if adv.Rank[i][v] > bestV {
+					best, bestV = v, adv.Rank[i][v]
+				}
+			}
+			a.predictedScore[i] = bestV
+			if best == 0 {
+				a.predicted[i] = -1
+			} else {
+				a.predicted[i] = adv.Net.Cands[i][best-1].Advisor
+				a.advisees[a.predicted[i]] = append(a.advisees[a.predicted[i]], i)
+			}
+		}
 	}
+	if h := snap.Hierarchy; h != nil {
+		a.authorNodes = map[int][]authorNode{}
+		authorTypes := search.AuthorTypes(h)
+		for _, path := range a.paths {
+			for _, x := range authorTypes {
+				for _, e := range a.nodes[path].Entities[x] {
+					a.authorNodes[e.ID] = append(a.authorNodes[e.ID], authorNode{Path: path, Score: e.Score})
+				}
+			}
+		}
+	}
+	// The entity search index is built once per generation here, so it
+	// rides the same atomic artifact swap as everything else: a hot reload
+	// replaces index and snapshot together, and readers never lock.
+	a.index = search.FromSnapshot(snap)
 	return a, nil
 }
 
@@ -319,6 +383,8 @@ func New(snap *store.Snapshot, opt Options) (*Server, error) {
 	mux.HandleFunc("/topics/", s.instrument("top_words", s.handleTopicTopWords))
 	mux.HandleFunc("/hierarchy/node/", s.instrument("hierarchy_node", s.handleHierarchyNode))
 	mux.HandleFunc("/phrases/search", s.instrument("phrases_search", s.handlePhraseSearch))
+	mux.HandleFunc("/search", s.instrument("search", s.handleSearch))
+	mux.HandleFunc("/entity/", s.instrument("entity", s.handleEntity))
 	mux.HandleFunc("/advisor/", s.instrument("advisor", s.handleAdvisor))
 	mux.HandleFunc("/infer", s.instrument("infer", s.handleInfer))
 	mux.HandleFunc("/admin/reload", s.instrument("admin_reload", s.handleAdminReload))
@@ -678,7 +744,7 @@ func (s *Server) handlePhraseSearch(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, "snapshot has no phrases (roles or hierarchy section required)")
 		return
 	}
-	q := strings.ToLower(strings.TrimSpace(r.URL.Query().Get("q")))
+	q := textkit.Fold(strings.TrimSpace(r.URL.Query().Get("q")))
 	if q == "" {
 		writeErr(w, http.StatusBadRequest, "missing query parameter q")
 		return
@@ -689,14 +755,15 @@ func (s *Server) handlePhraseSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if limit <= 0 {
-		limit = 20 // a non-positive limit is not "unlimited"
+		writeErr(w, http.StatusBadRequest, "parameter \"limit\" must be positive, got %d", limit)
+		return
 	}
 	if condGET(w, r, a) {
 		return
 	}
 	var hits []phraseHit
 	for _, p := range a.phrases {
-		if strings.Contains(p.lower, q) {
+		if strings.Contains(p.folded, q) {
 			hits = append(hits, p)
 		}
 	}
@@ -709,7 +776,7 @@ func (s *Server) handlePhraseSearch(w http.ResponseWriter, r *http.Request) {
 		}
 		return hits[a].Path < hits[b].Path
 	})
-	if limit > 0 && len(hits) > limit {
+	if len(hits) > limit {
 		hits = hits[:limit]
 	}
 	if hits == nil {
@@ -731,32 +798,298 @@ func (s *Server) handleAdvisor(w http.ResponseWriter, r *http.Request) {
 	}
 	raw := strings.TrimPrefix(r.URL.Path, "/advisor/")
 	author, err := strconv.Atoi(raw)
-	if err != nil || author < 0 || author >= a.advisor.Net.NumAuthors {
+	if err != nil {
+		// Distinct from out-of-range: "/advisor/3/x" or "/advisor/smith"
+		// never names an author index, and the old range message sent
+		// clients hunting for a numeric bound that wasn't the problem.
+		// Name lookups belong to /entity/:name.
+		writeErr(w, http.StatusNotFound, "author %q is not a numeric author id (fuzzy name lookup is /entity/:name)", raw)
+		return
+	}
+	if author < 0 || author >= a.advisor.Net.NumAuthors {
 		writeErr(w, http.StatusNotFound, "author %q out of range [0, %d)", raw, a.advisor.Net.NumAuthors)
 		return
 	}
 	if condGET(w, r, a) {
 		return
 	}
-	type candInfo struct {
-		Advisor int     `json:"advisor"`
-		Rank    float64 `json:"rank"`
-		Start   int     `json:"start"`
-		End     int     `json:"end"`
-	}
-	best := a.predicted[author]
-	bestScore := a.advisor.Rank[author][0]
+	writeJSON(w, http.StatusOK, map[string]any{
+		"author": author, "advisor": a.predicted[author], "score": a.predictedScore[author],
+		"candidates": candidatesOf(a, author),
+	})
+}
+
+// candInfo is one advisor candidate in /advisor and /entity responses.
+type candInfo struct {
+	Advisor int     `json:"advisor"`
+	Rank    float64 `json:"rank"`
+	Start   int     `json:"start"`
+	End     int     `json:"end"`
+}
+
+// candidatesOf renders author's candidate list with rank mass. Rank[v+1]
+// corresponds to Cands[v]; Rank[0] is the virtual no-advisor node.
+func candidatesOf(a *artifact, author int) []candInfo {
 	cands := make([]candInfo, 0, len(a.advisor.Net.Cands[author]))
 	for v, c := range a.advisor.Net.Cands[author] {
-		rank := a.advisor.Rank[author][v+1]
-		cands = append(cands, candInfo{c.Advisor, rank, c.Start, c.End})
-		if c.Advisor == best {
-			bestScore = rank
+		cands = append(cands, candInfo{c.Advisor, a.advisor.Rank[author][v+1], c.Start, c.End})
+	}
+	return cands
+}
+
+// --- /search and /entity/:name ---
+
+// searchHit is the JSON form of one /search result.
+type searchHit struct {
+	Kind     string  `json:"kind"`
+	Name     string  `json:"name"`
+	ID       int     `json:"id"`
+	Path     string  `json:"path,omitempty"`
+	Weight   float64 `json:"weight,omitempty"`
+	Score    float64 `json:"score"`
+	Distance int     `json:"distance"`
+	Matched  int     `json:"matched"`
+	Of       int     `json:"of"`
+}
+
+func toSearchHit(h search.Hit) searchHit {
+	return searchHit{
+		Kind: h.Kind.String(), Name: h.Name, ID: h.ID, Path: h.Path,
+		Weight: h.Weight, Score: h.Score, Distance: h.Distance,
+		Matched: h.Matched, Of: h.Of,
+	}
+}
+
+// handleSearch is GET /search?q=&limit= — ranked, typed, fuzzy hits over
+// everything the snapshot knows by name (vocabulary words, phrase
+// displays, author ids/labels).
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
+	a := s.cur.Load()
+	q := strings.TrimSpace(r.URL.Query().Get("q"))
+	if q == "" {
+		writeErr(w, http.StatusBadRequest, "missing query parameter q")
+		return
+	}
+	limit, err := queryInt(r, "limit", 20)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if limit <= 0 {
+		writeErr(w, http.StatusBadRequest, "parameter \"limit\" must be positive, got %d", limit)
+		return
+	}
+	if condGET(w, r, a) {
+		return
+	}
+	hits := []searchHit{}
+	for _, h := range a.index.Search(q, limit) {
+		hits = append(hits, toSearchHit(h))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"query": q, "hits": hits})
+}
+
+// profileCap bounds the per-section list lengths of an entity profile
+// (topic mixture entries, hierarchy placements, related phrases).
+const profileCap = 10
+
+// handleEntity is GET /entity/:name — fuzzy name resolution (exact and
+// edit-distance-1/2 per token) plus one composed response with everything
+// the engines know about the matched entity.
+func (s *Server) handleEntity(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
+	a := s.cur.Load()
+	name := strings.TrimPrefix(r.URL.Path, "/entity/")
+	if strings.TrimSpace(name) == "" {
+		writeErr(w, http.StatusBadRequest, "missing entity name (want /entity/:name)")
+		return
+	}
+	hit, ok := a.index.Resolve(name)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no entity matching %q (within edit distance of any indexed name)", name)
+		return
+	}
+	if condGET(w, r, a) {
+		return
+	}
+	resp := map[string]any{
+		"query":      name,
+		"resolved":   toSearchHit(hit),
+		"generation": a.gen,
+	}
+	switch hit.Kind {
+	case search.KindWord:
+		s.profileWord(a, hit.ID, resp)
+	case search.KindPhrase:
+		s.profilePhrase(a, hit.Name, resp)
+	case search.KindAuthor:
+		s.profileAuthor(a, hit.ID, resp)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// topicShare is one entry of a topic mixture.
+type topicShare struct {
+	Topic int     `json:"topic"`
+	P     float64 `json:"p"`
+}
+
+// nodeShare is one hierarchy placement of a word.
+type nodeShare struct {
+	Path string  `json:"path"`
+	P    float64 `json:"p"`
+}
+
+// mixtureOf computes p(k|words) ∝ sum_w Phi[k][w] · weight_k over the
+// flat topic model, normalized — the posterior topic share of the word
+// set under the fitted model, descending, capped at profileCap.
+func mixtureOf(t *store.Topics, words []int) []topicShare {
+	if t == nil || t.Phi == nil {
+		return nil
+	}
+	mass := make([]float64, len(t.Phi))
+	total := 0.0
+	for k, phi := range t.Phi {
+		wk := 1.0
+		if k < len(t.Weight) && t.Weight[k] > 0 {
+			wk = t.Weight[k]
+		}
+		for _, w := range words {
+			if w >= 0 && w < len(phi) {
+				mass[k] += phi[w] * wk
+			}
+		}
+		total += mass[k]
+	}
+	if total <= 0 {
+		return nil
+	}
+	out := make([]topicShare, 0, len(mass))
+	for k, m := range mass {
+		if m > 0 {
+			out = append(out, topicShare{Topic: k, P: m / total})
 		}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"author": author, "advisor": best, "score": bestScore, "candidates": cands,
+	sort.SliceStable(out, func(a, b int) bool { return out[a].P > out[b].P })
+	if len(out) > profileCap {
+		out = out[:profileCap]
+	}
+	return out
+}
+
+// wordNodes ranks the hierarchy nodes word w loads on by the node's term
+// distribution, descending, capped at profileCap.
+func wordNodes(a *artifact, w int) []nodeShare {
+	var out []nodeShare
+	for _, path := range a.paths {
+		phi := a.nodes[path].Phi[core.TermType]
+		if w >= 0 && w < len(phi) && phi[w] > 0 {
+			out = append(out, nodeShare{Path: path, P: phi[w]})
+		}
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].P > out[b].P })
+	if len(out) > profileCap {
+		out = out[:profileCap]
+	}
+	return out
+}
+
+// phrasesWithToken collects the phrase hits whose folded display contains
+// token as a whole token, best score first, capped at profileCap.
+func phrasesWithToken(a *artifact, token string) []phraseHit {
+	var out []phraseHit
+	for _, p := range a.phrases {
+		for _, t := range textkit.Tokenize(p.folded) {
+			if t == token {
+				out = append(out, p)
+				break
+			}
+		}
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		if out[a].Score != out[b].Score {
+			return out[a].Score > out[b].Score
+		}
+		if out[a].Display != out[b].Display {
+			return out[a].Display < out[b].Display
+		}
+		return out[a].Path < out[b].Path
 	})
+	if len(out) > profileCap {
+		out = out[:profileCap]
+	}
+	return out
+}
+
+func (s *Server) profileWord(a *artifact, w int, resp map[string]any) {
+	if m := mixtureOf(a.snap.Topics, []int{w}); m != nil {
+		resp["topic_mixture"] = m
+	}
+	if nodes := wordNodes(a, w); nodes != nil {
+		resp["nodes"] = nodes
+	}
+	if a.vocab != nil && w < a.vocab.Size() {
+		if ph := phrasesWithToken(a, textkit.Fold(a.vocab.Word(w))); ph != nil {
+			resp["phrases"] = ph
+		}
+	}
+}
+
+func (s *Server) profilePhrase(a *artifact, display string, resp map[string]any) {
+	folded := textkit.Fold(display)
+	occ := []phraseHit{}
+	for _, p := range a.phrases {
+		if p.folded == folded {
+			occ = append(occ, p)
+		}
+	}
+	resp["occurrences"] = occ
+	// The phrase's constituent words, resolved to vocabulary ids where the
+	// snapshot knows them, and the composed topic mixture over those ids.
+	type wordRef struct {
+		Word string `json:"word"`
+		ID   int    `json:"id"`
+	}
+	var words []wordRef
+	var ids []int
+	for _, tok := range textkit.Tokenize(display) {
+		ref := wordRef{Word: tok, ID: -1}
+		if a.vocab != nil {
+			if id, ok := a.vocab.ID(tok); ok {
+				ref.ID = id
+				ids = append(ids, id)
+			}
+		}
+		words = append(words, ref)
+	}
+	if words != nil {
+		resp["words"] = words
+	}
+	if m := mixtureOf(a.snap.Topics, ids); m != nil {
+		resp["topic_mixture"] = m
+	}
+}
+
+func (s *Server) profileAuthor(a *artifact, id int, resp map[string]any) {
+	if a.advisor != nil && id >= 0 && id < a.advisor.Net.NumAuthors {
+		resp["advisor"] = map[string]any{
+			"advisor": a.predicted[id], "score": a.predictedScore[id],
+			"candidates": candidatesOf(a, id),
+		}
+		advisees := []map[string]any{}
+		for _, j := range a.advisees[id] {
+			advisees = append(advisees, map[string]any{"author": j, "score": a.predictedScore[j]})
+		}
+		resp["advisees"] = advisees
+	}
+	if nodes := a.authorNodes[id]; nodes != nil {
+		resp["nodes"] = nodes
+	}
 }
 
 // --- /infer ---

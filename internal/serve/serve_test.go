@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"reflect"
 	"runtime"
 	"strings"
@@ -236,11 +237,77 @@ func TestPhraseSearch(t *testing.T) {
 	if empty := getJSON(t, ts.URL+"/phrases/search?q=zzz", http.StatusOK); len(empty["hits"].([]any)) != 0 {
 		t.Fatalf("expected no hits: %v", empty)
 	}
-	// A negative limit means the default cap, not "unlimited".
-	if neg := getJSON(t, ts.URL+"/phrases/search?q=n&limit=-1", http.StatusOK); len(neg["hits"].([]any)) > 20 {
-		t.Fatalf("negative limit returned %d hits", len(neg["hits"].([]any)))
-	}
 	getJSON(t, ts.URL+"/phrases/search", http.StatusBadRequest)
+}
+
+// TestPhraseSearchLimitValidation pins the limit contract: non-positive
+// limits are client errors like any other bad query param (they used to be
+// silently coerced to the default 20), boundary values behave, and an
+// absent limit still means the default cap.
+func TestPhraseSearchLimitValidation(t *testing.T) {
+	ts := newTestServer(t, Options{})
+	for _, bad := range []string{"-1", "0", "-999"} {
+		got := getJSON(t, ts.URL+"/phrases/search?q=n&limit="+bad, http.StatusBadRequest)
+		if msg, _ := got["error"].(string); !strings.Contains(msg, "must be positive") {
+			t.Fatalf("limit=%s error = %v", bad, got)
+		}
+	}
+	// limit=1 truncates to exactly one hit; a huge limit returns all.
+	if one := getJSON(t, ts.URL+"/phrases/search?q=n&limit=1", http.StatusOK); len(one["hits"].([]any)) != 1 {
+		t.Fatalf("limit=1 hits = %v", one["hits"])
+	}
+	if all := getJSON(t, ts.URL+"/phrases/search?q=n&limit=1000", http.StatusOK); len(all["hits"].([]any)) != 2 {
+		t.Fatalf("limit=1000 hits = %v", all["hits"])
+	}
+	if def := getJSON(t, ts.URL+"/phrases/search?q=n", http.StatusOK); len(def["hits"].([]any)) != 2 {
+		t.Fatalf("default-limit hits = %v", def["hits"])
+	}
+	getJSON(t, ts.URL+"/phrases/search?q=n&limit=zap", http.StatusBadRequest)
+}
+
+// TestPhraseSearchEmptyHitsShape pins the JSON shape of a no-hit response:
+// "hits" must be the empty array, never null — clients range over it.
+func TestPhraseSearchEmptyHitsShape(t *testing.T) {
+	ts := newTestServer(t, Options{})
+	resp, err := http.Get(ts.URL + "/phrases/search?q=zzz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"hits":[]`) {
+		t.Fatalf("empty result did not serialize hits as []: %s", buf.String())
+	}
+}
+
+// TestPhraseSearchCaseFolding is the regression test for the fold
+// mismatch: the phrase index folded displays with strings.ToLower while
+// tokenization folded with unicode case mapping — both keep the Greek
+// final sigma apart from the medial form, so an uppercase query could
+// miss a phrase it plainly names. Both sides now fold through
+// textkit.Fold; an uppercase query must match a display holding 'ς'.
+func TestPhraseSearchCaseFolding(t *testing.T) {
+	snap := testSnapshot(t)
+	snap.RolePhrases = append(snap.RolePhrases, store.TopicPhrases{
+		Path:    "o/2",
+		Phrases: []core.RankedPhrase{{Display: "Σίσυφος learning", Score: 1}},
+	})
+	s, err := New(snap, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	// "ΣΊΣΥΦΟΣ" lowercases to a trailing medial sigma while the display's
+	// final sigma stays 'ς' — strings.ToLower on both sides never matches.
+	got := getJSON(t, ts.URL+"/phrases/search?q="+url.QueryEscape("ΣΊΣΥΦΟΣ"), http.StatusOK)
+	hits := got["hits"].([]any)
+	if len(hits) != 1 || hits[0].(map[string]any)["display"] != "Σίσυφος learning" {
+		t.Fatalf("folded query missed the phrase: %v", got)
+	}
 }
 
 func TestAdvisor(t *testing.T) {
@@ -262,6 +329,64 @@ func TestAdvisor(t *testing.T) {
 	}
 	getJSON(t, ts.URL+"/advisor/99", http.StatusNotFound)
 	getJSON(t, ts.URL+"/advisor/xyz", http.StatusNotFound)
+}
+
+// TestAdvisorNonNumericMessage pins the error for paths that never name an
+// author index ("/advisor/3/x", "/advisor/smith"): still 404, but saying
+// the id is not numeric instead of the misleading out-of-range bound.
+func TestAdvisorNonNumericMessage(t *testing.T) {
+	ts := newTestServer(t, Options{})
+	for _, p := range []string{"/advisor/3/x", "/advisor/smith"} {
+		got := getJSON(t, ts.URL+p, http.StatusNotFound)
+		msg, _ := got["error"].(string)
+		if !strings.Contains(msg, "not a numeric author id") {
+			t.Fatalf("GET %s error = %q, want non-numeric message", p, msg)
+		}
+		if strings.Contains(msg, "out of range") {
+			t.Fatalf("GET %s still reports out-of-range: %q", p, msg)
+		}
+	}
+	// Genuinely numeric but out of range keeps the range message.
+	got := getJSON(t, ts.URL+"/advisor/99", http.StatusNotFound)
+	if msg, _ := got["error"].(string); !strings.Contains(msg, "out of range") {
+		t.Fatalf("numeric out-of-range error = %q", msg)
+	}
+}
+
+// TestAdvisorScoreWithDuplicateCandidates is the regression test for the
+// score fallback: the handler used to rediscover the predicted advisor's
+// rank by scanning the candidate list for a matching advisor id, so a
+// duplicated candidate made the *last* duplicate's rank win — here 0.3
+// instead of the argmax mass 0.6. The score must be the argmax entry of
+// the rank vector itself.
+func TestAdvisorScoreWithDuplicateCandidates(t *testing.T) {
+	snap := testSnapshot(t)
+	snap.Advisor = &store.Advisor{
+		Net: &tpfg.Network{
+			NumAuthors: 3,
+			First:      []int{1995, 2003, 2004},
+			Cands: [][]tpfg.Candidate{
+				nil,
+				{{Advisor: 0, Start: 2003, End: 2007}},
+				// Author 0 appears twice (distinct candidate intervals).
+				{{Advisor: 0, Start: 2004, End: 2006}, {Advisor: 0, Start: 2006, End: 2008}},
+			},
+		},
+		Rank: [][]float64{{1}, {0.2, 0.8}, {0.1, 0.6, 0.3}},
+	}
+	s, err := New(snap, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	got := getJSON(t, ts.URL+"/advisor/2", http.StatusOK)
+	if int(got["advisor"].(float64)) != 0 {
+		t.Fatalf("advisor = %v", got)
+	}
+	if score := got["score"].(float64); score != 0.6 {
+		t.Fatalf("score = %v, want the argmax mass 0.6 (duplicate-candidate scan reported the last match)", score)
+	}
 }
 
 func TestInferTokensAndIDs(t *testing.T) {
@@ -367,6 +492,8 @@ func TestConcurrentMixedQueries(t *testing.T) {
 		ts.URL + "/topics/0/top-words?n=5",
 		ts.URL + "/hierarchy/node/o/1",
 		ts.URL + "/phrases/search?q=query",
+		ts.URL + "/search?q=databse",
+		ts.URL + "/entity/query",
 		ts.URL + "/advisor/1",
 	}
 	inferBody, _ := json.Marshal(map[string]any{"seed": 3, "ids": [][]int{{0, 1, 2, 3}}, "sweeps": 5})

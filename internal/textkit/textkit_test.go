@@ -26,6 +26,43 @@ func TestTokenize(t *testing.T) {
 	}
 }
 
+// TestFoldCanonicalizesCaseVariants is the regression test for the
+// case-folding mismatch between unicode.ToLower (per rune, what Tokenize
+// used) and strings.ToLower (what the serving-side substring search used):
+// both keep apart case variants that full folding merges — the Greek final
+// sigma being the everyday one. A query typed with 'ς' must match indexed
+// text holding 'Σ' or 'σ' no matter which fold path each side went
+// through, so Fold/FoldRune are the single helper both sides use.
+func TestFoldCanonicalizesCaseVariants(t *testing.T) {
+	cases := []struct{ a, b string }{
+		{"ΣΊΣΥΦΟΣ", "σίσυφος"}, // uppercase vs lowercase-with-final-sigma
+		{"σ", "ς"},             // medial vs final sigma
+		{"K", "k"},             // Kelvin sign U+212A vs ASCII k
+		{"ſ", "s"},             // long s U+017F
+		{"Query", "qUERY"},     // ASCII fast path
+	}
+	for _, c := range cases {
+		if Fold(c.a) != Fold(c.b) {
+			t.Errorf("Fold(%q) = %q, Fold(%q) = %q — variants must fold together", c.a, Fold(c.a), c.b, Fold(c.b))
+		}
+	}
+	// The pre-fix mismatch this pins: strings.ToLower keeps the final
+	// sigma distinct, so if Fold ever degrades to it this test fails.
+	if strings.ToLower("ΣΊΣΥΦΟΣ") == strings.ToLower("σίσυφος") {
+		t.Skip("strings.ToLower now folds final sigma; the helper is redundant")
+	}
+}
+
+// TestTokenizeUsesFold pins that tokenization goes through the shared fold:
+// the same word in any case variant yields one token form.
+func TestTokenizeUsesFold(t *testing.T) {
+	a := Tokenize("Σίσυφος rolls")
+	b := Tokenize("ΣΊΣΥΦΟΣ ROLLS")
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("Tokenize case variants disagree: %v vs %v", a, b)
+	}
+}
+
 func TestSplitSentences(t *testing.T) {
 	got := SplitSentences("Mining frequent patterns: current status, and future directions.")
 	want := []string{"Mining frequent patterns", "current status", "and future directions"}

@@ -3,12 +3,47 @@ package textkit
 import (
 	"strings"
 	"unicode"
+	"unicode/utf8"
 )
 
-// Tokenize lowercases s and splits it into maximal runs of letters and
-// digits. Punctuation separates tokens; purely numeric tokens are kept (they
-// matter for e.g. "20 conferences" style text but are typically removed by
-// stopword filtering in callers that do not want them).
+// FoldRune maps r to its canonical case-folded form: the lowercase of the
+// smallest rune in r's unicode.SimpleFold orbit. This is strictly stronger
+// than unicode.ToLower — case variants that lowercasing keeps apart still
+// fold together (Greek final sigma 'ς' and 'σ' both become 'σ', the Kelvin
+// sign 'K' becomes 'k', long s 'ſ' becomes 's') — so a query folded with
+// FoldRune always matches text folded with FoldRune regardless of which
+// variant either side typed. Every text path that compares user input
+// against indexed text (Tokenize, the phrase and entity search indexes)
+// must fold through this one helper; mixing it with strings.ToLower
+// reintroduces the non-ASCII mismatch it exists to prevent.
+func FoldRune(r rune) rune {
+	if r < utf8.RuneSelf {
+		if 'A' <= r && r <= 'Z' {
+			return r + ('a' - 'A')
+		}
+		return r
+	}
+	min := r
+	for f := unicode.SimpleFold(r); f != r; f = unicode.SimpleFold(f) {
+		if f < min {
+			min = f
+		}
+	}
+	return unicode.ToLower(min)
+}
+
+// Fold case-folds every rune of s through FoldRune. It is the string-level
+// companion of FoldRune for callers that compare whole strings (phrase
+// display vs. query) rather than building tokens.
+func Fold(s string) string {
+	return strings.Map(FoldRune, s)
+}
+
+// Tokenize case-folds s (FoldRune) and splits it into maximal runs of
+// letters and digits. Punctuation separates tokens; purely numeric tokens
+// are kept (they matter for e.g. "20 conferences" style text but are
+// typically removed by stopword filtering in callers that do not want
+// them).
 func Tokenize(s string) []string {
 	var tokens []string
 	var b strings.Builder
@@ -21,7 +56,7 @@ func Tokenize(s string) []string {
 	for _, r := range s {
 		switch {
 		case unicode.IsLetter(r) || unicode.IsDigit(r):
-			b.WriteRune(unicode.ToLower(r))
+			b.WriteRune(FoldRune(r))
 		default:
 			flush()
 		}

@@ -34,6 +34,7 @@ import (
 	"lesm/internal/par"
 	"lesm/internal/relcrf"
 	"lesm/internal/roles"
+	"lesm/internal/search"
 	"lesm/internal/store"
 	"lesm/internal/strod"
 	"lesm/internal/textkit"
@@ -690,11 +691,46 @@ type Artifact struct {
 	foldOnce  sync.Once
 	foldModel *lda.FoldInModel
 	foldErr   error
+
+	// searchOnce caches the entity search index: building it walks every
+	// name the artifact carries, so it is derived once per immutable
+	// artifact like the fold-in model above.
+	searchOnce sync.Once
+	searchIdx  *search.Index
 }
+
+// SearchIndex is the entity search index over everything an artifact (or
+// snapshot) knows by name, with edit-distance-tolerant lookup — see
+// internal/search.
+type SearchIndex = search.Index
+
+// SearchHit is one ranked, typed search result.
+type SearchHit = search.Hit
+
+// SearchKind types a search hit: word, phrase or author.
+type SearchKind = search.Kind
+
+// Search hit kinds.
+const (
+	SearchWord   = search.KindWord
+	SearchPhrase = search.KindPhrase
+	SearchAuthor = search.KindAuthor
+)
 
 // Sections lists the snapshot sections this artifact would persist, in
 // file order.
 func (a *Artifact) Sections() []string { return a.snapshot().Sections() }
+
+// SearchIndex returns the artifact's entity search index — the same
+// tokenized inverted index with fuzzy matching that lesmd serves /search
+// and /entity/:name from — built lazily on first use and cached. The
+// build is deterministic per artifact content. Callers must not mutate
+// the artifact's name-bearing fields (Vocab, Hierarchy, RolePhrases,
+// Advisor) after the first call.
+func (a *Artifact) SearchIndex() *SearchIndex {
+	a.searchOnce.Do(func() { a.searchIdx = search.FromSnapshot(a.snapshot()) })
+	return a.searchIdx
+}
 
 // Infer runs deterministic fold-in Gibbs inference for unseen documents
 // against the artifact's frozen topic model: theta[d][k] is document d's

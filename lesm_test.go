@@ -296,6 +296,41 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	}
 }
 
+// TestArtifactSearchIndex pins the public index accessor: lazily built,
+// cached, deterministic per content, and answering exact + fuzzy lookups
+// over the artifact's names.
+func TestArtifactSearchIndex(t *testing.T) {
+	a := fullArtifact(t)
+	ix := a.SearchIndex()
+	if ix == nil || ix.Entries() == 0 {
+		t.Fatal("empty search index for a full artifact")
+	}
+	if a.SearchIndex() != ix {
+		t.Fatal("accessor rebuilt the index instead of caching it")
+	}
+	// A vocabulary word resolves exactly and under one edit.
+	word := a.Vocab.Word(0)
+	h, ok := ix.Resolve(word, SearchWord)
+	if !ok || h.ID != 0 {
+		t.Fatalf("Resolve(%q) = %+v, %v", word, h, ok)
+	}
+	if hits := ix.Search(word+"x", 3); len(hits) == 0 {
+		t.Fatalf("fuzzy search for %q found nothing", word+"x")
+	}
+	// Loading the same snapshot yields a bit-identical index.
+	dir := t.TempDir()
+	if err := Save(dir+"/m.lesm", a); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(dir + "/m.lesm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SearchIndex().Checksum() != ix.Checksum() {
+		t.Fatal("search index differs across a save/load round-trip")
+	}
+}
+
 func TestArtifactInferDeterministicAcrossP(t *testing.T) {
 	corpus := demoCorpus()
 	topics, err := InferTopicsGibbs(corpus, 4, 11)
